@@ -1,0 +1,9 @@
+// Figure 5(a): processing time for aggressive-driver detection as a
+// function of the input size, simplified pattern (meets/overlaps only).
+// Flags: --events=N --cars=N --window=SECONDS --no-strawmen
+#include "bench/aggressive_common.h"
+
+int main(int argc, char** argv) {
+  return tpstream::bench::RunAggressiveBenchmark(argc, argv,
+                                                 /*simplified=*/true);
+}

@@ -1,0 +1,9 @@
+// Figure 5(b): processing time for aggressive-driver detection as a
+// function of the input size, full Listing-1 pattern (all alternatives).
+// Flags: --events=N --cars=N --window=SECONDS --no-strawmen
+#include "bench/aggressive_common.h"
+
+int main(int argc, char** argv) {
+  return tpstream::bench::RunAggressiveBenchmark(argc, argv,
+                                                 /*simplified=*/false);
+}

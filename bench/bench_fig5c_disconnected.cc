@@ -1,0 +1,132 @@
+// Figure 5(c): processing time and state size for the disconnected
+// (highly selective) pattern "A before B overlaps C" as a function of the
+// window size (Section 6.2.2). Synthetic boolean streams, default 3M
+// events (the paper used 300M on a workstation).
+// Flags: --events=N --max-window=SECONDS --strawman-cap=SECONDS
+#include <cstdio>
+
+#include "baselines/iseq.h"
+#include "baselines/strawman.h"
+#include "bench/bench_util.h"
+#include "core/operator.h"
+
+namespace tpstream {
+namespace bench {
+namespace {
+
+TemporalPattern DisconnectedPattern() {
+  TemporalPattern p({"A", "B", "C"});
+  (void)p.AddRelation(0, Relation::kBefore, 1);
+  (void)p.AddRelation(1, Relation::kOverlaps, 2);
+  return p;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int64_t events = flags.GetInt("events", 3000000);
+  const Duration max_window = flags.GetInt("max-window", 100000);
+  // The paper reports Esper barely managing windows up to 20,000 s; the
+  // nested-loop straw man blows up the same way, so cap it by default.
+  const Duration strawman_cap = flags.GetInt("strawman-cap", 5000);
+
+  SyntheticGenerator::Options gopts;
+  gopts.num_streams = 3;
+
+  std::printf(
+      "# Figure 5(c): disconnected pattern A before B overlaps C\n"
+      "# events=%lld\n"
+      "# columns: window_s  system  time_ms  kevents_s  matches  "
+      "avg_buffered\n",
+      static_cast<long long>(events));
+
+  std::vector<Duration> windows;
+  for (Duration w = 500; w <= max_window; w *= 5) windows.push_back(w);
+  if (windows.back() != max_window) windows.push_back(max_window);
+
+  for (Duration window : windows) {
+    double gen_ms = TimeMs([&] {
+      SyntheticGenerator gen(gopts);
+      for (int64_t i = 0; i < events; ++i) gen.Next();
+    });
+
+    auto report = [&](const char* name, double total_ms, int64_t matches,
+                      double avg_buffered) {
+      const double ms = std::max(total_ms - gen_ms, 0.001);
+      std::printf("%8lld  %-10s %12.1f %10.0f %12lld %12.0f\n",
+                  static_cast<long long>(window), name, ms, events / ms,
+                  static_cast<long long>(matches), avg_buffered);
+      std::fflush(stdout);
+    };
+
+    // State size is sampled every 64k events (the paper sampled the JVM
+    // heap at 20 Hz; buffered situations/events are our state proxy).
+    constexpr int64_t kSampleEvery = 1 << 16;
+
+    {
+      QuerySpec spec = SyntheticSpec(3, DisconnectedPattern(), window);
+      TPStreamOperator op(spec, {}, nullptr);
+      SyntheticGenerator gen(gopts);
+      double buffered_sum = 0;
+      int64_t samples = 0;
+      const double ms = TimeMs([&] {
+        for (int64_t i = 0; i < events; ++i) {
+          op.Push(gen.Next());
+          if (i % kSampleEvery == 0) {
+            buffered_sum += static_cast<double>(op.BufferedCount());
+            ++samples;
+          }
+        }
+      });
+      report("tpstream", ms, op.num_matches(), buffered_sum / samples);
+    }
+    {
+      IseqOperator op(SyntheticDefinitions(3), DisconnectedPattern(), window,
+                      nullptr);
+      SyntheticGenerator gen(gopts);
+      double buffered_sum = 0;
+      int64_t samples = 0;
+      const double ms = TimeMs([&] {
+        for (int64_t i = 0; i < events; ++i) {
+          op.Push(gen.Next());
+          if (i % kSampleEvery == 0) {
+            buffered_sum += static_cast<double>(op.BufferedCount());
+            ++samples;
+          }
+        }
+      });
+      report("iseq", ms, op.num_matches(), buffered_sum / samples);
+    }
+    if (window <= strawman_cap) {
+      TwoPhaseMatcher op(SyntheticDefinitions(3), DisconnectedPattern(),
+                         window, nullptr);
+      SyntheticGenerator gen(gopts);
+      double buffered_sum = 0;
+      int64_t samples = 0;
+      const double ms = TimeMs([&] {
+        for (int64_t i = 0; i < events; ++i) {
+          op.Push(gen.Next());
+          if (i % kSampleEvery == 0) {
+            buffered_sum += static_cast<double>(op.BufferedCount());
+            ++samples;
+          }
+        }
+      });
+      report("esper1", ms, op.num_matches(), buffered_sum / samples);
+    } else {
+      std::printf("%8lld  %-10s %12s\n", static_cast<long long>(window),
+                  "esper1", "dnf");
+    }
+  }
+  std::printf(
+      "# expected shape (paper): tpstream beats iseq increasingly with the\n"
+      "# window (14x at 100k s); the straw man does not finish large\n"
+      "# windows; tpstream/iseq state stays nearly flat, straw man's "
+      "grows.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tpstream
+
+int main(int argc, char** argv) { return tpstream::bench::Run(argc, argv); }

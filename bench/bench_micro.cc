@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// building blocks: deriver, situation buffer range queries, the join core
+// and the NFA substrate.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "cep/nfa.h"
+#include "derive/deriver.h"
+#include "matcher/low_latency_matcher.h"
+#include "matcher/matcher.h"
+#include "matcher/situation_buffer.h"
+#include "workload/synthetic.h"
+
+namespace tpstream {
+namespace {
+
+void BM_DeriverThroughput(benchmark::State& state) {
+  const int num_streams = static_cast<int>(state.range(0));
+  SyntheticGenerator::Options gopts;
+  gopts.num_streams = num_streams;
+  SyntheticGenerator gen(gopts);
+  std::vector<SituationDefinition> defs;
+  for (int i = 0; i < num_streams; ++i) {
+    defs.emplace_back("S" + std::to_string(i), FieldRef(i));
+  }
+  Deriver deriver(defs, /*announce_starts=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deriver.Process(gen.Next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeriverThroughput)->Arg(1)->Arg(4)->Arg(10);
+
+void BM_BufferRangeQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SituationBuffer buffer;
+  TimePoint t = 0;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < n; ++i) {
+    const TimePoint ts = t + 1 + static_cast<TimePoint>(rng() % 20);
+    const TimePoint te = ts + 1 + static_cast<TimePoint>(rng() % 50);
+    buffer.Append(Situation({}, ts, te));
+    t = te;
+  }
+  const Situation probe({}, t / 2, t / 2 + 40);
+  for (auto _ : state) {
+    const auto bounds =
+        BoundsForCounterpart(Relation::kBefore, probe, /*fixed_is_a=*/false);
+    benchmark::DoNotOptimize(buffer.Find(*bounds));
+  }
+}
+BENCHMARK(BM_BufferRangeQuery)->Arg(1000)->Arg(100000);
+
+void BM_BufferAppendPurge(benchmark::State& state) {
+  SituationBuffer buffer;
+  TimePoint t = 0;
+  for (auto _ : state) {
+    buffer.Append(Situation({}, t, t + 5));
+    buffer.PurgeBefore(t - 1000);
+    t += 10;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferAppendPurge);
+
+void BM_MatcherUpdate(benchmark::State& state) {
+  // A before B on steadily arriving situations with a sliding window.
+  TemporalPattern p({"A", "B"});
+  (void)p.AddRelation(0, Relation::kBefore, 1);
+  Matcher matcher(p, 2000, [](const Match&) {});
+  TimePoint t = 0;
+  int sym = 0;
+  for (auto _ : state) {
+    t += 17;
+    matcher.Update({{sym, Situation({}, t, t + 9)}}, t + 9);
+    sym ^= 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatcherUpdate);
+
+void BM_LowLatencyUpdate(benchmark::State& state) {
+  TemporalPattern p({"A", "B"});
+  (void)p.AddRelation(0, Relation::kOverlaps, 1);
+  DetectionAnalysis analysis(p, std::vector<DurationConstraint>(2));
+  LowLatencyMatcher matcher(p, analysis, 2000, [](const Match&) {});
+  TimePoint t = 0;
+  int sym = 0;
+  for (auto _ : state) {
+    t += 17;
+    Situation ongoing({}, t, kTimeUnknown);
+    matcher.Update({}, {{sym, Situation({}, t - 20, t)}}, t);
+    matcher.Update({{sym ^ 1, ongoing}}, {}, t);
+    sym ^= 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LowLatencyUpdate);
+
+void BM_NfaPush(benchmark::State& state) {
+  cep::CepPattern p;
+  const ExprPtr flag = FieldRef(0);
+  p.steps.push_back(cep::PatternStep{"pre", Not(flag), false, {}});
+  p.steps.push_back(cep::PatternStep{"body", flag, true, {}});
+  p.steps.push_back(cep::PatternStep{"post", Not(flag), false, {}});
+  cep::NfaEngine engine(p, nullptr);
+  SyntheticGenerator::Options gopts;
+  gopts.num_streams = 1;
+  SyntheticGenerator gen(gopts);
+  for (auto _ : state) {
+    engine.Push(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NfaPush);
+
+void BM_ExpressionEval(benchmark::State& state) {
+  // The speeding predicate of Listing 1.
+  const ExprPtr pred = Gt(FieldRef(1, "speed"), Literal(70.0));
+  const Tuple tuple = {Value(int64_t{7}), Value(82.0), Value(0.4)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalPredicate(*pred, tuple));
+  }
+}
+BENCHMARK(BM_ExpressionEval);
+
+}  // namespace
+}  // namespace tpstream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,206 @@
+#ifndef TPSTREAM_BENCH_BENCH_UTIL_H_
+#define TPSTREAM_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query_spec.h"
+#include "query/builder.h"
+#include "workload/linear_road.h"
+#include "workload/synthetic.h"
+
+namespace tpstream {
+namespace bench {
+
+/// Minimal --key=value flag parsing for the figure harnesses.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+inline double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times fn() and returns elapsed milliseconds.
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  const double start = NowMs();
+  fn();
+  return NowMs() - start;
+}
+
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * (values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - lo;
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+/// Routes events of an unpartitioned operator type by an integer key
+/// field — used to give the baseline operators the same PARTITION BY
+/// semantics the TPStream operator provides natively.
+template <typename Op>
+class PartitionedBy {
+ public:
+  PartitionedBy(int key_field, std::function<std::unique_ptr<Op>()> factory)
+      : key_field_(key_field), factory_(std::move(factory)) {}
+
+  void Push(const Event& e) {
+    auto& slot = partitions_[e.payload[key_field_].AsInt()];
+    if (slot == nullptr) slot = factory_();
+    slot->Push(e);
+  }
+
+  int64_t num_matches() const {
+    int64_t total = 0;
+    for (const auto& [k, op] : partitions_) total += op->num_matches();
+    return total;
+  }
+  size_t BufferedCount() const {
+    size_t total = 0;
+    for (const auto& [k, op] : partitions_) total += op->BufferedCount();
+    return total;
+  }
+
+ private:
+  int key_field_;
+  std::function<std::unique_ptr<Op>()> factory_;
+  std::unordered_map<int64_t, std::unique_ptr<Op>> partitions_;
+};
+
+/// Thresholds for the aggressive-driver query, calibrated like the paper
+/// (Section 6.2.1): p99 of speed, p90 / p10 of acceleration.
+struct DriverThresholds {
+  double speed;
+  double accel;
+  double decel;
+};
+
+inline DriverThresholds CalibrateThresholds(
+    const LinearRoadGenerator::Options& options, int sample = 50000) {
+  // Like the paper: p99 of speed, p90 of the positive acceleration values
+  // and p90 of the negative ones (in magnitude).
+  LinearRoadGenerator gen(options);
+  std::vector<double> speeds;
+  std::vector<double> pos_accel;
+  std::vector<double> neg_accel;
+  for (int i = 0; i < sample; ++i) {
+    const Event e = gen.Next();
+    speeds.push_back(e.payload[LinearRoadGenerator::kSpeed].ToDouble());
+    const double a = e.payload[LinearRoadGenerator::kAccel].ToDouble();
+    if (a > 0) pos_accel.push_back(a);
+    if (a < 0) neg_accel.push_back(-a);
+  }
+  return DriverThresholds{Percentile(speeds, 99.0),
+                          Percentile(pos_accel, 90.0),
+                          -Percentile(neg_accel, 90.0)};
+}
+
+/// Situation definitions of the aggressive-driver query (A acceleration,
+/// B speeding, C deceleration), without duration constraints as in the
+/// processing-time experiments of Section 6.2.1.
+inline std::vector<SituationDefinition> DriverDefinitions(
+    const Schema& schema, const DriverThresholds& thresholds) {
+  const int speed = schema.IndexOf("speed");
+  const int accel = schema.IndexOf("accel");
+  return {
+      SituationDefinition(
+          "A", Gt(FieldRef(accel, "accel"), Literal(thresholds.accel))),
+      SituationDefinition(
+          "B", Gt(FieldRef(speed, "speed"), Literal(thresholds.speed))),
+      SituationDefinition(
+          "C", Lt(FieldRef(accel, "accel"), Literal(thresholds.decel))),
+  };
+}
+
+/// The full aggressive-driver pattern (Listing 1) and the simplified
+/// variant restricted to meets/overlaps (Section 6.2.1).
+inline TemporalPattern DriverPattern(bool simplified) {
+  TemporalPattern p({"A", "B", "C"});
+  if (simplified) {
+    (void)p.AddRelation(0, Relation::kMeets, 1);
+    (void)p.AddRelation(0, Relation::kOverlaps, 1);
+    (void)p.AddRelation(1, Relation::kMeets, 2);
+    (void)p.AddRelation(1, Relation::kOverlaps, 2);
+  } else {
+    for (Relation r : {Relation::kMeets, Relation::kOverlaps,
+                       Relation::kStarts, Relation::kDuring}) {
+      (void)p.AddRelation(0, r, 1);
+    }
+    (void)p.AddRelation(2, Relation::kDuring, 1);
+    for (Relation r :
+         {Relation::kFinishes, Relation::kOverlaps, Relation::kMeets}) {
+      (void)p.AddRelation(1, r, 2);
+    }
+    (void)p.AddRelation(0, Relation::kBefore, 2);
+  }
+  return p;
+}
+
+/// Boolean situation definitions s0..s(n-1) for the synthetic generator.
+inline std::vector<SituationDefinition> SyntheticDefinitions(int n) {
+  std::vector<SituationDefinition> defs;
+  defs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    defs.emplace_back("S" + std::to_string(i),
+                      FieldRef(i, "s" + std::to_string(i)));
+  }
+  return defs;
+}
+
+/// QuerySpec wrapper for matcher-only experiments on synthetic streams.
+inline QuerySpec SyntheticSpec(int n, TemporalPattern pattern,
+                               Duration window) {
+  QuerySpec spec;
+  std::vector<Field> fields;
+  for (int i = 0; i < n; ++i) {
+    fields.push_back(Field{"s" + std::to_string(i), ValueType::kBool});
+  }
+  spec.input_schema = Schema(fields);
+  spec.definitions = SyntheticDefinitions(n);
+  spec.pattern = std::move(pattern);
+  spec.window = window;
+  return spec;
+}
+
+}  // namespace bench
+}  // namespace tpstream
+
+#endif  // TPSTREAM_BENCH_BENCH_UTIL_H_

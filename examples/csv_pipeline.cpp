@@ -1,0 +1,111 @@
+// Standalone pipeline: CSV in, CSV out — with out-of-order tolerance and
+// partition-parallel execution. Demonstrates composing the io::, ooo::
+// and parallel:: extension modules around a TPStream query.
+//
+// Reads machine telemetry rows (written to a temp stringstream here to
+// stay self-contained; swap in std::ifstream for real files), repairs
+// bounded disorder, fans partitions out to worker threads, and writes
+// every detected overload incident as a CSV row.
+//
+//   ./build/examples/csv_pipeline
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <random>
+#include <sstream>
+
+#include "io/csv.h"
+#include "ooo/reorder_buffer.h"
+#include "parallel/parallel_operator.h"
+#include "query/parser.h"
+
+using namespace tpstream;
+
+int main() {
+  Schema schema({
+      Field{"machine", ValueType::kInt},
+      Field{"load", ValueType::kDouble},
+      Field{"queue_len", ValueType::kInt},
+  });
+
+  // Produce a CSV input with mild timestamp disorder (sensor batches
+  // arriving late by up to 3 ticks).
+  std::stringstream csv_input;
+  {
+    csv_input << "timestamp,machine,load,queue_len\n";
+    std::mt19937_64 rng(11);
+    std::vector<std::string> rows;
+    for (TimePoint t = 1; t <= 600; ++t) {
+      for (int m = 0; m < 4; ++m) {
+        const bool overloaded = (t % 150) > 60 && (t % 150) < 130;
+        const double load = overloaded ? 0.97 : 0.35;
+        const int queue = (overloaded && (t % 150) > 80) ? 120 : 4;
+        char row[96];
+        std::snprintf(row, sizeof(row), "%lld,%d,%.2f,%d",
+                      static_cast<long long>(t), m, load, queue);
+        rows.push_back(row);
+      }
+    }
+    // Perturb row order within small neighborhoods.
+    for (size_t i = 0; i + 12 <= rows.size(); i += 12) {
+      std::shuffle(rows.begin() + i, rows.begin() + i + 12, rng);
+    }
+    for (const std::string& row : rows) csv_input << row << "\n";
+  }
+
+  auto spec = query::ParseQuery(
+      "FROM Telemetry PARTITION BY machine "
+      "DEFINE HOT AS load > 0.9 AT LEAST 10s, "
+      "       BACKLOG AS queue_len > 100 "
+      // Complete prefix group {overlaps, finishes, contains}: the
+      // incident is certain (and reported) the moment the backlog starts
+      // while the machine is already hot.
+      "PATTERN HOT overlaps BACKLOG; HOT finishes BACKLOG; "
+      "        HOT contains BACKLOG "
+      "WITHIN 10 minutes "
+      "RETURN first(HOT.machine) AS machine, max(HOT.load) AS peak_load, "
+      "       max(BACKLOG.queue_len) AS peak_queue",
+      schema);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+
+  std::ostringstream csv_output;
+  std::mutex writer_mutex;
+  io::CsvEventWriter writer(csv_output,
+                            {"machine", "peak_load", "peak_queue"});
+
+  parallel::ParallelTPStream::Options options;
+  options.num_workers = 2;
+  parallel::ParallelTPStream engine(
+      spec.value(), options, [&](const Event& incident) {
+        std::lock_guard<std::mutex> lock(writer_mutex);
+        writer.Write(incident);
+      });
+
+  // CSV -> reorder (slack covers the shuffling) -> parallel engine.
+  ooo::ReorderBuffer reorder({/*slack=*/4});
+  auto to_engine = [&](const Event& e) { engine.Push(e); };
+  io::CsvEventReader reader(csv_input, schema);
+  const Status status = reader.ReadAll(
+      [&](const Event& e) { reorder.Push(e, to_engine); });
+  if (!status.ok()) {
+    std::fprintf(stderr, "read error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  reorder.Flush(to_engine);
+  engine.Flush();
+
+  std::printf("rows read:        %lld\n",
+              static_cast<long long>(reader.rows_read()));
+  std::printf("events reordered: %lld (dropped %lld)\n",
+              static_cast<long long>(reorder.num_reordered()),
+              static_cast<long long>(reorder.num_dropped()));
+  std::printf("incidents:        %lld across %zu machines\n\n",
+              static_cast<long long>(engine.num_matches()),
+              engine.num_partitions());
+  std::printf("--- incidents.csv ---\n%s", csv_output.str().c_str());
+  return 0;
+}

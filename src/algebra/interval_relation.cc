@@ -1,0 +1,268 @@
+#include "algebra/interval_relation.h"
+
+#include <array>
+
+namespace tpstream {
+
+Relation Inverse(Relation r) {
+  switch (r) {
+    case Relation::kBefore:
+      return Relation::kAfter;
+    case Relation::kMeets:
+      return Relation::kMetBy;
+    case Relation::kOverlaps:
+      return Relation::kOverlappedBy;
+    case Relation::kStarts:
+      return Relation::kStartedBy;
+    case Relation::kDuring:
+      return Relation::kContains;
+    case Relation::kFinishes:
+      return Relation::kFinishedBy;
+    case Relation::kEquals:
+      return Relation::kEquals;
+    case Relation::kAfter:
+      return Relation::kBefore;
+    case Relation::kMetBy:
+      return Relation::kMeets;
+    case Relation::kOverlappedBy:
+      return Relation::kOverlaps;
+    case Relation::kStartedBy:
+      return Relation::kStarts;
+    case Relation::kContains:
+      return Relation::kDuring;
+    case Relation::kFinishedBy:
+      return Relation::kFinishes;
+  }
+  return Relation::kEquals;
+}
+
+bool Holds(Relation r, TimePoint a_ts, TimePoint a_te, TimePoint b_ts,
+           TimePoint b_te) {
+  switch (r) {
+    case Relation::kBefore:
+      return a_te < b_ts;
+    case Relation::kMeets:
+      return a_te == b_ts;
+    case Relation::kOverlaps:
+      return a_ts < b_ts && b_ts < a_te && a_te < b_te;
+    case Relation::kStarts:
+      return a_ts == b_ts && a_te < b_te;
+    case Relation::kDuring:
+      return b_ts < a_ts && a_te < b_te;
+    case Relation::kFinishes:
+      return a_ts < b_ts && a_te == b_te;
+    case Relation::kEquals:
+      return a_ts == b_ts && a_te == b_te;
+    case Relation::kAfter:
+    case Relation::kMetBy:
+    case Relation::kOverlappedBy:
+    case Relation::kStartedBy:
+    case Relation::kContains:
+    case Relation::kFinishedBy:
+      return Holds(Inverse(r), b_ts, b_te, a_ts, a_te);
+  }
+  return false;
+}
+
+namespace {
+
+constexpr std::array<const char*, kNumRelations> kRelationNames = {
+    "before",     "meets",      "overlaps",      "starts",   "during",
+    "finishes",   "equals",     "after",         "met-by",   "overlapped-by",
+    "started-by", "contains",   "finished-by"};
+
+}  // namespace
+
+const char* RelationName(Relation r) {
+  return kRelationNames[static_cast<int>(r)];
+}
+
+std::optional<Relation> RelationFromName(const std::string& name) {
+  std::string canonical;
+  canonical.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_') continue;
+    canonical.push_back(
+        static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+  }
+  for (int i = 0; i < kNumRelations; ++i) {
+    std::string candidate;
+    for (const char* p = kRelationNames[i]; *p != '\0'; ++p) {
+      if (*p == '-') continue;
+      candidate.push_back(*p);
+    }
+    if (candidate == canonical) return static_cast<Relation>(i);
+  }
+  // Accepted aliases.
+  if (canonical == "equal") return Relation::kEquals;
+  if (canonical == "startedby") return Relation::kStartedBy;
+  return std::nullopt;
+}
+
+double DefaultSelectivity(Relation r) {
+  switch (r) {
+    case Relation::kBefore:
+    case Relation::kAfter:
+      return 0.445;
+    case Relation::kDuring:
+    case Relation::kContains:
+      return 0.03;
+    case Relation::kOverlaps:
+    case Relation::kOverlappedBy:
+      return 0.01;
+    case Relation::kStarts:
+    case Relation::kStartedBy:
+    case Relation::kFinishes:
+    case Relation::kFinishedBy:
+    case Relation::kMeets:
+    case Relation::kMetBy:
+      return 0.0049;
+    case Relation::kEquals:
+      return 0.0006;
+  }
+  return 0.01;
+}
+
+TriggerPoint DetectionTrigger(Relation r) {
+  switch (r) {
+    case Relation::kBefore:
+    case Relation::kMeets:
+      return TriggerPoint::kStartOfB;
+    case Relation::kAfter:
+    case Relation::kMetBy:
+      return TriggerPoint::kStartOfA;
+    case Relation::kStarts:
+    case Relation::kOverlaps:
+    case Relation::kDuring:
+      return TriggerPoint::kEndOfA;
+    case Relation::kStartedBy:
+    case Relation::kContains:
+    case Relation::kOverlappedBy:
+      return TriggerPoint::kEndOfB;
+    case Relation::kEquals:
+    case Relation::kFinishes:
+    case Relation::kFinishedBy:
+      return TriggerPoint::kBothEnds;
+  }
+  return TriggerPoint::kBothEnds;
+}
+
+namespace {
+
+// Symbolic comparison of two (possibly unknown) end/start points. An
+// unknown end timestamp is strictly greater than every known timestamp in
+// the system (the situation is still ongoing); two unknown ends are
+// incomparable.
+enum class Cmp : uint8_t { kLt, kEq, kGt, kUnknown };
+
+Cmp CompareKnown(TimePoint x, TimePoint y) {
+  if (x < y) return Cmp::kLt;
+  if (x > y) return Cmp::kGt;
+  return Cmp::kEq;
+}
+
+Cmp ComparePoints(TimePoint x, bool x_known, TimePoint y, bool y_known) {
+  if (x_known && y_known) return CompareKnown(x, y);
+  if (!x_known && !y_known) return Cmp::kUnknown;
+  return x_known ? Cmp::kLt : Cmp::kGt;
+}
+
+// Folds the certainty of one required comparison into the accumulated
+// certainty of a conjunction.
+Certainty And(Certainty acc, Cmp got, Cmp want) {
+  if (acc == Certainty::kImpossible) return acc;
+  if (got == Cmp::kUnknown) return Certainty::kUnknown;
+  if (got != want) return Certainty::kImpossible;
+  return acc;
+}
+
+}  // namespace
+
+Certainty CheckRelation(Relation r, const Situation& a, const Situation& b) {
+  const bool a_fin = !a.ongoing();
+  const bool b_fin = !b.ongoing();
+  if (a_fin && b_fin) {
+    return Holds(r, a, b) ? Certainty::kCertain : Certainty::kImpossible;
+  }
+
+  const Cmp ts_ts = CompareKnown(a.ts, b.ts);
+  const Cmp te_te = ComparePoints(a.te, a_fin, b.te, b_fin);
+  const Cmp ate_bts = ComparePoints(a.te, a_fin, b.ts, true);
+  const Cmp bte_ats = ComparePoints(b.te, b_fin, a.ts, true);
+
+  Certainty c = Certainty::kCertain;
+  switch (r) {
+    case Relation::kBefore:
+      return And(c, ate_bts, Cmp::kLt);
+    case Relation::kMeets:
+      return And(c, ate_bts, Cmp::kEq);
+    case Relation::kOverlaps:
+      c = And(c, ts_ts, Cmp::kLt);
+      c = And(c, ate_bts, Cmp::kGt);
+      return And(c, te_te, Cmp::kLt);
+    case Relation::kStarts:
+      c = And(c, ts_ts, Cmp::kEq);
+      return And(c, te_te, Cmp::kLt);
+    case Relation::kDuring:
+      c = And(c, ts_ts, Cmp::kGt);
+      return And(c, te_te, Cmp::kLt);
+    case Relation::kFinishes:
+      c = And(c, ts_ts, Cmp::kLt);
+      return And(c, te_te, Cmp::kEq);
+    case Relation::kEquals:
+      c = And(c, ts_ts, Cmp::kEq);
+      return And(c, te_te, Cmp::kEq);
+    case Relation::kAfter:
+      return And(c, bte_ats, Cmp::kLt);
+    case Relation::kMetBy:
+      return And(c, bte_ats, Cmp::kEq);
+    case Relation::kOverlappedBy:
+      c = And(c, ts_ts, Cmp::kGt);
+      c = And(c, bte_ats, Cmp::kGt);
+      return And(c, te_te, Cmp::kGt);
+    case Relation::kStartedBy:
+      c = And(c, ts_ts, Cmp::kEq);
+      return And(c, te_te, Cmp::kGt);
+    case Relation::kContains:
+      c = And(c, ts_ts, Cmp::kLt);
+      return And(c, te_te, Cmp::kGt);
+    case Relation::kFinishedBy:
+      c = And(c, ts_ts, Cmp::kGt);
+      return And(c, te_te, Cmp::kEq);
+  }
+  return Certainty::kUnknown;
+}
+
+bool CertainWhileOngoing(Relation r, bool a_side_ongoing) {
+  const Relation effective = a_side_ongoing ? r : Inverse(r);
+  switch (effective) {
+    case Relation::kAfter:
+    case Relation::kMetBy:
+    case Relation::kOverlappedBy:
+    case Relation::kStartedBy:
+    case Relation::kContains:
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint16_t PrefixGroupMask(PrefixGroup group) {
+  auto bit = [](Relation r) {
+    return static_cast<uint16_t>(1u << static_cast<int>(r));
+  };
+  switch (group) {
+    case PrefixGroup::kStartEqual:
+      return bit(Relation::kStarts) | bit(Relation::kEquals) |
+             bit(Relation::kStartedBy);
+    case PrefixGroup::kAStartsFirst:
+      return bit(Relation::kOverlaps) | bit(Relation::kFinishes) |
+             bit(Relation::kContains);
+    case PrefixGroup::kBStartsFirst:
+      return bit(Relation::kOverlappedBy) | bit(Relation::kFinishedBy) |
+             bit(Relation::kDuring);
+  }
+  return 0;
+}
+
+}  // namespace tpstream

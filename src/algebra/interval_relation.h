@@ -1,0 +1,105 @@
+#ifndef TPSTREAM_ALGEBRA_INTERVAL_RELATION_H_
+#define TPSTREAM_ALGEBRA_INTERVAL_RELATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/situation.h"
+#include "common/time.h"
+
+namespace tpstream {
+
+/// The thirteen relations of Allen's interval algebra as adopted by the
+/// paper (Table 1). NOTE: the paper orients `finishes` differently from
+/// Allen's original: here `A finishes B` means A starts first and both end
+/// together (A.ts < B.ts < A.te = B.te). We follow the paper exactly; the
+/// prefix-group analysis of Table 2 depends on this orientation.
+enum class Relation : uint8_t {
+  kBefore = 0,        // A.te <  B.ts
+  kMeets = 1,         // A.te == B.ts
+  kOverlaps = 2,      // A.ts <  B.ts < A.te < B.te
+  kStarts = 3,        // A.ts == B.ts, A.te < B.te
+  kDuring = 4,        // B.ts <  A.ts, A.te < B.te
+  kFinishes = 5,      // A.ts <  B.ts, A.te == B.te
+  kEquals = 6,        // A.ts == B.ts, A.te == B.te
+  kAfter = 7,         // inverse of kBefore
+  kMetBy = 8,         // inverse of kMeets
+  kOverlappedBy = 9,  // inverse of kOverlaps
+  kStartedBy = 10,    // inverse of kStarts
+  kContains = 11,     // inverse of kDuring
+  kFinishedBy = 12,   // inverse of kFinishes
+};
+
+inline constexpr int kNumRelations = 13;
+
+/// The mirror relation: Holds(r, a, b) == Holds(Inverse(r), b, a).
+Relation Inverse(Relation r);
+
+/// True iff the relation's definition (delta_R in Table 1) holds for the
+/// two finished intervals.
+bool Holds(Relation r, TimePoint a_ts, TimePoint a_te, TimePoint b_ts,
+           TimePoint b_te);
+
+inline bool Holds(Relation r, const Situation& a, const Situation& b) {
+  return Holds(r, a.ts, a.te, b.ts, b.te);
+}
+
+/// Lowercase name as used in the query language ("before", "met-by", ...).
+const char* RelationName(Relation r);
+
+/// Parses a relation name (accepts both "met-by" and "metby" spellings).
+std::optional<Relation> RelationFromName(const std::string& name);
+
+/// Initial selectivity estimate (Table 3). Mirror relations share values.
+double DefaultSelectivity(Relation r);
+
+/// Which endpoint of which operand concludes the relation at the earliest
+/// possible time t_d(R) (Table 2).
+enum class TriggerPoint : uint8_t {
+  kStartOfA,  // t_d = A.ts  (after, met-by)
+  kStartOfB,  // t_d = B.ts  (before, meets)
+  kEndOfA,    // t_d = A.te  (starts, overlaps, during)
+  kEndOfB,    // t_d = B.te  (started-by, contains, overlapped-by)
+  kBothEnds,  // t_d = A.te = B.te (equals, finishes, finished-by)
+};
+
+TriggerPoint DetectionTrigger(Relation r);
+
+/// Outcome of evaluating a relation when one or both operands may still be
+/// ongoing (end timestamp unknown but guaranteed to lie in the future).
+enum class Certainty : uint8_t {
+  kImpossible,  // the relation can no longer hold, whatever the ends
+  kUnknown,     // depends on end timestamps not yet known
+  kCertain,     // the relation holds for every possible future
+};
+
+/// Three-valued evaluation (Section 5.3). An operand with
+/// `te == kTimeUnknown` is ongoing; its eventual end is strictly greater
+/// than every timestamp observed so far (in particular greater than the
+/// other operand's known endpoints).
+Certainty CheckRelation(Relation r, const Situation& a, const Situation& b);
+
+/// Prefix groups of Table 2: sets of relations that share a definition
+/// prefix. If a temporal constraint contains a full group, two *ongoing*
+/// situations whose starts satisfy the prefix already guarantee a match at
+/// the later start (t_d(G)).
+enum class PrefixGroup : uint8_t {
+  kStartEqual,    // {starts, equals, started-by}:           A.ts == B.ts
+  kAStartsFirst,  // {overlaps, finishes, contains}:         A.ts <  B.ts
+  kBStartsFirst,  // {overlapped-by, finished-by, during}:   B.ts <  A.ts
+};
+
+/// Bitmask of the relations forming `group` (bit i <-> Relation(i)).
+uint16_t PrefixGroupMask(PrefixGroup group);
+
+/// True if the relation can become certain while the given side's end
+/// timestamp is still unknown (every finished counterpart then decides
+/// it). These are exactly the relations admitting ongoing-fixed range
+/// bounds: {before, meets, overlaps, starts, during} for an ongoing B
+/// side, their inverses for an ongoing A side.
+bool CertainWhileOngoing(Relation r, bool a_side_ongoing);
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_ALGEBRA_INTERVAL_RELATION_H_

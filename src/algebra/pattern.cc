@@ -1,0 +1,164 @@
+#include "algebra/pattern.h"
+
+#include <sstream>
+
+namespace tpstream {
+
+RelationSet RelationSet::Inverted() const {
+  RelationSet out;
+  ForEach([&out](Relation r) { out.Add(Inverse(r)); });
+  return out;
+}
+
+std::string RelationSet::ToString() const {
+  std::string s;
+  ForEach([&s](Relation r) {
+    if (!s.empty()) s += ";";
+    s += RelationName(r);
+  });
+  return s;
+}
+
+Certainty TemporalConstraint::Check(const Situation& sa,
+                                    const Situation& sb) const {
+  bool any_unknown = false;
+  bool certain = false;
+  relations.ForEach([&](Relation r) {
+    switch (CheckRelation(r, sa, sb)) {
+      case Certainty::kCertain:
+        certain = true;
+        break;
+      case Certainty::kUnknown:
+        any_unknown = true;
+        break;
+      case Certainty::kImpossible:
+        break;
+    }
+  });
+  if (certain) return Certainty::kCertain;
+
+  // Prefix-group relaxation: with both operands ongoing, a complete prefix
+  // group whose start prefix holds guarantees that one of its relations
+  // will eventually be fulfilled (Table 2).
+  if (sa.ongoing() && sb.ongoing()) {
+    PrefixGroup group;
+    if (sa.ts == sb.ts) {
+      group = PrefixGroup::kStartEqual;
+    } else if (sa.ts < sb.ts) {
+      group = PrefixGroup::kAStartsFirst;
+    } else {
+      group = PrefixGroup::kBStartsFirst;
+    }
+    if (relations.ContainsAll(PrefixGroupMask(group))) {
+      return Certainty::kCertain;
+    }
+  }
+  return any_unknown ? Certainty::kUnknown : Certainty::kImpossible;
+}
+
+std::string TemporalConstraint::ToString(
+    const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  bool first = true;
+  relations.ForEach([&](Relation r) {
+    if (!first) os << ";";
+    first = false;
+    os << names[a] << " " << RelationName(r) << " " << names[b];
+  });
+  return os.str();
+}
+
+TemporalPattern::TemporalPattern(std::vector<std::string> symbol_names)
+    : names_(std::move(symbol_names)) {
+  adjacency_.assign(names_.size() * names_.size(), -1);
+}
+
+Status TemporalPattern::AddRelation(int a, Relation r, int b) {
+  if (a < 0 || a >= num_symbols() || b < 0 || b >= num_symbols()) {
+    return Status::InvalidArgument("pattern symbol index out of range");
+  }
+  if (a == b) {
+    return Status::InvalidArgument(
+        "temporal relation requires two distinct symbols");
+  }
+  if (a > b) {
+    std::swap(a, b);
+    r = Inverse(r);
+  }
+  int idx = adjacency_[a * num_symbols() + b];
+  if (idx < 0) {
+    idx = static_cast<int>(constraints_.size());
+    constraints_.push_back(TemporalConstraint{a, b, RelationSet()});
+    adjacency_[a * num_symbols() + b] = idx;
+    adjacency_[b * num_symbols() + a] = idx;
+  }
+  constraints_[idx].relations.Add(r);
+  return Status::OK();
+}
+
+int TemporalPattern::ConstraintIndex(int i, int j) const {
+  if (i < 0 || j < 0 || i >= num_symbols() || j >= num_symbols() || i == j) {
+    return -1;
+  }
+  return adjacency_[i * num_symbols() + j];
+}
+
+std::vector<int> TemporalPattern::RelatedSymbols(int s) const {
+  std::vector<int> out;
+  for (int j = 0; j < num_symbols(); ++j) {
+    if (j != s && ConstraintIndex(s, j) >= 0) out.push_back(j);
+  }
+  return out;
+}
+
+bool TemporalPattern::IsConnected() const {
+  const int n = num_symbols();
+  if (n <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int j = 0; j < n; ++j) {
+      if (!seen[j] && ConstraintIndex(v, j) >= 0) {
+        seen[j] = true;
+        ++count;
+        stack.push_back(j);
+      }
+    }
+  }
+  return count == n;
+}
+
+Certainty TemporalPattern::Check(const std::vector<Situation>& config) const {
+  Certainty result = Certainty::kCertain;
+  for (const TemporalConstraint& c : constraints_) {
+    switch (c.Check(config[c.a], config[c.b])) {
+      case Certainty::kImpossible:
+        return Certainty::kImpossible;
+      case Certainty::kUnknown:
+        result = Certainty::kUnknown;
+        break;
+      case Certainty::kCertain:
+        break;
+    }
+  }
+  return result;
+}
+
+bool TemporalPattern::Matches(const std::vector<Situation>& config) const {
+  return Check(config) == Certainty::kCertain;
+}
+
+std::string TemporalPattern::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    if (i > 0) os << " AND ";
+    os << constraints_[i].ToString(names_);
+  }
+  return os.str();
+}
+
+}  // namespace tpstream

@@ -1,0 +1,118 @@
+#ifndef TPSTREAM_ALGEBRA_PATTERN_H_
+#define TPSTREAM_ALGEBRA_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algebra/interval_relation.h"
+#include "common/status.h"
+
+namespace tpstream {
+
+/// A set of temporal relations, stored as a bitmask (bit i <-> Relation i).
+class RelationSet {
+ public:
+  RelationSet() = default;
+  explicit RelationSet(uint16_t mask) : mask_(mask) {}
+  RelationSet(std::initializer_list<Relation> rs) {
+    for (Relation r : rs) Add(r);
+  }
+
+  void Add(Relation r) { mask_ |= Bit(r); }
+  bool Contains(Relation r) const { return (mask_ & Bit(r)) != 0; }
+  bool ContainsAll(uint16_t mask) const { return (mask_ & mask) == mask; }
+  bool empty() const { return mask_ == 0; }
+  uint16_t mask() const { return mask_; }
+  int size() const { return __builtin_popcount(mask_); }
+
+  /// Set with every relation replaced by its inverse.
+  RelationSet Inverted() const;
+
+  /// Iteration support: calls fn(Relation) for each contained relation.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int i = 0; i < kNumRelations; ++i) {
+      const Relation r = static_cast<Relation>(i);
+      if (Contains(r)) fn(r);
+    }
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const RelationSet& a, const RelationSet& b) {
+    return a.mask_ == b.mask_;
+  }
+
+ private:
+  static uint16_t Bit(Relation r) {
+    return static_cast<uint16_t>(1u << static_cast<int>(r));
+  }
+  uint16_t mask_ = 0;
+};
+
+/// A temporal constraint C^{a,b} (Definition 10): a disjunction of
+/// relations between symbols `a` and `b`. Stored normalized with a < b.
+struct TemporalConstraint {
+  int a = 0;
+  int b = 1;
+  RelationSet relations;
+
+  /// Certainty that this constraint holds between situation `sa` (symbol a)
+  /// and `sb` (symbol b). Handles ongoing operands and the prefix-group
+  /// relaxation of Section 5.3.2: a constraint containing a complete prefix
+  /// group is certain for two ongoing situations whose starts satisfy the
+  /// group's prefix.
+  Certainty Check(const Situation& sa, const Situation& sb) const;
+
+  std::string ToString(const std::vector<std::string>& names) const;
+};
+
+/// A temporal pattern (Definition 11): a conjunction of temporal
+/// constraints over `num_symbols` situation streams.
+class TemporalPattern {
+ public:
+  TemporalPattern() = default;
+  explicit TemporalPattern(std::vector<std::string> symbol_names);
+
+  int num_symbols() const { return static_cast<int>(names_.size()); }
+  const std::vector<std::string>& symbol_names() const { return names_; }
+
+  /// Adds relation `r` between symbols `a` and `b` (merging into an
+  /// existing constraint; normalizes to a < b by inverting if needed).
+  Status AddRelation(int a, Relation r, int b);
+
+  const std::vector<TemporalConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Index into constraints() of the constraint between i and j (in either
+  /// order), or -1 if the two symbols are unconstrained.
+  int ConstraintIndex(int i, int j) const;
+
+  /// Symbols with at least one constraint to `s`.
+  std::vector<int> RelatedSymbols(int s) const;
+
+  /// True if every symbol is reachable from every other through
+  /// constraints (affects plan enumeration, Section 5.4).
+  bool IsConnected() const;
+
+  /// Satisfied iff every constraint is certain for the configuration
+  /// (one situation per symbol; entries may be ongoing).
+  Certainty Check(const std::vector<Situation>& config) const;
+
+  /// Exact match test for fully finished configurations (Definition 11).
+  bool Matches(const std::vector<Situation>& config) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<TemporalConstraint> constraints_;
+  // adjacency_[i * num_symbols + j] = constraint index or -1.
+  std::vector<int> adjacency_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_ALGEBRA_PATTERN_H_

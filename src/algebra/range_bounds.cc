@@ -1,0 +1,86 @@
+#include "algebra/range_bounds.h"
+
+namespace tpstream {
+
+namespace {
+
+// Bounds on finished A candidates for a fixed, finished B (the situation
+// `b`). Derived directly from the definitions delta_R of Table 1.
+std::optional<RelationBounds> BoundsFixedFinishedB(Relation r,
+                                                   const Situation& b) {
+  switch (r) {
+    case Relation::kBefore:  // A.te < B.ts
+      return RelationBounds{TimeRange::All(), TimeRange::Below(b.ts)};
+    case Relation::kMeets:  // A.te == B.ts
+      return RelationBounds{TimeRange::All(), TimeRange::Exactly(b.ts)};
+    case Relation::kOverlaps:  // A.ts < B.ts < A.te < B.te
+      return RelationBounds{TimeRange::Below(b.ts),
+                            TimeRange{b.ts + 1, b.te - 1}};
+    case Relation::kStarts:  // A.ts == B.ts, A.te < B.te
+      return RelationBounds{TimeRange::Exactly(b.ts), TimeRange::Below(b.te)};
+    case Relation::kDuring:  // B.ts < A.ts, A.te < B.te
+      return RelationBounds{TimeRange::Above(b.ts), TimeRange::Below(b.te)};
+    case Relation::kFinishes:  // A.ts < B.ts, A.te == B.te
+      return RelationBounds{TimeRange::Below(b.ts), TimeRange::Exactly(b.te)};
+    case Relation::kEquals:
+      return RelationBounds{TimeRange::Exactly(b.ts),
+                            TimeRange::Exactly(b.te)};
+    case Relation::kAfter:  // B.te < A.ts
+      return RelationBounds{TimeRange::Above(b.te), TimeRange::All()};
+    case Relation::kMetBy:  // A.ts == B.te
+      return RelationBounds{TimeRange::Exactly(b.te), TimeRange::All()};
+    case Relation::kOverlappedBy:  // B.ts < A.ts < B.te < A.te
+      return RelationBounds{TimeRange{b.ts + 1, b.te - 1},
+                            TimeRange::Above(b.te)};
+    case Relation::kStartedBy:  // A.ts == B.ts, B.te < A.te
+      return RelationBounds{TimeRange::Exactly(b.ts), TimeRange::Above(b.te)};
+    case Relation::kContains:  // A.ts < B.ts, B.te < A.te
+      return RelationBounds{TimeRange::Below(b.ts), TimeRange::Above(b.te)};
+    case Relation::kFinishedBy:  // B.ts < A.ts, A.te == B.te
+      return RelationBounds{TimeRange::Above(b.ts), TimeRange::Exactly(b.te)};
+  }
+  return std::nullopt;
+}
+
+// Bounds on finished A candidates for a fixed, *ongoing* B. Only relations
+// already certain with B's end unknown admit candidates: every finished
+// A has A.te <= now < B.te, so conditions of the form "A.te < B.te" hold
+// automatically while "B.te < A.te" or "A.te == B.te" are impossible.
+std::optional<RelationBounds> BoundsFixedOngoingB(Relation r,
+                                                  const Situation& b) {
+  switch (r) {
+    case Relation::kBefore:
+      return RelationBounds{TimeRange::All(), TimeRange::Below(b.ts)};
+    case Relation::kMeets:
+      return RelationBounds{TimeRange::All(), TimeRange::Exactly(b.ts)};
+    case Relation::kOverlaps:
+      return RelationBounds{TimeRange::Below(b.ts), TimeRange::Above(b.ts)};
+    case Relation::kStarts:
+      return RelationBounds{TimeRange::Exactly(b.ts), TimeRange::All()};
+    case Relation::kDuring:
+      return RelationBounds{TimeRange::Above(b.ts), TimeRange::All()};
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<RelationBounds> Normalize(std::optional<RelationBounds> b) {
+  if (b && (b->ts_range.empty() || b->te_range.empty())) return std::nullopt;
+  return b;
+}
+
+}  // namespace
+
+std::optional<RelationBounds> BoundsForCounterpart(Relation r,
+                                                   const Situation& fixed,
+                                                   bool fixed_is_a) {
+  // When the fixed situation plays A, matching B candidates for R are
+  // exactly the A-side candidates of the inverse relation with fixed as B.
+  const Relation effective = fixed_is_a ? Inverse(r) : r;
+  if (fixed.ongoing()) {
+    return Normalize(BoundsFixedOngoingB(effective, fixed));
+  }
+  return Normalize(BoundsFixedFinishedB(effective, fixed));
+}
+
+}  // namespace tpstream

@@ -1,0 +1,57 @@
+#ifndef TPSTREAM_ALGEBRA_RANGE_BOUNDS_H_
+#define TPSTREAM_ALGEBRA_RANGE_BOUNDS_H_
+
+#include <optional>
+
+#include "algebra/interval_relation.h"
+#include "common/situation.h"
+#include "common/time.h"
+
+namespace tpstream {
+
+/// Inclusive range [lo, hi] of time points; empty when lo > hi.
+struct TimeRange {
+  TimePoint lo = kTimeMin;
+  TimePoint hi = kTimeMax;
+
+  bool empty() const { return lo > hi; }
+  bool Contains(TimePoint t) const { return t >= lo && t <= hi; }
+
+  static TimeRange All() { return TimeRange{}; }
+  static TimeRange AtMost(TimePoint t) { return TimeRange{kTimeMin, t}; }
+  static TimeRange AtLeast(TimePoint t) { return TimeRange{t, kTimeMax}; }
+  static TimeRange Exactly(TimePoint t) { return TimeRange{t, t}; }
+  /// Strictly-less-than / strictly-greater-than in the discrete domain.
+  static TimeRange Below(TimePoint t) {
+    return t == kTimeMin ? TimeRange{1, 0} : TimeRange{kTimeMin, t - 1};
+  }
+  static TimeRange Above(TimePoint t) {
+    return t == kTimeMax ? TimeRange{1, 0} : TimeRange{t + 1, kTimeMax};
+  }
+};
+
+/// Bounds on the start and end timestamps of counterpart situations, used
+/// to turn a temporal relation into two range queries on a situation
+/// buffer (Section 5.2, Figure 3).
+struct RelationBounds {
+  TimeRange ts_range;
+  TimeRange te_range;
+};
+
+/// Computes the bounds on counterpart candidates for relation `r`, given
+/// one `fixed` situation.
+///
+/// If `fixed_is_a`, `fixed` plays the role of A and the bounds describe
+/// matching B situations; otherwise `fixed` is B and the bounds describe
+/// matching A situations. Candidates are assumed *finished*.
+///
+/// `fixed` may be ongoing (te unknown); bounds then select exactly the
+/// candidates for which the relation is already certain (Section 5.3).
+/// Returns nullopt when no finished candidate can satisfy the relation.
+std::optional<RelationBounds> BoundsForCounterpart(Relation r,
+                                                   const Situation& fixed,
+                                                   bool fixed_is_a);
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_ALGEBRA_RANGE_BOUNDS_H_

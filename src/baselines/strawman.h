@@ -1,0 +1,88 @@
+#ifndef TPSTREAM_BASELINES_STRAWMAN_H_
+#define TPSTREAM_BASELINES_STRAWMAN_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "cep/nfa.h"
+#include "derive/definition.h"
+#include "matcher/match.h"
+
+namespace tpstream {
+
+/// Straw man 1 ("Esper-1" in the paper): temporal pattern matching built
+/// from the primitives of a point-based CEP system, in two phases.
+///
+/// Phase 1 deploys one sequential pattern matcher per defined situation
+/// (pattern !S S+ !S on the event stream) that computes the situation's
+/// interval and aggregates. Phase 2 buffers the resulting interval events
+/// per symbol inside the window and joins them with nested loops,
+/// verifying the temporal relations as ordinary predicates on start/end
+/// timestamps — a point-based system has no interval-order index, so every
+/// buffered combination is enumerated. Matches are concluded only once
+/// all situations have ended.
+///
+/// To mirror the window retention of the modeled systems (which buffer raw
+/// events, not compact situations; Section 6.2.2), the matcher optionally
+/// keeps every input event inside the window alive.
+class TwoPhaseMatcher {
+ public:
+  struct Options {
+    bool retain_events;
+    Options() : retain_events(true) {}
+  };
+
+  TwoPhaseMatcher(std::vector<SituationDefinition> definitions,
+                  TemporalPattern pattern, Duration window,
+                  MatchCallback callback, Options options = Options());
+
+  void Push(const Event& event);
+
+  int64_t num_matches() const { return num_matches_; }
+  /// Buffered objects (situations + retained raw events + NFA runs):
+  /// the memory proxy for Section 6.2.2.
+  size_t BufferedCount() const;
+
+ private:
+  void OnSituation(int symbol, const Situation& situation, TimePoint now);
+  void Join(size_t symbol_index, TimePoint now);
+
+  TemporalPattern pattern_;
+  Duration window_;
+  MatchCallback callback_;
+  Options options_;
+
+  std::vector<std::unique_ptr<cep::NfaEngine>> derivers_;
+  std::vector<std::deque<Situation>> buffers_;
+  std::deque<Event> retained_events_;
+  std::vector<const Situation*> working_set_;
+  int64_t num_matches_ = 0;
+};
+
+/// Straw man 2 ("Esper-2" / SASE+ in the paper): the temporal pattern is
+/// expressed as a *single* event-granularity sequence with conjunctive
+/// conditions (e.g. "A overlaps B" as A (A AND B)+ B). Early results come
+/// for free (the pattern simply ends at the earliest conclusive event),
+/// but aggregates and duration constraints are lost (Section 1).
+///
+/// The caller provides the event-level encoding of the temporal pattern;
+/// this class is a thin veneer over the NFA engine that counts matches
+/// like the other operators.
+class SingleRunMatcher {
+ public:
+  SingleRunMatcher(cep::CepPattern pattern, cep::NfaEngine::Callback cb);
+
+  void Push(const Event& event) { engine_.Push(event); }
+
+  int64_t num_matches() const { return engine_.num_matches(); }
+  size_t BufferedCount() const { return engine_.active_runs(); }
+
+ private:
+  cep::NfaEngine engine_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_BASELINES_STRAWMAN_H_

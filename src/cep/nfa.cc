@@ -1,0 +1,91 @@
+#include "cep/nfa.h"
+
+namespace tpstream {
+namespace cep {
+
+NfaEngine::NfaEngine(CepPattern pattern, Callback callback)
+    : pattern_(std::move(pattern)), callback_(std::move(callback)) {}
+
+void NfaEngine::BeginStep(Run* run, int step, const Event& event) {
+  run->step = step;
+  run->spans.emplace_back(event.t, event.t);
+  run->aggs.emplace_back(pattern_.steps[step].aggregates);
+  run->aggs.back().Init(event.payload);
+}
+
+void NfaEngine::ExtendStep(Run* run, const Event& event) {
+  run->spans.back().second = event.t;
+  run->aggs.back().Update(event.payload);
+}
+
+void NfaEngine::MaybeEmit(const Run& run, TimePoint now) {
+  if (run.step != static_cast<int>(pattern_.steps.size()) - 1) return;
+  ++num_matches_;
+  if (!callback_) return;
+  CepMatch match;
+  match.detected_at = now;
+  match.step_spans = run.spans;
+  match.step_aggregates.reserve(run.aggs.size());
+  for (const AggregatorSet& aggs : run.aggs) {
+    match.step_aggregates.push_back(aggs.Snapshot());
+  }
+  callback_(match);
+}
+
+void NfaEngine::Push(const Event& event) {
+  next_runs_.clear();
+  const int last = static_cast<int>(pattern_.steps.size()) - 1;
+
+  for (Run& run : runs_) {
+    if (pattern_.within > 0 && event.t - run.start > pattern_.within) {
+      continue;  // window expired
+    }
+    const bool can_stay = pattern_.steps[run.step].one_or_more &&
+                          StepSatisfied(run.step, event);
+    const bool can_advance =
+        run.step < last && StepSatisfied(run.step + 1, event);
+
+    if (can_stay && can_advance) {
+      // Fork: one run stays in the Kleene step, one advances.
+      Run advanced = run;
+      BeginStep(&advanced, run.step + 1, event);
+      MaybeEmit(advanced, event.t);
+      if (advanced.step < last || pattern_.steps[last].one_or_more) {
+        next_runs_.push_back(std::move(advanced));
+      }
+      ExtendStep(&run, event);
+      MaybeEmit(run, event.t);
+      next_runs_.push_back(std::move(run));
+    } else if (can_advance) {
+      BeginStep(&run, run.step + 1, event);
+      MaybeEmit(run, event.t);
+      if (run.step < last || pattern_.steps[last].one_or_more) {
+        next_runs_.push_back(std::move(run));
+      }
+    } else if (can_stay) {
+      ExtendStep(&run, event);
+      MaybeEmit(run, event.t);
+      next_runs_.push_back(std::move(run));
+    } else if (pattern_.policy == SelectionPolicy::kSkipTillNextMatch) {
+      // Irrelevant event: the run waits for the next relevant one.
+      next_runs_.push_back(std::move(run));
+    }
+    // Otherwise the run dies (strict contiguity).
+  }
+
+  // Spawn a fresh run if the event can begin the pattern.
+  if (StepSatisfied(0, event)) {
+    Run run;
+    run.start = event.t;
+    BeginStep(&run, 0, event);
+    MaybeEmit(run, event.t);
+    if (last > 0 || pattern_.steps[0].one_or_more) {
+      next_runs_.push_back(std::move(run));
+    }
+  }
+
+  runs_.swap(next_runs_);
+}
+
+}  // namespace cep
+}  // namespace tpstream

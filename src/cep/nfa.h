@@ -1,0 +1,105 @@
+#ifndef TPSTREAM_CEP_NFA_H_
+#define TPSTREAM_CEP_NFA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/time.h"
+#include "expr/aggregate.h"
+#include "expr/expression.h"
+
+namespace tpstream {
+namespace cep {
+
+/// A sequential, point-based CEP pattern (SASE+ style): an ordered list of
+/// steps matched against contiguous events. A non-Kleene step consumes
+/// exactly one event; a Kleene step (`one_or_more`) consumes one or more.
+/// The engine uses *strict contiguity*: every incoming event must extend
+/// an active run, or the run dies. This is the semantics the paper's
+/// straw-man approaches rely on for deriving situations (IS S+ IS) and for
+/// single-query temporal matching at event granularity.
+struct PatternStep {
+  std::string name;
+  ExprPtr predicate;
+  bool one_or_more = false;
+  /// Aggregates computed over the events this step consumes (used by the
+  /// two-phase straw man to summarize situations).
+  std::vector<AggregateSpec> aggregates;
+};
+
+/// Event-selection strategy (the semantics dimension surveyed in [27]):
+///  - kStrictContiguity: every event must extend an active run or the run
+///    dies — the semantics situation derivation needs (!S S+ !S);
+///  - kSkipTillNextMatch: irrelevant events are ignored, runs wait for
+///    the next relevant one. Runs then only expire through the window,
+///    so `within > 0` is strongly advised.
+enum class SelectionPolicy : uint8_t {
+  kStrictContiguity,
+  kSkipTillNextMatch,
+};
+
+struct CepPattern {
+  std::vector<PatternStep> steps;
+  Duration within = 0;  // 0: unbounded
+  SelectionPolicy policy = SelectionPolicy::kStrictContiguity;
+};
+
+/// A completed pattern instance. `step_spans[i]` is the [first, last]
+/// event-timestamp pair consumed by step i; `step_aggregates[i]` holds the
+/// aggregate values of step i (empty if the step declares none).
+struct CepMatch {
+  std::vector<std::pair<TimePoint, TimePoint>> step_spans;
+  std::vector<Tuple> step_aggregates;
+  TimePoint detected_at = 0;
+};
+
+/// Nondeterministic automaton evaluating a CepPattern over an event
+/// stream. On events satisfying both "stay in Kleene step" and "advance to
+/// the next step", runs fork (all matches are reported). A fresh run is
+/// spawned whenever an event satisfies the first step, so overlapping
+/// matches are found.
+class NfaEngine {
+ public:
+  using Callback = std::function<void(const CepMatch&)>;
+
+  NfaEngine(CepPattern pattern, Callback callback);
+
+  void Push(const Event& event);
+
+  /// Currently active partial runs (the memory-pressure proxy of the
+  /// straw-man systems, Section 6.2.2).
+  size_t active_runs() const { return runs_.size(); }
+  int64_t num_matches() const { return num_matches_; }
+
+ private:
+  struct Run {
+    int step = 0;
+    TimePoint start = 0;
+    std::vector<std::pair<TimePoint, TimePoint>> spans;
+    std::vector<AggregatorSet> aggs;  // one per step reached so far
+  };
+
+  /// Starts step `step` of `run` with `event`; completes the run (emits)
+  /// if it was the final step and nothing more can extend... final-step
+  /// Kleene runs also emit on every extension.
+  void BeginStep(Run* run, int step, const Event& event);
+  void ExtendStep(Run* run, const Event& event);
+  void MaybeEmit(const Run& run, TimePoint now);
+
+  bool StepSatisfied(int step, const Event& event) const {
+    return EvalPredicate(*pattern_.steps[step].predicate, event.payload);
+  }
+
+  CepPattern pattern_;
+  Callback callback_;
+  std::vector<Run> runs_;
+  std::vector<Run> next_runs_;
+  int64_t num_matches_ = 0;
+};
+
+}  // namespace cep
+}  // namespace tpstream
+
+#endif  // TPSTREAM_CEP_NFA_H_

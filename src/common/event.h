@@ -1,0 +1,27 @@
+#ifndef TPSTREAM_COMMON_EVENT_H_
+#define TPSTREAM_COMMON_EVENT_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "common/value.h"
+
+namespace tpstream {
+
+/// Event payload: attribute values positionally matching a Schema.
+using Tuple = std::vector<Value>;
+
+/// An instantaneous notification (Definition 4): payload valid at exactly
+/// one point in time. Event streams are ordered by `t`.
+struct Event {
+  Tuple payload;
+  TimePoint t = 0;
+
+  Event() = default;
+  Event(Tuple p, TimePoint time) : payload(std::move(p)), t(time) {}
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_COMMON_EVENT_H_

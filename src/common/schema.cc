@@ -1,0 +1,31 @@
+#include "common/schema.h"
+
+#include <sstream>
+#include <utility>
+
+namespace tpstream {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  index_.reserve(fields_.size());
+  for (int i = 0; i < static_cast<int>(fields_.size()); ++i) {
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ": " << ValueTypeName(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tpstream

@@ -1,0 +1,41 @@
+#ifndef TPSTREAM_COMMON_SCHEMA_H_
+#define TPSTREAM_COMMON_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace tpstream {
+
+/// A named, typed attribute of an event payload.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Describes the attributes of the tuples in a stream. Field positions are
+/// stable, so expressions can be compiled to index-based accesses.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Index of field `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  const Field& field(int i) const { return fields_[i]; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_COMMON_SCHEMA_H_

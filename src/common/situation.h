@@ -1,0 +1,48 @@
+#ifndef TPSTREAM_COMMON_SITUATION_H_
+#define TPSTREAM_COMMON_SITUATION_H_
+
+#include <string>
+#include <utility>
+
+#include "common/event.h"
+#include "common/time.h"
+
+namespace tpstream {
+
+/// A derived phase lasting a period of time (Definition 5). The payload
+/// carries the aggregates computed over the underlying event subsequence.
+/// The validity interval [ts, te) is half-open; `te` is the first instant
+/// at which the situation no longer holds.
+///
+/// A situation with `te == kTimeUnknown` is *ongoing*: its start is known
+/// but its end is not. Ongoing situations appear only inside the
+/// low-latency matcher (Section 5.3); all derived situation streams
+/// delivered to clients contain finished situations only.
+struct Situation {
+  Tuple payload;
+  TimePoint ts = 0;
+  TimePoint te = kTimeUnknown;
+
+  Situation() = default;
+  Situation(Tuple p, TimePoint start, TimePoint end)
+      : payload(std::move(p)), ts(start), te(end) {}
+
+  bool ongoing() const { return te == kTimeUnknown; }
+  Duration duration() const { return te - ts; }
+
+  std::string ToString() const {
+    return "[" + std::to_string(ts) + ", " +
+           (ongoing() ? std::string("?") : std::to_string(te)) + ")";
+  }
+};
+
+/// A situation tagged with the index of the situation stream (pattern
+/// symbol) it belongs to.
+struct SymbolSituation {
+  int symbol = 0;
+  Situation situation;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_COMMON_SITUATION_H_

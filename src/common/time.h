@@ -1,0 +1,50 @@
+#ifndef TPSTREAM_COMMON_TIME_H_
+#define TPSTREAM_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tpstream {
+
+/// Discrete, totally ordered time domain (Definition 4/5 of the paper).
+/// The unit is an application-defined tick; the benchmarks interpret one
+/// tick as one second to match the paper's 1 Hz event sources.
+using TimePoint = int64_t;
+
+/// Length of a time span, in ticks.
+using Duration = int64_t;
+
+/// Smallest representable time point; used as an open lower bound in
+/// range queries ("-infinity").
+inline constexpr TimePoint kTimeMin = std::numeric_limits<TimePoint>::min();
+
+/// Largest representable time point; used as an open upper bound in range
+/// queries ("+infinity") and as the temporary end timestamp of situations
+/// that are still ongoing.
+inline constexpr TimePoint kTimeMax = std::numeric_limits<TimePoint>::max();
+
+/// Sentinel for "not yet known" end timestamps of ongoing situations.
+inline constexpr TimePoint kTimeUnknown = kTimeMax;
+
+/// Duration constraint tau = [min, max] on the length `te - ts` of a
+/// situation (Definition 7). The default admits every situation.
+struct DurationConstraint {
+  Duration min = 1;
+  Duration max = std::numeric_limits<Duration>::max();
+
+  /// True if `d` lies within [min, max].
+  constexpr bool Contains(Duration d) const { return d >= min && d <= max; }
+
+  /// True if a maximum duration was specified (affects low-latency
+  /// matching, see Section 5.3.2 of the paper).
+  constexpr bool has_max() const {
+    return max != std::numeric_limits<Duration>::max();
+  }
+
+  /// True if a minimum duration beyond the trivial one was specified.
+  constexpr bool has_min() const { return min > 1; }
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_COMMON_TIME_H_

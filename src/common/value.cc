@@ -1,0 +1,139 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tpstream {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+double Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    case ValueType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return AsBool();
+    case ValueType::kInt:
+      return AsInt() != 0;
+    case ValueType::kDouble:
+      return AsDouble() != 0.0;
+    default:
+      return false;
+  }
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return kIncomparable;
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+      const int64_t x = a.AsInt();
+      const int64_t y = b.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = a.ToDouble();
+    const double y = b.ToDouble();
+    if (std::isnan(x) || std::isnan(y)) return kIncomparable;
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type() != b.type()) return kIncomparable;
+  switch (a.type()) {
+    case ValueType::kBool: {
+      const int x = a.AsBool() ? 1 : 0;
+      const int y = b.AsBool() ? 1 : 0;
+      return x - y;
+    }
+    case ValueType::kString: {
+      const int c = a.AsString().compare(b.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return kIncomparable;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+namespace {
+
+// Applies `op` with numeric widening. Integer op integer stays integral
+// except for division, which always widens to double.
+template <typename IntOp, typename DoubleOp>
+Value NumericOp(const Value& a, const Value& b, IntOp int_op,
+                DoubleOp double_op) {
+  if (!a.is_numeric() || !b.is_numeric()) return Value::Null();
+  if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+    return int_op(a.AsInt(), b.AsInt());
+  }
+  return double_op(a.ToDouble(), b.ToDouble());
+}
+
+}  // namespace
+
+Value Add(const Value& a, const Value& b) {
+  return NumericOp(
+      a, b, [](int64_t x, int64_t y) { return Value(x + y); },
+      [](double x, double y) { return Value(x + y); });
+}
+
+Value Sub(const Value& a, const Value& b) {
+  return NumericOp(
+      a, b, [](int64_t x, int64_t y) { return Value(x - y); },
+      [](double x, double y) { return Value(x - y); });
+}
+
+Value Mul(const Value& a, const Value& b) {
+  return NumericOp(
+      a, b, [](int64_t x, int64_t y) { return Value(x * y); },
+      [](double x, double y) { return Value(x * y); });
+}
+
+Value Div(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) return Value::Null();
+  const double y = b.ToDouble();
+  if (y == 0.0) return Value::Null();
+  return Value(a.ToDouble() / y);
+}
+
+}  // namespace tpstream

@@ -1,0 +1,84 @@
+#ifndef TPSTREAM_COMMON_VALUE_H_
+#define TPSTREAM_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace tpstream {
+
+/// Runtime type tag of a Value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kBool = 3,
+  kString = 4,
+};
+
+/// Returns a human-readable name ("int", "double", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed attribute value carried in event payloads.
+///
+/// Values support the usual comparison and arithmetic operations with
+/// numeric widening (int op double -> double). Operations on incompatible
+/// types yield a null Value, which every predicate treats as false; this
+/// keeps the hot path exception-free.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// Typed accessors. Calling the wrong accessor is a programming error
+  /// (checked via std::get, which terminates in release builds on misuse).
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric value widened to double; 0.0 for non-numeric values.
+  double ToDouble() const;
+
+  /// Truthiness used by predicate evaluation: bool -> itself,
+  /// numeric -> != 0, null/string -> false.
+  bool Truthy() const;
+
+  /// Three-way comparison. Returns 0 on equal, <0 / >0 for ordering.
+  /// Comparing incomparable types (e.g. string vs int) or nulls returns
+  /// kIncomparable.
+  static constexpr int kIncomparable = 2;
+  static int Compare(const Value& a, const Value& b);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string> data_;
+};
+
+/// Arithmetic with numeric widening; null on type mismatch.
+Value Add(const Value& a, const Value& b);
+Value Sub(const Value& a, const Value& b);
+Value Mul(const Value& a, const Value& b);
+Value Div(const Value& a, const Value& b);
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_COMMON_VALUE_H_

@@ -1,0 +1,117 @@
+#include "core/operator.h"
+
+namespace tpstream {
+
+TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
+                                   OutputCallback output)
+    : spec_(std::move(spec)),
+      options_(std::move(options)),
+      output_(std::move(output)),
+      deriver_(spec_.definitions, /*announce_starts=*/options_.low_latency) {
+  auto on_match = [this](const Match& m) { OnMatch(m); };
+  if (options_.low_latency) {
+    DetectionAnalysis analysis(spec_.pattern, deriver_.durations());
+    ll_matcher_ = std::make_unique<LowLatencyMatcher>(
+        spec_.pattern, std::move(analysis), spec_.window, on_match,
+        options_.stats_alpha);
+  } else {
+    matcher_ = std::make_unique<Matcher>(spec_.pattern, spec_.window,
+                                         on_match, options_.stats_alpha);
+  }
+
+  if (options_.fixed_order.has_value()) {
+    if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*options_.fixed_order);
+    if (matcher_) matcher_->SetEvaluationOrder(*options_.fixed_order);
+  } else {
+    // Install the cost-based initial plan (Table 3 selectivities).
+    AdaptiveController::Options copts;
+    copts.threshold = options_.reopt_threshold;
+    copts.check_interval = options_.reopt_interval;
+    copts.low_latency = options_.low_latency;
+    controller_ = std::make_unique<AdaptiveController>(&spec_.pattern, copts);
+    if (auto order = controller_->MaybeReoptimize(stats())) {
+      if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*order);
+      if (matcher_) matcher_->SetEvaluationOrder(*order);
+    }
+    if (!options_.adaptive) controller_.reset();
+  }
+}
+
+void TPStreamOperator::Push(const Event& event) {
+  ++num_events_;
+  const Deriver::Update& update = deriver_.Process(event);
+  if (update.empty()) return;
+
+  if (ll_matcher_) {
+    ll_matcher_->Update(update.started, update.finished, event.t);
+  } else if (!update.finished.empty()) {
+    matcher_->Update(update.finished, event.t);
+  }
+
+  if (controller_ != nullptr) {
+    if (auto order = controller_->MaybeReoptimize(stats())) {
+      if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*order);
+      if (matcher_) matcher_->SetEvaluationOrder(*order);
+    }
+  }
+}
+
+void TPStreamOperator::OnMatch(const Match& match) {
+  ++num_matches_;
+  if (match_observer_) match_observer_(match);
+  if (!output_) return;
+
+  Tuple payload;
+  payload.reserve(spec_.returns.size());
+  for (const ReturnItem& item : spec_.returns) {
+    const Situation& s = match.config[item.symbol];
+    switch (item.source) {
+      case ReturnItem::Source::kStartTime:
+        payload.push_back(Value(static_cast<int64_t>(s.ts)));
+        continue;
+      case ReturnItem::Source::kEndTime:
+        payload.push_back(s.ongoing() ? Value::Null()
+                                      : Value(static_cast<int64_t>(s.te)));
+        continue;
+      case ReturnItem::Source::kDuration:
+        payload.push_back(
+            s.ongoing() ? Value::Null()
+                        : Value(static_cast<int64_t>(s.duration())));
+        continue;
+      case ReturnItem::Source::kAggregate:
+        break;
+    }
+    if (s.ongoing() && deriver_.IsOngoing(item.symbol)) {
+      // Freshest aggregate snapshot for situations still being derived.
+      const Tuple snapshot = deriver_.SnapshotOngoing(item.symbol);
+      payload.push_back(item.agg_index < static_cast<int>(snapshot.size())
+                            ? snapshot[item.agg_index]
+                            : Value::Null());
+    } else {
+      payload.push_back(item.agg_index < static_cast<int>(s.payload.size())
+                            ? s.payload[item.agg_index]
+                            : Value::Null());
+    }
+  }
+  output_(Event(std::move(payload), match.detected_at));
+}
+
+void TPStreamOperator::ForceEvaluationOrder(const std::vector<int>& order) {
+  if (ll_matcher_) ll_matcher_->SetEvaluationOrder(order);
+  if (matcher_) matcher_->SetEvaluationOrder(order);
+}
+
+std::vector<int> TPStreamOperator::CurrentOrder() const {
+  return ll_matcher_ ? ll_matcher_->CurrentOrder() : matcher_->CurrentOrder();
+}
+
+const MatcherStats& TPStreamOperator::stats() const {
+  return ll_matcher_ ? ll_matcher_->stats() : matcher_->stats();
+}
+
+size_t TPStreamOperator::BufferedCount() const {
+  return ll_matcher_ ? ll_matcher_->BufferedCount()
+                     : matcher_->BufferedCount();
+}
+
+}  // namespace tpstream

@@ -1,0 +1,89 @@
+#ifndef TPSTREAM_CORE_OPERATOR_H_
+#define TPSTREAM_CORE_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/query_spec.h"
+#include "derive/deriver.h"
+#include "matcher/low_latency_matcher.h"
+#include "matcher/matcher.h"
+#include "optimizer/plan_optimizer.h"
+
+namespace tpstream {
+
+/// The TPStream operator (Definition 13, Figure 2): consumes a point
+/// event stream, derives situation streams, matches the temporal pattern,
+/// and emits one output event per match (timestamp = detection time,
+/// payload = the RETURN projections).
+///
+/// With `low_latency` enabled (default), matches are concluded at the
+/// earliest possible point in time t_d(P); otherwise matching waits for
+/// all end timestamps (the ISEQ-style baseline behaviour). With
+/// `adaptive` enabled, the evaluation order is re-optimized whenever the
+/// tracked statistics drift (Section 5.4.1).
+class TPStreamOperator {
+ public:
+  struct Options {
+    bool low_latency = true;
+    bool adaptive = true;
+    double stats_alpha = 0.01;
+    double reopt_threshold = 0.2;
+    int reopt_interval = 64;
+    /// When set, pins the evaluation order and disables adaptivity (used
+    /// by the plan-quality experiments).
+    std::optional<std::vector<int>> fixed_order;
+  };
+
+  using OutputCallback = std::function<void(const Event&)>;
+
+  TPStreamOperator(QuerySpec spec, Options options, OutputCallback output);
+
+  /// Processes one input event; timestamps must be strictly increasing.
+  void Push(const Event& event);
+
+  /// Optional: observes raw matches (full temporal configurations) in
+  /// addition to the projected output events.
+  void SetMatchObserver(MatchCallback observer) {
+    match_observer_ = std::move(observer);
+  }
+
+  /// Installs an evaluation order immediately (migration is free, Section
+  /// 5.4.1). Used by the oracle variant of the adaptivity experiment;
+  /// adaptive re-optimization, if enabled, may override it later.
+  void ForceEvaluationOrder(const std::vector<int>& order);
+
+  const QuerySpec& spec() const { return spec_; }
+  int64_t num_events() const { return num_events_; }
+  int64_t num_matches() const { return num_matches_; }
+  std::vector<int> CurrentOrder() const;
+  const MatcherStats& stats() const;
+  int64_t plan_migrations() const {
+    return controller_ ? controller_->migrations() : 0;
+  }
+
+  /// Buffered situations across all matcher buffers (memory accounting).
+  size_t BufferedCount() const;
+
+ private:
+  void OnMatch(const Match& match);
+
+  QuerySpec spec_;
+  Options options_;
+  OutputCallback output_;
+  MatchCallback match_observer_;
+
+  Deriver deriver_;
+  std::unique_ptr<Matcher> matcher_;               // baseline mode
+  std::unique_ptr<LowLatencyMatcher> ll_matcher_;  // low-latency mode
+  std::unique_ptr<AdaptiveController> controller_;
+
+  int64_t num_events_ = 0;
+  int64_t num_matches_ = 0;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_CORE_OPERATOR_H_

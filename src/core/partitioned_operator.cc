@@ -1,0 +1,51 @@
+#include "core/partitioned_operator.h"
+
+namespace tpstream {
+
+PartitionedTPStream::PartitionedTPStream(
+    QuerySpec spec, TPStreamOperator::Options options,
+    TPStreamOperator::OutputCallback output)
+    : spec_(std::move(spec)),
+      options_(std::move(options)),
+      output_(std::move(output)) {}
+
+std::unique_ptr<TPStreamOperator> PartitionedTPStream::NewOperator() {
+  return std::make_unique<TPStreamOperator>(
+      spec_, options_, [this](const Event& e) {
+        ++num_matches_;
+        if (output_) output_(e);
+      });
+}
+
+TPStreamOperator* PartitionedTPStream::Partition(const Value& key) {
+  if (key.type() == ValueType::kInt) {
+    auto& slot = int_partitions_[key.AsInt()];
+    if (slot == nullptr) slot = NewOperator();
+    return slot.get();
+  }
+  auto& slot = string_partitions_[key.ToString()];
+  if (slot == nullptr) slot = NewOperator();
+  return slot.get();
+}
+
+void PartitionedTPStream::Push(const Event& event) {
+  ++num_events_;
+  if (spec_.partition_field < 0) {
+    // Unpartitioned: single implicit partition keyed by 0.
+    auto& slot = int_partitions_[0];
+    if (slot == nullptr) slot = NewOperator();
+    slot->Push(event);
+    return;
+  }
+  const Value& key = event.payload[spec_.partition_field];
+  Partition(key)->Push(event);
+}
+
+size_t PartitionedTPStream::BufferedCount() const {
+  size_t total = 0;
+  for (const auto& [k, op] : int_partitions_) total += op->BufferedCount();
+  for (const auto& [k, op] : string_partitions_) total += op->BufferedCount();
+  return total;
+}
+
+}  // namespace tpstream

@@ -1,0 +1,47 @@
+#ifndef TPSTREAM_CORE_PARTITIONED_OPERATOR_H_
+#define TPSTREAM_CORE_PARTITIONED_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/operator.h"
+
+namespace tpstream {
+
+/// PARTITION BY support (Listing 1): routes events to one TPStreamOperator
+/// instance per distinct key, so every partition (e.g. every car) is
+/// evaluated independently.
+class PartitionedTPStream {
+ public:
+  PartitionedTPStream(QuerySpec spec, TPStreamOperator::Options options,
+                      TPStreamOperator::OutputCallback output);
+
+  void Push(const Event& event);
+
+  size_t num_partitions() const {
+    return int_partitions_.size() + string_partitions_.size();
+  }
+  int64_t num_matches() const { return num_matches_; }
+  int64_t num_events() const { return num_events_; }
+  size_t BufferedCount() const;
+
+ private:
+  TPStreamOperator* Partition(const Value& key);
+  std::unique_ptr<TPStreamOperator> NewOperator();
+
+  QuerySpec spec_;
+  TPStreamOperator::Options options_;
+  TPStreamOperator::OutputCallback output_;
+  int64_t num_matches_ = 0;
+  int64_t num_events_ = 0;
+
+  std::unordered_map<int64_t, std::unique_ptr<TPStreamOperator>>
+      int_partitions_;
+  std::unordered_map<std::string, std::unique_ptr<TPStreamOperator>>
+      string_partitions_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_CORE_PARTITIONED_OPERATOR_H_

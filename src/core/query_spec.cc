@@ -1,0 +1,51 @@
+#include "core/query_spec.h"
+
+namespace tpstream {
+
+Status QuerySpec::Validate() const {
+  if (definitions.empty()) {
+    return Status::InvalidArgument("query defines no situations");
+  }
+  if (pattern.num_symbols() != static_cast<int>(definitions.size())) {
+    return Status::InvalidArgument(
+        "pattern symbol count does not match situation definitions");
+  }
+  if (window <= 0) {
+    return Status::InvalidArgument("WITHIN window must be positive");
+  }
+  for (const SituationDefinition& def : definitions) {
+    if (def.predicate == nullptr) {
+      return Status::InvalidArgument("situation '" + def.symbol +
+                                     "' has no predicate");
+    }
+    if (def.duration.min < 1 || def.duration.min > def.duration.max) {
+      return Status::InvalidArgument("situation '" + def.symbol +
+                                     "' has an invalid duration constraint");
+    }
+  }
+  for (const ReturnItem& item : returns) {
+    if (item.symbol < 0 ||
+        item.symbol >= static_cast<int>(definitions.size())) {
+      return Status::InvalidArgument("RETURN references unknown symbol");
+    }
+    if (item.source != ReturnItem::Source::kAggregate) continue;
+    const auto& aggs = definitions[item.symbol].aggregates;
+    if (item.agg_index < 0 ||
+        item.agg_index >= static_cast<int>(aggs.size())) {
+      return Status::InvalidArgument("RETURN references unknown aggregate");
+    }
+  }
+  if (partition_field >= input_schema.num_fields()) {
+    return Status::InvalidArgument("PARTITION BY field out of range");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> QuerySpec::OutputNames() const {
+  std::vector<std::string> names;
+  names.reserve(returns.size());
+  for (const ReturnItem& item : returns) names.push_back(item.name);
+  return names;
+}
+
+}  // namespace tpstream

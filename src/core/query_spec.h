@@ -1,0 +1,56 @@
+#ifndef TPSTREAM_CORE_QUERY_SPEC_H_
+#define TPSTREAM_CORE_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "derive/definition.h"
+
+namespace tpstream {
+
+/// One RETURN projection, emitted as output attribute `name`:
+///  - kAggregate: the value of aggregate `agg_index` (an index into
+///    definitions[symbol].aggregates) of the situation bound to `symbol`;
+///  - kStartTime / kEndTime / kDuration: the situation's interval
+///    (`start(B)`, `end(B)`, `duration(B)` in the query language). For a
+///    situation still ongoing at detection time, end and duration are
+///    null.
+struct ReturnItem {
+  enum class Source : uint8_t {
+    kAggregate,
+    kStartTime,
+    kEndTime,
+    kDuration,
+  };
+
+  int symbol = 0;
+  Source source = Source::kAggregate;
+  int agg_index = 0;  // kAggregate only
+  std::string name;
+};
+
+/// A fully compiled TPStream query (the result of parsing Listing-1 style
+/// text or of using QueryBuilder): input schema, situation definitions
+/// (DEFINE), temporal pattern (PATTERN), window (WITHIN), projections
+/// (RETURN) and optional partitioning key (PARTITION BY).
+struct QuerySpec {
+  Schema input_schema;
+  std::vector<SituationDefinition> definitions;  // symbol i <-> definitions[i]
+  TemporalPattern pattern;
+  Duration window = 0;
+  std::vector<ReturnItem> returns;
+  int partition_field = -1;  // -1: unpartitioned
+
+  /// Structural validation (symbol counts agree, indices in range, ...).
+  Status Validate() const;
+
+  /// Names of the output attributes, in RETURN order.
+  std::vector<std::string> OutputNames() const;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_CORE_QUERY_SPEC_H_

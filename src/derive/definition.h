@@ -1,0 +1,36 @@
+#ifndef TPSTREAM_DERIVE_DEFINITION_H_
+#define TPSTREAM_DERIVE_DEFINITION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "expr/aggregate.h"
+#include "expr/expression.h"
+
+namespace tpstream {
+
+/// One DEFINE clause: derives a situation stream from the input event
+/// stream (Definition 7). A situation is the longest contiguous event
+/// subsequence on which `predicate` holds; it carries the values of
+/// `aggregates` over that subsequence and must satisfy `duration`.
+struct SituationDefinition {
+  std::string symbol;
+  ExprPtr predicate;
+  std::vector<AggregateSpec> aggregates;
+  DurationConstraint duration;
+
+  SituationDefinition() = default;
+  SituationDefinition(std::string sym, ExprPtr pred,
+                      std::vector<AggregateSpec> aggs = {},
+                      DurationConstraint dur = {})
+      : symbol(std::move(sym)),
+        predicate(std::move(pred)),
+        aggregates(std::move(aggs)),
+        duration(dur) {}
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_DERIVE_DEFINITION_H_

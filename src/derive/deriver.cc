@@ -1,0 +1,63 @@
+#include "derive/deriver.h"
+
+namespace tpstream {
+
+Deriver::Deriver(std::vector<SituationDefinition> definitions,
+                 bool announce_starts)
+    : defs_(std::move(definitions)), announce_starts_(announce_starts) {
+  slots_.reserve(defs_.size());
+  for (const SituationDefinition& def : defs_) {
+    slots_.emplace_back(def.aggregates);
+  }
+}
+
+const Deriver::Update& Deriver::Process(const Event& event) {
+  update_.started.clear();
+  update_.finished.clear();
+
+  for (int i = 0; i < static_cast<int>(defs_.size()); ++i) {
+    const SituationDefinition& def = defs_[i];
+    Slot& slot = slots_[i];
+    const bool satisfied = EvalPredicate(*def.predicate, event.payload);
+
+    if (satisfied) {
+      if (!slot.active) {
+        slot.active = true;
+        slot.announced = false;
+        slot.ts = event.t;
+        slot.aggs.Init(event.payload);
+      } else {
+        slot.aggs.Update(event.payload);
+      }
+      // Low-latency announcement once the eventual duration is guaranteed
+      // to reach the minimum (the end timestamp will be > event.t).
+      if (announce_starts_ && !slot.announced && !def.duration.has_max() &&
+          event.t + 1 - slot.ts >= def.duration.min) {
+        slot.announced = true;
+        update_.started.push_back(SymbolSituation{
+            i, Situation(slot.aggs.Snapshot(), slot.ts, kTimeUnknown)});
+      }
+    } else if (slot.active) {
+      // First non-satisfying event fixes the end timestamp (half-open).
+      const TimePoint te = event.t;
+      if (def.duration.Contains(te - slot.ts)) {
+        update_.finished.push_back(
+            SymbolSituation{i, Situation(slot.aggs.Snapshot(), slot.ts, te)});
+      }
+      slot.active = false;
+      slot.announced = false;
+    }
+  }
+  return update_;
+}
+
+std::vector<DurationConstraint> Deriver::durations() const {
+  std::vector<DurationConstraint> out;
+  out.reserve(defs_.size());
+  for (const SituationDefinition& def : defs_) {
+    out.push_back(def.duration);
+  }
+  return out;
+}
+
+}  // namespace tpstream

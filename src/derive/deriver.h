@@ -1,0 +1,77 @@
+#ifndef TPSTREAM_DERIVE_DERIVER_H_
+#define TPSTREAM_DERIVE_DERIVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/event.h"
+#include "common/situation.h"
+#include "derive/definition.h"
+
+namespace tpstream {
+
+/// The deriver component (Algorithm 1): consumes a point event stream and
+/// incrementally derives one situation stream per definition.
+///
+/// In low-latency mode (`announce_starts`), a situation is additionally
+/// announced as *started* as soon as its eventual duration is guaranteed
+/// to satisfy the minimum duration constraint (Section 5.3.2):
+///  - no constraints: announced with its first event;
+///  - minimum only: announcement deferred to the deferred start ts̄, the
+///    first event at which `t + 1 - ts >= min` holds (event timestamps are
+///    strictly increasing, so the end timestamp will be at least t + 1);
+///  - any maximum: never announced; such situations take part in matching
+///    only once finished (and the constraint is validated then).
+class Deriver {
+ public:
+  /// Situations started / finished while processing one event.
+  struct Update {
+    std::vector<SymbolSituation> started;
+    std::vector<SymbolSituation> finished;
+
+    bool empty() const { return started.empty() && finished.empty(); }
+  };
+
+  Deriver(std::vector<SituationDefinition> definitions, bool announce_starts);
+
+  /// Processes one event; events must arrive in strictly increasing
+  /// timestamp order. The returned reference is valid until the next call.
+  const Update& Process(const Event& event);
+
+  /// True if `symbol` has an announced, still ongoing situation.
+  bool IsOngoing(int symbol) const {
+    return slots_[symbol].active && slots_[symbol].announced;
+  }
+
+  /// Current aggregate snapshot of `symbol`'s ongoing situation. Only
+  /// valid while IsOngoing(symbol).
+  Tuple SnapshotOngoing(int symbol) const {
+    return slots_[symbol].aggs.Snapshot();
+  }
+
+  int num_definitions() const { return static_cast<int>(defs_.size()); }
+  const SituationDefinition& definition(int i) const { return defs_[i]; }
+
+  /// Duration constraints in symbol order (input to DetectionAnalysis).
+  std::vector<DurationConstraint> durations() const;
+
+ private:
+  struct Slot {
+    bool active = false;
+    bool announced = false;
+    TimePoint ts = 0;
+    AggregatorSet aggs;
+
+    explicit Slot(std::vector<AggregateSpec> specs)
+        : aggs(std::move(specs)) {}
+  };
+
+  std::vector<SituationDefinition> defs_;
+  std::vector<Slot> slots_;
+  bool announce_starts_;
+  Update update_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_DERIVE_DERIVER_H_

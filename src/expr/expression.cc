@@ -1,0 +1,187 @@
+#include "expr/expression.h"
+
+namespace tpstream {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+namespace {
+
+class LiteralExpr final : public Expression {
+ public:
+  explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+  Value Eval(const Tuple&) const override { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+class FieldRefExpr final : public Expression {
+ public:
+  FieldRefExpr(int index, std::string name)
+      : index_(index), name_(std::move(name)) {}
+  Value Eval(const Tuple& tuple) const override {
+    if (index_ < 0 || index_ >= static_cast<int>(tuple.size())) {
+      return Value::Null();
+    }
+    return tuple[index_];
+  }
+  std::string ToString() const override {
+    return name_.empty() ? "$" + std::to_string(index_) : name_;
+  }
+
+ private:
+  int index_;
+  std::string name_;
+};
+
+class BinaryExpr final : public Expression {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Eval(const Tuple& tuple) const override {
+    // Short-circuit logical operators.
+    if (op_ == BinaryOp::kAnd) {
+      if (!lhs_->Eval(tuple).Truthy()) return Value(false);
+      return Value(rhs_->Eval(tuple).Truthy());
+    }
+    if (op_ == BinaryOp::kOr) {
+      if (lhs_->Eval(tuple).Truthy()) return Value(true);
+      return Value(rhs_->Eval(tuple).Truthy());
+    }
+    const Value a = lhs_->Eval(tuple);
+    const Value b = rhs_->Eval(tuple);
+    switch (op_) {
+      case BinaryOp::kAdd:
+        return Add(a, b);
+      case BinaryOp::kSub:
+        return Sub(a, b);
+      case BinaryOp::kMul:
+        return Mul(a, b);
+      case BinaryOp::kDiv:
+        return Div(a, b);
+      default:
+        break;
+    }
+    const int cmp = Value::Compare(a, b);
+    if (cmp == Value::kIncomparable) {
+      // Incomparable values only satisfy explicit inequality of
+      // equal-typed values; treat as null (falsy) for robustness.
+      return Value::Null();
+    }
+    switch (op_) {
+      case BinaryOp::kEq:
+        return Value(cmp == 0);
+      case BinaryOp::kNe:
+        return Value(cmp != 0);
+      case BinaryOp::kLt:
+        return Value(cmp < 0);
+      case BinaryOp::kLe:
+        return Value(cmp <= 0);
+      case BinaryOp::kGt:
+        return Value(cmp > 0);
+      case BinaryOp::kGe:
+        return Value(cmp >= 0);
+      default:
+        return Value::Null();
+    }
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + BinaryOpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class NotExpr final : public Expression {
+ public:
+  explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+  Value Eval(const Tuple& tuple) const override {
+    return Value(!operand_->Eval(tuple).Truthy());
+  }
+  std::string ToString() const override {
+    return "NOT " + operand_->ToString();
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+class NegateExpr final : public Expression {
+ public:
+  explicit NegateExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+  Value Eval(const Tuple& tuple) const override {
+    const Value v = operand_->Eval(tuple);
+    if (v.type() == ValueType::kInt) return Value(-v.AsInt());
+    if (v.type() == ValueType::kDouble) return Value(-v.AsDouble());
+    return Value::Null();
+  }
+  std::string ToString() const override { return "-" + operand_->ToString(); }
+
+ private:
+  ExprPtr operand_;
+};
+
+}  // namespace
+
+ExprPtr Literal(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+
+ExprPtr FieldRef(int index, std::string name) {
+  return std::make_shared<FieldRefExpr>(index, std::move(name));
+}
+
+Result<ExprPtr> FieldRef(const Schema& schema, const std::string& name) {
+  const int idx = schema.IndexOf(name);
+  if (idx < 0) {
+    return Status::NotFound("unknown field: " + name);
+  }
+  return ExprPtr(std::make_shared<FieldRefExpr>(idx, name));
+}
+
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Not(ExprPtr operand) {
+  return std::make_shared<NotExpr>(std::move(operand));
+}
+
+ExprPtr Negate(ExprPtr operand) {
+  return std::make_shared<NegateExpr>(std::move(operand));
+}
+
+}  // namespace tpstream

@@ -1,0 +1,97 @@
+#ifndef TPSTREAM_EXPR_EXPRESSION_H_
+#define TPSTREAM_EXPR_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/event.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace tpstream {
+
+/// Immutable, typed expression tree evaluated against a single tuple.
+/// Field accesses are compiled to positional indices, so evaluation does
+/// no name lookups. Used for situation predicates (DEFINE clause).
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  /// Evaluates against `tuple`. Type errors yield a null Value, which
+  /// predicates treat as false; the hot path never throws.
+  virtual Value Eval(const Tuple& tuple) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expression>;
+
+/// Binary operators. Comparisons yield bool, arithmetic is numeric with
+/// widening, kAnd/kOr operate on truthiness.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+// --- Factory functions (the public way to build expression trees) -------
+
+/// A constant.
+ExprPtr Literal(Value v);
+inline ExprPtr Literal(double v) { return Literal(Value(v)); }
+inline ExprPtr Literal(int64_t v) { return Literal(Value(v)); }
+inline ExprPtr Literal(bool v) { return Literal(Value(v)); }
+
+/// Positional field access; `name` is only used for diagnostics.
+ExprPtr FieldRef(int index, std::string name = "");
+
+/// Named field access resolved against `schema`.
+Result<ExprPtr> FieldRef(const Schema& schema, const std::string& name);
+
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Not(ExprPtr operand);
+ExprPtr Negate(ExprPtr operand);
+
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Binary(BinaryOp::kOr, std::move(a), std::move(b));
+}
+
+/// Convenience: evaluates `expr` as a predicate (null/non-truthy = false).
+inline bool EvalPredicate(const Expression& expr, const Tuple& tuple) {
+  return expr.Eval(tuple).Truthy();
+}
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_EXPR_EXPRESSION_H_

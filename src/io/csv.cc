@@ -1,0 +1,169 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+
+namespace tpstream {
+namespace io {
+
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string CsvQuote(const std::string& value, char delimiter) {
+  if (value.find(delimiter) == std::string::npos &&
+      value.find('"') == std::string::npos &&
+      value.find('\n') == std::string::npos) {
+    return value;
+  }
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+CsvEventReader::CsvEventReader(std::istream& input, const Schema& schema,
+                               Options options)
+    : input_(input), schema_(schema), options_(std::move(options)) {}
+
+Status CsvEventReader::ParseHeader() {
+  header_parsed_ = true;
+  std::string line;
+  if (!std::getline(input_, line)) {
+    return Status::ParseError("CSV input is empty (no header)");
+  }
+  const std::vector<std::string> columns =
+      SplitCsvLine(line, options_.delimiter);
+  column_to_field_.assign(columns.size(), -1);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == options_.timestamp_column) {
+      timestamp_column_ = static_cast<int>(i);
+    } else {
+      column_to_field_[i] = schema_.IndexOf(columns[i]);
+    }
+  }
+  if (timestamp_column_ < 0) {
+    return Status::ParseError("CSV header lacks timestamp column '" +
+                              options_.timestamp_column + "'");
+  }
+  return Status::OK();
+}
+
+Status CsvEventReader::Next(Event* event) {
+  if (!header_parsed_) header_status_ = ParseHeader();
+  if (!header_status_.ok()) return header_status_;
+
+  std::string line;
+  do {
+    if (!std::getline(input_, line)) {
+      return Status::NotFound("end of CSV input");
+    }
+  } while (line.empty());
+
+  const std::vector<std::string> fields =
+      SplitCsvLine(line, options_.delimiter);
+  ++rows_read_;
+  if (static_cast<int>(fields.size()) <= timestamp_column_) {
+    return Status::ParseError("row " + std::to_string(rows_read_) +
+                              ": missing timestamp column");
+  }
+
+  event->payload.assign(schema_.num_fields(), Value::Null());
+  char* end = nullptr;
+  event->t = std::strtoll(fields[timestamp_column_].c_str(), &end, 10);
+  if (end == fields[timestamp_column_].c_str()) {
+    return Status::ParseError("row " + std::to_string(rows_read_) +
+                              ": bad timestamp '" +
+                              fields[timestamp_column_] + "'");
+  }
+
+  for (size_t col = 0;
+       col < fields.size() && col < column_to_field_.size(); ++col) {
+    const int field = column_to_field_[col];
+    if (field < 0) continue;
+    const std::string& text = fields[col];
+    if (text.empty()) continue;  // null
+    switch (schema_.field(field).type) {
+      case ValueType::kInt:
+        event->payload[field] = Value(
+            static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10)));
+        break;
+      case ValueType::kDouble:
+        event->payload[field] = Value(std::strtod(text.c_str(), nullptr));
+        break;
+      case ValueType::kBool:
+        event->payload[field] =
+            Value(text == "1" || text == "true" || text == "TRUE");
+        break;
+      case ValueType::kString:
+        event->payload[field] = Value(text);
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status CsvEventReader::ReadAll(
+    const std::function<void(const Event&)>& sink) {
+  Event event;
+  while (true) {
+    const Status status = Next(&event);
+    if (status.code() == StatusCode::kNotFound) return Status::OK();
+    if (!status.ok()) return status;
+    sink(event);
+  }
+}
+
+CsvEventWriter::CsvEventWriter(std::ostream& output,
+                               std::vector<std::string> columns,
+                               char delimiter)
+    : output_(output), delimiter_(delimiter) {
+  output_ << "timestamp";
+  for (const std::string& column : columns) {
+    output_ << delimiter_ << CsvQuote(column, delimiter_);
+  }
+  output_ << "\n";
+}
+
+void CsvEventWriter::Write(const Event& event) {
+  output_ << event.t;
+  for (const Value& value : event.payload) {
+    output_ << delimiter_ << CsvQuote(value.ToString(), delimiter_);
+  }
+  output_ << "\n";
+  ++rows_written_;
+}
+
+}  // namespace io
+}  // namespace tpstream

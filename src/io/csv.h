@@ -1,0 +1,92 @@
+#ifndef TPSTREAM_IO_CSV_H_
+#define TPSTREAM_IO_CSV_H_
+
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace tpstream {
+namespace io {
+
+/// Reads events from CSV text. The first row must be a header; one column
+/// (default "timestamp") carries the event time, the remaining columns
+/// are matched against the schema by name (extra columns are ignored,
+/// missing schema fields become null). Values are parsed according to the
+/// schema's field types.
+///
+///   std::ifstream in("trips.csv");
+///   io::CsvEventReader reader(in, schema);
+///   Event event;
+///   while (true) {
+///     auto status = reader.Next(&event);
+///     if (!status.ok()) break;       // kNotFound signals end of input
+///     op.Push(event);
+///   }
+class CsvEventReader {
+ public:
+  struct Options {
+    std::string timestamp_column;
+    char delimiter;
+    Options() : timestamp_column("timestamp"), delimiter(',') {}
+  };
+
+  CsvEventReader(std::istream& input, const Schema& schema,
+                 Options options = Options());
+
+  /// Reads the next event. Returns kNotFound at end of input and
+  /// kParseError (with row context) on malformed rows.
+  Status Next(Event* event);
+
+  /// Convenience: reads everything, forwarding to `sink`.
+  Status ReadAll(const std::function<void(const Event&)>& sink);
+
+  int64_t rows_read() const { return rows_read_; }
+
+ private:
+  Status ParseHeader();
+
+  std::istream& input_;
+  const Schema schema_;
+  Options options_;
+  bool header_parsed_ = false;
+  Status header_status_;
+  int timestamp_column_ = -1;
+  std::vector<int> column_to_field_;  // CSV column -> schema index or -1
+  int64_t rows_read_ = 0;
+};
+
+/// Writes events (e.g. the match output of a TPStream operator) as CSV:
+/// a header with "timestamp" plus the given column names, then one row
+/// per event.
+class CsvEventWriter {
+ public:
+  CsvEventWriter(std::ostream& output, std::vector<std::string> columns,
+                 char delimiter = ',');
+
+  void Write(const Event& event);
+  int64_t rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream& output_;
+  char delimiter_;
+  int64_t rows_written_ = 0;
+};
+
+/// Splits one CSV line honoring double-quoted fields ("" escapes a
+/// quote). Exposed for testing.
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter);
+
+/// Quotes a value for CSV output when needed.
+std::string CsvQuote(const std::string& value, char delimiter);
+
+}  // namespace io
+}  // namespace tpstream
+
+#endif  // TPSTREAM_IO_CSV_H_

@@ -1,0 +1,44 @@
+#include "matcher/eval_order.h"
+
+#include <sstream>
+
+namespace tpstream {
+
+EvaluationOrder EvaluationOrder::Build(const TemporalPattern& pattern,
+                                       const std::vector<int>& permutation) {
+  EvaluationOrder order;
+  order.steps_.reserve(permutation.size());
+  const auto& constraints = pattern.constraints();
+  for (int symbol : permutation) {
+    EvalStep step;
+    step.symbol = symbol;
+    for (int ci = 0; ci < static_cast<int>(constraints.size()); ++ci) {
+      const TemporalConstraint& c = constraints[ci];
+      if (c.a == symbol) {
+        step.constraints.push_back(EvalStep::Touching{ci, c.b, true});
+      } else if (c.b == symbol) {
+        step.constraints.push_back(EvalStep::Touching{ci, c.a, false});
+      }
+    }
+    order.steps_.push_back(std::move(step));
+  }
+  return order;
+}
+
+std::vector<int> EvaluationOrder::Permutation() const {
+  std::vector<int> out;
+  out.reserve(steps_.size());
+  for (const EvalStep& step : steps_) out.push_back(step.symbol);
+  return out;
+}
+
+std::string EvaluationOrder::ToString(const TemporalPattern& pattern) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << pattern.symbol_names()[steps_[i].symbol];
+  }
+  return os.str();
+}
+
+}  // namespace tpstream

@@ -1,0 +1,47 @@
+#ifndef TPSTREAM_MATCHER_EVAL_ORDER_H_
+#define TPSTREAM_MATCHER_EVAL_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/pattern.h"
+
+namespace tpstream {
+
+/// One processing step of the matching algorithm: the symbol whose buffer
+/// is joined and the constraints touching it. At runtime a constraint is
+/// applicable when its other endpoint is already bound in the working set
+/// (Algorithm 3).
+struct EvalStep {
+  struct Touching {
+    int constraint = 0;    // index into pattern.constraints()
+    int other_symbol = 0;  // the constraint's other endpoint
+    bool symbol_is_a = false;  // whether this step's symbol plays role A
+  };
+
+  int symbol = 0;
+  std::vector<Touching> constraints;
+};
+
+/// The order in which situation buffers are joined (Section 5.2/5.4).
+class EvaluationOrder {
+ public:
+  EvaluationOrder() = default;
+
+  /// Builds the order for visiting symbols in `permutation` (a permutation
+  /// of 0..num_symbols-1).
+  static EvaluationOrder Build(const TemporalPattern& pattern,
+                               const std::vector<int>& permutation);
+
+  const std::vector<EvalStep>& steps() const { return steps_; }
+  std::vector<int> Permutation() const;
+
+  std::string ToString(const TemporalPattern& pattern) const;
+
+ private:
+  std::vector<EvalStep> steps_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_MATCHER_EVAL_ORDER_H_

@@ -1,0 +1,66 @@
+#include "matcher/index_ranges.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tpstream {
+
+void IndexRanges::Add(IndexRange r) {
+  if (r.empty()) return;
+  // Find insertion point by lower bound, then merge with overlapping or
+  // adjacent neighbours. Range counts are tiny (<= relations per
+  // constraint), so linear movement is fine.
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), r,
+      [](const IndexRange& x, const IndexRange& y) { return x.lo < y.lo; });
+  it = ranges_.insert(it, r);
+  // Merge backwards.
+  while (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->hi < it->lo) break;
+    prev->hi = std::max(prev->hi, it->hi);
+    it = std::prev(ranges_.erase(it));
+  }
+  // Merge forwards.
+  while (std::next(it) != ranges_.end()) {
+    auto next = std::next(it);
+    if (it->hi < next->lo) break;
+    it->hi = std::max(it->hi, next->hi);
+    ranges_.erase(next);
+  }
+}
+
+IndexRanges IndexRanges::Intersect(const IndexRanges& other) const {
+  IndexRanges out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ranges_.size() && j < other.ranges_.size()) {
+    const IndexRange overlap = ranges_[i].Intersect(other.ranges_[j]);
+    if (!overlap.empty()) out.ranges_.push_back(overlap);
+    if (ranges_[i].hi < other.ranges_[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+uint64_t IndexRanges::TotalSize() const {
+  uint64_t total = 0;
+  for (const IndexRange& r : ranges_) total += r.size();
+  return total;
+}
+
+std::string IndexRanges::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "[" << ranges_[i].lo << "," << ranges_[i].hi << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace tpstream

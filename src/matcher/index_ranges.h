@@ -1,0 +1,65 @@
+#ifndef TPSTREAM_MATCHER_INDEX_RANGES_H_
+#define TPSTREAM_MATCHER_INDEX_RANGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpstream {
+
+/// Half-open range [lo, hi) of buffer positions.
+struct IndexRange {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+
+  bool empty() const { return lo >= hi; }
+  uint32_t size() const { return empty() ? 0 : hi - lo; }
+
+  /// Intersection of two ranges.
+  IndexRange Intersect(IndexRange other) const {
+    return IndexRange{lo > other.lo ? lo : other.lo,
+                      hi < other.hi ? hi : other.hi};
+  }
+};
+
+/// A normalized set of disjoint, ascending index ranges. Search results
+/// per temporal relation are contiguous ranges (Section 5.2); unions over
+/// a constraint's relations and intersections across constraints operate
+/// on these sets without materializing individual indices.
+class IndexRanges {
+ public:
+  IndexRanges() = default;
+
+  static IndexRanges Single(IndexRange r) {
+    IndexRanges out;
+    out.Add(r);
+    return out;
+  }
+
+  /// Adds a range, merging/normalizing as needed.
+  void Add(IndexRange r);
+
+  /// Set intersection.
+  IndexRanges Intersect(const IndexRanges& other) const;
+
+  bool empty() const { return ranges_.empty(); }
+  uint64_t TotalSize() const;
+  const std::vector<IndexRange>& ranges() const { return ranges_; }
+
+  /// Calls fn(uint32_t) for every contained index, ascending.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const IndexRange& r : ranges_) {
+      for (uint32_t i = r.lo; i < r.hi; ++i) fn(i);
+    }
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<IndexRange> ranges_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_MATCHER_INDEX_RANGES_H_

@@ -1,0 +1,161 @@
+#include "matcher/joiner.h"
+
+#include <numeric>
+
+namespace tpstream {
+
+PatternJoiner::PatternJoiner(const TemporalPattern* pattern, Duration window)
+    : pattern_(pattern), window_(window) {
+  buffers_.resize(pattern->num_symbols());
+  std::vector<int> identity(pattern->num_symbols());
+  std::iota(identity.begin(), identity.end(), 0);
+  order_ = EvaluationOrder::Build(*pattern, identity);
+}
+
+size_t PatternJoiner::BufferedCount() const {
+  size_t total = 0;
+  for (const SituationBuffer& b : buffers_) total += b.size();
+  return total;
+}
+
+void PatternJoiner::Enumerate(std::vector<const Situation*>& working_set,
+                              TimePoint now, const EmitFn& emit,
+                              MatcherStats* stats) {
+  Step(working_set, 0, now, emit, stats);
+}
+
+void PatternJoiner::Step(std::vector<const Situation*>& ws, size_t step_index,
+                         TimePoint now, const EmitFn& emit,
+                         MatcherStats* stats) {
+  if (step_index == order_.steps().size()) {
+    EmitIfWindowOk(ws, now, emit);
+    return;
+  }
+  const EvalStep& step = order_.steps()[step_index];
+  if (ws[step.symbol] != nullptr) {
+    // The symbol was pre-bound by the caller (the new situation in
+    // Algorithm 2, or started situations in Algorithm 4): skip its buffer
+    // and verify the applicable constraints directly.
+    if (CheckBound(step, ws)) {
+      Step(ws, step_index + 1, now, emit, stats);
+    }
+    return;
+  }
+  const IndexRanges candidates = FindCandidates(step, ws, stats);
+  const SituationBuffer& buf = buffers_[step.symbol];
+  candidates.ForEach([&](uint32_t idx) {
+    ws[step.symbol] = &buf.At(idx);
+    Step(ws, step_index + 1, now, emit, stats);
+  });
+  ws[step.symbol] = nullptr;
+}
+
+bool PatternJoiner::CheckBound(const EvalStep& step,
+                               const std::vector<const Situation*>& ws) const {
+  const Situation& self = *ws[step.symbol];
+  for (const EvalStep::Touching& t : step.constraints) {
+    const Situation* other = ws[t.other_symbol];
+    if (other == nullptr) continue;  // checked at the other symbol's step
+    const TemporalConstraint& c = pattern_->constraints()[t.constraint];
+    const Situation& sa = t.symbol_is_a ? self : *other;
+    const Situation& sb = t.symbol_is_a ? *other : self;
+    if (c.Check(sa, sb) != Certainty::kCertain) return false;
+  }
+  return true;
+}
+
+IndexRanges PatternJoiner::FindCandidatesNaive(
+    const EvalStep& step, const std::vector<const Situation*>& ws) const {
+  // Equation 1: scan the whole buffer and evaluate every applicable
+  // constraint per candidate.
+  const SituationBuffer& buf = buffers_[step.symbol];
+  IndexRanges result;
+  for (uint32_t i = 0; i < buf.size(); ++i) {
+    const Situation& candidate = buf.At(i);
+    bool ok = true;
+    for (const EvalStep::Touching& t : step.constraints) {
+      const Situation* other = ws[t.other_symbol];
+      if (other == nullptr) continue;
+      const TemporalConstraint& c = pattern_->constraints()[t.constraint];
+      const Situation& sa = t.symbol_is_a ? candidate : *other;
+      const Situation& sb = t.symbol_is_a ? *other : candidate;
+      if (c.Check(sa, sb) != Certainty::kCertain) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) result.Add(IndexRange{i, i + 1});
+  }
+  return result;
+}
+
+IndexRanges PatternJoiner::FindCandidates(
+    const EvalStep& step, const std::vector<const Situation*>& ws,
+    MatcherStats* stats) const {
+  const SituationBuffer& buf = buffers_[step.symbol];
+  if (buf.empty()) return IndexRanges();
+  if (naive_scan_) return FindCandidatesNaive(step, ws);
+
+  bool first = true;
+  IndexRanges result;
+  for (const EvalStep::Touching& t : step.constraints) {
+    const Situation* other = ws[t.other_symbol];
+    if (other == nullptr) continue;
+    const TemporalConstraint& c = pattern_->constraints()[t.constraint];
+
+    // Union of the index ranges of the constraint's relations. The
+    // candidate plays role A iff this step's symbol is the constraint's A.
+    IndexRanges per_constraint;
+    c.relations.ForEach([&](Relation r) {
+      const auto bounds =
+          BoundsForCounterpart(r, *other, /*fixed_is_a=*/!t.symbol_is_a);
+      if (!bounds) return;
+      per_constraint.Add(buf.Find(*bounds));
+    });
+
+    if (stats != nullptr) {
+      stats->UpdateSelectivity(
+          t.constraint, static_cast<double>(per_constraint.TotalSize()) /
+                            static_cast<double>(buf.size()));
+    }
+    if (first) {
+      result = std::move(per_constraint);
+      first = false;
+    } else {
+      result = result.Intersect(per_constraint);
+    }
+    if (result.empty()) return result;
+  }
+  if (first) {
+    // No applicable constraint: cross product over the whole buffer
+    // (only reachable for disconnected patterns).
+    result.Add(IndexRange{0, static_cast<uint32_t>(buf.size())});
+  }
+  return result;
+}
+
+void PatternJoiner::EmitIfWindowOk(const std::vector<const Situation*>& ws,
+                                   TimePoint now, const EmitFn& emit) const {
+  TimePoint min_ts = kTimeMax;
+  TimePoint max_te = kTimeMin;
+  for (const Situation* s : ws) {
+    if (s->ts < min_ts) min_ts = s->ts;
+    // Ongoing situations extend at least to the current time; the match
+    // is emitted early under the documented low-latency window semantics.
+    const TimePoint te = s->ongoing() ? now : s->te;
+    if (te > max_te) max_te = te;
+  }
+  if (max_te - min_ts > window_) return;
+
+  // The scratch match is reused across emissions; the reference passed to
+  // the callback is only valid during the call (callbacks copy what they
+  // keep).
+  scratch_match_.detected_at = now;
+  if (scratch_match_.config.size() != ws.size()) {
+    scratch_match_.config.resize(ws.size());
+  }
+  for (size_t i = 0; i < ws.size(); ++i) scratch_match_.config[i] = *ws[i];
+  emit(scratch_match_);
+}
+
+}  // namespace tpstream

@@ -1,0 +1,92 @@
+#ifndef TPSTREAM_MATCHER_JOINER_H_
+#define TPSTREAM_MATCHER_JOINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "matcher/eval_order.h"
+#include "matcher/match.h"
+#include "matcher/situation_buffer.h"
+#include "matcher/stats.h"
+
+namespace tpstream {
+
+/// The pattern-matching join core shared by the baseline and the
+/// low-latency matcher (Algorithm 3 / PerformMatch).
+///
+/// Owns one SituationBuffer per symbol and enumerates all temporal
+/// configurations that extend a partially bound working set, following the
+/// current evaluation order. For unbound symbols, candidates are found
+/// with binary-search range queries per temporal relation, unioned within
+/// a constraint and intersected across constraints (Section 5.2,
+/// Figure 3). Bound entries may be ongoing; every emitted configuration is
+/// *certain* to match (three-valued constraint evaluation).
+class PatternJoiner {
+ public:
+  PatternJoiner(const TemporalPattern* pattern, Duration window);
+
+  void SetOrder(EvaluationOrder order) { order_ = std::move(order); }
+  const EvaluationOrder& order() const { return order_; }
+
+  /// Ablation switch: scan buffers linearly and test every candidate
+  /// against the constraints (the naive strategy of Equation 1) instead
+  /// of binary-search range queries (Equation 2). Results are identical;
+  /// only the cost differs. Used by bench_ablation_rangequery.
+  void SetNaiveScan(bool naive) { naive_scan_ = naive; }
+
+  SituationBuffer& buffer(int symbol) { return buffers_[symbol]; }
+  const SituationBuffer& buffer(int symbol) const { return buffers_[symbol]; }
+
+  void PurgeBefore(TimePoint min_ts) {
+    for (SituationBuffer& b : buffers_) b.PurgeBefore(min_ts);
+  }
+
+  /// Total buffered situations / approximate state bytes (for the memory
+  /// experiments of Section 6.2.2).
+  size_t BufferedCount() const;
+
+  using EmitFn = std::function<void(const Match&)>;
+
+  /// Enumerates every certain configuration containing all non-null
+  /// entries of `working_set` (pointers indexed by symbol). `now` is the
+  /// current application time, used to close the window condition for
+  /// ongoing entries. Statistics are folded into `stats` when non-null.
+  void Enumerate(std::vector<const Situation*>& working_set, TimePoint now,
+                 const EmitFn& emit, MatcherStats* stats);
+
+ private:
+  void Step(std::vector<const Situation*>& ws, size_t step_index,
+            TimePoint now, const EmitFn& emit, MatcherStats* stats);
+
+  /// Checks all constraints of `step` whose other endpoint is bound,
+  /// against the bound situation of the step's own symbol.
+  bool CheckBound(const EvalStep& step,
+                  const std::vector<const Situation*>& ws) const;
+
+  /// Candidate indices in the step symbol's buffer satisfying every
+  /// applicable constraint (Figure 3: two range queries per relation,
+  /// union within a constraint, intersection across constraints).
+  IndexRanges FindCandidates(const EvalStep& step,
+                             const std::vector<const Situation*>& ws,
+                             MatcherStats* stats) const;
+
+  void EmitIfWindowOk(const std::vector<const Situation*>& ws, TimePoint now,
+                      const EmitFn& emit) const;
+
+  IndexRanges FindCandidatesNaive(
+      const EvalStep& step, const std::vector<const Situation*>& ws) const;
+
+  const TemporalPattern* pattern_;
+  Duration window_;
+  EvaluationOrder order_;
+  std::vector<SituationBuffer> buffers_;
+  bool naive_scan_ = false;
+  // Reused per emission; the Match reference handed to EmitFn is valid
+  // only for the duration of the call.
+  mutable Match scratch_match_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_MATCHER_JOINER_H_

@@ -1,0 +1,144 @@
+#include "matcher/low_latency_matcher.h"
+
+namespace tpstream {
+
+namespace {
+
+// Fingerprint of a temporal configuration. Situations within one stream
+// have unique start timestamps, so the sequence of (symbol, ts) pairs
+// identifies a configuration; FNV-1a over the start timestamps suffices.
+uint64_t Fingerprint(const std::vector<Situation>& config) {
+  uint64_t h = 1469598103934665603ull;
+  for (const Situation& s : config) {
+    uint64_t x = static_cast<uint64_t>(s.ts);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+LowLatencyMatcher::LowLatencyMatcher(TemporalPattern pattern,
+                                     DetectionAnalysis analysis,
+                                     Duration window, MatchCallback callback,
+                                     double stats_alpha)
+    : pattern_(std::move(pattern)),
+      analysis_(std::move(analysis)),
+      window_(window),
+      callback_(std::move(callback)),
+      joiner_(&pattern_, window),
+      stats_(pattern_, stats_alpha),
+      started_(pattern_.num_symbols()),
+      working_set_(pattern_.num_symbols(), nullptr) {}
+
+void LowLatencyMatcher::SetEvaluationOrder(
+    const std::vector<int>& permutation) {
+  joiner_.SetOrder(EvaluationOrder::Build(pattern_, permutation));
+}
+
+void LowLatencyMatcher::Update(const std::vector<SymbolSituation>& started,
+                               const std::vector<SymbolSituation>& finished,
+                               TimePoint now) {
+  joiner_.PurgeBefore(now - window_);
+
+  // Migrate every situation finishing now before running end triggers, so
+  // that simultaneously ending counterparts (equals / finishes /
+  // finished-by) are visible in the regular buffers.
+  for (const SymbolSituation& ss : finished) {
+    started_[ss.symbol].reset();
+    joiner_.buffer(ss.symbol).Append(ss.situation);
+  }
+  for (const SymbolSituation& ss : finished) {
+    if (!analysis_.match_on_end(ss.symbol)) continue;
+    // A configuration completed purely by already-finished situations can
+    // only have its latest endpoint here if some relation ends
+    // simultaneously with this one; otherwise an earlier trigger covered
+    // it. Symbols excluded while ongoing defer all their triggers to the
+    // end, so for them the bare combination is always admissible.
+    const bool allow_bare = analysis_.has_simultaneous_end(ss.symbol) ||
+                            analysis_.excluded_while_ongoing(ss.symbol);
+    Trigger(ss.symbol, joiner_.buffer(ss.symbol).Back(), allow_bare, now);
+  }
+
+  // Start triggers run after end migration: a situation ending at `now`
+  // can relate to one starting at `now` only via meets/met-by, which
+  // trigger at the *start* of the later situation and find the ended
+  // counterpart in its buffer.
+  for (const SymbolSituation& ss : started) {
+    started_[ss.symbol] = ss.situation;
+    if (!analysis_.match_on_start(ss.symbol)) continue;
+    Trigger(ss.symbol, *started_[ss.symbol], /*allow_bare=*/true, now);
+  }
+
+  for (int s = 0; s < pattern_.num_symbols(); ++s) {
+    stats_.UpdateBufferSize(s, static_cast<double>(joiner_.buffer(s).size()));
+  }
+
+  // Amortized sweep of the exactly-once guard.
+  if (analysis_.needs_dedup() &&
+      emitted_.size() >= emitted_sweep_threshold_) {
+    const TimePoint horizon = now - window_;
+    for (auto it = emitted_.begin(); it != emitted_.end();) {
+      it = it->second < horizon ? emitted_.erase(it) : std::next(it);
+    }
+    emitted_sweep_threshold_ =
+        std::max<size_t>(1024, emitted_.size() * 2);
+  }
+}
+
+void LowLatencyMatcher::Trigger(int symbol, const Situation& situation,
+                                bool allow_bare, TimePoint now) {
+  // Candidate pool: started situations that can coexist with the trigger
+  // situation in a certain configuration. A related started situation
+  // whose constraint with the trigger is not yet certain cannot
+  // contribute now (its configurations will be concluded by a later
+  // trigger), and impossible ones never will.
+  pool_.clear();
+  for (int j = 0; j < pattern_.num_symbols(); ++j) {
+    if (j == symbol || !started_[j].has_value()) continue;
+    if (started_[j]->ts < now - window_) continue;  // window purge
+    const int ci = pattern_.ConstraintIndex(symbol, j);
+    if (ci >= 0) {
+      const TemporalConstraint& c = pattern_.constraints()[ci];
+      const Situation& sa = (c.a == symbol) ? situation : *started_[j];
+      const Situation& sb = (c.a == symbol) ? *started_[j] : situation;
+      if (c.Check(sa, sb) != Certainty::kCertain) continue;
+    }
+    pool_.push_back(j);
+  }
+
+  const size_t subsets = size_t{1} << pool_.size();
+  for (size_t mask = 0; mask < subsets; ++mask) {
+    if (mask == 0 && !allow_bare) continue;
+    working_set_.assign(working_set_.size(), nullptr);
+    working_set_[symbol] = &situation;
+    for (size_t i = 0; i < pool_.size(); ++i) {
+      if (mask & (size_t{1} << i)) {
+        working_set_[pool_[i]] = &*started_[pool_[i]];
+      }
+    }
+    joiner_.Enumerate(
+        working_set_, now, [this](const Match& m) { Emit(m); }, &stats_);
+  }
+}
+
+void LowLatencyMatcher::Emit(const Match& match) {
+  // When the detection analysis proves exactly-once delivery, skip the
+  // fingerprint table entirely — it dominates per-match cost on
+  // match-heavy patterns.
+  if (analysis_.needs_dedup()) {
+    TimePoint min_ts = kTimeMax;
+    for (const Situation& s : match.config) {
+      if (s.ts < min_ts) min_ts = s.ts;
+    }
+    const uint64_t fp = Fingerprint(match.config);
+    auto [it, inserted] = emitted_.emplace(fp, min_ts);
+    if (!inserted) return;
+  }
+  callback_(match);
+}
+
+}  // namespace tpstream

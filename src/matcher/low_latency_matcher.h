@@ -1,0 +1,85 @@
+#ifndef TPSTREAM_MATCHER_LOW_LATENCY_MATCHER_H_
+#define TPSTREAM_MATCHER_LOW_LATENCY_MATCHER_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/detection.h"
+#include "algebra/pattern.h"
+#include "matcher/joiner.h"
+#include "matcher/match.h"
+
+namespace tpstream {
+
+/// The low-latency matcher (Algorithm 4): concludes matches at the
+/// earliest possible point in time t_d(P) by matching on the starts and
+/// ends of *trigger* situations (Section 5.3).
+///
+/// Started (ongoing) situations live in a separate per-symbol slot that is
+/// invisible to the join core; every trigger explicitly seeds the working
+/// set with combinations of the trigger situation and compatible started
+/// situations. Certainty of all constraints is established with the
+/// three-valued relation evaluation (including the prefix-group
+/// relaxation), so every emitted configuration is guaranteed to match.
+///
+/// Deviations from the paper's presentation, chosen for robustness and
+/// documented in DESIGN.md:
+///  - all situations finished at the current instant are migrated to the
+///    regular buffers before end-triggers run, which resolves
+///    simultaneous-end configurations (equals/finishes) uniformly;
+///  - a fingerprint table enforces exactly-once emission instead of the
+///    paper's case analysis;
+///  - the window condition for configurations containing ongoing
+///    situations is evaluated against the current time.
+class LowLatencyMatcher {
+ public:
+  LowLatencyMatcher(TemporalPattern pattern, DetectionAnalysis analysis,
+                    Duration window, MatchCallback callback,
+                    double stats_alpha = 0.01);
+
+  void SetEvaluationOrder(const std::vector<int>& permutation);
+  std::vector<int> CurrentOrder() const { return joiner_.order().Permutation(); }
+
+  /// Processes the situations started and finished at application time
+  /// `now` (one deriver step).
+  void Update(const std::vector<SymbolSituation>& started,
+              const std::vector<SymbolSituation>& finished, TimePoint now);
+
+  const TemporalPattern& pattern() const { return pattern_; }
+  const MatcherStats& stats() const { return stats_; }
+  size_t BufferedCount() const { return joiner_.BufferedCount(); }
+
+ private:
+  /// Runs the join for every admissible combination of the trigger
+  /// situation and started situations (the power-set construction of
+  /// Algorithm 4). `allow_bare` permits the combination containing only
+  /// the trigger situation itself.
+  void Trigger(int symbol, const Situation& situation, bool allow_bare,
+               TimePoint now);
+
+  void Emit(const Match& match);
+
+  TemporalPattern pattern_;
+  DetectionAnalysis analysis_;
+  Duration window_;
+  MatchCallback callback_;
+  PatternJoiner joiner_;
+  MatcherStats stats_;
+
+  /// Ongoing situation per symbol (at most one: situations of a stream
+  /// are disjoint). The payload is the aggregate snapshot at announcement.
+  std::vector<std::optional<Situation>> started_;
+
+  std::vector<const Situation*> working_set_;
+  std::vector<int> pool_;  // scratch: candidate started symbols per trigger
+
+  /// Exactly-once guard: configuration fingerprint -> min start timestamp
+  /// (for purging).
+  std::unordered_map<uint64_t, TimePoint> emitted_;
+  size_t emitted_sweep_threshold_ = 1024;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_MATCHER_LOW_LATENCY_MATCHER_H_

@@ -1,0 +1,32 @@
+#ifndef TPSTREAM_MATCHER_MATCH_H_
+#define TPSTREAM_MATCHER_MATCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/situation.h"
+#include "common/time.h"
+
+namespace tpstream {
+
+/// A temporal configuration matching the pattern (Definition 11/12).
+struct Match {
+  /// One situation per pattern symbol, indexed by symbol. With low-latency
+  /// matching, entries may still be ongoing (te == kTimeUnknown); their
+  /// payload is the aggregate snapshot at detection time.
+  std::vector<Situation> config;
+
+  /// Application timestamp at which the match was concluded. For the
+  /// baseline matcher this equals max(s.te); the low-latency matcher
+  /// reports the earliest possible detection time t_d (Section 5.3).
+  TimePoint detected_at = 0;
+};
+
+/// Match consumers receive a reference that is valid only for the
+/// duration of the call (the matchers reuse the underlying storage);
+/// copy whatever outlives the callback.
+using MatchCallback = std::function<void(const Match&)>;
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_MATCHER_MATCH_H_

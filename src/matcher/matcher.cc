@@ -1,0 +1,37 @@
+#include "matcher/matcher.h"
+
+namespace tpstream {
+
+Matcher::Matcher(TemporalPattern pattern, Duration window,
+                 MatchCallback callback, double stats_alpha)
+    : pattern_(std::move(pattern)),
+      window_(window),
+      callback_(std::move(callback)),
+      joiner_(&pattern_, window),
+      stats_(pattern_, stats_alpha),
+      working_set_(pattern_.num_symbols(), nullptr) {}
+
+void Matcher::SetEvaluationOrder(const std::vector<int>& permutation) {
+  joiner_.SetOrder(EvaluationOrder::Build(pattern_, permutation));
+}
+
+void Matcher::Update(const std::vector<SymbolSituation>& finished,
+                     TimePoint now) {
+  joiner_.PurgeBefore(now - window_);
+
+  for (const SymbolSituation& ss : finished) {
+    SituationBuffer& buf = joiner_.buffer(ss.symbol);
+    buf.Append(ss.situation);
+    // Force the new situation into every produced configuration: this
+    // yields incremental, exactly-once results (Algorithm 2).
+    working_set_.assign(working_set_.size(), nullptr);
+    working_set_[ss.symbol] = &buf.Back();
+    joiner_.Enumerate(working_set_, now, callback_, &stats_);
+  }
+
+  for (int s = 0; s < pattern_.num_symbols(); ++s) {
+    stats_.UpdateBufferSize(s, static_cast<double>(joiner_.buffer(s).size()));
+  }
+}
+
+}  // namespace tpstream

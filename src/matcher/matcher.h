@@ -1,0 +1,53 @@
+#ifndef TPSTREAM_MATCHER_MATCHER_H_
+#define TPSTREAM_MATCHER_MATCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "matcher/joiner.h"
+#include "matcher/match.h"
+
+namespace tpstream {
+
+/// The baseline matcher component (Algorithms 2 and 3): consumes finished
+/// situations ordered by end timestamp and reports every matching temporal
+/// configuration exactly once, at the end timestamp of its last situation.
+class Matcher {
+ public:
+  Matcher(TemporalPattern pattern, Duration window, MatchCallback callback,
+          double stats_alpha = 0.01);
+
+  /// Installs a new evaluation order. The matcher keeps no intermediate
+  /// state between updates, so migration is free (Section 5.4.1).
+  void SetEvaluationOrder(const std::vector<int>& permutation);
+  std::vector<int> CurrentOrder() const { return joiner_.order().Permutation(); }
+
+  /// Ablation switch: linear candidate scans instead of range queries
+  /// (see PatternJoiner::SetNaiveScan).
+  void SetNaiveScan(bool naive) { joiner_.SetNaiveScan(naive); }
+
+  /// Processes the batch of situations finished at application time `now`
+  /// (Algorithm 2): purges expired situations, adds the new ones, and
+  /// matches each of them.
+  void Update(const std::vector<SymbolSituation>& finished, TimePoint now);
+
+  const TemporalPattern& pattern() const { return pattern_; }
+  const MatcherStats& stats() const { return stats_; }
+  Duration window() const { return window_; }
+
+  /// Number of buffered situations (memory accounting, Section 6.2.2).
+  size_t BufferedCount() const { return joiner_.BufferedCount(); }
+
+ private:
+  TemporalPattern pattern_;
+  Duration window_;
+  MatchCallback callback_;
+  PatternJoiner joiner_;
+  MatcherStats stats_;
+  std::vector<const Situation*> working_set_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_MATCHER_MATCHER_H_

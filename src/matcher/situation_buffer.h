@@ -1,0 +1,120 @@
+#ifndef TPSTREAM_MATCHER_SITUATION_BUFFER_H_
+#define TPSTREAM_MATCHER_SITUATION_BUFFER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "algebra/range_bounds.h"
+#include "common/situation.h"
+#include "matcher/index_ranges.h"
+
+namespace tpstream {
+
+/// Array-backed ring buffer holding the finished situations of one stream
+/// inside the evaluation window.
+///
+/// Derived situation streams have pairwise disjoint intervals
+/// (Definition 8), so the buffer is simultaneously sorted by start and end
+/// timestamp. Range queries on either endpoint therefore return one
+/// contiguous index range, found with binary search (Section 5.2).
+class SituationBuffer {
+ public:
+  SituationBuffer() : data_(16) {}
+
+  void Append(const Situation& s) {
+    assert(size_ == 0 || (s.ts >= Back().te));
+    if (size_ == data_.size()) Grow();
+    data_[(head_ + size_) % data_.size()] = s;
+    ++size_;
+  }
+
+  /// Drops all situations with ts < min_ts (window purge, Algorithm 2).
+  void PurgeBefore(TimePoint min_ts) {
+    while (size_ > 0 && Front().ts < min_ts) {
+      head_ = (head_ + 1) % data_.size();
+      --size_;
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Situation& At(size_t logical_index) const {
+    assert(logical_index < size_);
+    return data_[(head_ + logical_index) % data_.size()];
+  }
+  const Situation& Front() const { return At(0); }
+  const Situation& Back() const { return At(size_ - 1); }
+
+  /// Logical index range of situations whose start timestamp falls into
+  /// `range` (inclusive bounds).
+  IndexRange FindTs(const TimeRange& range) const {
+    return IndexRange{LowerBound(range.lo, /*by_ts=*/true),
+                      UpperBound(range.hi, /*by_ts=*/true)};
+  }
+
+  /// Logical index range of situations whose end timestamp falls into
+  /// `range`.
+  IndexRange FindTe(const TimeRange& range) const {
+    return IndexRange{LowerBound(range.lo, /*by_ts=*/false),
+                      UpperBound(range.hi, /*by_ts=*/false)};
+  }
+
+  /// Index range of candidates satisfying both endpoint bounds.
+  IndexRange Find(const RelationBounds& bounds) const {
+    return FindTs(bounds.ts_range).Intersect(FindTe(bounds.te_range));
+  }
+
+ private:
+  void Grow() {
+    std::vector<Situation> bigger(data_.size() * 2);
+    for (size_t i = 0; i < size_; ++i) bigger[i] = At(i);
+    data_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  TimePoint Key(size_t logical_index, bool by_ts) const {
+    const Situation& s = At(logical_index);
+    return by_ts ? s.ts : s.te;
+  }
+
+  // First logical index with key >= t.
+  uint32_t LowerBound(TimePoint t, bool by_ts) const {
+    size_t lo = 0;
+    size_t hi = size_;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (Key(mid, by_ts) < t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<uint32_t>(lo);
+  }
+
+  // First logical index with key > t.
+  uint32_t UpperBound(TimePoint t, bool by_ts) const {
+    if (t == kTimeMax) return static_cast<uint32_t>(size_);
+    size_t lo = 0;
+    size_t hi = size_;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (Key(mid, by_ts) <= t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<uint32_t>(lo);
+  }
+
+  std::vector<Situation> data_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_MATCHER_SITUATION_BUFFER_H_

@@ -1,0 +1,18 @@
+#include "matcher/stats.h"
+
+#include <algorithm>
+
+namespace tpstream {
+
+MatcherStats::MatcherStats(const TemporalPattern& pattern, double alpha)
+    : alpha_(alpha) {
+  buffer_ema_.assign(pattern.num_symbols(), 0.0);
+  selectivity_ema_.reserve(pattern.constraints().size());
+  for (const TemporalConstraint& c : pattern.constraints()) {
+    double sel = 0.0;
+    c.relations.ForEach([&sel](Relation r) { sel += DefaultSelectivity(r); });
+    selectivity_ema_.push_back(std::min(sel, 1.0));
+  }
+}
+
+}  // namespace tpstream

@@ -1,0 +1,52 @@
+#ifndef TPSTREAM_MATCHER_STATS_H_
+#define TPSTREAM_MATCHER_STATS_H_
+
+#include <vector>
+
+#include "algebra/pattern.h"
+
+namespace tpstream {
+
+/// Runtime statistics driving the adaptive optimizer (Section 5.4.1):
+/// exponential moving averages of the situation buffer sizes and of the
+/// observed selectivity of each temporal constraint.
+class MatcherStats {
+ public:
+  MatcherStats() = default;
+
+  /// Initializes per-symbol and per-constraint slots. Constraint
+  /// selectivities start from the Table 3 estimates (Equation 4's inner
+  /// sum over the constraint's relations, capped at 1).
+  MatcherStats(const TemporalPattern& pattern, double alpha);
+
+  void UpdateBufferSize(int symbol, double size) {
+    Fold(&buffer_ema_[symbol], size);
+  }
+  void UpdateSelectivity(int constraint, double sample) {
+    Fold(&selectivity_ema_[constraint], sample);
+  }
+
+  double buffer_ema(int symbol) const { return buffer_ema_[symbol]; }
+  double selectivity_ema(int constraint) const {
+    return selectivity_ema_[constraint];
+  }
+  const std::vector<double>& buffer_emas() const { return buffer_ema_; }
+  const std::vector<double>& selectivity_emas() const {
+    return selectivity_ema_;
+  }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  void Fold(double* ema, double sample) {
+    *ema = alpha_ * sample + (1.0 - alpha_) * *ema;
+  }
+
+  double alpha_ = 0.01;
+  std::vector<double> buffer_ema_;
+  std::vector<double> selectivity_ema_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_MATCHER_STATS_H_

@@ -1,0 +1,37 @@
+#include "ooo/reorder_buffer.h"
+
+namespace tpstream {
+namespace ooo {
+
+void ReorderBuffer::Push(const Event& event, const Sink& sink) {
+  // Ties are legitimate across partitions (several keys reporting in the
+  // same tick); only strictly older events are late.
+  if (event.t < last_released_) {
+    ++num_dropped_;
+    if (late_callback_) late_callback_(event);
+    return;
+  }
+  if (event.t < max_seen_) ++num_reordered_;
+  if (event.t > max_seen_) max_seen_ = event.t;
+  heap_.push(event);
+
+  // Release everything at or below the watermark.
+  watermark_ = max_seen_ - options_.slack;
+  while (!heap_.empty() && heap_.top().t <= watermark_) {
+    last_released_ = heap_.top().t;
+    sink(heap_.top());
+    heap_.pop();
+  }
+}
+
+void ReorderBuffer::Flush(const Sink& sink) {
+  while (!heap_.empty()) {
+    last_released_ = heap_.top().t;
+    sink(heap_.top());
+    heap_.pop();
+  }
+  watermark_ = last_released_;
+}
+
+}  // namespace ooo
+}  // namespace tpstream

@@ -1,0 +1,76 @@
+#ifndef TPSTREAM_OOO_REORDER_BUFFER_H_
+#define TPSTREAM_OOO_REORDER_BUFFER_H_
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/event.h"
+
+namespace tpstream {
+namespace ooo {
+
+/// Buffered reordering frontend for out-of-order event streams — the
+/// paper's first future-work item (Section 7, following the slack/K-sort
+/// approach of the cited out-of-order literature [7, 21]).
+///
+/// Events may arrive up to `slack` time units late: an event with
+/// timestamp t is released only once an event with timestamp >= t + slack
+/// has been seen, which guarantees in-order delivery for any input whose
+/// disorder is bounded by the slack. Events arriving later than that are
+/// counted and dropped (optionally reported via the late-event callback).
+///
+/// Usage:
+///   ooo::ReorderBuffer reorder({.slack = 30});
+///   source.OnEvent([&](const Event& e) {
+///     reorder.Push(e, [&](const Event& ordered) { op.Push(ordered); });
+///   });
+///   reorder.Flush([&](const Event& ordered) { op.Push(ordered); });
+class ReorderBuffer {
+ public:
+  struct Options {
+    /// Maximum tolerated lateness (in ticks).
+    Duration slack = 0;
+  };
+
+  using Sink = std::function<void(const Event&)>;
+  using LateCallback = std::function<void(const Event&)>;
+
+  explicit ReorderBuffer(Options options) : options_(options) {}
+
+  /// Inserts one event and forwards every event whose release condition
+  /// is met, in timestamp order.
+  void Push(const Event& event, const Sink& sink);
+
+  /// Drains all buffered events in order (end of stream).
+  void Flush(const Sink& sink);
+
+  /// Invoked (if set) for events too late to be reordered.
+  void SetLateCallback(LateCallback cb) { late_callback_ = std::move(cb); }
+
+  int64_t num_reordered() const { return num_reordered_; }
+  int64_t num_dropped() const { return num_dropped_; }
+  size_t buffered() const { return heap_.size(); }
+  TimePoint watermark() const { return watermark_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t > b.t;
+    }
+  };
+
+  Options options_;
+  LateCallback late_callback_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  TimePoint max_seen_ = kTimeMin;
+  TimePoint last_released_ = kTimeMin;
+  TimePoint watermark_ = kTimeMin;
+  int64_t num_reordered_ = 0;
+  int64_t num_dropped_ = 0;
+};
+
+}  // namespace ooo
+}  // namespace tpstream
+
+#endif  // TPSTREAM_OOO_REORDER_BUFFER_H_

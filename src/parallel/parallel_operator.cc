@@ -1,0 +1,121 @@
+#include "parallel/parallel_operator.h"
+
+#include <functional>
+
+namespace tpstream {
+namespace parallel {
+
+ParallelTPStream::ParallelTPStream(QuerySpec spec, Options options,
+                                   TPStreamOperator::OutputCallback output)
+    : spec_(std::move(spec)),
+      options_(options),
+      output_(std::move(output)) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    auto worker = std::make_unique<Worker>(options_.batch_size);
+    worker->engine = std::make_unique<PartitionedTPStream>(
+        spec_, options_.operator_options, [this](const Event& e) {
+          std::lock_guard<std::mutex> lock(output_mutex_);
+          if (output_) output_(e);
+        });
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    worker->thread =
+        std::thread([this, w = worker.get()] { WorkerLoop(w); });
+  }
+}
+
+ParallelTPStream::~ParallelTPStream() {
+  Flush();
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      worker->stop = true;
+    }
+    worker->wake.notify_one();
+    worker->thread.join();
+  }
+}
+
+void ParallelTPStream::WorkerLoop(Worker* worker) {
+  std::vector<Event> batch;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(worker->mutex);
+      worker->wake.wait(
+          lock, [worker] { return worker->stop || !worker->queue.empty(); });
+      if (worker->queue.empty() && worker->stop) return;
+      batch.swap(worker->queue);
+      worker->busy = true;
+    }
+    for (const Event& event : batch) {
+      worker->engine->Push(event);
+    }
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      worker->busy = false;
+    }
+    worker->drained.notify_all();
+  }
+}
+
+void ParallelTPStream::Submit(Worker* worker) {
+  if (worker->pending.empty()) return;
+  {
+    std::unique_lock<std::mutex> lock(worker->mutex);
+    // Keep queues bounded: wait until the previous hand-off was consumed.
+    worker->drained.wait(lock, [worker] { return worker->queue.empty(); });
+    worker->queue.swap(worker->pending);
+  }
+  worker->wake.notify_one();
+  worker->pending.clear();
+  worker->pending.reserve(options_.batch_size);
+}
+
+void ParallelTPStream::Push(const Event& event) {
+  ++num_events_;
+  size_t index = 0;
+  if (spec_.partition_field >= 0 && workers_.size() > 1) {
+    const Value& key = event.payload[spec_.partition_field];
+    const uint64_t hash =
+        key.type() == ValueType::kInt
+            ? std::hash<int64_t>{}(key.AsInt())
+            : std::hash<std::string>{}(key.ToString());
+    index = hash % workers_.size();
+  }
+  Worker* worker = workers_[index].get();
+  worker->pending.push_back(event);
+  if (worker->pending.size() >= options_.batch_size) Submit(worker);
+}
+
+void ParallelTPStream::Flush() {
+  for (auto& worker : workers_) Submit(worker.get());
+  for (auto& worker : workers_) {
+    std::unique_lock<std::mutex> lock(worker->mutex);
+    worker->drained.wait(lock, [w = worker.get()] {
+      return w->queue.empty() && !w->busy;
+    });
+  }
+}
+
+size_t ParallelTPStream::num_partitions() const {
+  size_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->engine->num_partitions();
+  }
+  return total;
+}
+
+int64_t ParallelTPStream::num_matches() const {
+  int64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->engine->num_matches();
+  }
+  return total;
+}
+
+}  // namespace parallel
+}  // namespace tpstream

@@ -1,0 +1,86 @@
+#ifndef TPSTREAM_PARALLEL_PARALLEL_OPERATOR_H_
+#define TPSTREAM_PARALLEL_PARALLEL_OPERATOR_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/partitioned_operator.h"
+
+namespace tpstream {
+namespace parallel {
+
+/// Partition-parallel TPStream execution — the paper's second future-work
+/// item (Section 7): partitions (PARTITION BY keys) are hashed onto a
+/// fixed set of worker threads, each running an independent
+/// PartitionedTPStream over its share of the keys. Because partitions are
+/// evaluated independently by definition, results are identical to the
+/// sequential operator (verified by tests), while ingestion scales with
+/// the number of workers.
+///
+/// Threading contract: Push() is called from a single producer thread;
+/// the output callback fires on worker threads and is serialized by an
+/// internal mutex (so a plain callback is safe, at the cost of contention
+/// for match-heavy queries).
+class ParallelTPStream {
+ public:
+  struct Options {
+    int num_workers = 2;
+    /// Events are handed to workers in batches to amortize queue
+    /// synchronization.
+    size_t batch_size = 256;
+    TPStreamOperator::Options operator_options;
+  };
+
+  ParallelTPStream(QuerySpec spec, Options options,
+                   TPStreamOperator::OutputCallback output);
+  ~ParallelTPStream();
+
+  ParallelTPStream(const ParallelTPStream&) = delete;
+  ParallelTPStream& operator=(const ParallelTPStream&) = delete;
+
+  /// Routes one event to its partition's worker. Timestamps must be
+  /// non-decreasing globally (strictly increasing per partition).
+  void Push(const Event& event);
+
+  /// Drains all queues and blocks until every worker is idle. Must be
+  /// called before reading aggregate results; also called by the
+  /// destructor.
+  void Flush();
+
+  int64_t num_matches() const;
+  int64_t num_events() const { return num_events_; }
+  size_t num_partitions() const;
+
+ private:
+  struct Worker {
+    explicit Worker(size_t reserve) { pending.reserve(reserve); }
+
+    std::unique_ptr<PartitionedTPStream> engine;
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable wake;
+    std::condition_variable drained;
+    std::vector<Event> pending;  // producer-side batch (unsynchronized)
+    std::vector<Event> queue;    // handed over under the mutex
+    bool busy = false;
+    bool stop = false;
+  };
+
+  void WorkerLoop(Worker* worker);
+  void Submit(Worker* worker);
+
+  QuerySpec spec_;
+  Options options_;
+  TPStreamOperator::OutputCallback output_;
+  std::mutex output_mutex_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  int64_t num_events_ = 0;
+};
+
+}  // namespace parallel
+}  // namespace tpstream
+
+#endif  // TPSTREAM_PARALLEL_PARALLEL_OPERATOR_H_

@@ -1,0 +1,192 @@
+#include "pipeline/pipeline.h"
+
+namespace tpstream {
+namespace pipeline {
+
+namespace {
+
+class FilterStage final : public Stage {
+ public:
+  explicit FilterStage(ExprPtr predicate)
+      : predicate_(std::move(predicate)) {}
+
+  void Process(const Event& event) override {
+    if (EvalPredicate(*predicate_, event.payload)) Emit(event);
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+class MapStage final : public Stage {
+ public:
+  explicit MapStage(std::vector<ExprPtr> exprs) : exprs_(std::move(exprs)) {}
+
+  void Process(const Event& event) override {
+    Tuple payload;
+    payload.reserve(exprs_.size());
+    for (const ExprPtr& expr : exprs_) {
+      payload.push_back(expr->Eval(event.payload));
+    }
+    Emit(Event(std::move(payload), event.t));
+  }
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+class ReorderStage final : public Stage {
+ public:
+  explicit ReorderStage(Duration slack)
+      : buffer_(ooo::ReorderBuffer::Options{slack}) {}
+
+  void Process(const Event& event) override {
+    buffer_.Push(event, [this](const Event& e) { Emit(e); });
+  }
+
+  void Finish() override {
+    buffer_.Flush([this](const Event& e) { Emit(e); });
+    Stage::Finish();
+  }
+
+ private:
+  ooo::ReorderBuffer buffer_;
+};
+
+class DetectStage final : public Stage {
+ public:
+  DetectStage(QuerySpec spec, TPStreamOperator::Options options)
+      : engine_(std::move(spec), std::move(options),
+                [this](const Event& match) { Emit(match); }) {}
+
+  void Process(const Event& event) override { engine_.Push(event); }
+
+ private:
+  PartitionedTPStream engine_;
+};
+
+class SinkStage final : public Stage {
+ public:
+  explicit SinkStage(std::function<void(const Event&)> sink)
+      : sink_(std::move(sink)) {}
+
+  void Process(const Event& event) override {
+    sink_(event);
+    Emit(event);
+  }
+
+ private:
+  std::function<void(const Event&)> sink_;
+};
+
+}  // namespace
+
+void Pipeline::Append(std::unique_ptr<Stage> stage) {
+  if (!stages_.empty()) stages_.back()->set_next(stage.get());
+  stages_.push_back(std::move(stage));
+}
+
+Pipeline& Pipeline::Filter(ExprPtr predicate) {
+  if (predicate == nullptr) {
+    deferred_error_ = Status::InvalidArgument("Filter predicate is null");
+    return *this;
+  }
+  Append(std::make_unique<FilterStage>(std::move(predicate)));
+  return *this;
+}
+
+Pipeline& Pipeline::Map(
+    std::vector<std::pair<std::string, ExprPtr>> projections) {
+  std::vector<Field> fields;
+  std::vector<ExprPtr> exprs;
+  fields.reserve(projections.size());
+  exprs.reserve(projections.size());
+  for (auto& [name, expr] : projections) {
+    if (expr == nullptr) {
+      deferred_error_ =
+          Status::InvalidArgument("Map expression '" + name + "' is null");
+      return *this;
+    }
+    fields.push_back(Field{name, ValueType::kNull});
+    exprs.push_back(std::move(expr));
+  }
+  schema_ = Schema(std::move(fields));
+  Append(std::make_unique<MapStage>(std::move(exprs)));
+  return *this;
+}
+
+Pipeline& Pipeline::Reorder(Duration slack) {
+  if (slack < 0) {
+    deferred_error_ = Status::InvalidArgument("Reorder slack is negative");
+    return *this;
+  }
+  Append(std::make_unique<ReorderStage>(slack));
+  return *this;
+}
+
+Pipeline& Pipeline::Detect(QuerySpec spec,
+                           TPStreamOperator::Options options) {
+  if (Status s = spec.Validate(); !s.ok()) {
+    deferred_error_ = s;
+    return *this;
+  }
+  // The stage consumes events shaped like the query's input schema; the
+  // current pipeline schema must provide those fields by name. If they
+  // sit at different positions, an implicit Map remaps them (the query's
+  // expressions are compiled positionally).
+  std::vector<ExprPtr> remap;
+  bool identity = spec.input_schema.num_fields() == schema_.num_fields();
+  for (int i = 0; i < spec.input_schema.num_fields(); ++i) {
+    const Field& field = spec.input_schema.field(i);
+    const int at = schema_.IndexOf(field.name);
+    if (at < 0) {
+      deferred_error_ = Status::InvalidArgument(
+          "Detect input field '" + field.name +
+          "' is not produced by the preceding stages");
+      return *this;
+    }
+    if (at != i) identity = false;
+    remap.push_back(FieldRef(at, field.name));
+  }
+  if (!identity) {
+    Append(std::make_unique<MapStage>(std::move(remap)));
+  }
+  std::vector<Field> out_fields;
+  for (const std::string& name : spec.OutputNames()) {
+    out_fields.push_back(Field{name, ValueType::kNull});
+  }
+  schema_ = Schema(std::move(out_fields));
+  Append(std::make_unique<DetectStage>(std::move(spec), std::move(options)));
+  return *this;
+}
+
+Pipeline& Pipeline::Sink(std::function<void(const Event&)> sink) {
+  if (sink == nullptr) {
+    deferred_error_ = Status::InvalidArgument("Sink callback is null");
+    return *this;
+  }
+  Append(std::make_unique<SinkStage>(std::move(sink)));
+  return *this;
+}
+
+Status Pipeline::Finalize() {
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (stages_.empty()) {
+    return Status::InvalidArgument("pipeline has no stages");
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+void Pipeline::Push(const Event& event) {
+  if (!finalized_) return;  // Finalize() reports the error
+  stages_.front()->Process(event);
+}
+
+void Pipeline::Finish() {
+  if (!finalized_) return;
+  stages_.front()->Finish();
+}
+
+}  // namespace pipeline
+}  // namespace tpstream

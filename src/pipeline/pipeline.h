@@ -1,0 +1,109 @@
+#ifndef TPSTREAM_PIPELINE_PIPELINE_H_
+#define TPSTREAM_PIPELINE_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/event.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "core/partitioned_operator.h"
+#include "expr/expression.h"
+#include "ooo/reorder_buffer.h"
+
+namespace tpstream {
+namespace pipeline {
+
+/// A processing stage: consumes events, emits zero or more events to the
+/// next stage. Stages are composed by Pipeline; Finish() flushes buffered
+/// state at end of stream (e.g. the reorder stage).
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  virtual void Process(const Event& event) = 0;
+  virtual void Finish() {
+    if (next_ != nullptr) next_->Finish();
+  }
+
+  void set_next(Stage* next) { next_ = next; }
+
+ protected:
+  void Emit(const Event& event) {
+    if (next_ != nullptr) next_->Process(event);
+  }
+
+ private:
+  Stage* next_ = nullptr;
+};
+
+/// Declarative chaining of stream stages around TPStream operators — the
+/// middleware-style composition (cf. JEPC [19]) used to deploy queries in
+/// a processing pipeline:
+///
+///   pipeline::Pipeline p(sensor_schema);
+///   auto status = p.Reorder(30)
+///       .Filter(Gt(FieldRef(sensor_schema, "quality").value(),
+///                  Literal(0.5)))
+///       .Detect(query_spec)
+///       .Sink([](const Event& match) { ... })
+///       .Finalize();
+///   p.Push(event);  ...  p.Finish();
+///
+/// Stages execute synchronously in order. Schema bookkeeping: Filter and
+/// Reorder preserve the schema, Map replaces it, Detect replaces it with
+/// the query's RETURN attributes.
+class Pipeline {
+ public:
+  explicit Pipeline(Schema input_schema)
+      : schema_(std::move(input_schema)) {}
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Drops events whose predicate is not satisfied.
+  Pipeline& Filter(ExprPtr predicate);
+
+  /// Rewrites the payload: one (name, expression) pair per output field.
+  Pipeline& Map(std::vector<std::pair<std::string, ExprPtr>> projections);
+
+  /// Repairs bounded out-of-order arrival (ooo::ReorderBuffer).
+  Pipeline& Reorder(Duration slack);
+
+  /// Runs a TPStream query (partitioned if the spec says so); downstream
+  /// stages see the match output events.
+  Pipeline& Detect(QuerySpec spec,
+                   TPStreamOperator::Options options = {});
+
+  /// Terminal consumer. Further stages may still be appended (the sink
+  /// observes and forwards).
+  Pipeline& Sink(std::function<void(const Event&)> sink);
+
+  /// Validates the chain (e.g. Detect schemas line up). Must be called
+  /// before pushing; returns the first construction error otherwise.
+  Status Finalize();
+
+  void Push(const Event& event);
+
+  /// Flushes buffered stages at end of stream.
+  void Finish();
+
+  /// Schema of the events leaving the last stage.
+  const Schema& output_schema() const { return schema_; }
+
+ private:
+  void Append(std::unique_ptr<Stage> stage);
+
+  Schema schema_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  Status deferred_error_;
+  bool finalized_ = false;
+};
+
+}  // namespace pipeline
+}  // namespace tpstream
+
+#endif  // TPSTREAM_PIPELINE_PIPELINE_H_

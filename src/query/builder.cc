@@ -1,0 +1,144 @@
+#include "query/builder.h"
+
+namespace tpstream {
+
+QueryBuilder& QueryBuilder::Define(const std::string& symbol,
+                                   ExprPtr predicate,
+                                   DurationConstraint duration) {
+  for (const SituationDefinition& def : definitions_) {
+    if (def.symbol == symbol) {
+      deferred_error_ =
+          Status::InvalidArgument("duplicate symbol '" + symbol + "'");
+      return *this;
+    }
+  }
+  definitions_.emplace_back(symbol, std::move(predicate),
+                            std::vector<AggregateSpec>{}, duration);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Relate(const std::string& a,
+                                   std::initializer_list<Relation> relations,
+                                   const std::string& b) {
+  relations_.push_back(PendingRelation{a, b, std::vector<Relation>(relations)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Within(Duration window) {
+  window_ = window;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Return(const std::string& output_name,
+                                   const std::string& symbol, AggKind kind,
+                                   const std::string& field) {
+  returns_.push_back(PendingReturn{output_name, symbol, kind, field});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::ReturnInterval(const std::string& output_name,
+                                           const std::string& symbol,
+                                           ReturnItem::Source source) {
+  PendingReturn pr;
+  pr.name = output_name;
+  pr.symbol = symbol;
+  pr.source = source;
+  returns_.push_back(std::move(pr));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::PartitionBy(const std::string& field) {
+  partition_field_ = field;
+  return *this;
+}
+
+Result<QuerySpec> QueryBuilder::Build() const {
+  if (!deferred_error_.ok()) return deferred_error_;
+
+  QuerySpec spec;
+  spec.input_schema = schema_;
+  spec.definitions = definitions_;
+  spec.window = window_;
+
+  auto symbol_index = [this](const std::string& name) {
+    for (int i = 0; i < static_cast<int>(definitions_.size()); ++i) {
+      if (definitions_[i].symbol == name) return i;
+    }
+    return -1;
+  };
+
+  std::vector<std::string> names;
+  names.reserve(definitions_.size());
+  for (const SituationDefinition& def : definitions_) {
+    names.push_back(def.symbol);
+  }
+  spec.pattern = TemporalPattern(names);
+  for (const PendingRelation& pr : relations_) {
+    const int a = symbol_index(pr.a);
+    const int b = symbol_index(pr.b);
+    if (a < 0 || b < 0) {
+      return Status::InvalidArgument("Relate references undefined symbol '" +
+                                     (a < 0 ? pr.a : pr.b) + "'");
+    }
+    for (Relation r : pr.relations) {
+      if (Status s = spec.pattern.AddRelation(a, r, b); !s.ok()) return s;
+    }
+  }
+
+  for (const PendingReturn& pr : returns_) {
+    const int symbol = symbol_index(pr.symbol);
+    if (symbol < 0) {
+      return Status::InvalidArgument("Return references undefined symbol '" +
+                                     pr.symbol + "'");
+    }
+    if (pr.source != ReturnItem::Source::kAggregate) {
+      ReturnItem item;
+      item.symbol = symbol;
+      item.source = pr.source;
+      item.name = pr.name;
+      spec.returns.push_back(std::move(item));
+      continue;
+    }
+    int field = -1;
+    if (!pr.field.empty()) {
+      field = schema_.IndexOf(pr.field);
+      if (field < 0) {
+        return Status::InvalidArgument("Return references unknown field '" +
+                                       pr.field + "'");
+      }
+    } else if (pr.kind != AggKind::kCount) {
+      return Status::InvalidArgument("aggregate requires a field");
+    }
+    auto& aggs = spec.definitions[symbol].aggregates;
+    int agg_index = -1;
+    for (int i = 0; i < static_cast<int>(aggs.size()); ++i) {
+      if (aggs[i].kind == pr.kind && aggs[i].field == field) {
+        agg_index = i;
+        break;
+      }
+    }
+    if (agg_index < 0) {
+      agg_index = static_cast<int>(aggs.size());
+      aggs.push_back(AggregateSpec{pr.kind, field, pr.name});
+    }
+    ReturnItem item;
+    item.symbol = symbol;
+    item.source = pr.source;
+    item.agg_index = agg_index;
+    item.name = pr.name;
+    spec.returns.push_back(std::move(item));
+  }
+
+  if (!partition_field_.empty()) {
+    spec.partition_field = schema_.IndexOf(partition_field_);
+    if (spec.partition_field < 0) {
+      return Status::InvalidArgument("unknown PARTITION BY field '" +
+                                     partition_field_ + "'");
+    }
+  }
+
+  if (Status s = spec.Validate(); !s.ok()) return s;
+  return spec;
+}
+
+}  // namespace tpstream

@@ -1,0 +1,130 @@
+#ifndef TPSTREAM_QUERY_BUILDER_H_
+#define TPSTREAM_QUERY_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/query_spec.h"
+
+namespace tpstream {
+
+/// Fluent, programmatic construction of TPStream queries — the typed
+/// alternative to the textual language. Example (the aggressive-driver
+/// query of Listing 1):
+///
+///   QueryBuilder qb(schema);
+///   qb.Define("A", Gt(FieldRef(schema, "accel").value(), Literal(8.0)),
+///             AtLeast(5))
+///     .Define("B", Gt(FieldRef(schema, "speed").value(), Literal(70.0)),
+///             Between(4, 30))
+///     .Define("C", Lt(FieldRef(schema, "accel").value(), Literal(-9.0)),
+///             AtLeast(3))
+///     .Relate("A", {Relation::kMeets, Relation::kOverlaps,
+///                   Relation::kStarts, Relation::kDuring}, "B")
+///     .Relate("C", {Relation::kDuring}, "B")
+///     .Relate("B", {Relation::kFinishes, Relation::kOverlaps,
+///                   Relation::kMeets}, "C")
+///     .Relate("A", {Relation::kBefore}, "C")
+///     .Within(300)
+///     .Return("id", "B", AggKind::kFirst, "car_id")
+///     .Return("avg_speed", "B", AggKind::kAvg, "speed")
+///     .PartitionBy("car_id");
+///   Result<QuerySpec> spec = qb.Build();
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(Schema schema) : schema_(std::move(schema)) {}
+
+  QueryBuilder& Define(const std::string& symbol, ExprPtr predicate,
+                       DurationConstraint duration = {});
+
+  /// Adds a temporal constraint: `a <relations> b`, the set being the
+  /// alternatives (Definition 10). Merges with an existing constraint on
+  /// the same pair.
+  QueryBuilder& Relate(const std::string& a,
+                       std::initializer_list<Relation> relations,
+                       const std::string& b);
+  QueryBuilder& Relate(const std::string& a, Relation relation,
+                       const std::string& b) {
+    return Relate(a, {relation}, b);
+  }
+
+  QueryBuilder& Within(Duration window);
+
+  /// RETURN item: `kind(symbol.field) AS output_name`.
+  QueryBuilder& Return(const std::string& output_name,
+                       const std::string& symbol, AggKind kind,
+                       const std::string& field = "");
+
+  /// Interval accessors: `start(symbol)` / `end(symbol)` /
+  /// `duration(symbol)` AS output_name. End and duration are null when
+  /// the situation is still ongoing at detection time.
+  QueryBuilder& ReturnStart(const std::string& output_name,
+                            const std::string& symbol) {
+    return ReturnInterval(output_name, symbol,
+                          ReturnItem::Source::kStartTime);
+  }
+  QueryBuilder& ReturnEnd(const std::string& output_name,
+                          const std::string& symbol) {
+    return ReturnInterval(output_name, symbol, ReturnItem::Source::kEndTime);
+  }
+  QueryBuilder& ReturnDuration(const std::string& output_name,
+                               const std::string& symbol) {
+    return ReturnInterval(output_name, symbol,
+                          ReturnItem::Source::kDuration);
+  }
+
+  QueryBuilder& PartitionBy(const std::string& field);
+
+  /// Validates and produces the QuerySpec. The builder can be reused.
+  Result<QuerySpec> Build() const;
+
+ private:
+  struct PendingRelation {
+    std::string a;
+    std::string b;
+    std::vector<Relation> relations;
+  };
+  struct PendingReturn {
+    std::string name;
+    std::string symbol;
+    AggKind kind = AggKind::kCount;
+    std::string field;
+    ReturnItem::Source source = ReturnItem::Source::kAggregate;
+  };
+
+  QueryBuilder& ReturnInterval(const std::string& output_name,
+                               const std::string& symbol,
+                               ReturnItem::Source source);
+
+  Schema schema_;
+  std::vector<SituationDefinition> definitions_;
+  std::vector<PendingRelation> relations_;
+  std::vector<PendingReturn> returns_;
+  Duration window_ = 0;
+  std::string partition_field_;
+  Status deferred_error_ = Status::OK();
+};
+
+/// Duration-constraint helpers mirroring the language's AT LEAST /
+/// AT MOST / BETWEEN.
+inline DurationConstraint AtLeast(Duration d) {
+  DurationConstraint c;
+  c.min = d;
+  return c;
+}
+inline DurationConstraint AtMost(Duration d) {
+  DurationConstraint c;
+  c.max = d;
+  return c;
+}
+inline DurationConstraint Between(Duration lo, Duration hi) {
+  DurationConstraint c;
+  c.min = lo;
+  c.max = hi;
+  return c;
+}
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_QUERY_BUILDER_H_

@@ -1,0 +1,141 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+namespace tpstream {
+namespace query {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsUnitChar(char c) {
+  // Unit text: letters, digits, '/', '^', and any non-ASCII byte (UTF-8
+  // continuation, e.g. the superscript in "m/s²").
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '/' ||
+         c == '^' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+char ToLower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+bool Token::Is(const char* keyword) const {
+  if (type != TokenType::kIdent) return false;
+  size_t i = 0;
+  for (; i < text.size(); ++i) {
+    if (keyword[i] == '\0' || ToLower(text[i]) != ToLower(keyword[i])) {
+      return false;
+    }
+  }
+  return keyword[i] == '\0';
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = static_cast<int>(i);
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      bool is_int = true;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      if (i < n && text[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_int = false;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+          ++i;
+        }
+      }
+      token.type = TokenType::kNumber;
+      token.text = text.substr(start, i - start);
+      token.number = std::stod(token.text);
+      token.is_int = is_int;
+      // Attached unit (must start with a letter or a non-ASCII byte).
+      if (i < n && (std::isalpha(static_cast<unsigned char>(text[i])) ||
+                    static_cast<unsigned char>(text[i]) >= 0x80)) {
+        const size_t unit_start = i;
+        while (i < n && IsUnitChar(text[i])) ++i;
+        token.unit = text.substr(unit_start, i - unit_start);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentCont(text[i])) ++i;
+      token.type = TokenType::kIdent;
+      token.text = text.substr(start, i - start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++i;
+      const size_t start = i;
+      while (i < n && text[i] != quote) ++i;
+      if (i == n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = text.substr(start, i - start);
+      ++i;  // closing quote
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Multi-character operators first.
+    auto two = [&](const char* op) {
+      return i + 1 < n && text[i] == op[0] && text[i + 1] == op[1];
+    };
+    token.type = TokenType::kSymbol;
+    if (two("<=") || two(">=") || two("==") || two("!=")) {
+      token.text = text.substr(i, 2);
+      i += 2;
+    } else if (std::string("()<>=,;.+-*/").find(c) != std::string::npos) {
+      token.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(token));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace query
+}  // namespace tpstream

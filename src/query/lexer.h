@@ -1,0 +1,43 @@
+#ifndef TPSTREAM_QUERY_LEXER_H_
+#define TPSTREAM_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpstream {
+namespace query {
+
+enum class TokenType : uint8_t {
+  kIdent,
+  kNumber,
+  kString,
+  kSymbol,  // punctuation / operator, text holds the exact spelling
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier text, operator spelling, string content
+  double number = 0;  // numeric value for kNumber
+  bool is_int = false;
+  std::string unit;  // unit attached to a number ("s", "mph", "m/s^2", ...)
+  int position = 0;  // byte offset, for diagnostics
+
+  /// Case-insensitive keyword / identifier comparison.
+  bool Is(const char* keyword) const;
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// Splits query text into tokens. Numbers may carry an attached unit
+/// ("8m/s^2", "70mph", "5s"); units are alphanumeric sequences that may
+/// contain '/', '^' and non-ASCII bytes (for "m/s²").
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace query
+}  // namespace tpstream
+
+#endif  // TPSTREAM_QUERY_LEXER_H_

@@ -1,0 +1,36 @@
+#ifndef TPSTREAM_QUERY_PARSER_H_
+#define TPSTREAM_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "core/query_spec.h"
+
+namespace tpstream {
+namespace query {
+
+/// Parses and compiles a TPStream query (the language of Listing 1)
+/// against the input stream's schema. Example:
+///
+///   FROM CarSensors CS PARTITION BY CS.car_id
+///   DEFINE A AS CS.accel > 8 AT LEAST 5s,
+///          B AS CS.speed > 70 BETWEEN 4s AND 30s,
+///          C AS CS.accel < -9 AT LEAST 3s
+///   PATTERN A meets B; A overlaps B; A starts B; A during B
+///       AND C during B; B finishes C; B overlaps C; B meets C
+///       AND A before C
+///   WITHIN 5 MINUTES
+///   RETURN first(B.car_id) AS id, avg(B.speed) AS avg_speed
+///
+/// Time units: s/seconds (1 tick), minutes (60), hours (3600); bare
+/// numbers are ticks. Physical units attached to numeric literals in
+/// predicates ("8m/s^2", "70mph") are accepted and ignored. Within one
+/// PATTERN conjunct, semicolon-separated relations are alternatives and
+/// must relate the same pair of symbols (Definition 10).
+Result<QuerySpec> ParseQuery(const std::string& text, const Schema& schema);
+
+}  // namespace query
+}  // namespace tpstream
+
+#endif  // TPSTREAM_QUERY_PARSER_H_

@@ -1,0 +1,44 @@
+#include "workload/interval_source.h"
+
+namespace tpstream {
+
+RandomSituationGenerator::RandomSituationGenerator(
+    std::vector<StreamOptions> streams, uint64_t seed)
+    : rng_(seed) {
+  states_.reserve(streams.size());
+  for (const StreamOptions& opts : streams) {
+    State state;
+    state.options = opts;
+    state.pending = Situation({}, 0, 0);
+    states_.push_back(state);
+  }
+  for (size_t i = 0; i < states_.size(); ++i) {
+    // Random initial offset, then the first situation.
+    states_[i].pending.te = std::uniform_int_distribution<TimePoint>(
+        0, states_[i].options.max_gap)(rng_);
+    Refill(static_cast<int>(i));
+  }
+}
+
+void RandomSituationGenerator::Refill(int stream) {
+  State& state = states_[stream];
+  const StreamOptions& o = state.options;
+  const Duration gap =
+      std::uniform_int_distribution<Duration>(o.min_gap, o.max_gap)(rng_);
+  const Duration len = std::uniform_int_distribution<Duration>(
+      o.min_duration, o.max_duration)(rng_);
+  const TimePoint ts = state.pending.te + gap;
+  state.pending = Situation({}, ts, ts + len);
+}
+
+SymbolSituation RandomSituationGenerator::Next() {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(states_.size()); ++i) {
+    if (states_[i].pending.te < states_[best].pending.te) best = i;
+  }
+  SymbolSituation out{best, states_[best].pending};
+  Refill(best);
+  return out;
+}
+
+}  // namespace tpstream

@@ -1,0 +1,46 @@
+#ifndef TPSTREAM_WORKLOAD_INTERVAL_SOURCE_H_
+#define TPSTREAM_WORKLOAD_INTERVAL_SOURCE_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/situation.h"
+#include "common/time.h"
+
+namespace tpstream {
+
+/// Generates finished situation streams directly (bypassing derivation),
+/// merged in end-timestamp order — the input format of interval operators
+/// like ISEQ and of the matcher-level experiments (Sections 6.3.1, 6.4.1).
+/// Per stream, situations of duration U[min_duration_i, max_duration_i]
+/// alternate with gaps of U[min_gap, max_gap].
+class RandomSituationGenerator {
+ public:
+  struct StreamOptions {
+    Duration min_duration = 10;
+    Duration max_duration = 100;
+    Duration min_gap = 10;
+    Duration max_gap = 50;
+  };
+
+  RandomSituationGenerator(std::vector<StreamOptions> streams, uint64_t seed);
+
+  /// The globally next-finishing situation across all streams.
+  SymbolSituation Next();
+
+ private:
+  struct State {
+    StreamOptions options;
+    Situation pending;
+  };
+
+  void Refill(int stream);
+
+  std::mt19937_64 rng_;
+  std::vector<State> states_;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_WORKLOAD_INTERVAL_SOURCE_H_

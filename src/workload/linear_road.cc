@@ -1,0 +1,146 @@
+#include "workload/linear_road.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpstream {
+
+namespace {
+
+// Simple conversions; the simulator works in mph for speed and m/s^2 for
+// acceleration, like the paper's query thresholds.
+constexpr double kMpsToMph = 2.23694;
+
+}  // namespace
+
+LinearRoadGenerator::LinearRoadGenerator(Options options)
+    : options_(options), rng_(options.seed) {
+  schema_ = Schema({
+      Field{"car_id", ValueType::kInt},
+      Field{"speed", ValueType::kDouble},
+      Field{"accel", ValueType::kDouble},
+      Field{"position", ValueType::kDouble},
+      Field{"lane", ValueType::kInt},
+  });
+  cars_.resize(options_.num_cars);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::uniform_real_distribution<double> speed0(45.0, 65.0);
+  std::uniform_int_distribution<int> lane(0, 3);
+  for (Car& car : cars_) {
+    car.aggressive = uni(rng_) < options_.aggressive_fraction;
+    car.speed = speed0(rng_);
+    car.position = uni(rng_) * 100000.0;
+    car.lane = lane(rng_);
+    EnterPhase(&car, Phase::kCruise);
+  }
+}
+
+void LinearRoadGenerator::EnterPhase(Car* car, Phase phase) {
+  std::uniform_int_distribution<int> cruise_len(20, 120);
+  std::uniform_int_distribution<int> accel_len(3, 9);
+  std::uniform_int_distribution<int> speed_len(6, 45);
+  std::uniform_int_distribution<int> brake_len(3, 7);
+  car->phase = phase;
+  switch (phase) {
+    case Phase::kCruise:
+      car->phase_left = cruise_len(rng_);
+      break;
+    case Phase::kAccelerate:
+      car->phase_left = accel_len(rng_);
+      break;
+    case Phase::kSpeeding:
+      car->phase_left = speed_len(rng_);
+      break;
+    case Phase::kBrake:
+      car->phase_left = brake_len(rng_);
+      break;
+  }
+}
+
+void LinearRoadGenerator::AdvanceCar(Car* car) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 0.6);
+
+  switch (car->phase) {
+    case Phase::kCruise:
+      // Mild corrections toward ~58 mph.
+      car->accel = 0.05 * (58.0 - car->speed) + noise(rng_);
+      break;
+    case Phase::kAccelerate: {
+      std::uniform_real_distribution<double> a(8.5, 12.0);
+      car->accel = a(rng_);
+      break;
+    }
+    case Phase::kSpeeding:
+      car->accel = 0.08 * (80.0 - car->speed) + noise(rng_);
+      break;
+    case Phase::kBrake: {
+      std::uniform_real_distribution<double> a(-13.0, -9.5);
+      car->accel = a(rng_);
+      break;
+    }
+  }
+
+  car->speed = std::max(0.0, car->speed + car->accel * kMpsToMph * 0.1);
+  car->position += car->speed / kMpsToMph;
+
+  if (--car->phase_left <= 0) {
+    const double p = uni(rng_);
+    switch (car->phase) {
+      case Phase::kCruise: {
+        // Aggressive drivers frequently chain accelerate -> speeding ->
+        // brake; others mostly keep cruising.
+        const double burst = car->aggressive ? 0.5 : 0.03;
+        EnterPhase(car, p < burst ? Phase::kAccelerate : Phase::kCruise);
+        break;
+      }
+      case Phase::kAccelerate:
+        EnterPhase(car, p < 0.85 ? Phase::kSpeeding : Phase::kCruise);
+        break;
+      case Phase::kSpeeding:
+        EnterPhase(car, p < (car->aggressive ? 0.8 : 0.4) ? Phase::kBrake
+                                                          : Phase::kCruise);
+        break;
+      case Phase::kBrake:
+        EnterPhase(car, Phase::kCruise);
+        break;
+    }
+  }
+}
+
+Event LinearRoadGenerator::Next() {
+  if (next_car_ == 0) ++t_;
+  Car& car = cars_[next_car_];
+  AdvanceCar(&car);
+
+  Tuple payload;
+  payload.reserve(5);
+  payload.push_back(Value(static_cast<int64_t>(next_car_)));
+  payload.push_back(Value(car.speed));
+  payload.push_back(Value(car.accel));
+  payload.push_back(Value(car.position));
+  payload.push_back(Value(static_cast<int64_t>(car.lane)));
+
+  next_car_ = (next_car_ + 1) % options_.num_cars;
+  return Event(std::move(payload), t_);
+}
+
+double LinearRoadGenerator::SampleFieldPercentile(const Options& options,
+                                                  int field,
+                                                  double percentile,
+                                                  int sample_size) {
+  LinearRoadGenerator gen(options);
+  std::vector<double> values;
+  values.reserve(sample_size);
+  for (int i = 0; i < sample_size; ++i) {
+    values.push_back(gen.Next().payload[field].ToDouble());
+  }
+  std::sort(values.begin(), values.end());
+  const double rank = percentile / 100.0 * (values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - lo;
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace tpstream

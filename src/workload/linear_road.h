@@ -1,0 +1,81 @@
+#ifndef TPSTREAM_WORKLOAD_LINEAR_ROAD_H_
+#define TPSTREAM_WORKLOAD_LINEAR_ROAD_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/event.h"
+#include "common/schema.h"
+
+namespace tpstream {
+
+/// Offline substitute for the Linear Road Benchmark trip data used in the
+/// paper's evaluation (Section 6.1): a deterministic car-following
+/// simulator for one expressway. Every active car reports its state once
+/// per second: (car_id, speed [mph], accel [m/s^2], position [m], lane).
+///
+/// Cars follow a phase model that produces the situations the aggressive-
+/// driver query looks for: cruising with mild noise, occasional sharp
+/// accelerations into a speeding phase, and hard braking out of it. A
+/// configurable fraction of drivers is "aggressive" and chains these
+/// phases the way the pattern of Listing 1 expects.
+class LinearRoadGenerator {
+ public:
+  struct Options {
+    int num_cars = 1000;
+    double aggressive_fraction = 0.05;
+    uint64_t seed = 7;
+  };
+
+  explicit LinearRoadGenerator(Options options);
+
+  /// Schema: car_id:int, speed:double, accel:double, position:double,
+  /// lane:int.
+  const Schema& schema() const { return schema_; }
+  static constexpr int kCarId = 0;
+  static constexpr int kSpeed = 1;
+  static constexpr int kAccel = 2;
+  static constexpr int kPosition = 3;
+  static constexpr int kLane = 4;
+
+  /// Next report. Cars emit round-robin; all cars report once per tick
+  /// (the per-car streams are separated by PARTITION BY car_id).
+  Event Next();
+
+  TimePoint now() const { return t_; }
+
+  /// Empirical percentile of a field over `sample_size` generated events
+  /// (used to calibrate query thresholds as in the paper: p99 speed, p90
+  /// accel, p10 accel). Generates from an independent generator with the
+  /// same options; `percentile` in [0, 100].
+  static double SampleFieldPercentile(const Options& options, int field,
+                                      double percentile, int sample_size);
+
+ private:
+  enum class Phase : uint8_t { kCruise, kAccelerate, kSpeeding, kBrake };
+
+  struct Car {
+    Phase phase = Phase::kCruise;
+    int phase_left = 0;  // seconds remaining in the phase
+    double speed = 60.0;
+    double accel = 0.0;
+    double position = 0.0;
+    int lane = 0;
+    bool aggressive = false;
+  };
+
+  void AdvanceCar(Car* car);
+  void EnterPhase(Car* car, Phase phase);
+
+  Options options_;
+  Schema schema_;
+  std::mt19937_64 rng_;
+  std::vector<Car> cars_;
+  TimePoint t_ = 0;
+  int next_car_ = 0;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_WORKLOAD_LINEAR_ROAD_H_

@@ -1,0 +1,82 @@
+#include "workload/market.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpstream {
+
+MarketDataGenerator::MarketDataGenerator(Options options)
+    : options_(options), rng_(options.seed) {
+  schema_ = Schema({
+      Field{"symbol", ValueType::kInt},
+      Field{"price", ValueType::kDouble},
+      Field{"ret", ValueType::kDouble},
+      Field{"volume", ValueType::kInt},
+  });
+  instruments_.resize(options_.num_symbols);
+  std::uniform_real_distribution<double> price0(20.0, 500.0);
+  for (Instrument& instrument : instruments_) {
+    instrument.price = price0(rng_);
+    AdvanceRegime(&instrument);
+  }
+}
+
+void MarketDataGenerator::AdvanceRegime(Instrument* instrument) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const double p = uni(rng_);
+  if (p < 0.70) {
+    instrument->regime = Regime::kCalm;
+  } else if (p < 0.82) {
+    instrument->regime = Regime::kRally;
+  } else if (p < 0.94) {
+    instrument->regime = Regime::kSelloff;
+  } else {
+    instrument->regime = Regime::kVolatile;
+  }
+  std::uniform_int_distribution<int> len(
+      instrument->regime == Regime::kCalm ? 60 : 20,
+      instrument->regime == Regime::kCalm ? 300 : 90);
+  instrument->regime_left = len(rng_);
+}
+
+Event MarketDataGenerator::Next() {
+  if (next_symbol_ == 0) ++t_;
+  Instrument& instrument = instruments_[next_symbol_];
+
+  std::normal_distribution<double> noise(0.0, 0.02);
+  double drift = 0.0;
+  double vol = 1.0;
+  double volume_scale = 1.0;
+  switch (instrument.regime) {
+    case Regime::kCalm:
+      break;
+    case Regime::kRally:
+      drift = 0.08;
+      volume_scale = 3.0;
+      break;
+    case Regime::kSelloff:
+      drift = -0.10;
+      volume_scale = 4.0;
+      break;
+    case Regime::kVolatile:
+      vol = 6.0;
+      volume_scale = 5.0;
+      break;
+  }
+  const double ret = drift + vol * noise(rng_);
+  instrument.price = std::max(0.01, instrument.price * (1.0 + ret / 100.0));
+  std::poisson_distribution<int> volume(80.0 * volume_scale);
+
+  Tuple payload;
+  payload.reserve(4);
+  payload.push_back(Value(static_cast<int64_t>(next_symbol_)));
+  payload.push_back(Value(instrument.price));
+  payload.push_back(Value(ret));
+  payload.push_back(Value(static_cast<int64_t>(volume(rng_))));
+
+  if (--instrument.regime_left <= 0) AdvanceRegime(&instrument);
+  next_symbol_ = (next_symbol_ + 1) % options_.num_symbols;
+  return Event(std::move(payload), t_);
+}
+
+}  // namespace tpstream

@@ -1,0 +1,63 @@
+#ifndef TPSTREAM_WORKLOAD_MARKET_H_
+#define TPSTREAM_WORKLOAD_MARKET_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/event.h"
+#include "common/schema.h"
+
+namespace tpstream {
+
+/// Financial tick generator for the paper's "financial applications"
+/// domain (Section 1): per-second quotes for a set of instruments, each
+/// following a regime-switching random walk. Regimes (calm, rally,
+/// selloff, volatile) last tens of seconds to minutes and produce exactly
+/// the long-lasting situations temporal queries look for — sustained
+/// rallies, drawdown phases, volume bursts.
+///
+/// Schema: symbol:int, price:double, ret:double (one-tick return, %),
+/// volume:int.
+class MarketDataGenerator {
+ public:
+  struct Options {
+    int num_symbols = 20;
+    uint64_t seed = 20180326;
+  };
+
+  explicit MarketDataGenerator(Options options);
+
+  const Schema& schema() const { return schema_; }
+  static constexpr int kSymbol = 0;
+  static constexpr int kPrice = 1;
+  static constexpr int kReturn = 2;
+  static constexpr int kVolume = 3;
+
+  /// Next quote; symbols report round-robin, one tick per full round.
+  Event Next();
+
+  TimePoint now() const { return t_; }
+
+ private:
+  enum class Regime : uint8_t { kCalm, kRally, kSelloff, kVolatile };
+
+  struct Instrument {
+    double price = 100.0;
+    Regime regime = Regime::kCalm;
+    int regime_left = 0;
+  };
+
+  void AdvanceRegime(Instrument* instrument);
+
+  Options options_;
+  Schema schema_;
+  std::mt19937_64 rng_;
+  std::vector<Instrument> instruments_;
+  TimePoint t_ = 0;
+  int next_symbol_ = 0;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_WORKLOAD_MARKET_H_

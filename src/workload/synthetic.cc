@@ -1,0 +1,53 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+
+namespace tpstream {
+
+SyntheticGenerator::SyntheticGenerator(Options options)
+    : options_(options), rng_(options.seed) {
+  std::vector<Field> fields;
+  fields.reserve(options_.num_streams);
+  for (int i = 0; i < options_.num_streams; ++i) {
+    fields.push_back(Field{"s" + std::to_string(i), ValueType::kBool});
+  }
+  schema_ = Schema(std::move(fields));
+
+  streams_.resize(options_.num_streams);
+  for (StreamState& s : streams_) {
+    // Random initial offset so streams are not phase-locked.
+    s.active = false;
+    s.until = 1 + Draw(0, options_.max_gap);
+  }
+}
+
+void SyntheticGenerator::SetRatios(std::vector<double> ratios) {
+  max_ratio_ = 1.0;
+  for (double r : ratios) max_ratio_ = std::max(max_ratio_, r);
+  for (size_t i = 0; i < streams_.size() && i < ratios.size(); ++i) {
+    streams_[i].ratio = std::max(ratios[i], 1e-9);
+  }
+}
+
+Event SyntheticGenerator::Next() {
+  ++t_;
+  Tuple payload;
+  payload.reserve(streams_.size());
+  for (StreamState& s : streams_) {
+    if (t_ >= s.until) {
+      s.active = !s.active;
+      if (s.active) {
+        s.until = t_ + Draw(options_.min_duration, options_.max_duration);
+      } else {
+        const double stretch = max_ratio_ / s.ratio;
+        const Duration gap = Draw(options_.min_gap, options_.max_gap);
+        s.until = t_ + std::max<Duration>(
+                           1, static_cast<Duration>(gap * stretch));
+      }
+    }
+    payload.push_back(Value(s.active));
+  }
+  return Event(std::move(payload), t_);
+}
+
+}  // namespace tpstream

@@ -1,0 +1,70 @@
+#ifndef TPSTREAM_WORKLOAD_SYNTHETIC_H_
+#define TPSTREAM_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/event.h"
+#include "common/schema.h"
+
+namespace tpstream {
+
+/// The paper's random event generator (Section 6.1): an event stream with
+/// k boolean attributes, each representing one situation stream. Per
+/// attribute, situation phases (attribute true) alternate with gaps
+/// (false); durations and gaps are drawn uniformly from configurable
+/// ranges (paper defaults: 10-100 s situations, 10-50 s gaps). Events are
+/// emitted at 1 Hz, i.e. one event per tick carrying all attributes.
+///
+/// Occurrence ratios (Section 6.4.2) scale how often situations of each
+/// stream occur: a stream with ratio r relative to the maximum has its
+/// gaps stretched by max_ratio / r, making its situations proportionally
+/// rarer. Ratios can change mid-stream to create workload shifts.
+class SyntheticGenerator {
+ public:
+  struct Options {
+    int num_streams = 3;
+    Duration min_duration = 10;
+    Duration max_duration = 100;
+    Duration min_gap = 10;
+    Duration max_gap = 50;
+    uint64_t seed = 42;
+  };
+
+  explicit SyntheticGenerator(Options options);
+
+  /// Schema: one bool field per stream, named "s0", "s1", ...
+  const Schema& schema() const { return schema_; }
+
+  /// Next event (timestamps are consecutive ticks starting at 1).
+  Event Next();
+
+  /// Sets per-stream occurrence ratios (all 1 initially). Takes effect at
+  /// each stream's next phase change.
+  void SetRatios(std::vector<double> ratios);
+
+  TimePoint now() const { return t_; }
+
+ private:
+  struct StreamState {
+    bool active = false;
+    TimePoint until = 0;  // first tick with the next phase
+    double ratio = 1.0;
+  };
+
+  Duration Draw(Duration lo, Duration hi) {
+    return std::uniform_int_distribution<Duration>(lo, hi)(rng_);
+  }
+
+  Options options_;
+  Schema schema_;
+  std::mt19937_64 rng_;
+  std::vector<StreamState> streams_;
+  double max_ratio_ = 1.0;
+  TimePoint t_ = 0;
+};
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_WORKLOAD_SYNTHETIC_H_

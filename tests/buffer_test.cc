@@ -1,0 +1,113 @@
+#include "matcher/situation_buffer.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "matcher/index_ranges.h"
+#include "tests/test_util.h"
+
+namespace tpstream {
+namespace {
+
+using testing::Sit;
+
+TEST(SituationBufferTest, AppendGrowPurge) {
+  SituationBuffer buf;
+  for (int i = 0; i < 100; ++i) {
+    buf.Append(Sit(i * 10, i * 10 + 5));
+  }
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(buf.Front().ts, 0);
+  EXPECT_EQ(buf.Back().ts, 990);
+
+  buf.PurgeBefore(500);
+  EXPECT_EQ(buf.size(), 50u);
+  EXPECT_EQ(buf.Front().ts, 500);
+
+  // Wrap-around: keep appending after purges.
+  for (int i = 100; i < 150; ++i) {
+    buf.Append(Sit(i * 10, i * 10 + 5));
+    buf.PurgeBefore(i * 10 - 300);
+  }
+  EXPECT_EQ(buf.Back().ts, 1490);
+  for (size_t i = 1; i < buf.size(); ++i) {
+    EXPECT_LT(buf.At(i - 1).ts, buf.At(i).ts);
+  }
+}
+
+TEST(SituationBufferTest, RangeQueriesMatchScan) {
+  std::mt19937_64 rng(21);
+  SituationBuffer buf;
+  std::vector<Situation> shadow;
+  TimePoint t = 0;
+  std::uniform_int_distribution<Duration> step(1, 9);
+  for (int i = 0; i < 500; ++i) {
+    const TimePoint ts = t + step(rng);
+    const TimePoint te = ts + step(rng);
+    buf.Append(Sit(ts, te));
+    shadow.push_back(Sit(ts, te));
+    t = te;
+  }
+
+  std::uniform_int_distribution<TimePoint> point(0, t + 10);
+  for (int trial = 0; trial < 2000; ++trial) {
+    TimePoint lo = point(rng);
+    TimePoint hi = point(rng);
+    if (lo > hi) std::swap(lo, hi);
+    const TimeRange range{lo, hi};
+
+    const IndexRange by_ts = buf.FindTs(range);
+    const IndexRange by_te = buf.FindTe(range);
+    for (uint32_t i = 0; i < shadow.size(); ++i) {
+      EXPECT_EQ(i >= by_ts.lo && i < by_ts.hi, range.Contains(shadow[i].ts));
+      EXPECT_EQ(i >= by_te.lo && i < by_te.hi, range.Contains(shadow[i].te));
+    }
+  }
+}
+
+TEST(IndexRangesTest, AddNormalizesAndMerges) {
+  IndexRanges set;
+  set.Add(IndexRange{5, 8});
+  set.Add(IndexRange{1, 3});
+  set.Add(IndexRange{7, 12});  // overlaps [5,8)
+  set.Add(IndexRange{3, 5});   // adjacent to [1,3) and [5,12)
+  ASSERT_EQ(set.ranges().size(), 1u);
+  EXPECT_EQ(set.ranges()[0].lo, 1u);
+  EXPECT_EQ(set.ranges()[0].hi, 12u);
+  EXPECT_EQ(set.TotalSize(), 11u);
+
+  set.Add(IndexRange{20, 20});  // empty: ignored
+  EXPECT_EQ(set.ranges().size(), 1u);
+}
+
+TEST(IndexRangesTest, IntersectMatchesSetSemantics) {
+  std::mt19937_64 rng(22);
+  std::uniform_int_distribution<uint32_t> point(0, 40);
+  for (int trial = 0; trial < 500; ++trial) {
+    IndexRanges a;
+    IndexRanges b;
+    std::vector<bool> in_a(50, false);
+    std::vector<bool> in_b(50, false);
+    for (int i = 0; i < 4; ++i) {
+      uint32_t lo = point(rng), hi = point(rng);
+      if (lo > hi) std::swap(lo, hi);
+      a.Add(IndexRange{lo, hi});
+      for (uint32_t j = lo; j < hi; ++j) in_a[j] = true;
+      lo = point(rng);
+      hi = point(rng);
+      if (lo > hi) std::swap(lo, hi);
+      b.Add(IndexRange{lo, hi});
+      for (uint32_t j = lo; j < hi; ++j) in_b[j] = true;
+    }
+    const IndexRanges isect = a.Intersect(b);
+    std::vector<bool> got(50, false);
+    isect.ForEach([&](uint32_t i) { got[i] = true; });
+    for (uint32_t i = 0; i < 50; ++i) {
+      EXPECT_EQ(got[i], in_a[i] && in_b[i]) << "index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpstream

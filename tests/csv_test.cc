@@ -1,0 +1,119 @@
+#include "io/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tpstream {
+namespace io {
+namespace {
+
+TEST(CsvSplitTest, HandlesQuotingAndEscapes) {
+  EXPECT_EQ(SplitCsvLine("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine("a,\"b,c\",d", ','),
+            (std::vector<std::string>{"a", "b,c", "d"}));
+  EXPECT_EQ(SplitCsvLine("\"he said \"\"hi\"\"\",2", ','),
+            (std::vector<std::string>{"he said \"hi\"", "2"}));
+  EXPECT_EQ(SplitCsvLine("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitCsvLine("x\r", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(CsvQuoteTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvQuote("plain", ','), "plain");
+  EXPECT_EQ(CsvQuote("with,comma", ','), "\"with,comma\"");
+  EXPECT_EQ(CsvQuote("with\"quote", ','), "\"with\"\"quote\"");
+}
+
+TEST(CsvEventReaderTest, ReadsTypedEvents) {
+  const Schema schema({
+      Field{"car_id", ValueType::kInt},
+      Field{"speed", ValueType::kDouble},
+      Field{"active", ValueType::kBool},
+      Field{"plate", ValueType::kString},
+  });
+  std::istringstream input(
+      "timestamp,car_id,speed,active,plate,extra\n"
+      "10,7,62.5,true,MR-X 1,ignored\n"
+      "11,8,59.0,0,\"AB,12\",ignored\n"
+      "12,9,,false,,\n");
+  CsvEventReader reader(input, schema);
+
+  Event e;
+  ASSERT_TRUE(reader.Next(&e).ok());
+  EXPECT_EQ(e.t, 10);
+  EXPECT_EQ(e.payload[0].AsInt(), 7);
+  EXPECT_DOUBLE_EQ(e.payload[1].AsDouble(), 62.5);
+  EXPECT_TRUE(e.payload[2].AsBool());
+  EXPECT_EQ(e.payload[3].AsString(), "MR-X 1");
+
+  ASSERT_TRUE(reader.Next(&e).ok());
+  EXPECT_EQ(e.t, 11);
+  EXPECT_FALSE(e.payload[2].AsBool());
+  EXPECT_EQ(e.payload[3].AsString(), "AB,12");
+
+  ASSERT_TRUE(reader.Next(&e).ok());
+  EXPECT_TRUE(e.payload[1].is_null());  // empty cell
+  EXPECT_TRUE(e.payload[3].is_null());
+
+  EXPECT_EQ(reader.Next(&e).code(), StatusCode::kNotFound);
+  EXPECT_EQ(reader.rows_read(), 3);
+}
+
+TEST(CsvEventReaderTest, ErrorsAreReported) {
+  const Schema schema({Field{"x", ValueType::kInt}});
+  {
+    std::istringstream input("time,x\n1,2\n");  // wrong timestamp column
+    CsvEventReader reader(input, schema);
+    Event e;
+    EXPECT_EQ(reader.Next(&e).code(), StatusCode::kParseError);
+  }
+  {
+    std::istringstream input("x,timestamp\n5,abc\n");
+    CsvEventReader reader(input, schema);
+    Event e;
+    EXPECT_EQ(reader.Next(&e).code(), StatusCode::kParseError);
+  }
+  {
+    std::istringstream input("");
+    CsvEventReader reader(input, schema);
+    Event e;
+    EXPECT_EQ(reader.Next(&e).code(), StatusCode::kParseError);
+  }
+}
+
+TEST(CsvEventReaderTest, ReadAllForwardsEverything) {
+  const Schema schema({Field{"v", ValueType::kInt}});
+  std::istringstream input("timestamp,v\n1,10\n2,20\n\n3,30\n");
+  CsvEventReader reader(input, schema);
+  std::vector<int64_t> values;
+  ASSERT_TRUE(
+      reader.ReadAll([&](const Event& e) {
+        values.push_back(e.payload[0].AsInt());
+      }).ok());
+  EXPECT_EQ(values, (std::vector<int64_t>{10, 20, 30}));
+}
+
+TEST(CsvEventWriterTest, RoundTripsThroughReader) {
+  std::ostringstream out;
+  CsvEventWriter writer(out, {"id", "note"});
+  writer.Write(Event({Value(int64_t{1}), Value(std::string("a,b"))}, 5));
+  writer.Write(Event({Value(int64_t{2}), Value(std::string("plain"))}, 6));
+  EXPECT_EQ(writer.rows_written(), 2);
+
+  const Schema schema({Field{"id", ValueType::kInt},
+                       Field{"note", ValueType::kString}});
+  std::istringstream in(out.str());
+  CsvEventReader reader(in, schema);
+  Event e;
+  ASSERT_TRUE(reader.Next(&e).ok());
+  EXPECT_EQ(e.t, 5);
+  EXPECT_EQ(e.payload[1].AsString(), "a,b");
+  ASSERT_TRUE(reader.Next(&e).ok());
+  EXPECT_EQ(e.payload[0].AsInt(), 2);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace tpstream

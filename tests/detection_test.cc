@@ -1,0 +1,148 @@
+#include "algebra/detection.h"
+
+#include <gtest/gtest.h>
+
+namespace tpstream {
+namespace {
+
+TemporalPattern TwoSymbolPattern(Relation r) {
+  TemporalPattern p({"A", "B"});
+  EXPECT_TRUE(p.AddRelation(0, r, 1).ok());
+  return p;
+}
+
+std::vector<DurationConstraint> NoDurations(int n) {
+  return std::vector<DurationConstraint>(n);
+}
+
+TEST(DetectionAnalysisTest, PerRelationTriggers) {
+  struct Case {
+    Relation relation;
+    bool a_start, a_end, b_start, b_end;
+  };
+  const Case cases[] = {
+      {Relation::kBefore, false, false, true, false},
+      {Relation::kMeets, false, false, true, false},
+      {Relation::kAfter, true, false, false, false},
+      {Relation::kMetBy, true, false, false, false},
+      {Relation::kStarts, false, true, false, false},
+      {Relation::kOverlaps, false, true, false, false},
+      {Relation::kDuring, false, true, false, false},
+      {Relation::kStartedBy, false, false, false, true},
+      {Relation::kContains, false, false, false, true},
+      {Relation::kOverlappedBy, false, false, false, true},
+      {Relation::kEquals, false, true, false, true},
+      {Relation::kFinishes, false, true, false, true},
+      {Relation::kFinishedBy, false, true, false, true},
+  };
+  for (const Case& c : cases) {
+    const TemporalPattern p = TwoSymbolPattern(c.relation);
+    const DetectionAnalysis analysis(p, NoDurations(2));
+    EXPECT_EQ(analysis.match_on_start(0), c.a_start)
+        << RelationName(c.relation);
+    EXPECT_EQ(analysis.match_on_end(0), c.a_end) << RelationName(c.relation);
+    EXPECT_EQ(analysis.match_on_start(1), c.b_start)
+        << RelationName(c.relation);
+    EXPECT_EQ(analysis.match_on_end(1), c.b_end) << RelationName(c.relation);
+  }
+}
+
+TEST(DetectionAnalysisTest, FullPrefixGroupShiftsToStart) {
+  // {overlaps, finishes, contains} = complete "A starts first" group:
+  // detection shifts to B's start; no end trigger remains.
+  TemporalPattern p({"A", "B"});
+  ASSERT_TRUE(p.AddRelation(0, Relation::kOverlaps, 1).ok());
+  ASSERT_TRUE(p.AddRelation(0, Relation::kFinishes, 1).ok());
+  ASSERT_TRUE(p.AddRelation(0, Relation::kContains, 1).ok());
+  const DetectionAnalysis analysis(p, NoDurations(2));
+  EXPECT_TRUE(analysis.match_on_start(1));
+  EXPECT_FALSE(analysis.match_on_end(0));
+  EXPECT_FALSE(analysis.match_on_end(1));
+}
+
+TEST(DetectionAnalysisTest, PartialGroupKeepsEndTriggers) {
+  TemporalPattern p({"A", "B"});
+  ASSERT_TRUE(p.AddRelation(0, Relation::kOverlaps, 1).ok());
+  ASSERT_TRUE(p.AddRelation(0, Relation::kContains, 1).ok());
+  const DetectionAnalysis analysis(p, NoDurations(2));
+  EXPECT_FALSE(analysis.match_on_start(1));
+  EXPECT_TRUE(analysis.match_on_end(0));  // overlaps
+  EXPECT_TRUE(analysis.match_on_end(1));  // contains
+}
+
+TEST(DetectionAnalysisTest, MaxDurationExcludesAndDefers) {
+  TemporalPattern p({"A", "B"});
+  ASSERT_TRUE(p.AddRelation(0, Relation::kBefore, 1).ok());
+  std::vector<DurationConstraint> durations(2);
+  durations[1].max = 30;  // B has a maximum duration
+  const DetectionAnalysis analysis(p, durations);
+  EXPECT_TRUE(analysis.excluded_while_ongoing(1));
+  EXPECT_FALSE(analysis.excluded_while_ongoing(0));
+  // B's start trigger (before -> B.ts) is deferred to its end.
+  EXPECT_FALSE(analysis.match_on_start(1));
+  EXPECT_TRUE(analysis.match_on_end(1));
+}
+
+TEST(DetectionAnalysisTest, MinDurationAddsDeferredStartTrigger) {
+  // The paper's example: A during B with a minimum duration on B requires
+  // a matcher invocation at B's deferred start.
+  TemporalPattern p({"A", "B"});
+  ASSERT_TRUE(p.AddRelation(0, Relation::kDuring, 1).ok());
+  std::vector<DurationConstraint> durations(2);
+  durations[1].min = 10;
+  const DetectionAnalysis analysis(p, durations);
+  EXPECT_TRUE(analysis.match_on_start(1));
+  EXPECT_TRUE(analysis.match_on_end(0));
+}
+
+TEST(DetectionAnalysisTest, NeedsDedupAnalysis) {
+  // "A before B AND B overlaps C": one end-triggered symbol (B), which is
+  // provably finished at every emission -> exactly-once holds statically.
+  {
+    TemporalPattern p({"A", "B", "C"});
+    ASSERT_TRUE(p.AddRelation(0, Relation::kBefore, 1).ok());
+    ASSERT_TRUE(p.AddRelation(1, Relation::kOverlaps, 2).ok());
+    EXPECT_FALSE(DetectionAnalysis(p, NoDurations(3)).needs_dedup());
+  }
+  // Simultaneous ends: several enders can re-derive the configuration.
+  {
+    TemporalPattern p({"A", "B"});
+    ASSERT_TRUE(p.AddRelation(0, Relation::kFinishes, 1).ok());
+    EXPECT_TRUE(DetectionAnalysis(p, NoDurations(2)).needs_dedup());
+  }
+  // Two end-triggered symbols may end at the same instant.
+  {
+    TemporalPattern p({"X", "M", "Y", "N"});
+    ASSERT_TRUE(p.AddRelation(0, Relation::kDuring, 1).ok());
+    ASSERT_TRUE(p.AddRelation(2, Relation::kDuring, 3).ok());
+    ASSERT_TRUE(p.AddRelation(1, Relation::kBefore, 3).ok());
+    EXPECT_TRUE(DetectionAnalysis(p, NoDurations(4)).needs_dedup());
+  }
+  // End trigger on a symbol that can be ongoing at emission: "A contains
+  // B AND A before C" — A triggers on... contains triggers on B's end,
+  // where A is still ongoing; A's end never triggers, so this one is
+  // safe. Adding "A overlaps C" puts an end trigger on A itself while it
+  // can be ongoing at a B-end emission.
+  {
+    TemporalPattern p({"A", "B", "C"});
+    ASSERT_TRUE(p.AddRelation(0, Relation::kContains, 1).ok());
+    ASSERT_TRUE(p.AddRelation(0, Relation::kBefore, 2).ok());
+    EXPECT_FALSE(DetectionAnalysis(p, NoDurations(3)).needs_dedup());
+
+    ASSERT_TRUE(p.AddRelation(0, Relation::kOverlaps, 2).ok());
+    EXPECT_TRUE(DetectionAnalysis(p, NoDurations(3)).needs_dedup());
+  }
+}
+
+TEST(DetectionAnalysisTest, SimultaneousEndFlags) {
+  TemporalPattern p({"A", "B", "C"});
+  ASSERT_TRUE(p.AddRelation(0, Relation::kFinishes, 1).ok());
+  ASSERT_TRUE(p.AddRelation(1, Relation::kBefore, 2).ok());
+  const DetectionAnalysis analysis(p, NoDurations(3));
+  EXPECT_TRUE(analysis.has_simultaneous_end(0));
+  EXPECT_TRUE(analysis.has_simultaneous_end(1));
+  EXPECT_FALSE(analysis.has_simultaneous_end(2));
+}
+
+}  // namespace
+}  // namespace tpstream

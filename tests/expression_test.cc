@@ -1,0 +1,119 @@
+#include "expr/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/aggregate.h"
+
+namespace tpstream {
+namespace {
+
+TEST(ExpressionTest, FieldAndLiteral) {
+  Tuple tuple = {Value(int64_t{7}), Value(2.5)};
+  EXPECT_EQ(FieldRef(0)->Eval(tuple).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(FieldRef(1)->Eval(tuple).AsDouble(), 2.5);
+  EXPECT_TRUE(FieldRef(9)->Eval(tuple).is_null());  // out of range: null
+  EXPECT_EQ(Literal(int64_t{3})->Eval(tuple).AsInt(), 3);
+}
+
+TEST(ExpressionTest, NamedFieldResolution) {
+  Schema schema({Field{"x", ValueType::kInt}});
+  auto ok = FieldRef(schema, "x");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value()->Eval({Value(int64_t{4})}).AsInt(), 4);
+  EXPECT_FALSE(FieldRef(schema, "nope").ok());
+}
+
+TEST(ExpressionTest, ComparisonAndLogic) {
+  Tuple tuple = {Value(5.0), Value(int64_t{10})};
+  const ExprPtr x = FieldRef(0);
+  const ExprPtr y = FieldRef(1);
+  EXPECT_TRUE(EvalPredicate(*Gt(y, x), tuple));
+  EXPECT_FALSE(EvalPredicate(*Lt(y, x), tuple));
+  EXPECT_TRUE(EvalPredicate(*Ge(x, Literal(5.0)), tuple));
+  EXPECT_TRUE(EvalPredicate(*Le(x, Literal(5.0)), tuple));
+  EXPECT_TRUE(EvalPredicate(*Eq(y, Literal(int64_t{10})), tuple));
+  EXPECT_TRUE(EvalPredicate(*And(Gt(y, x), Gt(x, Literal(0.0))), tuple));
+  EXPECT_FALSE(EvalPredicate(*And(Gt(y, x), Gt(x, Literal(9.0))), tuple));
+  EXPECT_TRUE(EvalPredicate(*Or(Lt(y, x), Gt(x, Literal(0.0))), tuple));
+  EXPECT_TRUE(EvalPredicate(*Not(Lt(y, x)), tuple));
+}
+
+TEST(ExpressionTest, ArithmeticAndNegation) {
+  Tuple tuple = {Value(6.0)};
+  const ExprPtr x = FieldRef(0);
+  EXPECT_DOUBLE_EQ(
+      Binary(BinaryOp::kMul, x, Literal(2.0))->Eval(tuple).AsDouble(), 12.0);
+  EXPECT_DOUBLE_EQ(
+      Binary(BinaryOp::kSub, x, Literal(1.5))->Eval(tuple).AsDouble(), 4.5);
+  EXPECT_DOUBLE_EQ(Negate(x)->Eval(tuple).AsDouble(), -6.0);
+  // Comparison against an arithmetic result.
+  EXPECT_TRUE(EvalPredicate(
+      *Gt(Binary(BinaryOp::kDiv, x, Literal(2.0)), Literal(2.9)), tuple));
+}
+
+TEST(ExpressionTest, NullPropagationIsFalsy) {
+  Tuple tuple = {Value()};  // null field
+  const ExprPtr x = FieldRef(0);
+  EXPECT_FALSE(EvalPredicate(*Gt(x, Literal(1.0)), tuple));
+  EXPECT_FALSE(EvalPredicate(*Eq(x, Literal(1.0)), tuple));
+  // NOT null-comparison is true (null is falsy).
+  EXPECT_TRUE(EvalPredicate(*Not(Gt(x, Literal(1.0))), tuple));
+}
+
+TEST(ExpressionTest, ShortCircuit) {
+  // AND short-circuits: the right side (which would compare incomparable
+  // types) is never evaluated when the left is false.
+  Tuple tuple = {Value(false), Value(std::string("x"))};
+  const ExprPtr bad = Gt(FieldRef(1), Literal(1.0));
+  EXPECT_FALSE(EvalPredicate(*And(FieldRef(0), bad), tuple));
+  EXPECT_TRUE(EvalPredicate(*Or(Literal(true), bad), tuple));
+}
+
+TEST(ExpressionTest, ToStringIsReadable) {
+  const ExprPtr e = And(Gt(FieldRef(0, "speed"), Literal(70.0)),
+                        Lt(FieldRef(1, "accel"), Literal(-9.0)));
+  EXPECT_EQ(e->ToString(), "((speed > 70) AND (accel < -9))");
+}
+
+TEST(AggregateTest, AllKinds) {
+  const Tuple t1 = {Value(4.0)};
+  const Tuple t2 = {Value(9.0)};
+  const Tuple t3 = {Value(2.0)};
+
+  auto run = [&](AggKind kind) {
+    AggregateState state(AggregateSpec{kind, 0, "x"});
+    state.Init(t1);
+    state.Update(t2);
+    state.Update(t3);
+    return state.Result();
+  };
+  EXPECT_EQ(run(AggKind::kCount).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(run(AggKind::kSum).AsDouble(), 15.0);
+  EXPECT_DOUBLE_EQ(run(AggKind::kAvg).AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(run(AggKind::kMin).AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(run(AggKind::kMax).AsDouble(), 9.0);
+  EXPECT_DOUBLE_EQ(run(AggKind::kFirst).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(run(AggKind::kLast).AsDouble(), 2.0);
+}
+
+TEST(AggregateTest, AggregatorSetSnapshot) {
+  AggregatorSet set({AggregateSpec{AggKind::kMin, 0, "lo"},
+                     AggregateSpec{AggKind::kMax, 0, "hi"}});
+  set.Init({Value(5.0)});
+  set.Update({Value(1.0)});
+  set.Update({Value(8.0)});
+  const Tuple snapshot = set.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot[0].AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot[1].AsDouble(), 8.0);
+}
+
+TEST(AggregateTest, NamesRoundTrip) {
+  EXPECT_EQ(AggKindFromName("AVG"), AggKind::kAvg);
+  EXPECT_EQ(AggKindFromName("first"), AggKind::kFirst);
+  EXPECT_EQ(AggKindFromName("mean"), AggKind::kAvg);
+  EXPECT_FALSE(AggKindFromName("median").has_value());
+  EXPECT_STREQ(AggKindName(AggKind::kSum), "sum");
+}
+
+}  // namespace
+}  // namespace tpstream

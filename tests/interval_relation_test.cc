@@ -1,0 +1,221 @@
+#include "algebra/interval_relation.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tpstream {
+namespace {
+
+using testing::Sit;
+
+TEST(IntervalRelationTest, DefinitionsMatchTable1) {
+  // Visual layout of Table 1, one representative pair per relation.
+  EXPECT_TRUE(Holds(Relation::kBefore, Sit(0, 2), Sit(4, 6)));
+  EXPECT_FALSE(Holds(Relation::kBefore, Sit(0, 4), Sit(4, 6)));
+
+  EXPECT_TRUE(Holds(Relation::kMeets, Sit(0, 4), Sit(4, 6)));
+  EXPECT_FALSE(Holds(Relation::kMeets, Sit(0, 3), Sit(4, 6)));
+
+  EXPECT_TRUE(Holds(Relation::kOverlaps, Sit(0, 5), Sit(3, 8)));
+  EXPECT_FALSE(Holds(Relation::kOverlaps, Sit(0, 5), Sit(5, 8)));
+  EXPECT_FALSE(Holds(Relation::kOverlaps, Sit(3, 8), Sit(0, 5)));
+
+  EXPECT_TRUE(Holds(Relation::kStarts, Sit(2, 5), Sit(2, 9)));
+  EXPECT_FALSE(Holds(Relation::kStarts, Sit(2, 9), Sit(2, 5)));
+
+  EXPECT_TRUE(Holds(Relation::kDuring, Sit(3, 5), Sit(1, 9)));
+  EXPECT_FALSE(Holds(Relation::kDuring, Sit(1, 9), Sit(3, 5)));
+
+  // Paper orientation: A finishes B <=> A starts first, both end together.
+  EXPECT_TRUE(Holds(Relation::kFinishes, Sit(1, 9), Sit(4, 9)));
+  EXPECT_FALSE(Holds(Relation::kFinishes, Sit(4, 9), Sit(1, 9)));
+
+  EXPECT_TRUE(Holds(Relation::kEquals, Sit(2, 7), Sit(2, 7)));
+  EXPECT_FALSE(Holds(Relation::kEquals, Sit(2, 7), Sit(2, 8)));
+
+  EXPECT_TRUE(Holds(Relation::kAfter, Sit(4, 6), Sit(0, 2)));
+  EXPECT_TRUE(Holds(Relation::kMetBy, Sit(4, 6), Sit(0, 4)));
+  EXPECT_TRUE(Holds(Relation::kOverlappedBy, Sit(3, 8), Sit(0, 5)));
+  EXPECT_TRUE(Holds(Relation::kStartedBy, Sit(2, 9), Sit(2, 5)));
+  EXPECT_TRUE(Holds(Relation::kContains, Sit(1, 9), Sit(3, 5)));
+  EXPECT_TRUE(Holds(Relation::kFinishedBy, Sit(4, 9), Sit(1, 9)));
+}
+
+TEST(IntervalRelationTest, InverseIsAnInvolutionAndMirrors) {
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<TimePoint> point(0, 20);
+  for (int r = 0; r < kNumRelations; ++r) {
+    const Relation rel = static_cast<Relation>(r);
+    EXPECT_EQ(Inverse(Inverse(rel)), rel);
+    for (int trial = 0; trial < 200; ++trial) {
+      TimePoint a1 = point(rng), a2 = point(rng);
+      TimePoint b1 = point(rng), b2 = point(rng);
+      if (a1 == a2 || b1 == b2) continue;
+      const Situation a = Sit(std::min(a1, a2), std::max(a1, a2));
+      const Situation b = Sit(std::min(b1, b2), std::max(b1, b2));
+      EXPECT_EQ(Holds(rel, a, b), Holds(Inverse(rel), b, a));
+    }
+  }
+}
+
+// Allen's algebra partitions all interval pairs: exactly one of the 13
+// relations holds for any two intervals.
+TEST(IntervalRelationTest, ExactlyOneRelationHolds) {
+  std::mt19937_64 rng(2);
+  std::uniform_int_distribution<TimePoint> point(0, 15);
+  for (int trial = 0; trial < 5000; ++trial) {
+    TimePoint a1 = point(rng), a2 = point(rng);
+    TimePoint b1 = point(rng), b2 = point(rng);
+    if (a1 == a2 || b1 == b2) continue;
+    const Situation a = Sit(std::min(a1, a2), std::max(a1, a2));
+    const Situation b = Sit(std::min(b1, b2), std::max(b1, b2));
+    int holding = 0;
+    for (int r = 0; r < kNumRelations; ++r) {
+      if (Holds(static_cast<Relation>(r), a, b)) ++holding;
+    }
+    EXPECT_EQ(holding, 1) << "a=" << a.ToString() << " b=" << b.ToString();
+  }
+}
+
+TEST(IntervalRelationTest, NamesRoundTrip) {
+  for (int r = 0; r < kNumRelations; ++r) {
+    const Relation rel = static_cast<Relation>(r);
+    const auto parsed = RelationFromName(RelationName(rel));
+    ASSERT_TRUE(parsed.has_value()) << RelationName(rel);
+    EXPECT_EQ(*parsed, rel);
+  }
+  EXPECT_EQ(RelationFromName("Overlapped-By"), Relation::kOverlappedBy);
+  EXPECT_EQ(RelationFromName("equal"), Relation::kEquals);
+  EXPECT_EQ(RelationFromName("metby"), Relation::kMetBy);
+  EXPECT_FALSE(RelationFromName("sideways").has_value());
+}
+
+TEST(IntervalRelationTest, SelectivitiesMatchTable3) {
+  EXPECT_DOUBLE_EQ(DefaultSelectivity(Relation::kBefore), 0.445);
+  EXPECT_DOUBLE_EQ(DefaultSelectivity(Relation::kAfter), 0.445);
+  EXPECT_DOUBLE_EQ(DefaultSelectivity(Relation::kDuring), 0.03);
+  EXPECT_DOUBLE_EQ(DefaultSelectivity(Relation::kContains), 0.03);
+  EXPECT_DOUBLE_EQ(DefaultSelectivity(Relation::kOverlaps), 0.01);
+  EXPECT_DOUBLE_EQ(DefaultSelectivity(Relation::kStarts), 0.0049);
+  EXPECT_DOUBLE_EQ(DefaultSelectivity(Relation::kFinishes), 0.0049);
+  EXPECT_DOUBLE_EQ(DefaultSelectivity(Relation::kMeets), 0.0049);
+  EXPECT_DOUBLE_EQ(DefaultSelectivity(Relation::kEquals), 0.0006);
+}
+
+TEST(IntervalRelationTest, DetectionTriggersMatchTable2) {
+  EXPECT_EQ(DetectionTrigger(Relation::kBefore), TriggerPoint::kStartOfB);
+  EXPECT_EQ(DetectionTrigger(Relation::kMeets), TriggerPoint::kStartOfB);
+  EXPECT_EQ(DetectionTrigger(Relation::kAfter), TriggerPoint::kStartOfA);
+  EXPECT_EQ(DetectionTrigger(Relation::kMetBy), TriggerPoint::kStartOfA);
+  EXPECT_EQ(DetectionTrigger(Relation::kStarts), TriggerPoint::kEndOfA);
+  EXPECT_EQ(DetectionTrigger(Relation::kOverlaps), TriggerPoint::kEndOfA);
+  EXPECT_EQ(DetectionTrigger(Relation::kDuring), TriggerPoint::kEndOfA);
+  EXPECT_EQ(DetectionTrigger(Relation::kStartedBy), TriggerPoint::kEndOfB);
+  EXPECT_EQ(DetectionTrigger(Relation::kContains), TriggerPoint::kEndOfB);
+  EXPECT_EQ(DetectionTrigger(Relation::kOverlappedBy),
+            TriggerPoint::kEndOfB);
+  EXPECT_EQ(DetectionTrigger(Relation::kEquals), TriggerPoint::kBothEnds);
+  EXPECT_EQ(DetectionTrigger(Relation::kFinishes), TriggerPoint::kBothEnds);
+  EXPECT_EQ(DetectionTrigger(Relation::kFinishedBy),
+            TriggerPoint::kBothEnds);
+}
+
+// Three-valued evaluation: kCertain must imply the relation holds for
+// every admissible completion of the unknown ends, kImpossible that it
+// holds for none, and kUnknown that completions disagree.
+TEST(IntervalRelationTest, CheckRelationSoundOnSampledCompletions) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<TimePoint> point(0, 12);
+  constexpr TimePoint kHorizon = 12;  // "now": all known points are <= now
+
+  for (int trial = 0; trial < 4000; ++trial) {
+    const bool a_ongoing = trial % 2 == 0;
+    const bool b_ongoing = trial % 4 < 2;
+
+    TimePoint a_ts = point(rng);
+    TimePoint b_ts = point(rng);
+    TimePoint a_te = a_ts + 1 + point(rng) % 5;
+    TimePoint b_te = b_ts + 1 + point(rng) % 5;
+    if (!a_ongoing && a_te > kHorizon) continue;
+    if (!b_ongoing && b_te > kHorizon) continue;
+
+    Situation a = Sit(a_ts, a_ongoing ? kTimeUnknown : a_te);
+    Situation b = Sit(b_ts, b_ongoing ? kTimeUnknown : b_te);
+
+    for (int r = 0; r < kNumRelations; ++r) {
+      const Relation rel = static_cast<Relation>(r);
+      const Certainty c = CheckRelation(rel, a, b);
+
+      // Enumerate completions: unknown ends range over (horizon, ...].
+      bool any_true = false;
+      bool any_false = false;
+      for (TimePoint ae = a_ongoing ? kHorizon + 1 : a.te;
+           ae <= (a_ongoing ? kHorizon + 6 : a.te); ++ae) {
+        for (TimePoint be = b_ongoing ? kHorizon + 1 : b.te;
+             be <= (b_ongoing ? kHorizon + 6 : b.te); ++be) {
+          const bool holds = Holds(rel, a.ts, ae, b.ts, be);
+          any_true |= holds;
+          any_false |= !holds;
+        }
+      }
+      if (c == Certainty::kCertain) {
+        EXPECT_FALSE(any_false)
+            << RelationName(rel) << " a=" << a.ToString()
+            << " b=" << b.ToString();
+      }
+      if (c == Certainty::kImpossible) {
+        EXPECT_FALSE(any_true)
+            << RelationName(rel) << " a=" << a.ToString()
+            << " b=" << b.ToString();
+      }
+      if (c == Certainty::kUnknown) {
+        EXPECT_TRUE(any_true && any_false)
+            << RelationName(rel) << " a=" << a.ToString()
+            << " b=" << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(IntervalRelationTest, PrefixGroupMasksMatchTable2) {
+  const uint16_t start_equal = PrefixGroupMask(PrefixGroup::kStartEqual);
+  EXPECT_TRUE(start_equal & (1u << static_cast<int>(Relation::kStarts)));
+  EXPECT_TRUE(start_equal & (1u << static_cast<int>(Relation::kEquals)));
+  EXPECT_TRUE(start_equal & (1u << static_cast<int>(Relation::kStartedBy)));
+  EXPECT_EQ(__builtin_popcount(start_equal), 3);
+
+  const uint16_t a_first = PrefixGroupMask(PrefixGroup::kAStartsFirst);
+  EXPECT_TRUE(a_first & (1u << static_cast<int>(Relation::kOverlaps)));
+  EXPECT_TRUE(a_first & (1u << static_cast<int>(Relation::kFinishes)));
+  EXPECT_TRUE(a_first & (1u << static_cast<int>(Relation::kContains)));
+
+  const uint16_t b_first = PrefixGroupMask(PrefixGroup::kBStartsFirst);
+  EXPECT_TRUE(b_first & (1u << static_cast<int>(Relation::kOverlappedBy)));
+  EXPECT_TRUE(b_first & (1u << static_cast<int>(Relation::kFinishedBy)));
+  EXPECT_TRUE(b_first & (1u << static_cast<int>(Relation::kDuring)));
+}
+
+// For two ongoing situations with a known start order, the three relations
+// of the matching prefix group are exactly the completions that can occur.
+TEST(IntervalRelationTest, PrefixGroupsCoverOngoingCompletions) {
+  constexpr TimePoint kHorizon = 10;
+  const Situation a = Sit(2, kTimeUnknown);
+  const Situation b = Sit(5, kTimeUnknown);  // a.ts < b.ts
+  uint16_t possible = 0;
+  for (TimePoint ae = kHorizon + 1; ae <= kHorizon + 5; ++ae) {
+    for (TimePoint be = kHorizon + 1; be <= kHorizon + 5; ++be) {
+      for (int r = 0; r < kNumRelations; ++r) {
+        if (Holds(static_cast<Relation>(r), a.ts, ae, b.ts, be)) {
+          possible |= 1u << r;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(possible, PrefixGroupMask(PrefixGroup::kAStartsFirst));
+}
+
+}  // namespace
+}  // namespace tpstream

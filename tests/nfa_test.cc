@@ -1,0 +1,168 @@
+#include "cep/nfa.h"
+
+#include <gtest/gtest.h>
+
+namespace tpstream {
+namespace cep {
+namespace {
+
+// Single bool field "flag".
+Event Ev(bool flag, TimePoint t) { return Event({Value(flag)}, t); }
+
+CepPattern DerivationPattern() {
+  // !S S+ !S — the straw-man situation derivation (Section 1).
+  CepPattern p;
+  const ExprPtr flag = FieldRef(0, "flag");
+  p.steps.push_back(PatternStep{"pre", Not(flag), false, {}});
+  p.steps.push_back(PatternStep{
+      "body", flag, true, {AggregateSpec{AggKind::kCount, -1, "n"}}});
+  p.steps.push_back(PatternStep{"post", Not(flag), false, {}});
+  return p;
+}
+
+TEST(NfaEngineTest, DerivationPatternFindsRuns) {
+  std::vector<CepMatch> matches;
+  NfaEngine engine(DerivationPattern(),
+                   [&](const CepMatch& m) { matches.push_back(m); });
+  // flags: F T T T F T F
+  const bool flags[] = {false, true, true, true, false, true, false};
+  for (int i = 0; i < 7; ++i) engine.Push(Ev(flags[i], i + 1));
+
+  ASSERT_EQ(matches.size(), 2u);
+  // First situation: events 2..4, closed by event 5.
+  EXPECT_EQ(matches[0].step_spans[1].first, 2);
+  EXPECT_EQ(matches[0].step_spans[1].second, 4);
+  EXPECT_EQ(matches[0].step_spans[2].first, 5);
+  EXPECT_EQ(matches[0].step_aggregates[1][0].AsInt(), 3);  // count
+  // Second situation: event 6, closed by event 7.
+  EXPECT_EQ(matches[1].step_spans[1].first, 6);
+  EXPECT_EQ(matches[1].step_spans[2].first, 7);
+  EXPECT_EQ(matches[1].detected_at, 7);
+}
+
+TEST(NfaEngineTest, StrictContiguityKillsInterruptedRuns) {
+  // Pattern: A (x>5) then B (x<0), strictly contiguous.
+  CepPattern p;
+  const ExprPtr x = FieldRef(0, "x");
+  p.steps.push_back(
+      PatternStep{"A", Gt(x, Literal(int64_t{5})), false, {}});
+  p.steps.push_back(
+      PatternStep{"B", Lt(x, Literal(int64_t{0})), false, {}});
+  int matches = 0;
+  NfaEngine engine(p, [&](const CepMatch&) { ++matches; });
+
+  auto push = [&](int64_t v, TimePoint t) {
+    engine.Push(Event({Value(v)}, t));
+  };
+  push(7, 1);   // A
+  push(3, 2);   // neither: run dies
+  push(-1, 3);  // B, but no active run
+  EXPECT_EQ(matches, 0);
+  push(9, 4);   // A
+  push(-2, 5);  // B immediately after: match
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(NfaEngineTest, WindowExpiresRuns) {
+  CepPattern p;
+  const ExprPtr flag = FieldRef(0, "flag");
+  p.steps.push_back(PatternStep{"S", flag, true, {}});
+  p.steps.push_back(PatternStep{"E", Not(flag), false, {}});
+  p.within = 5;
+  int matches = 0;
+  NfaEngine engine(p, [&](const CepMatch&) { ++matches; });
+
+  // A run starting at t=1 must conclude by t=6.
+  for (TimePoint t = 1; t <= 10; ++t) engine.Push(Ev(true, t));
+  engine.Push(Ev(false, 11));
+  // Runs spawned at t=7..10 are still within the window when the
+  // terminator arrives at t=11 (11 - 7 <= 5 ... 11 - 10 <= 5).
+  EXPECT_EQ(matches, 5);  // runs started at t in {6,...,10}
+}
+
+TEST(NfaEngineTest, ForkOnAmbiguousEvent) {
+  // A+ B where both predicates hold for the same event: runs must fork,
+  // reporting both the short and the extended alternative.
+  CepPattern p;
+  const ExprPtr x = FieldRef(0, "x");
+  p.steps.push_back(PatternStep{"A", Gt(x, Literal(int64_t{0})), true, {}});
+  p.steps.push_back(PatternStep{"B", Gt(x, Literal(int64_t{10})), false, {}});
+  std::vector<CepMatch> matches;
+  NfaEngine engine(p, [&](const CepMatch& m) { matches.push_back(m); });
+
+  engine.Push(Event({Value(int64_t{5})}, 1));   // A
+  engine.Push(Event({Value(int64_t{20})}, 2));  // A or B -> fork: one match
+  engine.Push(Event({Value(int64_t{30})}, 3));  // again both
+  // t=2: run(A@1) advances to B -> match [A:1..1, B:2]. Fork keeps A@1..2.
+  // Also a new run spawns at step A (x=20 > 0).
+  // t=3: run(A@1..2) -> B match; run(A@2) -> B match; new run spawns.
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(NfaEngineTest, SkipTillNextMatchIgnoresIrrelevantEvents) {
+  // A (x>5) followed by B (x<0); noise (x in [0,5]) between them.
+  auto make = [](SelectionPolicy policy) {
+    CepPattern p;
+    const ExprPtr x = FieldRef(0, "x");
+    p.steps.push_back(
+        PatternStep{"A", Gt(x, Literal(int64_t{5})), false, {}});
+    p.steps.push_back(
+        PatternStep{"B", Lt(x, Literal(int64_t{0})), false, {}});
+    p.within = 100;
+    p.policy = policy;
+    return p;
+  };
+
+  const int64_t trace[] = {7, 3, 2, 4, -1};
+  int strict_matches = 0;
+  int skip_matches = 0;
+  {
+    NfaEngine engine(make(SelectionPolicy::kStrictContiguity),
+                     [&](const CepMatch&) { ++strict_matches; });
+    for (int i = 0; i < 5; ++i) engine.Push(Event({Value(trace[i])}, i + 1));
+  }
+  {
+    NfaEngine engine(make(SelectionPolicy::kSkipTillNextMatch),
+                     [&](const CepMatch&) { ++skip_matches; });
+    for (int i = 0; i < 5; ++i) engine.Push(Event({Value(trace[i])}, i + 1));
+  }
+  EXPECT_EQ(strict_matches, 0);  // noise kills the run
+  EXPECT_EQ(skip_matches, 1);    // noise is skipped
+}
+
+TEST(NfaEngineTest, SkipTillNextExpiresThroughWindow) {
+  CepPattern p;
+  const ExprPtr x = FieldRef(0, "x");
+  p.steps.push_back(PatternStep{"A", Gt(x, Literal(int64_t{5})), false, {}});
+  p.steps.push_back(PatternStep{"B", Lt(x, Literal(int64_t{0})), false, {}});
+  p.within = 3;
+  p.policy = SelectionPolicy::kSkipTillNextMatch;
+  int matches = 0;
+  NfaEngine engine(p, [&](const CepMatch&) { ++matches; });
+  engine.Push(Event({Value(int64_t{9})}, 1));   // A
+  engine.Push(Event({Value(int64_t{2})}, 2));   // skipped
+  engine.Push(Event({Value(int64_t{2})}, 6));   // window expired
+  EXPECT_EQ(engine.active_runs(), 0u);
+  engine.Push(Event({Value(int64_t{-4})}, 7));  // too late
+  EXPECT_EQ(matches, 0);
+}
+
+TEST(NfaEngineTest, ActiveRunAccounting) {
+  CepPattern p;
+  const ExprPtr flag = FieldRef(0, "flag");
+  p.steps.push_back(PatternStep{"S", flag, true, {}});
+  p.steps.push_back(PatternStep{"E", Not(flag), false, {}});
+  NfaEngine engine(p, nullptr);
+  EXPECT_EQ(engine.active_runs(), 0u);
+  engine.Push(Ev(true, 1));
+  engine.Push(Ev(true, 2));
+  // One run per spawn point, still active.
+  EXPECT_EQ(engine.active_runs(), 2u);
+  engine.Push(Ev(false, 3));
+  EXPECT_EQ(engine.active_runs(), 0u);
+  EXPECT_EQ(engine.num_matches(), 2);
+}
+
+}  // namespace
+}  // namespace cep
+}  // namespace tpstream

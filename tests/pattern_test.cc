@@ -1,0 +1,126 @@
+#include "algebra/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tpstream {
+namespace {
+
+using testing::Sit;
+
+TEST(RelationSetTest, BasicOperations) {
+  RelationSet set;
+  EXPECT_TRUE(set.empty());
+  set.Add(Relation::kBefore);
+  set.Add(Relation::kMeets);
+  set.Add(Relation::kBefore);  // idempotent
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_TRUE(set.Contains(Relation::kBefore));
+  EXPECT_FALSE(set.Contains(Relation::kAfter));
+
+  const RelationSet inv = set.Inverted();
+  EXPECT_TRUE(inv.Contains(Relation::kAfter));
+  EXPECT_TRUE(inv.Contains(Relation::kMetBy));
+  EXPECT_EQ(inv.size(), 2);
+}
+
+TEST(TemporalPatternTest, AddRelationNormalizesOrientation) {
+  TemporalPattern p({"A", "B"});
+  // "B after A" must merge into the constraint (A, B) as "A before B"...
+  // here: AddRelation(1, kAfter, 0) == B after A == A before B.
+  ASSERT_TRUE(p.AddRelation(1, Relation::kAfter, 0).ok());
+  ASSERT_EQ(p.constraints().size(), 1u);
+  const TemporalConstraint& c = p.constraints()[0];
+  EXPECT_EQ(c.a, 0);
+  EXPECT_EQ(c.b, 1);
+  EXPECT_TRUE(c.relations.Contains(Relation::kBefore));
+
+  // Same pair again merges instead of adding a second constraint.
+  ASSERT_TRUE(p.AddRelation(0, Relation::kMeets, 1).ok());
+  EXPECT_EQ(p.constraints().size(), 1u);
+  EXPECT_EQ(p.constraints()[0].relations.size(), 2);
+}
+
+TEST(TemporalPatternTest, RejectsInvalidSymbols) {
+  TemporalPattern p({"A", "B"});
+  EXPECT_FALSE(p.AddRelation(0, Relation::kBefore, 0).ok());
+  EXPECT_FALSE(p.AddRelation(0, Relation::kBefore, 2).ok());
+  EXPECT_FALSE(p.AddRelation(-1, Relation::kBefore, 1).ok());
+}
+
+TEST(TemporalPatternTest, Connectivity) {
+  TemporalPattern p({"A", "B", "C"});
+  ASSERT_TRUE(p.AddRelation(0, Relation::kBefore, 1).ok());
+  EXPECT_FALSE(p.IsConnected());  // C unreachable
+  ASSERT_TRUE(p.AddRelation(1, Relation::kOverlaps, 2).ok());
+  EXPECT_TRUE(p.IsConnected());
+  EXPECT_EQ(p.RelatedSymbols(1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(p.RelatedSymbols(0), (std::vector<int>{1}));
+}
+
+TEST(TemporalPatternTest, MatchesListingOneShapes) {
+  // The two example matches of Figure 1: acceleration (A), speeding (B),
+  // deceleration (C).
+  TemporalPattern p({"A", "B", "C"});
+  for (Relation r : {Relation::kMeets, Relation::kOverlaps, Relation::kStarts,
+                     Relation::kDuring}) {
+    ASSERT_TRUE(p.AddRelation(0, r, 1).ok());
+  }
+  ASSERT_TRUE(p.AddRelation(2, Relation::kDuring, 1).ok());
+  for (Relation r :
+       {Relation::kFinishes, Relation::kOverlaps, Relation::kMeets}) {
+    ASSERT_TRUE(p.AddRelation(1, r, 2).ok());
+  }
+  ASSERT_TRUE(p.AddRelation(0, Relation::kBefore, 2).ok());
+
+  // Match 1: all three overlap (A overlaps B, C during B, A before C).
+  EXPECT_TRUE(p.Matches({Sit(0, 10), Sit(5, 30), Sit(20, 28)}));
+  // Match 2: deceleration during speeding, B overlaps C variant.
+  EXPECT_TRUE(p.Matches({Sit(0, 10), Sit(5, 25), Sit(20, 30)}));
+  // Violation: deceleration before speeding ends but accel after decel.
+  EXPECT_FALSE(p.Matches({Sit(21, 29), Sit(5, 30), Sit(20, 28)}));
+}
+
+TEST(TemporalConstraintTest, PrefixGroupCertaintyForOngoingPairs) {
+  TemporalConstraint c;
+  c.a = 0;
+  c.b = 1;
+  c.relations.Add(Relation::kOverlaps);
+  c.relations.Add(Relation::kFinishes);
+
+  const Situation a = Sit(2, kTimeUnknown);
+  const Situation b = Sit(5, kTimeUnknown);
+  // Incomplete group: overlaps/finishes without contains stays unknown.
+  EXPECT_EQ(c.Check(a, b), Certainty::kUnknown);
+
+  c.relations.Add(Relation::kContains);
+  EXPECT_EQ(c.Check(a, b), Certainty::kCertain);
+  // Wrong start order: group prefix not satisfied.
+  EXPECT_EQ(c.Check(b, a), Certainty::kImpossible);
+}
+
+TEST(TemporalConstraintTest, DisjunctionSemantics) {
+  TemporalConstraint c;
+  c.a = 0;
+  c.b = 1;
+  c.relations.Add(Relation::kBefore);
+  c.relations.Add(Relation::kMeets);
+
+  EXPECT_EQ(c.Check(Sit(0, 2), Sit(5, 8)), Certainty::kCertain);  // before
+  EXPECT_EQ(c.Check(Sit(0, 5), Sit(5, 8)), Certainty::kCertain);  // meets
+  EXPECT_EQ(c.Check(Sit(0, 6), Sit(5, 8)), Certainty::kImpossible);
+}
+
+TEST(TemporalPatternTest, CheckPropagatesUnknown) {
+  TemporalPattern p({"A", "B"});
+  ASSERT_TRUE(p.AddRelation(0, Relation::kOverlaps, 1).ok());
+  EXPECT_EQ(p.Check({Sit(0, kTimeUnknown), Sit(3, kTimeUnknown)}),
+            Certainty::kUnknown);
+  EXPECT_EQ(p.Check({Sit(0, 5), Sit(3, kTimeUnknown)}), Certainty::kCertain);
+  EXPECT_EQ(p.Check({Sit(3, kTimeUnknown), Sit(0, 5)}),
+            Certainty::kImpossible);
+}
+
+}  // namespace
+}  // namespace tpstream

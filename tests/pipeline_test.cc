@@ -1,0 +1,165 @@
+#include "pipeline/pipeline.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "query/builder.h"
+#include "workload/market.h"
+
+namespace tpstream {
+namespace {
+
+Schema SensorSchema() {
+  return Schema({Field{"flag", ValueType::kBool},
+                 Field{"quality", ValueType::kDouble}});
+}
+
+QuerySpec FlagQuery(const Schema& schema) {
+  QueryBuilder qb(schema);
+  qb.Define("A", FieldRef(schema, "flag").value())
+      .Define("B", Not(FieldRef(schema, "flag").value()))
+      .Relate("A", Relation::kMeets, "B")
+      .Within(100)
+      .Return("n", "A", AggKind::kCount);
+  auto spec = qb.Build();
+  EXPECT_TRUE(spec.ok());
+  return spec.value();
+}
+
+TEST(PipelineTest, FilterDetectSink) {
+  const Schema schema = SensorSchema();
+  pipeline::Pipeline p(schema);
+  std::vector<Event> matches;
+  p.Filter(Gt(FieldRef(schema, "quality").value(), Literal(0.5)))
+      .Detect(FlagQuery(schema))
+      .Sink([&](const Event& e) { matches.push_back(e); });
+  ASSERT_TRUE(p.Finalize().ok());
+
+  // flag true on [1,5); a low-quality glitch at t=3 claims flag=false but
+  // is filtered out, so the situation stays contiguous.
+  for (TimePoint t = 1; t <= 8; ++t) {
+    const bool flag = t < 5;
+    const double quality = (t == 3) ? 0.1 : 0.9;
+    p.Push(Event({Value(t == 3 ? !flag : flag), Value(quality)}, t));
+  }
+  p.Finish();
+  ASSERT_EQ(matches.size(), 1u);
+  // count(A) covers the three surviving flag events (t = 1, 2, 4).
+  EXPECT_EQ(matches[0].payload[0].AsInt(), 3);
+}
+
+TEST(PipelineTest, MapReshapesPayload) {
+  const Schema schema = SensorSchema();
+  pipeline::Pipeline p(schema);
+  std::vector<Event> out;
+  p.Map({{"scaled", Binary(BinaryOp::kMul,
+                           FieldRef(schema, "quality").value(),
+                           Literal(10.0))}})
+      .Sink([&](const Event& e) { out.push_back(e); });
+  ASSERT_TRUE(p.Finalize().ok());
+  EXPECT_EQ(p.output_schema().IndexOf("scaled"), 0);
+
+  p.Push(Event({Value(true), Value(0.7)}, 1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].payload[0].AsDouble(), 7.0);
+}
+
+TEST(PipelineTest, ReorderRepairsDisorder) {
+  const Schema schema = SensorSchema();
+  pipeline::Pipeline p(schema);
+  std::vector<TimePoint> seen;
+  p.Reorder(5).Sink([&](const Event& e) { seen.push_back(e.t); });
+  ASSERT_TRUE(p.Finalize().ok());
+  for (TimePoint t : {3, 1, 2, 9, 7}) {
+    p.Push(Event({Value(true), Value(1.0)}, t));
+  }
+  p.Finish();
+  EXPECT_EQ(seen, (std::vector<TimePoint>{1, 2, 3, 7, 9}));
+}
+
+TEST(PipelineTest, DetectRemapsFieldPositions) {
+  // Pipeline schema has the fields in a different order than the query's
+  // input schema; Detect must remap them positionally.
+  const Schema pipeline_schema({Field{"quality", ValueType::kDouble},
+                                Field{"flag", ValueType::kBool}});
+  const Schema query_schema = SensorSchema();  // flag first
+
+  pipeline::Pipeline p(pipeline_schema);
+  std::vector<Event> matches;
+  p.Detect(FlagQuery(query_schema))
+      .Sink([&](const Event& e) { matches.push_back(e); });
+  ASSERT_TRUE(p.Finalize().ok());
+
+  for (TimePoint t = 1; t <= 8; ++t) {
+    p.Push(Event({Value(0.9), Value(t < 5)}, t));  // quality, flag
+  }
+  p.Finish();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].payload[0].AsInt(), 4);
+}
+
+TEST(PipelineTest, FinalizeReportsConstructionErrors) {
+  const Schema schema = SensorSchema();
+  {
+    pipeline::Pipeline p(schema);
+    p.Filter(nullptr);
+    EXPECT_FALSE(p.Finalize().ok());
+  }
+  {
+    pipeline::Pipeline p(schema);
+    EXPECT_FALSE(p.Finalize().ok());  // no stages
+  }
+  {
+    // Query expects a field the pipeline does not produce.
+    const Schema other({Field{"nope", ValueType::kBool}});
+    QueryBuilder qb(other);
+    qb.Define("A", FieldRef(other, "nope").value())
+        .Define("B", Not(FieldRef(other, "nope").value()))
+        .Relate("A", Relation::kMeets, "B")
+        .Within(10)
+        .Return("n", "A", AggKind::kCount);
+    pipeline::Pipeline p(schema);
+    p.Detect(qb.Build().value());
+    EXPECT_FALSE(p.Finalize().ok());
+  }
+}
+
+TEST(PipelineTest, MarketSurveillanceEndToEnd) {
+  // Pump-and-dump style pattern on the market generator: a sustained
+  // rally overlapping a volume burst, followed by a selloff.
+  MarketDataGenerator::Options options;
+  options.num_symbols = 5;
+  MarketDataGenerator gen(options);
+  const Schema& schema = gen.schema();
+
+  QueryBuilder qb(schema);
+  qb.Define("RAMP", Gt(FieldRef(schema, "ret").value(), Literal(0.03)),
+            AtLeast(5))
+      .Define("BURST",
+              Gt(FieldRef(schema, "volume").value(), Literal(int64_t{160})),
+              AtLeast(5))
+      .Define("DUMP", Lt(FieldRef(schema, "ret").value(), Literal(-0.05)),
+              AtLeast(3))
+      .Relate("RAMP",
+              {Relation::kOverlaps, Relation::kDuring, Relation::kStarts,
+               Relation::kFinishes, Relation::kEquals, Relation::kContains},
+              "BURST")
+      .Relate("RAMP", {Relation::kBefore, Relation::kMeets}, "DUMP")
+      .Within(600)
+      .Return("symbol", "RAMP", AggKind::kFirst, "symbol")
+      .PartitionBy("symbol");
+  auto spec = qb.Build();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  pipeline::Pipeline p(schema);
+  int64_t alerts = 0;
+  p.Detect(spec.value()).Sink([&](const Event&) { ++alerts; });
+  ASSERT_TRUE(p.Finalize().ok());
+  for (int i = 0; i < 200000; ++i) p.Push(gen.Next());
+  p.Finish();
+  EXPECT_GT(alerts, 0);
+}
+
+}  // namespace
+}  // namespace tpstream

@@ -1,0 +1,107 @@
+#include "algebra/range_bounds.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tpstream {
+namespace {
+
+using testing::Sit;
+
+TEST(TimeRangeTest, Constructors) {
+  EXPECT_TRUE(TimeRange::All().Contains(kTimeMin));
+  EXPECT_TRUE(TimeRange::All().Contains(kTimeMax));
+  EXPECT_TRUE(TimeRange::Below(5).Contains(4));
+  EXPECT_FALSE(TimeRange::Below(5).Contains(5));
+  EXPECT_TRUE(TimeRange::Above(5).Contains(6));
+  EXPECT_FALSE(TimeRange::Above(5).Contains(5));
+  EXPECT_TRUE(TimeRange::Exactly(5).Contains(5));
+  EXPECT_FALSE(TimeRange::Exactly(5).Contains(4));
+  EXPECT_TRUE(TimeRange::Below(kTimeMin).empty());
+  EXPECT_TRUE(TimeRange::Above(kTimeMax).empty());
+  EXPECT_TRUE((TimeRange{3, 2}).empty());
+}
+
+// The bounds must be exact: a finished candidate satisfies the relation
+// with the fixed situation iff both its endpoints fall into the ranges.
+TEST(RangeBoundsTest, BoundsEquivalentToDefinitionFixedFinished) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<TimePoint> point(0, 14);
+
+  for (int trial = 0; trial < 3000; ++trial) {
+    TimePoint f1 = point(rng), f2 = point(rng);
+    if (f1 == f2) continue;
+    const Situation fixed = Sit(std::min(f1, f2), std::max(f1, f2));
+
+    for (int r = 0; r < kNumRelations; ++r) {
+      const Relation rel = static_cast<Relation>(r);
+      for (const bool fixed_is_a : {false, true}) {
+        const auto bounds = BoundsForCounterpart(rel, fixed, fixed_is_a);
+        TimePoint c1 = point(rng), c2 = point(rng);
+        if (c1 == c2) continue;
+        const Situation candidate = Sit(std::min(c1, c2), std::max(c1, c2));
+
+        const bool holds = fixed_is_a ? Holds(rel, fixed, candidate)
+                                      : Holds(rel, candidate, fixed);
+        const bool in_bounds = bounds.has_value() &&
+                               bounds->ts_range.Contains(candidate.ts) &&
+                               bounds->te_range.Contains(candidate.te);
+        EXPECT_EQ(holds, in_bounds)
+            << RelationName(rel) << " fixed=" << fixed.ToString()
+            << " cand=" << candidate.ToString()
+            << " fixed_is_a=" << fixed_is_a;
+      }
+    }
+  }
+}
+
+// With an ongoing fixed situation, the bounds must select exactly the
+// finished candidates for which the relation is already certain.
+TEST(RangeBoundsTest, BoundsEquivalentToCertaintyFixedOngoing) {
+  std::mt19937_64 rng(8);
+  constexpr TimePoint kHorizon = 14;
+  std::uniform_int_distribution<TimePoint> point(0, kHorizon);
+
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Situation fixed = Sit(point(rng), kTimeUnknown);
+
+    for (int r = 0; r < kNumRelations; ++r) {
+      const Relation rel = static_cast<Relation>(r);
+      for (const bool fixed_is_a : {false, true}) {
+        const auto bounds = BoundsForCounterpart(rel, fixed, fixed_is_a);
+        TimePoint c1 = point(rng), c2 = point(rng);
+        if (c1 == c2) continue;
+        const Situation candidate = Sit(std::min(c1, c2), std::max(c1, c2));
+
+        const Certainty certainty =
+            fixed_is_a ? CheckRelation(rel, fixed, candidate)
+                       : CheckRelation(rel, candidate, fixed);
+        const bool in_bounds = bounds.has_value() &&
+                               bounds->ts_range.Contains(candidate.ts) &&
+                               bounds->te_range.Contains(candidate.te);
+        EXPECT_EQ(certainty == Certainty::kCertain, in_bounds)
+            << RelationName(rel) << " fixed=[" << fixed.ts << ",?) cand="
+            << candidate.ToString() << " fixed_is_a=" << fixed_is_a;
+      }
+    }
+  }
+}
+
+TEST(RangeBoundsTest, FigureThreeExample) {
+  // Figure 3: A1 = [2, 6), relation A overlaps B. Matching B must start
+  // inside (2, 6) and end after 6.
+  const Situation a1 = Sit(2, 6);
+  const auto bounds =
+      BoundsForCounterpart(Relation::kOverlaps, a1, /*fixed_is_a=*/true);
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->ts_range.lo, 3);
+  EXPECT_EQ(bounds->ts_range.hi, 5);
+  EXPECT_EQ(bounds->te_range.lo, 7);
+  EXPECT_EQ(bounds->te_range.hi, kTimeMax);
+}
+
+}  // namespace
+}  // namespace tpstream

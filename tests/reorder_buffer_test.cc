@@ -1,0 +1,110 @@
+#include "ooo/reorder_buffer.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/operator.h"
+#include "query/builder.h"
+
+namespace tpstream {
+namespace {
+
+Event Ev(TimePoint t) { return Event({Value(true)}, t); }
+
+TEST(ReorderBufferTest, ReordersWithinSlack) {
+  ooo::ReorderBuffer reorder({/*slack=*/5});
+  std::vector<TimePoint> released;
+  auto sink = [&](const Event& e) { released.push_back(e.t); };
+
+  // Arrival order: 3, 1, 2, 9 (releases up to 9-5=4), 7, 15, flush.
+  for (TimePoint t : {3, 1, 2, 9, 7, 15}) reorder.Push(Ev(t), sink);
+  reorder.Flush(sink);
+
+  EXPECT_EQ(released, (std::vector<TimePoint>{1, 2, 3, 7, 9, 15}));
+  EXPECT_EQ(reorder.num_reordered(), 3);  // 1, 2 and 7 arrived late
+  EXPECT_EQ(reorder.num_dropped(), 0);
+}
+
+TEST(ReorderBufferTest, DropsEventsBeyondSlack) {
+  ooo::ReorderBuffer reorder({/*slack=*/2});
+  std::vector<TimePoint> released;
+  std::vector<TimePoint> late;
+  reorder.SetLateCallback([&](const Event& e) { late.push_back(e.t); });
+  auto sink = [&](const Event& e) { released.push_back(e.t); };
+
+  reorder.Push(Ev(10), sink);  // watermark 8
+  reorder.Push(Ev(20), sink);  // releases 10; watermark 18
+  reorder.Push(Ev(5), sink);   // older than last release: dropped
+  reorder.Flush(sink);
+
+  EXPECT_EQ(released, (std::vector<TimePoint>{10, 20}));
+  EXPECT_EQ(late, (std::vector<TimePoint>{5}));
+  EXPECT_EQ(reorder.num_dropped(), 1);
+}
+
+TEST(ReorderBufferTest, TiesAcrossPartitionsPassThrough) {
+  ooo::ReorderBuffer reorder({/*slack=*/0});
+  std::vector<TimePoint> released;
+  auto sink = [&](const Event& e) { released.push_back(e.t); };
+  reorder.Push(Ev(4), sink);
+  reorder.Push(Ev(4), sink);  // same tick, different partition: kept
+  reorder.Push(Ev(5), sink);
+  reorder.Flush(sink);
+  EXPECT_EQ(released, (std::vector<TimePoint>{4, 4, 5}));
+  EXPECT_EQ(reorder.num_dropped(), 0);
+}
+
+// Shuffled stream + sufficient slack must reproduce the in-order results
+// of the operator exactly.
+TEST(ReorderBufferTest, OperatorResultsMatchInOrderRun) {
+  Schema schema({Field{"flag", ValueType::kBool}});
+  QueryBuilder qb(schema);
+  qb.Define("A", FieldRef(0, "flag"))
+      .Define("B", Not(FieldRef(0, "flag")))
+      .Relate("A", Relation::kMeets, "B")
+      .Within(500)
+      .Return("n", "A", AggKind::kCount);
+  auto spec = qb.Build();
+  ASSERT_TRUE(spec.ok());
+
+  // A boolean trace with several phases.
+  std::mt19937_64 rng(5);
+  std::vector<Event> events;
+  bool value = false;
+  std::bernoulli_distribution flip(0.1);
+  for (TimePoint t = 1; t <= 2000; ++t) {
+    if (flip(rng)) value = !value;
+    events.push_back(Event({Value(value)}, t));
+  }
+
+  std::vector<TimePoint> in_order;
+  {
+    TPStreamOperator op(spec.value(), {}, [&](const Event& e) {
+      in_order.push_back(e.t);
+    });
+    for (const Event& e : events) op.Push(e);
+  }
+
+  // Shuffle within windows of 8 events, reorder with slack 8.
+  std::vector<Event> shuffled = events;
+  for (size_t i = 0; i + 8 <= shuffled.size(); i += 8) {
+    std::shuffle(shuffled.begin() + i, shuffled.begin() + i + 8, rng);
+  }
+  std::vector<TimePoint> reordered_result;
+  {
+    TPStreamOperator op(spec.value(), {}, [&](const Event& e) {
+      reordered_result.push_back(e.t);
+    });
+    ooo::ReorderBuffer reorder({/*slack=*/8});
+    auto sink = [&](const Event& e) { op.Push(e); };
+    for (const Event& e : shuffled) reorder.Push(e, sink);
+    reorder.Flush(sink);
+    EXPECT_EQ(reorder.num_dropped(), 0);
+    EXPECT_GT(reorder.num_reordered(), 0);
+  }
+  EXPECT_EQ(reordered_result, in_order);
+}
+
+}  // namespace
+}  // namespace tpstream

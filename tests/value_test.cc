@@ -1,0 +1,85 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace tpstream {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(1.5).AsDouble(), 1.5);
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value(std::string("hi")).AsString(), "hi");
+  EXPECT_TRUE(Value(int64_t{3}).is_numeric());
+  EXPECT_TRUE(Value(2.0).is_numeric());
+  EXPECT_FALSE(Value(true).is_numeric());
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value().Truthy());
+  EXPECT_TRUE(Value(true).Truthy());
+  EXPECT_FALSE(Value(false).Truthy());
+  EXPECT_TRUE(Value(int64_t{1}).Truthy());
+  EXPECT_FALSE(Value(int64_t{0}).Truthy());
+  EXPECT_TRUE(Value(0.5).Truthy());
+  EXPECT_FALSE(Value(std::string("x")).Truthy());  // strings are not truthy
+}
+
+TEST(ValueTest, CompareWithWidening) {
+  EXPECT_EQ(Value::Compare(Value(int64_t{2}), Value(int64_t{3})), -1);
+  EXPECT_EQ(Value::Compare(Value(int64_t{3}), Value(2.5)), 1);
+  EXPECT_EQ(Value::Compare(Value(2.0), Value(int64_t{2})), 0);
+  EXPECT_EQ(Value::Compare(Value(std::string("a")), Value(std::string("b"))),
+            -1);
+  EXPECT_EQ(Value::Compare(Value(), Value(int64_t{1})),
+            Value::kIncomparable);
+  EXPECT_EQ(Value::Compare(Value(std::string("a")), Value(int64_t{1})),
+            Value::kIncomparable);
+  EXPECT_TRUE(Value(int64_t{7}) == Value(7.0));
+}
+
+TEST(ValueTest, Arithmetic) {
+  EXPECT_EQ(Add(Value(int64_t{2}), Value(int64_t{3})).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Add(Value(int64_t{2}), Value(0.5)).AsDouble(), 2.5);
+  EXPECT_EQ(Sub(Value(int64_t{2}), Value(int64_t{5})).AsInt(), -3);
+  EXPECT_EQ(Mul(Value(int64_t{4}), Value(int64_t{3})).AsInt(), 12);
+  EXPECT_DOUBLE_EQ(Div(Value(int64_t{7}), Value(int64_t{2})).AsDouble(), 3.5);
+  EXPECT_TRUE(Div(Value(int64_t{7}), Value(int64_t{0})).is_null());
+  EXPECT_TRUE(Add(Value(true), Value(int64_t{1})).is_null());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(std::string("abc")).ToString(), "abc");
+}
+
+TEST(SchemaTest, IndexLookup) {
+  Schema schema({Field{"a", ValueType::kInt}, Field{"b", ValueType::kBool}});
+  EXPECT_EQ(schema.num_fields(), 2);
+  EXPECT_EQ(schema.IndexOf("a"), 0);
+  EXPECT_EQ(schema.IndexOf("b"), 1);
+  EXPECT_EQ(schema.IndexOf("c"), -1);
+  EXPECT_EQ(schema.field(1).type, ValueType::kBool);
+  EXPECT_EQ(schema.ToString(), "(a: int, b: bool)");
+}
+
+TEST(StatusTest, ResultSemantics) {
+  Result<int> ok_result(5);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 5);
+  EXPECT_TRUE(ok_result.status().ok());
+
+  Result<int> err(Status::ParseError("boom"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(err.status().message(), "boom");
+}
+
+}  // namespace
+}  // namespace tpstream

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "workload/interval_source.h"
+#include "workload/linear_road.h"
+#include "workload/market.h"
+#include "workload/synthetic.h"
+
+namespace tpstream {
+namespace {
+
+TEST(SyntheticGeneratorTest, ShapeAndDeterminism) {
+  SyntheticGenerator::Options options;
+  options.num_streams = 4;
+  options.seed = 99;
+  SyntheticGenerator gen(options);
+  SyntheticGenerator gen2(options);
+  EXPECT_EQ(gen.schema().num_fields(), 4);
+
+  for (int i = 0; i < 1000; ++i) {
+    const Event a = gen.Next();
+    const Event b = gen2.Next();
+    ASSERT_EQ(a.t, b.t);
+    ASSERT_EQ(a.payload.size(), 4u);
+    for (int f = 0; f < 4; ++f) {
+      ASSERT_EQ(a.payload[f].AsBool(), b.payload[f].AsBool());
+    }
+  }
+}
+
+TEST(SyntheticGeneratorTest, SituationLengthsWithinConfiguredRanges) {
+  SyntheticGenerator::Options options;
+  options.num_streams = 1;
+  options.min_duration = 10;
+  options.max_duration = 100;
+  options.min_gap = 10;
+  options.max_gap = 50;
+  SyntheticGenerator gen(options);
+
+  std::vector<Duration> situation_lengths;
+  std::vector<Duration> gap_lengths;
+  bool prev = false;
+  TimePoint phase_start = 1;
+  for (int i = 0; i < 200000; ++i) {
+    const Event e = gen.Next();
+    const bool cur = e.payload[0].AsBool();
+    if (cur != prev) {
+      const Duration len = e.t - phase_start;
+      if (i > 0) (prev ? situation_lengths : gap_lengths).push_back(len);
+      phase_start = e.t;
+      prev = cur;
+    }
+  }
+  ASSERT_GT(situation_lengths.size(), 100u);
+  for (Duration d : situation_lengths) {
+    EXPECT_GE(d, 10);
+    EXPECT_LE(d, 100);
+  }
+  for (Duration d : gap_lengths) {
+    EXPECT_GE(d, 10);
+    EXPECT_LE(d, 50);
+  }
+}
+
+TEST(SyntheticGeneratorTest, RatiosScaleOccurrences) {
+  SyntheticGenerator::Options options;
+  options.num_streams = 2;
+  options.seed = 5;
+  SyntheticGenerator gen(options);
+  gen.SetRatios({1.0, 20.0});
+
+  int starts0 = 0;
+  int starts1 = 0;
+  bool prev0 = false;
+  bool prev1 = false;
+  for (int i = 0; i < 300000; ++i) {
+    const Event e = gen.Next();
+    const bool cur0 = e.payload[0].AsBool();
+    const bool cur1 = e.payload[1].AsBool();
+    if (cur0 && !prev0) ++starts0;
+    if (cur1 && !prev1) ++starts1;
+    prev0 = cur0;
+    prev1 = cur1;
+  }
+  // Stream 1 occurs far more often than stream 0 (gaps 20x shorter).
+  EXPECT_GT(starts1, starts0 * 4);
+}
+
+TEST(LinearRoadGeneratorTest, SchemaAndRoundRobin) {
+  LinearRoadGenerator::Options options;
+  options.num_cars = 10;
+  LinearRoadGenerator gen(options);
+  EXPECT_EQ(gen.schema().num_fields(), 5);
+
+  for (int round = 0; round < 5; ++round) {
+    for (int car = 0; car < 10; ++car) {
+      const Event e = gen.Next();
+      EXPECT_EQ(e.payload[LinearRoadGenerator::kCarId].AsInt(), car);
+      EXPECT_EQ(e.t, round + 1);  // all cars report each second
+      EXPECT_GE(e.payload[LinearRoadGenerator::kSpeed].ToDouble(), 0.0);
+    }
+  }
+}
+
+TEST(LinearRoadGeneratorTest, ProducesSpeedingAndBrakingPhases) {
+  LinearRoadGenerator::Options options;
+  options.num_cars = 50;
+  options.aggressive_fraction = 0.3;
+  LinearRoadGenerator gen(options);
+  int speeding = 0;
+  int hard_accel = 0;
+  int hard_brake = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const Event e = gen.Next();
+    if (e.payload[LinearRoadGenerator::kSpeed].ToDouble() > 70.0) ++speeding;
+    const double accel = e.payload[LinearRoadGenerator::kAccel].ToDouble();
+    if (accel > 8.0) ++hard_accel;
+    if (accel < -9.0) ++hard_brake;
+  }
+  EXPECT_GT(speeding, 500);
+  EXPECT_GT(hard_accel, 200);
+  EXPECT_GT(hard_brake, 200);
+}
+
+TEST(LinearRoadGeneratorTest, PercentileCalibration) {
+  LinearRoadGenerator::Options options;
+  options.num_cars = 100;
+  const double p99_speed = LinearRoadGenerator::SampleFieldPercentile(
+      options, LinearRoadGenerator::kSpeed, 99.0, 50000);
+  const double p50_speed = LinearRoadGenerator::SampleFieldPercentile(
+      options, LinearRoadGenerator::kSpeed, 50.0, 50000);
+  EXPECT_GT(p99_speed, p50_speed);
+  EXPECT_GT(p99_speed, 65.0);  // the tail contains speeding phases
+}
+
+TEST(MarketDataGeneratorTest, RegimesProduceDurableSituations) {
+  MarketDataGenerator::Options options;
+  options.num_symbols = 8;
+  MarketDataGenerator gen(options);
+  EXPECT_EQ(gen.schema().IndexOf("price"), MarketDataGenerator::kPrice);
+
+  int rally_ticks = 0;
+  int selloff_ticks = 0;
+  int burst_ticks = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const Event e = gen.Next();
+    ASSERT_GT(e.payload[MarketDataGenerator::kPrice].ToDouble(), 0.0);
+    const double ret = e.payload[MarketDataGenerator::kReturn].ToDouble();
+    if (ret > 0.05) ++rally_ticks;
+    if (ret < -0.07) ++selloff_ticks;
+    if (e.payload[MarketDataGenerator::kVolume].AsInt() > 200) ++burst_ticks;
+  }
+  // Regimes must create enough sustained phases for temporal queries.
+  EXPECT_GT(rally_ticks, 1000);
+  EXPECT_GT(selloff_ticks, 1000);
+  EXPECT_GT(burst_ticks, 1000);
+
+  // Determinism under the same seed.
+  MarketDataGenerator a(options);
+  MarketDataGenerator b(options);
+  for (int i = 0; i < 1000; ++i) {
+    const Event ea = a.Next();
+    const Event eb = b.Next();
+    ASSERT_EQ(ea.payload[MarketDataGenerator::kPrice].ToDouble(),
+              eb.payload[MarketDataGenerator::kPrice].ToDouble());
+  }
+}
+
+TEST(RandomSituationGeneratorTest, EndOrderedAndDisjointPerStream) {
+  std::vector<RandomSituationGenerator::StreamOptions> streams(3);
+  RandomSituationGenerator gen(streams, 77);
+
+  TimePoint last_te = 0;
+  std::vector<TimePoint> last_te_per_stream(3, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const SymbolSituation ss = gen.Next();
+    ASSERT_GE(ss.symbol, 0);
+    ASSERT_LT(ss.symbol, 3);
+    EXPECT_GE(ss.situation.te, last_te);  // globally end-ordered
+    EXPECT_GE(ss.situation.ts, last_te_per_stream[ss.symbol]);  // disjoint
+    EXPECT_GT(ss.situation.te, ss.situation.ts);
+    last_te = ss.situation.te;
+    last_te_per_stream[ss.symbol] = ss.situation.te;
+  }
+}
+
+}  // namespace
+}  // namespace tpstream
