@@ -1,0 +1,62 @@
+# Sanitizer wiring for every tpstream target.
+#
+# TPSTREAM_SANITIZE selects one or more sanitizers as a comma-separated
+# list: `address`, `undefined`, `thread`, or combinations such as
+# `address,undefined`. `thread` is mutually exclusive with `address`
+# (the runtimes cannot coexist in one process).
+#
+# The flags live on the `tpstream_sanitizers` INTERFACE library, which
+# every module, test, bench, and example target links. The target always
+# exists (empty when TPSTREAM_SANITIZE is unset), so link lines never
+# need to be conditional.
+#
+# Typical presets (see README.md "Sanitizers & CI"):
+#   cmake -B build-asan -DCMAKE_BUILD_TYPE=Debug \
+#         -DTPSTREAM_SANITIZE=address,undefined
+#   cmake -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+#         -DTPSTREAM_SANITIZE=thread
+
+set(TPSTREAM_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers to enable: address, undefined, thread")
+set_property(CACHE TPSTREAM_SANITIZE PROPERTY STRINGS
+             "" "address" "undefined" "thread" "address,undefined")
+
+add_library(tpstream_sanitizers INTERFACE)
+
+if(TPSTREAM_SANITIZE)
+  string(REPLACE "," ";" _tpstream_san_list "${TPSTREAM_SANITIZE}")
+  set(_tpstream_san_flags "")
+  foreach(_san IN LISTS _tpstream_san_list)
+    string(STRIP "${_san}" _san)
+    if(NOT _san MATCHES "^(address|undefined|thread)$")
+      message(FATAL_ERROR
+              "TPSTREAM_SANITIZE: unknown sanitizer '${_san}' "
+              "(expected address, undefined, or thread)")
+    endif()
+    list(APPEND _tpstream_san_flags "-fsanitize=${_san}")
+  endforeach()
+  if("-fsanitize=thread" IN_LIST _tpstream_san_flags AND
+     "-fsanitize=address" IN_LIST _tpstream_san_flags)
+    message(FATAL_ERROR
+            "TPSTREAM_SANITIZE: thread and address are mutually exclusive")
+  endif()
+  list(REMOVE_DUPLICATES _tpstream_san_flags)
+
+  # Frame pointers and debug info keep sanitizer reports symbolized even
+  # in optimized builds.
+  list(APPEND _tpstream_san_flags -fno-omit-frame-pointer -g)
+
+  target_compile_options(tpstream_sanitizers INTERFACE ${_tpstream_san_flags})
+  target_link_options(tpstream_sanitizers INTERFACE ${_tpstream_san_flags})
+
+  # Undefined behaviour must abort (and so fail ctest) instead of printing
+  # a diagnostic and continuing.
+  if("-fsanitize=undefined" IN_LIST _tpstream_san_flags)
+    target_compile_options(tpstream_sanitizers INTERFACE
+                           -fno-sanitize-recover=undefined)
+    target_link_options(tpstream_sanitizers INTERFACE
+                        -fno-sanitize-recover=undefined)
+  endif()
+
+  message(STATUS "tpstream: sanitizers enabled: ${TPSTREAM_SANITIZE}")
+endif()

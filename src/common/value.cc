@@ -1,7 +1,9 @@
 #include "common/value.h"
 
 #include <cmath>
+#include <functional>
 #include <sstream>
+#include <string_view>
 
 namespace tpstream {
 
@@ -93,6 +95,24 @@ std::string Value::ToString() const {
       return AsString();
   }
   return "?";
+}
+
+size_t ValueHash::operator()(const Value& value) const {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt:
+      return std::hash<int64_t>{}(value.AsInt());
+    case ValueType::kDouble:
+      // Normalize -0.0 so values that compare equal hash equally.
+      return std::hash<double>{}(value.AsDouble() == 0.0 ? 0.0
+                                                         : value.AsDouble());
+    case ValueType::kBool:
+      return std::hash<bool>{}(value.AsBool());
+    case ValueType::kString:
+      return std::hash<std::string_view>{}(value.AsString());
+  }
+  return 0;
 }
 
 namespace {

@@ -73,6 +73,15 @@ class Value {
   std::variant<std::monostate, int64_t, double, bool, std::string> data_;
 };
 
+/// Hash of the underlying typed value, allocation-free (strings are
+/// hashed through a string view, never materialized). Sits on the
+/// per-event partition-routing hot path of the parallel operator. Equal
+/// values of equal type hash equally; numerically equal values of
+/// different types (Value(2) vs Value(2.0)) need not collide.
+struct ValueHash {
+  size_t operator()(const Value& value) const;
+};
+
 /// Arithmetic with numeric widening; null on type mismatch.
 Value Add(const Value& a, const Value& b);
 Value Sub(const Value& a, const Value& b);

@@ -15,8 +15,13 @@ void ReorderBuffer::Push(const Event& event, const Sink& sink) {
   if (event.t > max_seen_) max_seen_ = event.t;
   heap_.push(event);
 
-  // Release everything at or below the watermark.
-  watermark_ = max_seen_ - options_.slack;
+  // Release everything at or below the watermark. The subtraction
+  // saturates at kTimeMin: for timestamps within `slack` of the lower
+  // bound, `max_seen_ - slack` would be signed overflow (UB) and wrap to
+  // a huge positive watermark that releases everything prematurely.
+  watermark_ = max_seen_ < kTimeMin + options_.slack
+                   ? kTimeMin
+                   : max_seen_ - options_.slack;
   while (!heap_.empty() && heap_.top().t <= watermark_) {
     last_released_ = heap_.top().t;
     sink(heap_.top());

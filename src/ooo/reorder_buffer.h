@@ -36,7 +36,11 @@ class ReorderBuffer {
   using Sink = std::function<void(const Event&)>;
   using LateCallback = std::function<void(const Event&)>;
 
-  explicit ReorderBuffer(Options options) : options_(options) {}
+  explicit ReorderBuffer(Options options) : options_(options) {
+    // A negative slack has no sensible reading; treat it as "no slack"
+    // (it would also break the saturating watermark arithmetic in Push).
+    if (options_.slack < 0) options_.slack = 0;
+  }
 
   /// Inserts one event and forwards every event whose release condition
   /// is met, in timestamp order.

@@ -1,6 +1,6 @@
 #include "parallel/parallel_operator.h"
 
-#include <functional>
+#include <cassert>
 
 namespace tpstream {
 namespace parallel {
@@ -11,6 +11,7 @@ ParallelTPStream::ParallelTPStream(QuerySpec spec, Options options,
       options_(options),
       output_(std::move(output)) {
   if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.batch_size < 1) options_.batch_size = 1;
   workers_.reserve(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     auto worker = std::make_unique<Worker>(options_.batch_size);
@@ -29,14 +30,16 @@ ParallelTPStream::ParallelTPStream(QuerySpec spec, Options options,
 
 ParallelTPStream::~ParallelTPStream() {
   Flush();
+  // Shutdown ordering: every worker is marked stopped before any join, so
+  // the joins proceed concurrently instead of serializing one wake-up at
+  // a time. Worker loops only exit with an empty queue (and Flush() just
+  // emptied them), so nothing is dropped.
   for (auto& worker : workers_) {
-    {
-      std::lock_guard<std::mutex> lock(worker->mutex);
-      worker->stop = true;
-    }
-    worker->wake.notify_one();
-    worker->thread.join();
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    worker->stop = true;
   }
+  for (auto& worker : workers_) worker->wake.notify_one();
+  for (auto& worker : workers_) worker->thread.join();
 }
 
 void ParallelTPStream::WorkerLoop(Worker* worker) {
@@ -54,6 +57,14 @@ void ParallelTPStream::WorkerLoop(Worker* worker) {
       worker->engine->Push(event);
     }
     batch.clear();
+    // Publish engine statistics before announcing the batch done: a
+    // reader synchronizing through Flush() (which re-acquires this
+    // worker's mutex) then observes exact values. Concurrent readers see
+    // a monotone snapshot at batch granularity.
+    worker->published_matches.store(worker->engine->num_matches(),
+                                    std::memory_order_relaxed);
+    worker->published_partitions.store(worker->engine->num_partitions(),
+                                       std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(worker->mutex);
       worker->busy = false;
@@ -75,16 +86,29 @@ void ParallelTPStream::Submit(Worker* worker) {
   worker->pending.reserve(options_.batch_size);
 }
 
+void ParallelTPStream::AssertSingleProducer() const {
+#ifndef NDEBUG
+  std::thread::id unclaimed{};
+  const std::thread::id self = std::this_thread::get_id();
+  if (!producer_.compare_exchange_strong(unclaimed, self,
+                                         std::memory_order_relaxed) &&
+      unclaimed != self) {
+    assert(false &&
+           "ParallelTPStream: Push()/Flush() called from a second thread; "
+           "the producer side is single-threaded by contract");
+  }
+#endif
+}
+
 void ParallelTPStream::Push(const Event& event) {
-  ++num_events_;
+  AssertSingleProducer();
+  num_events_.fetch_add(1, std::memory_order_relaxed);
   size_t index = 0;
   if (spec_.partition_field >= 0 && workers_.size() > 1) {
-    const Value& key = event.payload[spec_.partition_field];
-    const uint64_t hash =
-        key.type() == ValueType::kInt
-            ? std::hash<int64_t>{}(key.AsInt())
-            : std::hash<std::string>{}(key.ToString());
-    index = hash % workers_.size();
+    // Hash the typed value directly (ValueHash): no per-event ToString()
+    // materialization for double/bool/string keys.
+    index = ValueHash{}(event.payload[spec_.partition_field]) %
+            workers_.size();
   }
   Worker* worker = workers_[index].get();
   worker->pending.push_back(event);
@@ -92,6 +116,7 @@ void ParallelTPStream::Push(const Event& event) {
 }
 
 void ParallelTPStream::Flush() {
+  AssertSingleProducer();
   for (auto& worker : workers_) Submit(worker.get());
   for (auto& worker : workers_) {
     std::unique_lock<std::mutex> lock(worker->mutex);
@@ -104,7 +129,7 @@ void ParallelTPStream::Flush() {
 size_t ParallelTPStream::num_partitions() const {
   size_t total = 0;
   for (const auto& worker : workers_) {
-    total += worker->engine->num_partitions();
+    total += worker->published_partitions.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -112,7 +137,7 @@ size_t ParallelTPStream::num_partitions() const {
 int64_t ParallelTPStream::num_matches() const {
   int64_t total = 0;
   for (const auto& worker : workers_) {
-    total += worker->engine->num_matches();
+    total += worker->published_matches.load(std::memory_order_relaxed);
   }
   return total;
 }

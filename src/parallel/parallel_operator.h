@@ -1,6 +1,7 @@
 #ifndef TPSTREAM_PARALLEL_PARALLEL_OPERATOR_H_
 #define TPSTREAM_PARALLEL_PARALLEL_OPERATOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -20,10 +21,20 @@ namespace parallel {
 /// sequential operator (verified by tests), while ingestion scales with
 /// the number of workers.
 ///
-/// Threading contract: Push() is called from a single producer thread;
-/// the output callback fires on worker threads and is serialized by an
-/// internal mutex (so a plain callback is safe, at the cost of contention
-/// for match-heavy queries).
+/// Threading contract (see docs/architecture.md "Concurrency contract"):
+///  * Push() and Flush() must be called from a single producer thread;
+///    debug builds assert this. Per-partition timestamp ordering is the
+///    producer's responsibility (see Push()).
+///  * Each worker thread exclusively owns its engine; no engine state is
+///    shared across threads. The output callback fires on worker threads
+///    and is serialized by an internal mutex (so a plain callback is
+///    safe, at the cost of contention for match-heavy queries).
+///  * num_matches() / num_partitions() / num_events() may be called from
+///    any thread at any time: they read per-worker atomic counters
+///    published after every completed batch. While ingestion is running
+///    they trail the live engines by at most one in-flight batch per
+///    worker (and are monotone); once Flush() has returned they are
+///    exact.
 class ParallelTPStream {
  public:
   struct Options {
@@ -36,29 +47,44 @@ class ParallelTPStream {
 
   ParallelTPStream(QuerySpec spec, Options options,
                    TPStreamOperator::OutputCallback output);
+
+  /// Flushes outstanding batches, then stops and joins every worker.
+  /// Workers only exit once their queue is empty, so no event or match
+  /// is dropped. Must run on the producer thread (it flushes).
   ~ParallelTPStream();
 
   ParallelTPStream(const ParallelTPStream&) = delete;
   ParallelTPStream& operator=(const ParallelTPStream&) = delete;
 
-  /// Routes one event to its partition's worker. Timestamps must be
+  /// Routes one event to its partition's worker (allocation-free typed
+  /// hashing, see ValueHash). Single producer only; timestamps must be
   /// non-decreasing globally (strictly increasing per partition).
   void Push(const Event& event);
 
-  /// Drains all queues and blocks until every worker is idle. Must be
-  /// called before reading aggregate results; also called by the
-  /// destructor.
+  /// Drains all queues and blocks until every worker is idle. After it
+  /// returns, all matches concluded by pushed events have been delivered
+  /// and the statistics getters are exact. Idempotent; also called by
+  /// the destructor. Single producer only.
   void Flush();
 
+  /// Total matches across workers. Safe from any thread; exact after
+  /// Flush(), otherwise a recent (monotone) snapshot.
   int64_t num_matches() const;
-  int64_t num_events() const { return num_events_; }
+
+  /// Events accepted by Push(). Safe from any thread.
+  int64_t num_events() const {
+    return num_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Total partitions across workers. Safe from any thread; exact after
+  /// Flush(), otherwise a recent (monotone) snapshot.
   size_t num_partitions() const;
 
  private:
   struct Worker {
     explicit Worker(size_t reserve) { pending.reserve(reserve); }
 
-    std::unique_ptr<PartitionedTPStream> engine;
+    std::unique_ptr<PartitionedTPStream> engine;  // worker-thread-owned
     std::thread thread;
     std::mutex mutex;
     std::condition_variable wake;
@@ -67,17 +93,25 @@ class ParallelTPStream {
     std::vector<Event> queue;    // handed over under the mutex
     bool busy = false;
     bool stop = false;
+    /// Engine statistics re-published by the worker thread after every
+    /// completed batch; readable from any thread without the mutex.
+    std::atomic<int64_t> published_matches{0};
+    std::atomic<size_t> published_partitions{0};
   };
 
   void WorkerLoop(Worker* worker);
   void Submit(Worker* worker);
+  /// Debug-build check that Push()/Flush() stay on one thread.
+  void AssertSingleProducer() const;
 
   QuerySpec spec_;
   Options options_;
   TPStreamOperator::OutputCallback output_;
   std::mutex output_mutex_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  int64_t num_events_ = 0;
+  std::atomic<int64_t> num_events_{0};
+  /// First thread to call Push()/Flush(); debug-only enforcement.
+  mutable std::atomic<std::thread::id> producer_{};
 };
 
 }  // namespace parallel

@@ -56,6 +56,11 @@ class Stage {
 /// Stages execute synchronously in order. Schema bookkeeping: Filter and
 /// Reorder preserve the schema, Map replaces it, Detect replaces it with
 /// the query's RETURN attributes.
+///
+/// Threading: a Pipeline has no internal synchronization and must only
+/// be driven by one thread at a time (see docs/architecture.md,
+/// "Concurrency contract"). To parallelize, run one pipeline per stream
+/// or place a ParallelTPStream behind a custom sink.
 class Pipeline {
  public:
   explicit Pipeline(Schema input_schema)

@@ -1,0 +1,223 @@
+// Randomized concurrency stress suite for the partition-parallel
+// operator (carried by the `concurrency` ctest label, so the TSan CI job
+// runs exactly these binaries). Three properties are exercised:
+//
+//  1. Differential correctness: across randomized worker counts, batch
+//     sizes, key counts, partition skews, and interleaved Flush() calls,
+//     the parallel match multiset must equal the single-threaded
+//     PartitionedTPStream reference exactly.
+//  2. Stats safety: num_matches()/num_partitions()/num_events() must be
+//     callable from a second thread while ingestion is running (TSan
+//     verifies freedom from data races) and must be monotone snapshots.
+//  3. Shutdown: destruction from any state — pending batches, never
+//     flushed, zero events — must deliver every match and join cleanly.
+
+#include "parallel/parallel_operator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/partitioned_operator.h"
+#include "query/builder.h"
+
+namespace tpstream {
+namespace {
+
+QuerySpec KeyedSpec() {
+  Schema schema(
+      {Field{"key", ValueType::kInt}, Field{"flag", ValueType::kBool}});
+  QueryBuilder qb(schema);
+  qb.Define("A", FieldRef(1, "flag"))
+      .Define("B", Not(FieldRef(1, "flag")))
+      .Relate("A", {Relation::kMeets, Relation::kBefore}, "B")
+      .Within(200)
+      .Return("key", "A", AggKind::kFirst, "key")
+      .Return("n", "A", AggKind::kCount)
+      .PartitionBy("key");
+  auto spec = qb.Build();
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return spec.value();
+}
+
+// Per-key boolean phases with tunable skew: key 0 emits every tick (the
+// hot key), every other key emits with probability `emit_prob`. Small
+// probabilities concentrate nearly all traffic on one partition (and so
+// one worker); 1.0 is uniform. At most one event per key per tick keeps
+// timestamps strictly increasing per partition.
+std::vector<Event> SkewedWorkload(int keys, TimePoint horizon,
+                                  double emit_prob, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<bool> value(keys, false);
+  std::bernoulli_distribution flip(0.07);
+  std::bernoulli_distribution emit(emit_prob);
+  std::vector<Event> events;
+  for (TimePoint t = 1; t <= horizon; ++t) {
+    for (int k = 0; k < keys; ++k) {
+      if (k != 0 && !emit(rng)) continue;
+      if (flip(rng)) value[k] = !value[k];
+      events.push_back(
+          Event({Value(static_cast<int64_t>(k)), Value(value[k])}, t));
+    }
+  }
+  return events;
+}
+
+// Match multiset signature: (timestamp, key) pairs, sorted.
+using Signature = std::vector<std::pair<TimePoint, int64_t>>;
+
+Signature SequentialReference(const QuerySpec& spec,
+                              const std::vector<Event>& events) {
+  Signature out;
+  PartitionedTPStream op(spec, {}, [&](const Event& e) {
+    out.emplace_back(e.t, e.payload[0].AsInt());
+  });
+  for (const Event& e : events) op.Push(e);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ConcurrencyStressTest, ParallelMatchesSequentialAcrossRandomConfigs) {
+  const QuerySpec spec = KeyedSpec();
+  std::mt19937_64 rng(20260806);
+
+  const int kKeys[] = {1, 2, 3, 17, 33};
+  const size_t kBatches[] = {1, 2, 7, 33, 256};
+  const double kEmitProbs[] = {1.0, 0.5, 0.1};
+  // 0 = never flush mid-stream; otherwise flush every N pushed events.
+  const size_t kFlushEvery[] = {0, 97, 389, 1021};
+
+  int configs = 0;
+  for (int iter = 0; iter < 24; ++iter) {
+    const int keys = kKeys[rng() % std::size(kKeys)];
+    const size_t batch = kBatches[rng() % std::size(kBatches)];
+    const double emit_prob = kEmitProbs[rng() % std::size(kEmitProbs)];
+    const size_t flush_every = kFlushEvery[rng() % std::size(kFlushEvery)];
+    const int workers = 1 + static_cast<int>(rng() % 6);
+    const TimePoint horizon = 150 + static_cast<TimePoint>(rng() % 300);
+    const uint64_t seed = rng();
+    SCOPED_TRACE(testing::Message()
+                 << "config " << iter << ": keys=" << keys
+                 << " workers=" << workers << " batch=" << batch
+                 << " emit_prob=" << emit_prob
+                 << " flush_every=" << flush_every
+                 << " horizon=" << horizon << " seed=" << seed);
+
+    const std::vector<Event> events =
+        SkewedWorkload(keys, horizon, emit_prob, seed);
+    const Signature expected = SequentialReference(spec, events);
+
+    Signature parallel_out;
+    std::mutex mutex;
+    parallel::ParallelTPStream::Options options;
+    options.num_workers = workers;
+    options.batch_size = batch;
+    {
+      parallel::ParallelTPStream op(spec, options, [&](const Event& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        parallel_out.emplace_back(e.t, e.payload[0].AsInt());
+      });
+      size_t pushed = 0;
+      for (const Event& e : events) {
+        op.Push(e);
+        if (flush_every != 0 && ++pushed % flush_every == 0) op.Flush();
+      }
+      op.Flush();
+      EXPECT_EQ(op.num_events(), static_cast<int64_t>(events.size()));
+      EXPECT_EQ(op.num_matches(), static_cast<int64_t>(expected.size()));
+      EXPECT_EQ(op.num_partitions(), static_cast<size_t>(keys));
+    }
+    std::sort(parallel_out.begin(), parallel_out.end());
+    EXPECT_EQ(parallel_out, expected);
+    ++configs;
+  }
+  EXPECT_GE(configs, 20);
+}
+
+TEST(ConcurrencyStressTest, StatsGettersAreSafeDuringIngestion) {
+  const QuerySpec spec = KeyedSpec();
+  const std::vector<Event> events = SkewedWorkload(8, 2500, 1.0, 42);
+  const Signature expected = SequentialReference(spec, events);
+
+  parallel::ParallelTPStream::Options options;
+  options.num_workers = 4;
+  options.batch_size = 32;
+  std::atomic<int64_t> delivered{0};
+  parallel::ParallelTPStream op(spec, options,
+                                [&](const Event&) { ++delivered; });
+
+  // Hammer the getters from a second thread for the whole ingestion run;
+  // each must be race-free (TSan) and monotone.
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    int64_t last_matches = 0;
+    int64_t last_events = 0;
+    size_t last_partitions = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const int64_t m = op.num_matches();
+      const int64_t e = op.num_events();
+      const size_t p = op.num_partitions();
+      EXPECT_GE(m, last_matches);
+      EXPECT_GE(e, last_events);
+      EXPECT_GE(p, last_partitions);
+      last_matches = m;
+      last_events = e;
+      last_partitions = p;
+      std::this_thread::yield();
+    }
+  });
+
+  size_t pushed = 0;
+  for (const Event& e : events) {
+    op.Push(e);
+    if (++pushed % 1000 == 0) op.Flush();  // interleaved quiesce points
+  }
+  op.Flush();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(op.num_events(), static_cast<int64_t>(events.size()));
+  EXPECT_EQ(op.num_matches(), static_cast<int64_t>(expected.size()));
+  EXPECT_EQ(op.num_matches(), delivered.load());
+  EXPECT_EQ(op.num_partitions(), 8u);
+}
+
+TEST(ConcurrencyStressTest, DestructionFromAnyStateIsCleanAndLossless) {
+  const QuerySpec spec = KeyedSpec();
+  // Large batch size => everything still pending producer-side when the
+  // destructor runs; it must flush and deliver every match.
+  for (int workers = 1; workers <= 5; ++workers) {
+    const std::vector<Event> events =
+        SkewedWorkload(7, 400, 0.8, 100 + workers);
+    const Signature expected = SequentialReference(spec, events);
+    std::atomic<int64_t> delivered{0};
+    {
+      parallel::ParallelTPStream::Options options;
+      options.num_workers = workers;
+      options.batch_size = 1 << 20;
+      parallel::ParallelTPStream op(spec, options,
+                                    [&](const Event&) { ++delivered; });
+      for (const Event& e : events) op.Push(e);
+      // No Flush(): the destructor owns delivery.
+    }
+    EXPECT_EQ(delivered.load(), static_cast<int64_t>(expected.size()))
+        << "workers=" << workers;
+  }
+  // Idle construct/destruct: workers park on their condition variables
+  // and must still shut down promptly.
+  for (int i = 0; i < 8; ++i) {
+    parallel::ParallelTPStream::Options options;
+    options.num_workers = 1 + i % 4;
+    parallel::ParallelTPStream op(spec, options, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace tpstream

@@ -1,0 +1,145 @@
+// ValueHash sits on the per-event partition-routing path of
+// ParallelTPStream. This suite pins down its two contractual properties:
+// it never allocates (the old path materialized Value::ToString() for
+// every non-int key), and it is deterministic, so a given key always
+// lands on the same worker. A differential run with a double partition
+// key checks end-to-end routing against the sequential reference.
+
+#include "common/value.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/partitioned_operator.h"
+#include "parallel/parallel_operator.h"
+#include "query/builder.h"
+
+// Counting global allocator: every operator new in this binary bumps the
+// counter, so a test can assert a region of code performs none.
+namespace {
+std::atomic<size_t> g_allocation_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tpstream {
+namespace {
+
+TEST(ValueHashTest, HashingIsAllocationFreeForEveryType) {
+  const Value values[] = {
+      Value(),
+      Value(static_cast<int64_t>(1234567)),
+      Value(3.14159),
+      Value(true),
+      Value(std::string(64, 'x')),  // longer than any SSO buffer
+  };
+  size_t sink = 0;
+  const size_t before = g_allocation_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    for (const Value& v : values) sink ^= ValueHash{}(v);
+  }
+  const size_t after = g_allocation_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "ValueHash allocated on the hot path";
+  // Defeat dead-code elimination of the hash loop.
+  EXPECT_NE(sink, static_cast<size_t>(0x5eed));
+}
+
+TEST(ValueHashTest, EqualValuesHashEqually) {
+  EXPECT_EQ(ValueHash{}(Value(2.5)), ValueHash{}(Value(2.5)));
+  EXPECT_EQ(ValueHash{}(Value(0.0)), ValueHash{}(Value(-0.0)));
+  EXPECT_EQ(ValueHash{}(Value(static_cast<int64_t>(-7))),
+            ValueHash{}(Value(static_cast<int64_t>(-7))));
+  EXPECT_EQ(ValueHash{}(Value(std::string("sensor-17"))),
+            ValueHash{}(Value(std::string("sensor-17"))));
+  EXPECT_EQ(ValueHash{}(Value(true)), ValueHash{}(Value(true)));
+  EXPECT_EQ(ValueHash{}(Value()), ValueHash{}(Value()));
+}
+
+QuerySpec DoubleKeyedSpec() {
+  Schema schema(
+      {Field{"key", ValueType::kDouble}, Field{"flag", ValueType::kBool}});
+  QueryBuilder qb(schema);
+  qb.Define("A", FieldRef(1, "flag"))
+      .Define("B", Not(FieldRef(1, "flag")))
+      .Relate("A", {Relation::kMeets, Relation::kBefore}, "B")
+      .Within(150)
+      .Return("key", "A", AggKind::kFirst, "key")
+      .Return("n", "A", AggKind::kCount)
+      .PartitionBy("key");
+  auto spec = qb.Build();
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return spec.value();
+}
+
+using Signature = std::vector<std::pair<TimePoint, double>>;
+
+TEST(ValueHashTest, DoubleKeyedPartitioningIsStableAndMatchesSequential) {
+  const QuerySpec spec = DoubleKeyedSpec();
+
+  // 11 distinct double keys including negatives and fractions.
+  std::vector<double> keys;
+  for (int k = 0; k < 11; ++k) keys.push_back(0.5 * k - 2.25);
+  std::mt19937_64 rng(7);
+  std::vector<bool> value(keys.size(), false);
+  std::bernoulli_distribution flip(0.08);
+  std::vector<Event> events;
+  for (TimePoint t = 1; t <= 600; ++t) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      if (flip(rng)) value[k] = !value[k];
+      events.push_back(Event({Value(keys[k]), Value(value[k])}, t));
+    }
+  }
+
+  Signature sequential;
+  {
+    PartitionedTPStream op(spec, {}, [&](const Event& e) {
+      sequential.emplace_back(e.t, e.payload[0].AsDouble());
+    });
+    for (const Event& e : events) op.Push(e);
+  }
+  ASSERT_FALSE(sequential.empty());
+  std::sort(sequential.begin(), sequential.end());
+
+  // Two independent parallel runs: identical results (routing is a pure
+  // function of the key) and both equal to the sequential reference.
+  Signature runs[2];
+  for (Signature& out : runs) {
+    std::mutex mutex;
+    parallel::ParallelTPStream::Options options;
+    options.num_workers = 3;
+    options.batch_size = 16;
+    parallel::ParallelTPStream op(spec, options, [&](const Event& e) {
+      std::lock_guard<std::mutex> lock(mutex);
+      out.emplace_back(e.t, e.payload[0].AsDouble());
+    });
+    for (const Event& e : events) op.Push(e);
+    op.Flush();
+    EXPECT_EQ(op.num_partitions(), keys.size());
+    std::sort(out.begin(), out.end());
+  }
+  EXPECT_EQ(runs[0], sequential);
+  EXPECT_EQ(runs[1], sequential);
+}
+
+}  // namespace
+}  // namespace tpstream

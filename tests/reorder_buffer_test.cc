@@ -55,6 +55,88 @@ TEST(ReorderBufferTest, TiesAcrossPartitionsPassThrough) {
   EXPECT_EQ(reorder.num_dropped(), 0);
 }
 
+TEST(ReorderBufferTest, TieWithLastReleaseIsAcceptedStrictlyOlderDropped) {
+  ooo::ReorderBuffer reorder({/*slack=*/0});
+  std::vector<TimePoint> released;
+  std::vector<TimePoint> late;
+  reorder.SetLateCallback([&](const Event& e) { late.push_back(e.t); });
+  auto sink = [&](const Event& e) { released.push_back(e.t); };
+
+  reorder.Push(Ev(10), sink);  // released immediately (slack 0)
+  reorder.Push(Ev(10), sink);  // t == last release: accepted and released
+  reorder.Push(Ev(9), sink);   // strictly older: dropped + reported
+  reorder.Push(Ev(11), sink);
+
+  EXPECT_EQ(released, (std::vector<TimePoint>{10, 10, 11}));
+  EXPECT_EQ(late, (std::vector<TimePoint>{9}));
+  EXPECT_EQ(reorder.num_dropped(), 1);
+}
+
+TEST(ReorderBufferTest, FlushLeavesWatermarkConsistent) {
+  ooo::ReorderBuffer reorder({/*slack=*/100});
+  std::vector<TimePoint> released;
+  auto sink = [&](const Event& e) { released.push_back(e.t); };
+
+  for (TimePoint t : {10, 30, 20}) reorder.Push(Ev(t), sink);
+  EXPECT_TRUE(released.empty());  // all within slack of max_seen
+  EXPECT_EQ(reorder.buffered(), 3u);
+
+  reorder.Flush(sink);
+  EXPECT_EQ(released, (std::vector<TimePoint>{10, 20, 30}));
+  EXPECT_EQ(reorder.buffered(), 0u);
+  // The watermark advanced to the last released timestamp: ties are
+  // still accepted afterwards, strictly older events are late.
+  EXPECT_EQ(reorder.watermark(), 30);
+  reorder.Push(Ev(30), sink);
+  reorder.Push(Ev(29), sink);
+  reorder.Flush(sink);
+  EXPECT_EQ(released, (std::vector<TimePoint>{10, 20, 30, 30}));
+  EXPECT_EQ(reorder.num_dropped(), 1);
+}
+
+// Regression: `watermark = max_seen - slack` used to be a raw signed
+// subtraction, which is UB (and wrapped to a huge positive watermark,
+// releasing everything prematurely) for timestamps within `slack` of
+// kTimeMin. The subtraction must saturate. Run under UBSan to verify.
+TEST(ReorderBufferTest, TimeMinAdjacentTimestampsSaturateTheWatermark) {
+  ooo::ReorderBuffer reorder({/*slack=*/100});
+  std::vector<TimePoint> released;
+  auto sink = [&](const Event& e) { released.push_back(e.t); };
+
+  // kTimeMin itself ties with the initial watermark (degenerate but
+  // well-defined: released immediately, like any tie).
+  reorder.Push(Ev(kTimeMin), sink);
+  EXPECT_EQ(released, (std::vector<TimePoint>{kTimeMin}));
+
+  // kTimeMin + 1 must be HELD: no event >= t + slack has been seen. The
+  // wrapped watermark would have released it here.
+  reorder.Push(Ev(kTimeMin + 1), sink);
+  EXPECT_EQ(released.size(), 1u);
+  EXPECT_EQ(reorder.buffered(), 1u);
+  EXPECT_EQ(reorder.watermark(), kTimeMin);
+
+  // Once max_seen clears kTimeMin + slack the watermark advances
+  // normally and releases the held event.
+  reorder.Push(Ev(kTimeMin + 150), sink);
+  EXPECT_EQ(released,
+            (std::vector<TimePoint>{kTimeMin, kTimeMin + 1}));
+  EXPECT_EQ(reorder.watermark(), kTimeMin + 50);
+
+  reorder.Flush(sink);
+  EXPECT_EQ(released, (std::vector<TimePoint>{kTimeMin, kTimeMin + 1,
+                                              kTimeMin + 150}));
+  EXPECT_EQ(reorder.num_dropped(), 0);
+}
+
+TEST(ReorderBufferTest, NegativeSlackIsClampedToZero) {
+  ooo::ReorderBuffer reorder({/*slack=*/-5});
+  std::vector<TimePoint> released;
+  auto sink = [&](const Event& e) { released.push_back(e.t); };
+  reorder.Push(Ev(7), sink);  // slack 0: released immediately, no UB
+  EXPECT_EQ(released, (std::vector<TimePoint>{7}));
+  EXPECT_EQ(reorder.watermark(), 7);
+}
+
 // Shuffled stream + sufficient slack must reproduce the in-order results
 // of the operator exactly.
 TEST(ReorderBufferTest, OperatorResultsMatchInOrderRun) {
