@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5c_disconnected.cc" "bench-build/CMakeFiles/bench_fig5c_disconnected.dir/bench_fig5c_disconnected.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig5c_disconnected.dir/bench_fig5c_disconnected.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/baselines/CMakeFiles/tpstream_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/tpstream_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/tpstream_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cep/CMakeFiles/tpstream_cep.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/derive/CMakeFiles/tpstream_derive.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/expr/CMakeFiles/tpstream_expr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/optimizer/CMakeFiles/tpstream_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/matcher/CMakeFiles/tpstream_matcher.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/algebra/CMakeFiles/tpstream_algebra.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/tpstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

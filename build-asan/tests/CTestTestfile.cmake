@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/buffer_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/concurrency_stress_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/csv_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/deriver_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/detection_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/doc_examples_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/expression_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/interval_relation_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/low_latency_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/matcher_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/nfa_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/operator_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/parser_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/partition_hash_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_sweeps_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pattern_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/range_bounds_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/reorder_buffer_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/stress_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/value_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/workload_test[1]_include.cmake")

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/buffer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/concurrency_stress_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/csv_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/deriver_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/detection_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/doc_examples_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/expression_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/interval_relation_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/low_latency_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/matcher_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/nfa_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/operator_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parser_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/partition_hash_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_sweeps_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/pattern_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/range_bounds_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/reorder_buffer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/stress_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/value_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/workload_test[1]_include.cmake")
