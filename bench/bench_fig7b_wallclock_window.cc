@@ -2,7 +2,7 @@
 // as a function of the window size (Section 6.3.2). At max rate the
 // application-time trigger gap converts to wall time via the measured
 // per-event cost.
-// Flags: --events=N --max-window=SECONDS
+// Flags: --events=N --max-window=SECONDS --metrics-json=FILE
 #include "bench/latency_common.h"
 
 namespace tpstream {
@@ -18,8 +18,9 @@ int Run(int argc, char** argv) {
       "# Figure 7(b): wall-clock latency per result at max rate,\n"
       "# events=%lld, pattern A before B overlaps C\n"
       "# columns: window_s  system  matches  avg_latency_ms "
-      "(processing + event-gap at max rate)\n",
+      "(processing + event-gap at max rate)  p50/p95/p99_processing_us\n",
       static_cast<long long>(events));
+  obs::MetricsSnapshot merged;
 
   std::vector<Duration> windows;
   for (Duration w = 500; w <= max_window; w *= 5) windows.push_back(w);
@@ -33,16 +34,22 @@ int Run(int argc, char** argv) {
       const double ms_per_tick = run.wall_ms / run.events_pushed;
       const double latency_ms =
           run.avg_processing_ms + run.avg_event_gap_s * ms_per_tick;
-      std::printf("%8lld  %-9s %10lld %14.4f\n",
+      const obs::HistogramSnapshot processing = run.processing_us();
+      std::printf("%8lld  %-9s %10lld %14.4f  %6lld/%6lld/%6lld\n",
                   static_cast<long long>(window), iseq ? "iseq" : "tpstream",
-                  static_cast<long long>(run.matches), latency_ms);
+                  static_cast<long long>(run.matches), latency_ms,
+                  static_cast<long long>(processing.Quantile(50)),
+                  static_cast<long long>(processing.Quantile(95)),
+                  static_cast<long long>(processing.Quantile(99)));
       std::fflush(stdout);
+      if (!iseq) merged.Merge(run.metrics);
     }
   }
   std::printf(
       "# expected shape (paper): latency grows with the window for both;\n"
       "# tpstream stays clearly below iseq (cheaper evaluation + no "
       "trigger gap).\n");
+  MaybeWriteMetricsJson(flags, merged);  // tpstream runs, all windows
   return 0;
 }
 

@@ -5,7 +5,7 @@
 // latency converts the measured application-time trigger gap with the
 // configured rate. At 1 event/s the gap equals application time, which is
 // where ISEQ's event latency dominates and TPStream introduces none.
-// Flags: --events=N --window=SECONDS
+// Flags: --events=N --window=SECONDS --metrics-json=FILE
 #include "bench/latency_common.h"
 
 namespace tpstream {
@@ -43,6 +43,11 @@ int Run(int argc, char** argv) {
       "# at 1 event/s (approaching the application-time gain of Fig 7a).\n"
       "# avg application-time trigger gap: tpstream=%.1f s, iseq=%.1f s\n",
       tps.avg_event_gap_s, iseq.avg_event_gap_s);
+  PrintHistogramLine("tpstream processing_us", tps.processing_us());
+  PrintHistogramLine("iseq processing_us", iseq.processing_us());
+  PrintHistogramLine("tpstream event_gap_ticks", tps.event_gap_ticks());
+  PrintHistogramLine("iseq event_gap_ticks", iseq.event_gap_ticks());
+  MaybeWriteMetricsJson(flags, tps.metrics);
   return 0;
 }
 

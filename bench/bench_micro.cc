@@ -1,15 +1,26 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
 // building blocks: deriver, situation buffer range queries, the join core
 // and the NFA substrate.
+//
+// `--metrics-json=FILE` (handled before google-benchmark sees the args)
+// skips the benchmarks and instead runs a small fully instrumented
+// workload, dumping the registry snapshot as JSON — the smoke input for
+// cmake/check_metrics_json.cmake in CI.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <random>
+#include <string>
 
+#include "bench/bench_util.h"
 #include "cep/nfa.h"
+#include "core/operator.h"
 #include "derive/deriver.h"
 #include "matcher/low_latency_matcher.h"
 #include "matcher/matcher.h"
 #include "matcher/situation_buffer.h"
+#include "obs/metrics.h"
 #include "workload/synthetic.h"
 
 namespace tpstream {
@@ -125,7 +136,52 @@ void BM_ExpressionEval(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpressionEval);
 
+int RunMetricsSmoke(const std::string& path) {
+  // Small instrumented end-to-end run: the full operator stack on the
+  // Figure 7 pattern, every metric live.
+  TemporalPattern pattern({"A", "B", "C"});
+  (void)pattern.AddRelation(0, Relation::kBefore, 1);
+  (void)pattern.AddRelation(1, Relation::kOverlaps, 2);
+  obs::MetricsRegistry registry;
+  TPStreamOperator::Options options;
+  options.metrics = &registry;
+  TPStreamOperator op(bench::SyntheticSpec(3, pattern, /*window=*/5000),
+                      options, nullptr);
+  SyntheticGenerator::Options gopts;
+  gopts.num_streams = 3;
+  SyntheticGenerator gen(gopts);
+  for (int i = 0; i < 20000; ++i) op.Push(gen.Next());
+
+  const std::string json = registry.Snapshot().ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("metrics JSON (%zu bytes, %lld matches) written to %s\n",
+              json.size(), static_cast<long long>(op.num_matches()),
+              path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace tpstream
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Intercept --metrics-json before benchmark::Initialize (which rejects
+  // flags it does not know).
+  constexpr const char kFlag[] = "--metrics-json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return tpstream::RunMetricsSmoke(argv[i] + sizeof(kFlag) - 1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/query_spec.h"
+#include "obs/metrics.h"
 #include "query/builder.h"
 #include "workload/linear_road.h"
 #include "workload/synthetic.h"
@@ -43,11 +44,49 @@ class Flags {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atof(it->second.c_str());
   }
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
   bool Has(const std::string& key) const { return values_.count(key) != 0; }
 
  private:
   std::unordered_map<std::string, std::string> values_;
 };
+
+/// One table line summarizing a latency histogram snapshot (application
+/// or wall time; the unit is the caller's).
+inline void PrintHistogramLine(const char* label,
+                               const obs::HistogramSnapshot& h) {
+  std::printf("# %-32s count=%-9lld p50=%-8lld p95=%-8lld p99=%-8lld "
+              "max=%lld\n",
+              label, static_cast<long long>(h.count),
+              static_cast<long long>(h.Quantile(50)),
+              static_cast<long long>(h.Quantile(95)),
+              static_cast<long long>(h.Quantile(99)),
+              static_cast<long long>(h.max));
+}
+
+/// Writes `snapshot` as JSON to the file named by --metrics-json, if the
+/// flag was given (the machine-readable counterpart of the printed
+/// tables; CI validates the schema with cmake/check_metrics_json.cmake).
+inline bool MaybeWriteMetricsJson(const Flags& flags,
+                                  const obs::MetricsSnapshot& snapshot) {
+  const std::string path = flags.GetString("metrics-json", "");
+  if (path.empty()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string json = snapshot.ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("# metrics JSON written to %s\n", path.c_str());
+  return true;
+}
 
 inline double NowMs() {
   return std::chrono::duration<double, std::milli>(

@@ -38,6 +38,22 @@ struct LatencyRun {
   double avg_processing_ms = 0;  // mean per-result processing latency
   double avg_event_gap_s = 0;    // mean application-time trigger gap
   int64_t matches = 0;
+  /// Full observability snapshot of the run: the engine metrics (for
+  /// TPStream: deriver.* / matcher.* / operator.* incl. the shared
+  /// matcher.detection_latency histogram) plus the measurement-side
+  /// `bench.processing_us` and `bench.event_gap_ticks` histograms.
+  obs::MetricsSnapshot metrics;
+
+  obs::HistogramSnapshot processing_us() const {
+    auto it = metrics.histograms.find("bench.processing_us");
+    return it == metrics.histograms.end() ? obs::HistogramSnapshot{}
+                                          : it->second;
+  }
+  obs::HistogramSnapshot event_gap_ticks() const {
+    auto it = metrics.histograms.find("bench.event_gap_ticks");
+    return it == metrics.histograms.end() ? obs::HistogramSnapshot{}
+                                          : it->second;
+  }
 };
 
 /// Runs `push(event, on_this_push_start_ms)` over `events` synthetic
@@ -64,21 +80,45 @@ struct LatencyObserver {
   double processing_sum_ms = 0;
   double gap_sum_s = 0;
   int64_t matches = 0;
+  /// Histograms backing the percentile columns (registered once).
+  obs::LatencyHistogram* processing_us = nullptr;
+  obs::LatencyHistogram* gap_ticks = nullptr;
+
+  explicit LatencyObserver(obs::MetricsRegistry* registry) {
+    processing_us = registry->GetHistogram("bench.processing_us");
+    gap_ticks = registry->GetHistogram("bench.event_gap_ticks");
+  }
 
   void OnMatch(const Match& m) {
-    processing_sum_ms += NowMs() - push_start_ms;
+    const double processing_ms = NowMs() - push_start_ms;
+    processing_sum_ms += processing_ms;
+    processing_us->Record(static_cast<int64_t>(processing_ms * 1000.0));
     const TimePoint td = EarliestDetection(*pattern, m.config);
-    gap_sum_s += static_cast<double>(m.detected_at - td);
+    const TimePoint gap = m.detected_at - td;
+    gap_sum_s += static_cast<double>(gap);
+    gap_ticks->Record(gap);
     ++matches;
+  }
+
+  void Finish(LatencyRun* run, const obs::MetricsRegistry& registry) const {
+    run->matches = matches;
+    if (matches > 0) {
+      run->avg_processing_ms = processing_sum_ms / matches;
+      run->avg_event_gap_s = gap_sum_s / matches;
+    }
+    run->metrics = registry.Snapshot();
   }
 };
 
 inline LatencyRun MeasureTpstream(int64_t events, Duration window) {
   const TemporalPattern pattern = LatencyPattern();
-  LatencyObserver observer;
+  obs::MetricsRegistry registry;
+  LatencyObserver observer(&registry);
   observer.pattern = &pattern;
   QuerySpec spec = SyntheticSpec(3, pattern, window);
-  TPStreamOperator op(spec, {}, nullptr);
+  TPStreamOperator::Options options;
+  options.metrics = &registry;
+  TPStreamOperator op(spec, options, nullptr);
   op.SetMatchObserver([&](const Match& m) {
     // Ongoing situations have unknown ends; complete them for t_d
     // analysis by treating detection time as a lower bound (gap is zero
@@ -89,17 +129,14 @@ inline LatencyRun MeasureTpstream(int64_t events, Duration window) {
     observer.push_start_ms = NowMs();
     op.Push(e);
   });
-  run.matches = observer.matches;
-  if (observer.matches > 0) {
-    run.avg_processing_ms = observer.processing_sum_ms / observer.matches;
-    run.avg_event_gap_s = observer.gap_sum_s / observer.matches;
-  }
+  observer.Finish(&run, registry);
   return run;
 }
 
 inline LatencyRun MeasureIseq(int64_t events, Duration window) {
   const TemporalPattern pattern = LatencyPattern();
-  LatencyObserver observer;
+  obs::MetricsRegistry registry;
+  LatencyObserver observer(&registry);
   observer.pattern = &pattern;
   IseqOperator op(SyntheticDefinitions(3), pattern, window,
                   [&](const Match& m) { observer.OnMatch(m); });
@@ -107,11 +144,7 @@ inline LatencyRun MeasureIseq(int64_t events, Duration window) {
     observer.push_start_ms = NowMs();
     op.Push(e);
   });
-  run.matches = observer.matches;
-  if (observer.matches > 0) {
-    run.avg_processing_ms = observer.processing_sum_ms / observer.matches;
-    run.avg_event_gap_s = observer.gap_sum_s / observer.matches;
-  }
+  observer.Finish(&run, registry);
   return run;
 }
 

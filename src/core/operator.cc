@@ -1,5 +1,9 @@
 #include "core/operator.h"
 
+#include <algorithm>
+
+#include "algebra/detection.h"
+
 namespace tpstream {
 
 TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
@@ -7,7 +11,8 @@ TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
     : spec_(std::move(spec)),
       options_(std::move(options)),
       output_(std::move(output)),
-      deriver_(spec_.definitions, /*announce_starts=*/options_.low_latency) {
+      deriver_(spec_.definitions, /*announce_starts=*/options_.low_latency,
+               options_.metrics) {
   auto on_match = [this](const Match& m) { OnMatch(m); };
   if (options_.low_latency) {
     DetectionAnalysis analysis(spec_.pattern, deriver_.durations());
@@ -19,6 +24,16 @@ TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
                                          on_match, options_.stats_alpha);
   }
 
+  if (options_.metrics != nullptr) {
+    if (ll_matcher_) ll_matcher_->EnableMetrics(options_.metrics);
+    if (matcher_) matcher_->EnableMetrics(options_.metrics);
+    events_ctr_ = options_.metrics->GetCounter("operator.events");
+    matches_ctr_ = options_.metrics->GetCounter("operator.matches");
+    detection_latency_hist_ =
+        options_.metrics->GetHistogram("matcher.detection_latency");
+    stats_publisher_ = MatcherStatsPublisher(options_.metrics, spec_.pattern);
+  }
+
   if (options_.fixed_order.has_value()) {
     if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*options_.fixed_order);
     if (matcher_) matcher_->SetEvaluationOrder(*options_.fixed_order);
@@ -28,6 +43,7 @@ TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
     copts.threshold = options_.reopt_threshold;
     copts.check_interval = options_.reopt_interval;
     copts.low_latency = options_.low_latency;
+    copts.metrics = options_.metrics;
     controller_ = std::make_unique<AdaptiveController>(&spec_.pattern, copts);
     if (auto order = controller_->MaybeReoptimize(stats())) {
       if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*order);
@@ -39,6 +55,7 @@ TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
 
 void TPStreamOperator::Push(const Event& event) {
   ++num_events_;
+  if (events_ctr_ != nullptr) events_ctr_->Inc();
   const Deriver::Update& update = deriver_.Process(event);
   if (update.empty()) return;
 
@@ -54,10 +71,29 @@ void TPStreamOperator::Push(const Event& event) {
       if (matcher_) matcher_->SetEvaluationOrder(*order);
     }
   }
+
+  // EMAs change slowly; publishing at the optimizer's check cadence keeps
+  // the gauges fresh without touching the per-event fast path.
+  if (stats_publisher_.enabled() &&
+      num_events_ % std::max(options_.reopt_interval, 1) == 0) {
+    stats_publisher_.Publish(stats());
+  }
 }
 
 void TPStreamOperator::OnMatch(const Match& match) {
   ++num_matches_;
+  if (matches_ctr_ != nullptr) matches_ctr_->Inc();
+  if (detection_latency_hist_ != nullptr) {
+    // Detection latency in application time: how far behind the analytic
+    // earliest detection instant t_d (Section 5.3.1) this match surfaced.
+    // The low-latency matcher should pin this at ~0; the baseline matcher
+    // pays the distance between t_d and the last end timestamp.
+    const TimePoint td = EarliestDetection(spec_.pattern, match.config);
+    if (td != kTimeMax && match.detected_at >= td) {
+      detection_latency_hist_->Record(
+          static_cast<int64_t>(match.detected_at - td));
+    }
+  }
   if (match_observer_) match_observer_(match);
   if (!output_) return;
 

@@ -10,6 +10,7 @@
 #include "derive/deriver.h"
 #include "matcher/low_latency_matcher.h"
 #include "matcher/matcher.h"
+#include "obs/metrics.h"
 #include "optimizer/plan_optimizer.h"
 
 namespace tpstream {
@@ -35,6 +36,12 @@ class TPStreamOperator {
     /// When set, pins the evaluation order and disables adaptivity (used
     /// by the plan-quality experiments).
     std::optional<std::vector<int>> fixed_order;
+    /// Optional observability sink. When set, the operator and all its
+    /// components (deriver, matcher, optimizer) record their metrics into
+    /// this registry; when null (default) instrumentation is disabled and
+    /// the hot path is untouched. The registry must outlive the operator.
+    /// See docs/architecture.md ("Observability") for the metric names.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   using OutputCallback = std::function<void(const Event&)>;
@@ -82,6 +89,12 @@ class TPStreamOperator {
 
   int64_t num_events_ = 0;
   int64_t num_matches_ = 0;
+
+  // Observability handles (null when metrics are disabled).
+  obs::Counter* events_ctr_ = nullptr;
+  obs::Counter* matches_ctr_ = nullptr;
+  obs::LatencyHistogram* detection_latency_hist_ = nullptr;
+  MatcherStatsPublisher stats_publisher_;
 };
 
 }  // namespace tpstream

@@ -7,14 +7,25 @@ PartitionedTPStream::PartitionedTPStream(
     TPStreamOperator::OutputCallback output)
     : spec_(std::move(spec)),
       options_(std::move(options)),
-      output_(std::move(output)) {}
+      output_(std::move(output)) {
+  if (options_.metrics != nullptr) {
+    events_ctr_ = options_.metrics->GetCounter("partitioned.events");
+    partitions_gauge_ = options_.metrics->GetGauge("partitioned.partitions");
+  }
+}
 
 std::unique_ptr<TPStreamOperator> PartitionedTPStream::NewOperator() {
-  return std::make_unique<TPStreamOperator>(
+  auto op = std::make_unique<TPStreamOperator>(
       spec_, options_, [this](const Event& e) {
         ++num_matches_;
         if (output_) output_(e);
       });
+  if (partitions_gauge_ != nullptr) {
+    // The caller already default-inserted the new partition's slot, so
+    // num_partitions() counts it.
+    partitions_gauge_->Set(static_cast<double>(num_partitions()));
+  }
+  return op;
 }
 
 TPStreamOperator* PartitionedTPStream::Partition(const Value& key) {
@@ -30,6 +41,7 @@ TPStreamOperator* PartitionedTPStream::Partition(const Value& key) {
 
 void PartitionedTPStream::Push(const Event& event) {
   ++num_events_;
+  if (events_ctr_ != nullptr) events_ctr_->Inc();
   if (spec_.partition_field < 0) {
     // Unpartitioned: single implicit partition keyed by 0.
     auto& slot = int_partitions_[0];

@@ -36,6 +36,12 @@ class PartitionedTPStream {
   int64_t num_matches_ = 0;
   int64_t num_events_ = 0;
 
+  // Observability handles (null when options_.metrics is null). All
+  // partition operators share options_.metrics, so their per-component
+  // counters aggregate across partitions.
+  obs::Counter* events_ctr_ = nullptr;
+  obs::Gauge* partitions_gauge_ = nullptr;
+
   std::unordered_map<int64_t, std::unique_ptr<TPStreamOperator>>
       int_partitions_;
   std::unordered_map<std::string, std::unique_ptr<TPStreamOperator>>

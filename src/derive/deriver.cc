@@ -3,17 +3,29 @@
 namespace tpstream {
 
 Deriver::Deriver(std::vector<SituationDefinition> definitions,
-                 bool announce_starts)
+                 bool announce_starts, obs::MetricsRegistry* metrics)
     : defs_(std::move(definitions)), announce_starts_(announce_starts) {
   slots_.reserve(defs_.size());
   for (const SituationDefinition& def : defs_) {
     slots_.emplace_back(def.aggregates);
+  }
+  if (metrics != nullptr) {
+    events_ctr_ = metrics->GetCounter("deriver.events");
+    predicate_evals_ctr_ = metrics->GetCounter("deriver.predicate_evals");
+    opened_ctr_ = metrics->GetCounter("deriver.situations_opened");
+    announced_ctr_ = metrics->GetCounter("deriver.situations_announced");
+    finished_ctr_ = metrics->GetCounter("deriver.situations_finished");
+    discarded_ctr_ = metrics->GetCounter("deriver.situations_discarded");
   }
 }
 
 const Deriver::Update& Deriver::Process(const Event& event) {
   update_.started.clear();
   update_.finished.clear();
+  if (events_ctr_ != nullptr) {
+    events_ctr_->Inc();
+    predicate_evals_ctr_->Inc(static_cast<int64_t>(defs_.size()));
+  }
 
   for (int i = 0; i < static_cast<int>(defs_.size()); ++i) {
     const SituationDefinition& def = defs_[i];
@@ -26,6 +38,7 @@ const Deriver::Update& Deriver::Process(const Event& event) {
         slot.announced = false;
         slot.ts = event.t;
         slot.aggs.Init(event.payload);
+        if (opened_ctr_ != nullptr) opened_ctr_->Inc();
       } else {
         slot.aggs.Update(event.payload);
       }
@@ -34,6 +47,7 @@ const Deriver::Update& Deriver::Process(const Event& event) {
       if (announce_starts_ && !slot.announced && !def.duration.has_max() &&
           event.t + 1 - slot.ts >= def.duration.min) {
         slot.announced = true;
+        if (announced_ctr_ != nullptr) announced_ctr_->Inc();
         update_.started.push_back(SymbolSituation{
             i, Situation(slot.aggs.Snapshot(), slot.ts, kTimeUnknown)});
       }
@@ -41,8 +55,11 @@ const Deriver::Update& Deriver::Process(const Event& event) {
       // First non-satisfying event fixes the end timestamp (half-open).
       const TimePoint te = event.t;
       if (def.duration.Contains(te - slot.ts)) {
+        if (finished_ctr_ != nullptr) finished_ctr_->Inc();
         update_.finished.push_back(
             SymbolSituation{i, Situation(slot.aggs.Snapshot(), slot.ts, te)});
+      } else if (discarded_ctr_ != nullptr) {
+        discarded_ctr_->Inc();
       }
       slot.active = false;
       slot.announced = false;

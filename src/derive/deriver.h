@@ -7,6 +7,7 @@
 #include "common/event.h"
 #include "common/situation.h"
 #include "derive/definition.h"
+#include "obs/metrics.h"
 
 namespace tpstream {
 
@@ -32,7 +33,11 @@ class Deriver {
     bool empty() const { return started.empty() && finished.empty(); }
   };
 
-  Deriver(std::vector<SituationDefinition> definitions, bool announce_starts);
+  /// `metrics`, when non-null, receives the `deriver.*` counters (events,
+  /// predicate evaluations, situations opened / announced / finished /
+  /// discarded). Must outlive the deriver.
+  Deriver(std::vector<SituationDefinition> definitions, bool announce_starts,
+          obs::MetricsRegistry* metrics = nullptr);
 
   /// Processes one event; events must arrive in strictly increasing
   /// timestamp order. The returned reference is valid until the next call.
@@ -70,6 +75,14 @@ class Deriver {
   std::vector<Slot> slots_;
   bool announce_starts_;
   Update update_;
+
+  // Observability handles (null when metrics are disabled).
+  obs::Counter* events_ctr_ = nullptr;
+  obs::Counter* predicate_evals_ctr_ = nullptr;
+  obs::Counter* opened_ctr_ = nullptr;
+  obs::Counter* announced_ctr_ = nullptr;
+  obs::Counter* finished_ctr_ = nullptr;
+  obs::Counter* discarded_ctr_ = nullptr;
 };
 
 }  // namespace tpstream

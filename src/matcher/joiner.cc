@@ -12,6 +12,16 @@ PatternJoiner::PatternJoiner(const TemporalPattern* pattern, Duration window)
   order_ = EvaluationOrder::Build(*pattern, identity);
 }
 
+void PatternJoiner::EnableMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  probes_ctr_ = registry->GetCounter("matcher.probes");
+  range_queries_ctr_ = registry->GetCounter("matcher.range_queries");
+  range_query_hits_ctr_ = registry->GetCounter("matcher.range_query_hits");
+  partial_configs_ctr_ = registry->GetCounter("matcher.partial_configs");
+  full_matches_ctr_ = registry->GetCounter("matcher.full_matches");
+  window_rejects_ctr_ = registry->GetCounter("matcher.window_rejects");
+}
+
 size_t PatternJoiner::BufferedCount() const {
   size_t total = 0;
   for (const SituationBuffer& b : buffers_) total += b.size();
@@ -21,6 +31,7 @@ size_t PatternJoiner::BufferedCount() const {
 void PatternJoiner::Enumerate(std::vector<const Situation*>& working_set,
                               TimePoint now, const EmitFn& emit,
                               MatcherStats* stats) {
+  if (probes_ctr_ != nullptr) probes_ctr_->Inc();
   Step(working_set, 0, now, emit, stats);
 }
 
@@ -43,6 +54,10 @@ void PatternJoiner::Step(std::vector<const Situation*>& ws, size_t step_index,
   }
   const IndexRanges candidates = FindCandidates(step, ws, stats);
   const SituationBuffer& buf = buffers_[step.symbol];
+  if (partial_configs_ctr_ != nullptr) {
+    partial_configs_ctr_->Inc(
+        static_cast<int64_t>(candidates.TotalSize()));
+  }
   candidates.ForEach([&](uint32_t idx) {
     ws[step.symbol] = &buf.At(idx);
     Step(ws, step_index + 1, now, emit, stats);
@@ -113,6 +128,11 @@ IndexRanges PatternJoiner::FindCandidates(
       per_constraint.Add(buf.Find(*bounds));
     });
 
+    if (range_queries_ctr_ != nullptr) {
+      range_queries_ctr_->Inc();
+      range_query_hits_ctr_->Inc(
+          static_cast<int64_t>(per_constraint.TotalSize()));
+    }
     if (stats != nullptr) {
       stats->UpdateSelectivity(
           t.constraint, static_cast<double>(per_constraint.TotalSize()) /
@@ -145,7 +165,11 @@ void PatternJoiner::EmitIfWindowOk(const std::vector<const Situation*>& ws,
     const TimePoint te = s->ongoing() ? now : s->te;
     if (te > max_te) max_te = te;
   }
-  if (max_te - min_ts > window_) return;
+  if (max_te - min_ts > window_) {
+    if (window_rejects_ctr_ != nullptr) window_rejects_ctr_->Inc();
+    return;
+  }
+  if (full_matches_ctr_ != nullptr) full_matches_ctr_->Inc();
 
   // The scratch match is reused across emissions; the reference passed to
   // the callback is only valid during the call (callbacks copy what they

@@ -9,6 +9,7 @@
 #include "matcher/match.h"
 #include "matcher/situation_buffer.h"
 #include "matcher/stats.h"
+#include "obs/metrics.h"
 
 namespace tpstream {
 
@@ -34,6 +35,12 @@ class PatternJoiner {
   /// of binary-search range queries (Equation 2). Results are identical;
   /// only the cost differs. Used by bench_ablation_rangequery.
   void SetNaiveScan(bool naive) { naive_scan_ = naive; }
+
+  /// Registers the `matcher.*` join-core counters (probes, range queries
+  /// and their hits, partial configurations, full matches, window
+  /// rejects) with `registry` and starts recording into them. Disabled
+  /// (null handles, a dead branch per site) by default.
+  void EnableMetrics(obs::MetricsRegistry* registry);
 
   SituationBuffer& buffer(int symbol) { return buffers_[symbol]; }
   const SituationBuffer& buffer(int symbol) const { return buffers_[symbol]; }
@@ -82,6 +89,14 @@ class PatternJoiner {
   EvaluationOrder order_;
   std::vector<SituationBuffer> buffers_;
   bool naive_scan_ = false;
+
+  // Observability handles (null when metrics are disabled).
+  obs::Counter* probes_ctr_ = nullptr;
+  obs::Counter* range_queries_ctr_ = nullptr;
+  obs::Counter* range_query_hits_ctr_ = nullptr;
+  obs::Counter* partial_configs_ctr_ = nullptr;
+  obs::Counter* full_matches_ctr_ = nullptr;
+  obs::Counter* window_rejects_ctr_ = nullptr;
   // Reused per emission; the Match reference handed to EmitFn is valid
   // only for the duration of the call.
   mutable Match scratch_match_;

@@ -39,6 +39,13 @@ void LowLatencyMatcher::SetEvaluationOrder(
   joiner_.SetOrder(EvaluationOrder::Build(pattern_, permutation));
 }
 
+void LowLatencyMatcher::EnableMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  joiner_.EnableMetrics(registry);
+  triggers_ctr_ = registry->GetCounter("matcher.triggers");
+  dedup_hits_ctr_ = registry->GetCounter("matcher.dedup_hits");
+}
+
 void LowLatencyMatcher::Update(const std::vector<SymbolSituation>& started,
                                const std::vector<SymbolSituation>& finished,
                                TimePoint now) {
@@ -91,6 +98,7 @@ void LowLatencyMatcher::Update(const std::vector<SymbolSituation>& started,
 
 void LowLatencyMatcher::Trigger(int symbol, const Situation& situation,
                                 bool allow_bare, TimePoint now) {
+  if (triggers_ctr_ != nullptr) triggers_ctr_->Inc();
   // Candidate pool: started situations that can coexist with the trigger
   // situation in a certain configuration. A related started situation
   // whose constraint with the trigger is not yet certain cannot
@@ -136,7 +144,10 @@ void LowLatencyMatcher::Emit(const Match& match) {
     }
     const uint64_t fp = Fingerprint(match.config);
     auto [it, inserted] = emitted_.emplace(fp, min_ts);
-    if (!inserted) return;
+    if (!inserted) {
+      if (dedup_hits_ctr_ != nullptr) dedup_hits_ctr_->Inc();
+      return;
+    }
   }
   callback_(match);
 }

@@ -41,6 +41,11 @@ class LowLatencyMatcher {
   void SetEvaluationOrder(const std::vector<int>& permutation);
   std::vector<int> CurrentOrder() const { return joiner_.order().Permutation(); }
 
+  /// Starts recording the `matcher.*` counters into `registry`: the
+  /// shared join-core counters (see PatternJoiner::EnableMetrics) plus
+  /// the low-latency trigger and dedup-suppression counts.
+  void EnableMetrics(obs::MetricsRegistry* registry);
+
   /// Processes the situations started and finished at application time
   /// `now` (one deriver step).
   void Update(const std::vector<SymbolSituation>& started,
@@ -78,6 +83,10 @@ class LowLatencyMatcher {
   /// (for purging).
   std::unordered_map<uint64_t, TimePoint> emitted_;
   size_t emitted_sweep_threshold_ = 1024;
+
+  // Observability handles (null when metrics are disabled).
+  obs::Counter* triggers_ctr_ = nullptr;
+  obs::Counter* dedup_hits_ctr_ = nullptr;
 };
 
 }  // namespace tpstream

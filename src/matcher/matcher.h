@@ -27,6 +27,12 @@ class Matcher {
   /// (see PatternJoiner::SetNaiveScan).
   void SetNaiveScan(bool naive) { joiner_.SetNaiveScan(naive); }
 
+  /// Starts recording the `matcher.*` join-core counters into `registry`
+  /// (see PatternJoiner::EnableMetrics).
+  void EnableMetrics(obs::MetricsRegistry* registry) {
+    joiner_.EnableMetrics(registry);
+  }
+
   /// Processes the batch of situations finished at application time `now`
   /// (Algorithm 2): purges expired situations, adds the new ones, and
   /// matches each of them.

@@ -15,4 +15,29 @@ MatcherStats::MatcherStats(const TemporalPattern& pattern, double alpha)
   }
 }
 
+MatcherStatsPublisher::MatcherStatsPublisher(obs::MetricsRegistry* registry,
+                                             const TemporalPattern& pattern) {
+  if (registry == nullptr) return;
+  buffer_gauges_.reserve(pattern.num_symbols());
+  for (int s = 0; s < pattern.num_symbols(); ++s) {
+    buffer_gauges_.push_back(
+        registry->GetGauge("matcher.buffer_ema.s" + std::to_string(s)));
+  }
+  const int num_constraints = static_cast<int>(pattern.constraints().size());
+  selectivity_gauges_.reserve(num_constraints);
+  for (int c = 0; c < num_constraints; ++c) {
+    selectivity_gauges_.push_back(
+        registry->GetGauge("matcher.selectivity_ema.c" + std::to_string(c)));
+  }
+}
+
+void MatcherStatsPublisher::Publish(const MatcherStats& stats) {
+  for (size_t s = 0; s < buffer_gauges_.size(); ++s) {
+    buffer_gauges_[s]->Set(stats.buffer_ema(static_cast<int>(s)));
+  }
+  for (size_t c = 0; c < selectivity_gauges_.size(); ++c) {
+    selectivity_gauges_[c]->Set(stats.selectivity_ema(static_cast<int>(c)));
+  }
+}
+
 }  // namespace tpstream

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "algebra/pattern.h"
+#include "obs/metrics.h"
 
 namespace tpstream {
 
@@ -45,6 +46,31 @@ class MatcherStats {
   double alpha_ = 0.01;
   std::vector<double> buffer_ema_;
   std::vector<double> selectivity_ema_;
+};
+
+/// Bridges MatcherStats into the observability registry: one gauge per
+/// symbol buffer EMA (`matcher.buffer_ema.s<i>`) and per constraint
+/// selectivity EMA (`matcher.selectivity_ema.c<i>`). The handles are
+/// resolved once; Publish() is a handful of relaxed stores and is called
+/// periodically by the operator (at the adaptive controller's cadence).
+/// Gauges are diagnostic last-write-wins values: with several partitions
+/// sharing one registry the gauges show the most recently updated
+/// partition.
+class MatcherStatsPublisher {
+ public:
+  MatcherStatsPublisher() = default;
+  MatcherStatsPublisher(obs::MetricsRegistry* registry,
+                        const TemporalPattern& pattern);
+
+  void Publish(const MatcherStats& stats);
+
+  bool enabled() const {
+    return !buffer_gauges_.empty() || !selectivity_gauges_.empty();
+  }
+
+ private:
+  std::vector<obs::Gauge*> buffer_gauges_;
+  std::vector<obs::Gauge*> selectivity_gauges_;
 };
 
 }  // namespace tpstream

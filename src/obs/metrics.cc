@@ -1,0 +1,350 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace tpstream {
+namespace obs {
+
+namespace {
+
+void AtomicMin(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) v = 0.0;  // NaN/Inf are not valid JSON
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  out->append(std::to_string(v));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+int LatencyHistogram::BucketIndex(int64_t value) {
+  if (value < 2 * kSub) return static_cast<int>(value);
+  const int exponent =
+      std::bit_width(static_cast<uint64_t>(value)) - 1;  // floor(log2)
+  const int sub =
+      static_cast<int>((value >> (exponent - kSubBits)) & (kSub - 1));
+  return 2 * kSub + (exponent - kSubBits - 1) * kSub + sub;
+}
+
+int64_t LatencyHistogram::BucketLowerBound(int index) {
+  if (index < 2 * kSub) return index;
+  const int octave = (index - 2 * kSub) / kSub;
+  const int sub = (index - 2 * kSub) % kSub;
+  const int exponent = octave + kSubBits + 1;
+  return static_cast<int64_t>(kSub + sub) << (exponent - kSubBits);
+}
+
+int64_t LatencyHistogram::BucketUpperBound(int index) {
+  if (index < 2 * kSub) return index;
+  const int octave = (index - 2 * kSub) / kSub;
+  const int exponent = octave + kSubBits + 1;
+  return BucketLowerBound(index) + (int64_t{1} << (exponent - kSubBits)) - 1;
+}
+
+void LatencyHistogram::Record(int64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+  if (value < 0) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+  } else if (value >= kOverflowThreshold) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  snap.underflow = underflow_.load(std::memory_order_relaxed);
+  snap.overflow = overflow_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) {
+      snap.buckets.push_back(
+          HistogramBucket{BucketLowerBound(i), BucketUpperBound(i), c});
+    }
+  }
+  return snap;
+}
+
+void LatencyHistogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<int64_t>::max(), std::memory_order_relaxed);
+  max_.store(std::numeric_limits<int64_t>::min(), std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int64_t HistogramSnapshot::Quantile(double p) const {
+  if (count <= 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  int64_t rank = static_cast<int64_t>(std::ceil(clamped / 100.0 * count));
+  rank = std::clamp<int64_t>(rank, 1, count);
+
+  int64_t cumulative = static_cast<int64_t>(underflow);
+  if (rank <= cumulative) return min;  // saturated low recordings
+  for (const HistogramBucket& b : buckets) {
+    cumulative += static_cast<int64_t>(b.count);
+    if (rank <= cumulative) return std::min(b.upper, max);
+  }
+  return max;  // overflow bucket (or rounding slack)
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  underflow += other.underflow;
+  overflow += other.overflow;
+
+  // Both bucket lists are ascending over the same fixed grid.
+  std::vector<HistogramBucket> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j == other.buckets.size() ||
+        (i < buckets.size() && buckets[i].lower < other.buckets[j].lower)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() ||
+               other.buckets[j].lower < buckets[i].lower) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      HistogramBucket b = buckets[i++];
+      b.count += other.buckets[j++].count;
+      merged.push_back(b);
+    }
+  }
+  buckets = std::move(merged);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].Merge(hist);
+  }
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, value] : counters) {
+    out.append("counter ").append(name).push_back(' ');
+    AppendInt(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out.append("gauge ").append(name).push_back(' ');
+    out.append(buf);
+    out.push_back('\n');
+  }
+  for (const auto& [name, hist] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  " count=%lld sum=%lld min=%lld max=%lld",
+                  static_cast<long long>(hist.count),
+                  static_cast<long long>(hist.sum),
+                  static_cast<long long>(hist.min),
+                  static_cast<long long>(hist.max));
+    out.append("histogram ").append(name).append(buf);
+    std::snprintf(buf, sizeof(buf), " p50=%lld p95=%lld p99=%lld",
+                  static_cast<long long>(hist.Quantile(50)),
+                  static_cast<long long>(hist.Quantile(95)),
+                  static_cast<long long>(hist.Quantile(99)));
+    out.append(buf);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out.push_back('{');
+
+  out.append("\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendInt(&out, value);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendJsonDouble(&out, value);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.append(":{\"count\":");
+    AppendInt(&out, hist.count);
+    out.append(",\"sum\":");
+    AppendInt(&out, hist.sum);
+    out.append(",\"min\":");
+    AppendInt(&out, hist.min);
+    out.append(",\"max\":");
+    AppendInt(&out, hist.max);
+    out.append(",\"underflow\":");
+    AppendInt(&out, static_cast<int64_t>(hist.underflow));
+    out.append(",\"overflow\":");
+    AppendInt(&out, static_cast<int64_t>(hist.overflow));
+    out.append(",\"p50\":");
+    AppendInt(&out, hist.Quantile(50));
+    out.append(",\"p95\":");
+    AppendInt(&out, hist.Quantile(95));
+    out.append(",\"p99\":");
+    AppendInt(&out, hist.Quantile(99));
+    out.append(",\"buckets\":[");
+    bool first_bucket = true;
+    for (const HistogramBucket& b : hist.buckets) {
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out.push_back('[');
+      AppendInt(&out, b.lower);
+      out.push_back(',');
+      AppendInt(&out, b.upper);
+      out.push_back(',');
+      AppendInt(&out, static_cast<int64_t>(b.count));
+      out.push_back(']');
+    }
+    out.append("]}");
+  }
+  out.append("}}");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace(name, hist->Snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace obs
+}  // namespace tpstream

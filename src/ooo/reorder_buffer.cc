@@ -8,10 +8,14 @@ void ReorderBuffer::Push(const Event& event, const Sink& sink) {
   // same tick); only strictly older events are late.
   if (event.t < last_released_) {
     ++num_dropped_;
+    if (dropped_ctr_ != nullptr) dropped_ctr_->Inc();
     if (late_callback_) late_callback_(event);
     return;
   }
-  if (event.t < max_seen_) ++num_reordered_;
+  if (event.t < max_seen_) {
+    ++num_reordered_;
+    if (reordered_ctr_ != nullptr) reordered_ctr_->Inc();
+  }
   if (event.t > max_seen_) max_seen_ = event.t;
   heap_.push(event);
 
@@ -26,6 +30,11 @@ void ReorderBuffer::Push(const Event& event, const Sink& sink) {
     last_released_ = heap_.top().t;
     sink(heap_.top());
     heap_.pop();
+    if (released_ctr_ != nullptr) released_ctr_->Inc();
+  }
+  if (buffered_gauge_ != nullptr) {
+    buffered_gauge_->Set(static_cast<double>(heap_.size()));
+    lag_gauge_->Set(static_cast<double>(max_seen_ - watermark_));
   }
 }
 
@@ -34,8 +43,13 @@ void ReorderBuffer::Flush(const Sink& sink) {
     last_released_ = heap_.top().t;
     sink(heap_.top());
     heap_.pop();
+    if (released_ctr_ != nullptr) released_ctr_->Inc();
   }
   watermark_ = last_released_;
+  if (buffered_gauge_ != nullptr) {
+    buffered_gauge_->Set(0.0);
+    lag_gauge_->Set(0.0);
+  }
 }
 
 }  // namespace ooo

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/event.h"
+#include "obs/metrics.h"
 
 namespace tpstream {
 namespace ooo {
@@ -31,6 +32,10 @@ class ReorderBuffer {
   struct Options {
     /// Maximum tolerated lateness (in ticks).
     Duration slack = 0;
+    /// Optional observability sink: `reorder.released` / `.reordered` /
+    /// `.dropped` counters, `reorder.buffered` / `.watermark_lag` gauges
+    /// (lag = max seen timestamp minus watermark, in ticks).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   using Sink = std::function<void(const Event&)>;
@@ -40,6 +45,13 @@ class ReorderBuffer {
     // A negative slack has no sensible reading; treat it as "no slack"
     // (it would also break the saturating watermark arithmetic in Push).
     if (options_.slack < 0) options_.slack = 0;
+    if (options_.metrics != nullptr) {
+      released_ctr_ = options_.metrics->GetCounter("reorder.released");
+      reordered_ctr_ = options_.metrics->GetCounter("reorder.reordered");
+      dropped_ctr_ = options_.metrics->GetCounter("reorder.dropped");
+      buffered_gauge_ = options_.metrics->GetGauge("reorder.buffered");
+      lag_gauge_ = options_.metrics->GetGauge("reorder.watermark_lag");
+    }
   }
 
   /// Inserts one event and forwards every event whose release condition
@@ -72,6 +84,13 @@ class ReorderBuffer {
   TimePoint watermark_ = kTimeMin;
   int64_t num_reordered_ = 0;
   int64_t num_dropped_ = 0;
+
+  // Observability handles (null when metrics are disabled).
+  obs::Counter* released_ctr_ = nullptr;
+  obs::Counter* reordered_ctr_ = nullptr;
+  obs::Counter* dropped_ctr_ = nullptr;
+  obs::Gauge* buffered_gauge_ = nullptr;
+  obs::Gauge* lag_gauge_ = nullptr;
 };
 
 }  // namespace ooo

@@ -278,22 +278,38 @@ std::vector<std::vector<int>> PlanOptimizer::EnumerateOrders() const {
 
 AdaptiveController::AdaptiveController(const TemporalPattern* pattern,
                                        Options options)
-    : optimizer_(pattern, options.low_latency), options_(options) {}
+    : optimizer_(pattern, options.low_latency), options_(options) {
+  if (options_.metrics != nullptr) {
+    reopt_ctr_ = options_.metrics->GetCounter("optimizer.reoptimizations");
+    switches_ctr_ = options_.metrics->GetCounter("optimizer.plan_switches");
+    buffer_drift_gauge_ = options_.metrics->GetGauge("optimizer.buffer_drift");
+    selectivity_drift_gauge_ =
+        options_.metrics->GetGauge("optimizer.selectivity_drift");
+  }
+}
 
 bool AdaptiveController::Drifted(const MatcherStats& stats) const {
-  auto deviates = [this](double current, double snapshot) {
+  auto deviation = [](double current, double snapshot) {
     const double base = std::max(std::abs(snapshot), 1e-9);
-    return std::abs(current - snapshot) / base > options_.threshold;
+    return std::abs(current - snapshot) / base;
   };
+  double max_buffer_dev = 0.0;
   for (size_t i = 0; i < snapshot_buffers_.size(); ++i) {
-    if (deviates(stats.buffer_emas()[i], snapshot_buffers_[i])) return true;
+    max_buffer_dev = std::max(
+        max_buffer_dev, deviation(stats.buffer_emas()[i], snapshot_buffers_[i]));
   }
+  double max_sel_dev = 0.0;
   for (size_t i = 0; i < snapshot_selectivities_.size(); ++i) {
-    if (deviates(stats.selectivity_emas()[i], snapshot_selectivities_[i])) {
-      return true;
-    }
+    max_sel_dev =
+        std::max(max_sel_dev, deviation(stats.selectivity_emas()[i],
+                                        snapshot_selectivities_[i]));
   }
-  return false;
+  if (buffer_drift_gauge_ != nullptr) buffer_drift_gauge_->Set(max_buffer_dev);
+  if (selectivity_drift_gauge_ != nullptr) {
+    selectivity_drift_gauge_->Set(max_sel_dev);
+  }
+  return max_buffer_dev > options_.threshold ||
+         max_sel_dev > options_.threshold;
 }
 
 std::optional<std::vector<int>> AdaptiveController::MaybeReoptimize(
@@ -306,11 +322,13 @@ std::optional<std::vector<int>> AdaptiveController::MaybeReoptimize(
   snapshot_buffers_ = stats.buffer_emas();
   snapshot_selectivities_ = stats.selectivity_emas();
   ++reoptimizations_;
+  if (reopt_ctr_ != nullptr) reopt_ctr_->Inc();
   std::vector<int> order = optimizer_.BestOrder(stats);
   if (initialized_ && order == current_order_) return std::nullopt;
   current_order_ = order;
   initialized_ = true;
   ++migrations_;
+  if (switches_ctr_ != nullptr) switches_ctr_->Inc();
   return order;
 }
 

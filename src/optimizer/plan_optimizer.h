@@ -6,6 +6,7 @@
 
 #include "algebra/pattern.h"
 #include "matcher/stats.h"
+#include "obs/metrics.h"
 
 namespace tpstream {
 
@@ -107,6 +108,12 @@ class AdaptiveController {
     int check_interval = 64;
     /// Cost-model seed set: low-latency triggers vs baseline arrivals.
     bool low_latency = true;
+    /// Optional observability sink: records `optimizer.reoptimizations`,
+    /// `optimizer.plan_switches` and the `optimizer.buffer_drift` /
+    /// `optimizer.selectivity_drift` gauges (max relative deviation of
+    /// the live EMAs from the estimates the current plan was built on —
+    /// i.e. estimated-vs-actual statistics).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   AdaptiveController(const TemporalPattern* pattern, Options options);
@@ -130,6 +137,12 @@ class AdaptiveController {
   std::vector<double> snapshot_buffers_;
   std::vector<double> snapshot_selectivities_;
   std::vector<int> current_order_;
+
+  // Observability handles (null when metrics are disabled).
+  obs::Counter* reopt_ctr_ = nullptr;
+  obs::Counter* switches_ctr_ = nullptr;
+  obs::Gauge* buffer_drift_gauge_ = nullptr;
+  obs::Gauge* selectivity_drift_gauge_ = nullptr;
 };
 
 }  // namespace tpstream

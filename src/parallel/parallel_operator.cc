@@ -12,11 +12,26 @@ ParallelTPStream::ParallelTPStream(QuerySpec spec, Options options,
       output_(std::move(output)) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.batch_size < 1) options_.batch_size = 1;
+
+  events_ctr_ = producer_registry_.GetCounter("parallel.events");
+  batches_ctr_ = producer_registry_.GetCounter("parallel.batches");
+  merge_stalls_ctr_ = producer_registry_.GetCounter("parallel.merge_stalls");
+
+  const bool engine_metrics = options_.operator_options.metrics != nullptr;
   workers_.reserve(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     auto worker = std::make_unique<Worker>(options_.batch_size);
+    worker->matches_ctr = worker->registry.GetCounter("parallel.matches");
+    worker->partitions_ctr =
+        worker->registry.GetCounter("parallel.partitions");
+    worker->depth_gauge = producer_registry_.GetGauge(
+        "parallel.queue_depth.w" + std::to_string(i));
+    // Each worker engine records into the worker's own registry so that
+    // no metric is written from two threads (merge-on-read).
+    TPStreamOperator::Options op_options = options_.operator_options;
+    op_options.metrics = engine_metrics ? &worker->registry : nullptr;
     worker->engine = std::make_unique<PartitionedTPStream>(
-        spec_, options_.operator_options, [this](const Event& e) {
+        spec_, op_options, [this](const Event& e) {
           std::lock_guard<std::mutex> lock(output_mutex_);
           if (output_) output_(e);
         });
@@ -60,11 +75,16 @@ void ParallelTPStream::WorkerLoop(Worker* worker) {
     // Publish engine statistics before announcing the batch done: a
     // reader synchronizing through Flush() (which re-acquires this
     // worker's mutex) then observes exact values. Concurrent readers see
-    // a monotone snapshot at batch granularity.
-    worker->published_matches.store(worker->engine->num_matches(),
-                                    std::memory_order_relaxed);
-    worker->published_partitions.store(worker->engine->num_partitions(),
-                                       std::memory_order_relaxed);
+    // a monotone snapshot at batch granularity. Published as counter
+    // deltas into the worker-local registry so they merge with the other
+    // workers' on read.
+    worker->matches_ctr->Inc(worker->engine->num_matches() -
+                             worker->last_matches);
+    worker->last_matches = worker->engine->num_matches();
+    const int64_t partitions =
+        static_cast<int64_t>(worker->engine->num_partitions());
+    worker->partitions_ctr->Inc(partitions - worker->last_partitions);
+    worker->last_partitions = partitions;
     {
       std::lock_guard<std::mutex> lock(worker->mutex);
       worker->busy = false;
@@ -75,10 +95,15 @@ void ParallelTPStream::WorkerLoop(Worker* worker) {
 
 void ParallelTPStream::Submit(Worker* worker) {
   if (worker->pending.empty()) return;
+  batches_ctr_->Inc();
+  worker->depth_gauge->Set(static_cast<double>(worker->pending.size()));
   {
     std::unique_lock<std::mutex> lock(worker->mutex);
     // Keep queues bounded: wait until the previous hand-off was consumed.
-    worker->drained.wait(lock, [worker] { return worker->queue.empty(); });
+    if (!worker->queue.empty()) {
+      merge_stalls_ctr_->Inc();
+      worker->drained.wait(lock, [worker] { return worker->queue.empty(); });
+    }
     worker->queue.swap(worker->pending);
   }
   worker->wake.notify_one();
@@ -102,7 +127,7 @@ void ParallelTPStream::AssertSingleProducer() const {
 
 void ParallelTPStream::Push(const Event& event) {
   AssertSingleProducer();
-  num_events_.fetch_add(1, std::memory_order_relaxed);
+  events_ctr_->Inc();
   size_t index = 0;
   if (spec_.partition_field >= 0 && workers_.size() > 1) {
     // Hash the typed value directly (ValueHash): no per-event ToString()
@@ -127,19 +152,27 @@ void ParallelTPStream::Flush() {
 }
 
 size_t ParallelTPStream::num_partitions() const {
-  size_t total = 0;
+  int64_t total = 0;
   for (const auto& worker : workers_) {
-    total += worker->published_partitions.load(std::memory_order_relaxed);
+    total += worker->partitions_ctr->value();
   }
-  return total;
+  return static_cast<size_t>(total);
 }
 
 int64_t ParallelTPStream::num_matches() const {
   int64_t total = 0;
   for (const auto& worker : workers_) {
-    total += worker->published_matches.load(std::memory_order_relaxed);
+    total += worker->matches_ctr->value();
   }
   return total;
+}
+
+obs::MetricsSnapshot ParallelTPStream::Metrics() const {
+  obs::MetricsSnapshot snapshot = producer_registry_.Snapshot();
+  for (const auto& worker : workers_) {
+    snapshot.Merge(worker->registry.Snapshot());
+  }
+  return snapshot;
 }
 
 }  // namespace parallel

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/partitioned_operator.h"
+#include "obs/metrics.h"
 
 namespace tpstream {
 namespace parallel {
@@ -30,11 +31,16 @@ namespace parallel {
 ///    and is serialized by an internal mutex (so a plain callback is
 ///    safe, at the cost of contention for match-heavy queries).
 ///  * num_matches() / num_partitions() / num_events() may be called from
-///    any thread at any time: they read per-worker atomic counters
+///    any thread at any time: they read per-worker registry counters
 ///    published after every completed batch. While ingestion is running
 ///    they trail the live engines by at most one in-flight batch per
 ///    worker (and are monotone); once Flush() has returned they are
 ///    exact.
+///  * Observability follows the merge-on-read design: every worker owns a
+///    private obs::MetricsRegistry its engine records into (no cross-
+///    thread metric writes), plus one producer-side registry for the
+///    routing-layer metrics. Metrics() merges all of them into one
+///    snapshot; the same staleness/exactness rules as above apply.
 class ParallelTPStream {
  public:
   struct Options {
@@ -42,6 +48,12 @@ class ParallelTPStream {
     /// Events are handed to workers in batches to amortize queue
     /// synchronization.
     size_t batch_size = 256;
+    /// `operator_options.metrics` acts as an enable flag only: when
+    /// non-null, every worker engine is instrumented into its *own*
+    /// worker-local registry (never into the supplied registry, which
+    /// would funnel every worker's writes through shared gauges); read
+    /// the merged result — engine metrics plus the routing-layer
+    /// `parallel.*` metrics — with Metrics().
     TPStreamOperator::Options operator_options;
   };
 
@@ -72,18 +84,25 @@ class ParallelTPStream {
   int64_t num_matches() const;
 
   /// Events accepted by Push(). Safe from any thread.
-  int64_t num_events() const {
-    return num_events_.load(std::memory_order_relaxed);
-  }
+  int64_t num_events() const { return events_ctr_->value(); }
 
   /// Total partitions across workers. Safe from any thread; exact after
   /// Flush(), otherwise a recent (monotone) snapshot.
   size_t num_partitions() const;
 
+  /// Merged observability snapshot: producer registry + every worker's
+  /// registry (counters/histograms add, gauges sum). Safe from any
+  /// thread; exact once Flush() has returned.
+  obs::MetricsSnapshot Metrics() const;
+
  private:
   struct Worker {
     explicit Worker(size_t reserve) { pending.reserve(reserve); }
 
+    /// Worker-local metrics: the engine (when instrumented) and the
+    /// batch-publish counters below record here; only this worker's
+    /// thread writes, any thread may snapshot (merge-on-read).
+    obs::MetricsRegistry registry;
     std::unique_ptr<PartitionedTPStream> engine;  // worker-thread-owned
     std::thread thread;
     std::mutex mutex;
@@ -93,10 +112,17 @@ class ParallelTPStream {
     std::vector<Event> queue;    // handed over under the mutex
     bool busy = false;
     bool stop = false;
-    /// Engine statistics re-published by the worker thread after every
-    /// completed batch; readable from any thread without the mutex.
-    std::atomic<int64_t> published_matches{0};
-    std::atomic<size_t> published_partitions{0};
+    /// Engine statistics re-published into `registry` by the worker
+    /// thread after every completed batch (counter handles resolved at
+    /// construction); readable from any thread without the mutex.
+    obs::Counter* matches_ctr = nullptr;
+    obs::Counter* partitions_ctr = nullptr;
+    /// Producer-registry gauge: queue depth at the last hand-off.
+    obs::Gauge* depth_gauge = nullptr;
+    /// Worker-thread-local: engine totals at the last publish (delta
+    /// source for the counters above).
+    int64_t last_matches = 0;
+    int64_t last_partitions = 0;
   };
 
   void WorkerLoop(Worker* worker);
@@ -109,7 +135,11 @@ class ParallelTPStream {
   TPStreamOperator::OutputCallback output_;
   std::mutex output_mutex_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::atomic<int64_t> num_events_{0};
+  /// Routing-layer metrics; written by the producer thread only.
+  obs::MetricsRegistry producer_registry_;
+  obs::Counter* events_ctr_ = nullptr;
+  obs::Counter* batches_ctr_ = nullptr;
+  obs::Counter* merge_stalls_ctr_ = nullptr;
   /// First thread to call Push()/Flush(); debug-only enforcement.
   mutable std::atomic<std::thread::id> producer_{};
 };

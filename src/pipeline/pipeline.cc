@@ -37,8 +37,8 @@ class MapStage final : public Stage {
 
 class ReorderStage final : public Stage {
  public:
-  explicit ReorderStage(Duration slack)
-      : buffer_(ooo::ReorderBuffer::Options{slack}) {}
+  explicit ReorderStage(ooo::ReorderBuffer::Options options)
+      : options_(options), buffer_(options) {}
 
   void Process(const Event& event) override {
     buffer_.Push(event, [this](const Event& e) { Emit(e); });
@@ -49,20 +49,36 @@ class ReorderStage final : public Stage {
     Stage::Finish();
   }
 
+  void Reset() override { buffer_ = ooo::ReorderBuffer(options_); }
+
  private:
+  ooo::ReorderBuffer::Options options_;
   ooo::ReorderBuffer buffer_;
 };
 
 class DetectStage final : public Stage {
  public:
   DetectStage(QuerySpec spec, TPStreamOperator::Options options)
-      : engine_(std::move(spec), std::move(options),
-                [this](const Event& match) { Emit(match); }) {}
+      : spec_(std::move(spec)), options_(std::move(options)) {
+    Rebuild();
+  }
 
-  void Process(const Event& event) override { engine_.Push(event); }
+  void Process(const Event& event) override { engine_->Push(event); }
+
+  /// A fresh engine drops derived situations, matcher buffers and the
+  /// adaptive statistics — the restart semantics Pipeline::Reset()
+  /// promises (the statistics used to leak across restarts).
+  void Reset() override { Rebuild(); }
 
  private:
-  PartitionedTPStream engine_;
+  void Rebuild() {
+    engine_ = std::make_unique<PartitionedTPStream>(
+        spec_, options_, [this](const Event& match) { Emit(match); });
+  }
+
+  QuerySpec spec_;
+  TPStreamOperator::Options options_;
+  std::unique_ptr<PartitionedTPStream> engine_;
 };
 
 class SinkStage final : public Stage {
@@ -81,7 +97,13 @@ class SinkStage final : public Stage {
 
 }  // namespace
 
-void Pipeline::Append(std::unique_ptr<Stage> stage) {
+void Pipeline::Append(std::unique_ptr<Stage> stage,
+                      const std::string& kind) {
+  if (metrics_ != nullptr) {
+    stage->set_events_counter(metrics_->GetCounter(
+        "pipeline.stage" + std::to_string(stages_.size()) + "." + kind +
+        ".events"));
+  }
   if (!stages_.empty()) stages_.back()->set_next(stage.get());
   stages_.push_back(std::move(stage));
 }
@@ -91,7 +113,7 @@ Pipeline& Pipeline::Filter(ExprPtr predicate) {
     deferred_error_ = Status::InvalidArgument("Filter predicate is null");
     return *this;
   }
-  Append(std::make_unique<FilterStage>(std::move(predicate)));
+  Append(std::make_unique<FilterStage>(std::move(predicate)), "filter");
   return *this;
 }
 
@@ -111,7 +133,7 @@ Pipeline& Pipeline::Map(
     exprs.push_back(std::move(expr));
   }
   schema_ = Schema(std::move(fields));
-  Append(std::make_unique<MapStage>(std::move(exprs)));
+  Append(std::make_unique<MapStage>(std::move(exprs)), "map");
   return *this;
 }
 
@@ -120,7 +142,9 @@ Pipeline& Pipeline::Reorder(Duration slack) {
     deferred_error_ = Status::InvalidArgument("Reorder slack is negative");
     return *this;
   }
-  Append(std::make_unique<ReorderStage>(slack));
+  Append(std::make_unique<ReorderStage>(
+             ooo::ReorderBuffer::Options{slack, metrics_}),
+         "reorder");
   return *this;
 }
 
@@ -149,14 +173,16 @@ Pipeline& Pipeline::Detect(QuerySpec spec,
     remap.push_back(FieldRef(at, field.name));
   }
   if (!identity) {
-    Append(std::make_unique<MapStage>(std::move(remap)));
+    Append(std::make_unique<MapStage>(std::move(remap)), "remap");
   }
   std::vector<Field> out_fields;
   for (const std::string& name : spec.OutputNames()) {
     out_fields.push_back(Field{name, ValueType::kNull});
   }
   schema_ = Schema(std::move(out_fields));
-  Append(std::make_unique<DetectStage>(std::move(spec), std::move(options)));
+  if (options.metrics == nullptr) options.metrics = metrics_;
+  Append(std::make_unique<DetectStage>(std::move(spec), std::move(options)),
+         "detect");
   return *this;
 }
 
@@ -165,7 +191,7 @@ Pipeline& Pipeline::Sink(std::function<void(const Event&)> sink) {
     deferred_error_ = Status::InvalidArgument("Sink callback is null");
     return *this;
   }
-  Append(std::make_unique<SinkStage>(std::move(sink)));
+  Append(std::make_unique<SinkStage>(std::move(sink)), "sink");
   return *this;
 }
 
@@ -180,12 +206,16 @@ Status Pipeline::Finalize() {
 
 void Pipeline::Push(const Event& event) {
   if (!finalized_) return;  // Finalize() reports the error
-  stages_.front()->Process(event);
+  stages_.front()->Consume(event);
 }
 
 void Pipeline::Finish() {
   if (!finalized_) return;
   stages_.front()->Finish();
+}
+
+void Pipeline::Reset() {
+  for (auto& stage : stages_) stage->Reset();
 }
 
 }  // namespace pipeline

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/partitioned_operator.h"
 #include "expr/expression.h"
+#include "obs/metrics.h"
 #include "ooo/reorder_buffer.h"
 
 namespace tpstream {
@@ -29,15 +30,29 @@ class Stage {
     if (next_ != nullptr) next_->Finish();
   }
 
+  /// Discards all processing state (buffered events, derived situations,
+  /// matcher statistics) so the stage behaves as freshly constructed.
+  /// Default: stateless, nothing to do.
+  virtual void Reset() {}
+
+  /// Entry point used by the pipeline and upstream stages: counts the
+  /// event (when instrumented) and forwards to Process().
+  void Consume(const Event& event) {
+    if (events_ctr_ != nullptr) events_ctr_->Inc();
+    Process(event);
+  }
+
   void set_next(Stage* next) { next_ = next; }
+  void set_events_counter(obs::Counter* counter) { events_ctr_ = counter; }
 
  protected:
   void Emit(const Event& event) {
-    if (next_ != nullptr) next_->Process(event);
+    if (next_ != nullptr) next_->Consume(event);
   }
 
  private:
   Stage* next_ = nullptr;
+  obs::Counter* events_ctr_ = nullptr;  // null when metrics are disabled
 };
 
 /// Declarative chaining of stream stages around TPStream operators — the
@@ -63,8 +78,16 @@ class Stage {
 /// or place a ParallelTPStream behind a custom sink.
 class Pipeline {
  public:
-  explicit Pipeline(Schema input_schema)
-      : schema_(std::move(input_schema)) {}
+  /// `metrics` (optional) instruments every stage: per-stage input
+  /// counters `pipeline.stage<N>.<kind>.events`, plus the component
+  /// metrics of Reorder (reorder.*) and Detect (deriver.* / matcher.* /
+  /// operator.* / partitioned.* / optimizer.*) stages. A Detect stage
+  /// whose options already carry a registry keeps it. The registry must
+  /// outlive the pipeline; Reset() does not clear it (metrics are
+  /// cumulative across restarts).
+  explicit Pipeline(Schema input_schema,
+                    obs::MetricsRegistry* metrics = nullptr)
+      : schema_(std::move(input_schema)), metrics_(metrics) {}
 
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
@@ -96,13 +119,22 @@ class Pipeline {
   /// Flushes buffered stages at end of stream.
   void Finish();
 
+  /// Restarts the pipeline on the same stage chain: every stage drops
+  /// its processing state (Detect rebuilds its engine, so derived
+  /// situations, matcher buffers and the adaptive statistics all start
+  /// from scratch — previously the statistics leaked across restarts).
+  /// The pipeline stays finalized; metrics keep accumulating.
+  void Reset();
+
   /// Schema of the events leaving the last stage.
   const Schema& output_schema() const { return schema_; }
 
  private:
-  void Append(std::unique_ptr<Stage> stage);
+  /// `kind` names the stage in the per-stage metrics.
+  void Append(std::unique_ptr<Stage> stage, const std::string& kind);
 
   Schema schema_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<std::unique_ptr<Stage>> stages_;
   Status deferred_error_;
   bool finalized_ = false;

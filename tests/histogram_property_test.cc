@@ -1,0 +1,194 @@
+// Property tests for obs::LatencyHistogram against a naive sorted-vector
+// reference implementation: quantile error is bounded by the bucket
+// geometry, merging snapshots is exactly equivalent to recording into one
+// histogram, and out-of-range values saturate into the underflow/overflow
+// buckets instead of invoking UB.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tpstream {
+namespace obs {
+namespace {
+
+/// Exact nearest-rank quantile — the definition Quantile() approximates.
+int64_t ReferenceQuantile(std::vector<int64_t> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const int64_t n = static_cast<int64_t>(values.size());
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  rank = std::clamp<int64_t>(rank, 1, n);
+  return values[rank - 1];
+}
+
+std::vector<int64_t> RandomValues(std::mt19937_64& rng, int n) {
+  // Mix of scales so every bucket regime is exercised: exact buckets
+  // (0..15), small octaves, and large octaves near the overflow bound.
+  std::vector<int64_t> values;
+  values.reserve(n);
+  std::uniform_int_distribution<int> shift(0, LatencyHistogram::kMaxExponent - 1);
+  for (int i = 0; i < n; ++i) {
+    const int64_t base = int64_t{1} << shift(rng);
+    values.push_back(static_cast<int64_t>(rng() % (2 * base)));
+  }
+  return values;
+}
+
+TEST(HistogramPropertyTest, BucketGeometryPartitionsTheRange) {
+  // Buckets tile [0, 2^40) without gaps or overlap, and BucketIndex is
+  // consistent with the bounds.
+  int64_t expected_lower = 0;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const int64_t lower = LatencyHistogram::BucketLowerBound(i);
+    const int64_t upper = LatencyHistogram::BucketUpperBound(i);
+    ASSERT_EQ(lower, expected_lower) << "gap before bucket " << i;
+    ASSERT_LE(lower, upper);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lower), i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(upper), i);
+    expected_lower = upper + 1;
+  }
+  EXPECT_EQ(expected_lower, LatencyHistogram::kOverflowThreshold);
+}
+
+TEST(HistogramPropertyTest, QuantileErrorBoundedByBucketWidth) {
+  std::mt19937_64 rng(42);
+  const double quantiles[] = {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0};
+  for (int round = 0; round < 30; ++round) {
+    const int n = 1 + static_cast<int>(rng() % 2000);
+    const std::vector<int64_t> values = RandomValues(rng, n);
+    LatencyHistogram hist;
+    for (int64_t v : values) hist.Record(v);
+    const HistogramSnapshot snap = hist.Snapshot();
+    ASSERT_EQ(snap.count, n);
+
+    for (double p : quantiles) {
+      const int64_t ref = ReferenceQuantile(values, p);
+      const int64_t got = snap.Quantile(p);
+      // The reported value is the upper bound of the bucket holding the
+      // rank (capped at the recorded max): never below the true
+      // quantile, and above it by at most that bucket's width.
+      EXPECT_GE(got, ref) << "p=" << p << " n=" << n;
+      const int bucket = LatencyHistogram::BucketIndex(ref);
+      const int64_t width = LatencyHistogram::BucketUpperBound(bucket) -
+                            LatencyHistogram::BucketLowerBound(bucket);
+      EXPECT_LE(got - ref, width) << "p=" << p << " n=" << n;
+      // Which implies the documented <= 1/8 relative error bound.
+      if (ref > 0) {
+        EXPECT_LE(static_cast<double>(got - ref),
+                  static_cast<double>(ref) / 8.0 + 1.0);
+      }
+    }
+    EXPECT_EQ(snap.min, *std::min_element(values.begin(), values.end()));
+    EXPECT_EQ(snap.max, *std::max_element(values.begin(), values.end()));
+    int64_t sum = 0;
+    for (int64_t v : values) sum += v;
+    EXPECT_EQ(snap.sum, sum);
+  }
+}
+
+TEST(HistogramPropertyTest, MergeEqualsRecordingIntoOne) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<int64_t> a =
+        RandomValues(rng, 1 + static_cast<int>(rng() % 500));
+    const std::vector<int64_t> b =
+        RandomValues(rng, static_cast<int>(rng() % 500));
+
+    LatencyHistogram ha, hb, hall;
+    for (int64_t v : a) {
+      ha.Record(v);
+      hall.Record(v);
+    }
+    for (int64_t v : b) {
+      hb.Record(v);
+      hall.Record(v);
+    }
+    HistogramSnapshot merged = ha.Snapshot();
+    merged.Merge(hb.Snapshot());
+    EXPECT_EQ(merged, hall.Snapshot()) << "round " << round;
+
+    // Merging with an empty snapshot is the identity, both ways.
+    HistogramSnapshot id = ha.Snapshot();
+    id.Merge(HistogramSnapshot{});
+    EXPECT_EQ(id, ha.Snapshot());
+    HistogramSnapshot from_empty;
+    from_empty.Merge(ha.Snapshot());
+    EXPECT_EQ(from_empty, ha.Snapshot());
+  }
+}
+
+TEST(HistogramPropertyTest, OutOfRangeValuesSaturate) {
+  LatencyHistogram hist;
+  hist.Record(-5);
+  hist.Record(-1);
+  hist.Record(LatencyHistogram::kOverflowThreshold);      // 2^40
+  hist.Record(LatencyHistogram::kOverflowThreshold * 2);  // 2^41
+  hist.Record(std::numeric_limits<int64_t>::max());
+  hist.Record(std::numeric_limits<int64_t>::min());
+  hist.Record(100);  // one in-range value
+
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 7);
+  EXPECT_EQ(snap.underflow, 3u);
+  EXPECT_EQ(snap.overflow, 3u);
+  ASSERT_EQ(snap.buckets.size(), 1u);
+  EXPECT_EQ(snap.buckets[0].count, 1u);
+  EXPECT_LE(snap.buckets[0].lower, 100);
+  EXPECT_GE(snap.buckets[0].upper, 100);
+  // Raw extrema are exact even for clamped recordings.
+  EXPECT_EQ(snap.min, std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(snap.max, std::numeric_limits<int64_t>::max());
+  // Low quantiles land in the underflow bucket -> exact minimum; high
+  // quantiles land in the overflow bucket -> exact maximum.
+  EXPECT_EQ(snap.Quantile(1), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(snap.Quantile(99), std::numeric_limits<int64_t>::max());
+}
+
+TEST(HistogramPropertyTest, ResetClearsEverything) {
+  LatencyHistogram hist;
+  for (int64_t v : {int64_t{3}, int64_t{1000}, int64_t{-2}}) hist.Record(v);
+  hist.Reset();
+  EXPECT_EQ(hist.Snapshot(), HistogramSnapshot{});
+  hist.Record(5);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.min, 5);
+  EXPECT_EQ(snap.max, 5);
+}
+
+TEST(HistogramPropertyTest, ConcurrentRecordingMatchesSequential) {
+  // N threads record disjoint slices of one value set into a shared
+  // histogram; the result must equal single-threaded recording of the
+  // whole set. Runs under TSan via the `concurrency` label.
+  std::mt19937_64 rng(1234);
+  const std::vector<int64_t> values = RandomValues(rng, 40000);
+  constexpr int kThreads = 4;
+
+  LatencyHistogram shared;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < values.size(); i += kThreads) {
+        shared.Record(values[i]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  LatencyHistogram sequential;
+  for (int64_t v : values) sequential.Record(v);
+  EXPECT_EQ(shared.Snapshot(), sequential.Snapshot());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tpstream

@@ -1,0 +1,199 @@
+// Differential test for the observability subsystem: the same keyed
+// workload runs through the sequential PartitionedTPStream (one shared
+// registry) and through ParallelTPStream (per-worker registries merged on
+// read). Every per-component counter and the detection-latency histogram
+// must agree exactly — partitions are evaluated independently, so the
+// split across workers must not change what is measured. The test also
+// snapshots the parallel metrics concurrently with ingestion (the
+// merge-on-read path the TSan job exercises).
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/partitioned_operator.h"
+#include "obs/metrics.h"
+#include "parallel/parallel_operator.h"
+#include "query/builder.h"
+
+namespace tpstream {
+namespace {
+
+QuerySpec KeyedSpec() {
+  Schema schema(
+      {Field{"key", ValueType::kInt}, Field{"flag", ValueType::kBool}});
+  QueryBuilder qb(schema);
+  qb.Define("A", FieldRef(1, "flag"))
+      .Define("B", Not(FieldRef(1, "flag")))
+      .Relate("A", {Relation::kMeets, Relation::kBefore}, "B")
+      .Within(200)
+      .Return("key", "A", AggKind::kFirst, "key")
+      .Return("n", "A", AggKind::kCount)
+      .PartitionBy("key");
+  auto spec = qb.Build();
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return spec.value();
+}
+
+std::vector<Event> KeyedWorkload(int keys, TimePoint horizon,
+                                 uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<bool> value(keys, false);
+  std::vector<Event> events;
+  std::bernoulli_distribution flip(0.07);
+  for (TimePoint t = 1; t <= horizon; ++t) {
+    for (int k = 0; k < keys; ++k) {
+      if (flip(rng)) value[k] = !value[k];
+      events.push_back(
+          Event({Value(static_cast<int64_t>(k)), Value(value[k])}, t));
+    }
+  }
+  return events;
+}
+
+/// Counters attributable to the engine itself (identical no matter how
+/// partitions are spread over threads). The parallel.* routing-layer
+/// counters are excluded by construction.
+const char* const kEngineCounterPrefixes[] = {
+    "deriver.", "matcher.", "operator.", "optimizer.", "partitioned."};
+
+std::map<std::string, int64_t> EngineCounters(
+    const obs::MetricsSnapshot& snapshot) {
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, value] : snapshot.counters) {
+    for (const char* prefix : kEngineCounterPrefixes) {
+      if (name.rfind(prefix, 0) == 0) {
+        out.emplace(name, value);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(MetricsDifferentialTest, SequentialAndParallelCountersAgree) {
+  const QuerySpec spec = KeyedSpec();
+  const std::vector<Event> events = KeyedWorkload(17, 1500, 9);
+
+  obs::MetricsRegistry sequential_registry;
+  int64_t sequential_matches = 0;
+  {
+    TPStreamOperator::Options options;
+    options.metrics = &sequential_registry;
+    PartitionedTPStream op(spec, options,
+                           [&](const Event&) { ++sequential_matches; });
+    for (const Event& e : events) op.Push(e);
+  }
+  const obs::MetricsSnapshot sequential = sequential_registry.Snapshot();
+  const auto sequential_counters = EngineCounters(sequential);
+  ASSERT_FALSE(sequential_counters.empty());
+  ASSERT_GT(sequential_matches, 0);
+
+  // Sanity anchors: the counters measure what their names promise.
+  EXPECT_EQ(sequential_counters.at("operator.matches"), sequential_matches);
+  EXPECT_EQ(sequential_counters.at("partitioned.events"),
+            static_cast<int64_t>(events.size()));
+  EXPECT_EQ(sequential_counters.at("operator.events"),
+            static_cast<int64_t>(events.size()));
+  EXPECT_GT(sequential_counters.at("deriver.situations_finished"), 0);
+
+  const auto sequential_latency =
+      sequential.histograms.at("matcher.detection_latency");
+  EXPECT_EQ(sequential_latency.count, sequential_matches);
+
+  for (int workers : {1, 2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    obs::MetricsRegistry enable;  // sentinel: turns worker metrics on
+    parallel::ParallelTPStream::Options options;
+    options.num_workers = workers;
+    options.batch_size = 64;
+    options.operator_options.metrics = &enable;
+
+    obs::MetricsSnapshot merged;
+    std::atomic<int64_t> parallel_matches{0};
+    {
+      parallel::ParallelTPStream op(spec, options, [&](const Event&) {
+        parallel_matches.fetch_add(1, std::memory_order_relaxed);
+      });
+
+      // Concurrent reader: merge-on-read must be safe (and monotone)
+      // while the workers are ingesting.
+      std::atomic<bool> done{false};
+      std::thread reader([&] {
+        int64_t last_events = 0;
+        while (!done.load(std::memory_order_acquire)) {
+          const obs::MetricsSnapshot live = op.Metrics();
+          const auto it = live.counters.find("operator.events");
+          const int64_t now =
+              it == live.counters.end() ? 0 : it->second;
+          EXPECT_GE(now, last_events);  // counters only grow
+          last_events = now;
+          std::this_thread::yield();
+        }
+      });
+
+      for (const Event& e : events) op.Push(e);
+      op.Flush();
+      done.store(true, std::memory_order_release);
+      reader.join();
+
+      merged = op.Metrics();
+      EXPECT_EQ(op.num_matches(), sequential_matches);
+    }
+
+    EXPECT_EQ(EngineCounters(merged), sequential_counters);
+    EXPECT_EQ(parallel_matches.load(), sequential_matches);
+
+    // The detection-latency histogram records the same per-match values
+    // regardless of which worker concluded them: full equality, not just
+    // count/sum.
+    const auto parallel_latency =
+        merged.histograms.at("matcher.detection_latency");
+    EXPECT_EQ(parallel_latency, sequential_latency);
+    EXPECT_EQ(parallel_latency.count, sequential_latency.count);
+    EXPECT_EQ(parallel_latency.sum, sequential_latency.sum);
+
+    // Routing-layer counters exist only on the parallel side.
+    EXPECT_EQ(merged.counters.at("parallel.events"),
+              static_cast<int64_t>(events.size()));
+    EXPECT_EQ(merged.counters.at("parallel.matches"), sequential_matches);
+    // The sentinel registry must stay untouched: workers record into
+    // their own registries, never through the caller's pointer.
+    EXPECT_TRUE(enable.Snapshot().counters.empty());
+  }
+}
+
+TEST(MetricsDifferentialTest, ParallelPartitionCountersMatchSequential) {
+  const QuerySpec spec = KeyedSpec();
+  const std::vector<Event> events = KeyedWorkload(11, 400, 21);
+
+  obs::MetricsRegistry sequential_registry;
+  TPStreamOperator::Options seq_options;
+  seq_options.metrics = &sequential_registry;
+  PartitionedTPStream sequential(spec, seq_options, nullptr);
+  for (const Event& e : events) sequential.Push(e);
+  EXPECT_EQ(sequential_registry.Snapshot().gauges.at(
+                "partitioned.partitions"),
+            11.0);
+
+  obs::MetricsRegistry enable;
+  parallel::ParallelTPStream::Options options;
+  options.num_workers = 3;
+  options.operator_options.metrics = &enable;
+  parallel::ParallelTPStream op(spec, options, nullptr);
+  for (const Event& e : events) op.Push(e);
+  op.Flush();
+  EXPECT_EQ(op.num_partitions(), 11u);
+  // Per-worker partition gauges sum to the sequential total (gauges
+  // merge additively across registries).
+  EXPECT_EQ(op.Metrics().gauges.at("partitioned.partitions"), 11.0);
+  EXPECT_EQ(op.num_matches(), sequential.num_matches());
+}
+
+}  // namespace
+}  // namespace tpstream

@@ -1,0 +1,306 @@
+// Exporter tests: ToText() is byte-for-byte stable (golden string) with a
+// deterministic section/name ordering, and ToJson() round-trips through a
+// minimal standalone JSON parser — structure, values and string escaping.
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tpstream {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A deliberately tiny recursive-descent JSON parser, independent of the
+// exporter under test. Supports exactly what the exporter emits: objects,
+// arrays, numbers, and escaped strings.
+
+struct Json {
+  enum class Kind { kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNumber;
+  double number = 0;
+  std::string string;
+  std::map<std::string, std::unique_ptr<Json>> object;
+  std::vector<std::unique_ptr<Json>> array;
+
+  const Json& At(const std::string& key) const {
+    const auto it = object.find(key);
+    EXPECT_TRUE(it != object.end()) << "missing key: " << key;
+    static const Json empty;
+    return it == object.end() ? empty : *it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<Json> Parse() {
+    auto value = ParseValue();
+    SkipSpace();
+    EXPECT_EQ(pos_, text_.size()) << "trailing garbage";
+    return value;
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  void Fail(const std::string& why) {
+    if (ok_) ADD_FAILURE() << why << " at offset " << pos_;
+    ok_ = false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Json> ParseValue() {
+    SkipSpace();
+    auto value = std::make_unique<Json>();
+    if (!ok_ || pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return value;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      value->kind = Json::Kind::kObject;
+      ++pos_;
+      if (!Consume('}')) {
+        do {
+          auto key = ParseString();
+          if (!Consume(':')) Fail("expected ':'");
+          value->object.emplace(std::move(key), ParseValue());
+        } while (ok_ && Consume(','));
+        if (!Consume('}')) Fail("expected '}'");
+      }
+    } else if (c == '[') {
+      value->kind = Json::Kind::kArray;
+      ++pos_;
+      if (!Consume(']')) {
+        do {
+          value->array.push_back(ParseValue());
+        } while (ok_ && Consume(','));
+        if (!Consume(']')) Fail("expected ']'");
+      }
+    } else if (c == '"') {
+      value->kind = Json::Kind::kString;
+      value->string = ParseString();
+    } else {
+      value->kind = Json::Kind::kNumber;
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+              text_[end] == 'e' || text_[end] == 'E')) {
+        ++end;
+      }
+      if (end == pos_) {
+        Fail("expected a value");
+      } else {
+        value->number = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+      }
+    }
+    return value;
+  }
+
+  std::string ParseString() {
+    SkipSpace();
+    std::string out;
+    if (!Consume('"')) {
+      Fail("expected '\"'");
+      return out;
+    }
+    while (ok_ && pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("dangling escape");
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("short \\u escape");
+            break;
+          }
+          const int code = std::stoi(text_.substr(pos_, 4), nullptr, 16);
+          pos_ += 4;
+          EXPECT_LT(code, 0x80) << "exporter only escapes control chars";
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: Fail("unknown escape");
+      }
+    }
+    if (!Consume('"')) Fail("unterminated string");
+    return out;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+MetricsSnapshot SampleSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("b.two")->Inc(2);
+  registry.GetCounter("a.one")->Inc(7);
+  registry.GetGauge("z.depth")->Set(1.5);
+  registry.GetGauge("m.ratio")->Set(0.25);
+  LatencyHistogram* hist = registry.GetHistogram("lat");
+  hist->Record(3);
+  hist->Record(3);
+  hist->Record(20);
+  return registry.Snapshot();
+}
+
+TEST(MetricsExportTest, TextOutputMatchesGolden) {
+  // Deterministic ordering: counters, then gauges, then histograms, each
+  // sorted by name. Byte-for-byte golden — a change here is a contract
+  // change for everything scraping the text exporter.
+  const std::string expected =
+      "counter a.one 7\n"
+      "counter b.two 2\n"
+      "gauge m.ratio 0.25\n"
+      "gauge z.depth 1.5\n"
+      "histogram lat count=3 sum=26 min=3 max=20 p50=3 p95=20 p99=20\n";
+  EXPECT_EQ(SampleSnapshot().ToText(), expected);
+}
+
+TEST(MetricsExportTest, TextOutputIsStableAcrossRegistrationOrder) {
+  // Registration order must not leak into the export (std::map ordering).
+  MetricsRegistry reversed;
+  reversed.GetGauge("z.depth")->Set(1.5);
+  LatencyHistogram* hist = reversed.GetHistogram("lat");
+  hist->Record(20);
+  hist->Record(3);
+  hist->Record(3);
+  reversed.GetGauge("m.ratio")->Set(0.25);
+  reversed.GetCounter("a.one")->Inc(7);
+  reversed.GetCounter("b.two")->Inc(2);
+  EXPECT_EQ(reversed.Snapshot().ToText(), SampleSnapshot().ToText());
+}
+
+TEST(MetricsExportTest, EmptySnapshotExports) {
+  const MetricsSnapshot empty;
+  EXPECT_EQ(empty.ToText(), "");
+  EXPECT_EQ(empty.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsExportTest, JsonRoundTrips) {
+  const MetricsSnapshot snapshot = SampleSnapshot();
+  const std::string json = snapshot.ToJson();
+  JsonParser parser(json);
+  const std::unique_ptr<Json> root = parser.Parse();
+  ASSERT_TRUE(parser.ok()) << json;
+  ASSERT_EQ(root->kind, Json::Kind::kObject);
+
+  const Json& counters = root->At("counters");
+  ASSERT_EQ(counters.kind, Json::Kind::kObject);
+  ASSERT_EQ(counters.object.size(), snapshot.counters.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_EQ(counters.At(name).number, static_cast<double>(value)) << name;
+  }
+
+  const Json& gauges = root->At("gauges");
+  ASSERT_EQ(gauges.object.size(), snapshot.gauges.size());
+  for (const auto& [name, value] : snapshot.gauges) {
+    EXPECT_EQ(gauges.At(name).number, value) << name;
+  }
+
+  const Json& histograms = root->At("histograms");
+  ASSERT_EQ(histograms.object.size(), snapshot.histograms.size());
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const Json& h = histograms.At(name);
+    ASSERT_EQ(h.kind, Json::Kind::kObject);
+    EXPECT_EQ(h.At("count").number, static_cast<double>(hist.count));
+    EXPECT_EQ(h.At("sum").number, static_cast<double>(hist.sum));
+    EXPECT_EQ(h.At("min").number, static_cast<double>(hist.min));
+    EXPECT_EQ(h.At("max").number, static_cast<double>(hist.max));
+    EXPECT_EQ(h.At("underflow").number,
+              static_cast<double>(hist.underflow));
+    EXPECT_EQ(h.At("overflow").number, static_cast<double>(hist.overflow));
+    EXPECT_EQ(h.At("p50").number,
+              static_cast<double>(hist.Quantile(50)));
+    EXPECT_EQ(h.At("p95").number,
+              static_cast<double>(hist.Quantile(95)));
+    EXPECT_EQ(h.At("p99").number,
+              static_cast<double>(hist.Quantile(99)));
+    const Json& buckets = h.At("buckets");
+    ASSERT_EQ(buckets.kind, Json::Kind::kArray);
+    ASSERT_EQ(buckets.array.size(), hist.buckets.size());
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      const Json& b = *buckets.array[i];
+      ASSERT_EQ(b.kind, Json::Kind::kArray);
+      ASSERT_EQ(b.array.size(), 3u);
+      EXPECT_EQ(b.array[0]->number,
+                static_cast<double>(hist.buckets[i].lower));
+      EXPECT_EQ(b.array[1]->number,
+                static_cast<double>(hist.buckets[i].upper));
+      EXPECT_EQ(b.array[2]->number,
+                static_cast<double>(hist.buckets[i].count));
+    }
+  }
+}
+
+TEST(MetricsExportTest, JsonEscapesHostileNames) {
+  // Metric names are engine-chosen, but the exporter must not produce
+  // broken JSON even for hostile ones.
+  MetricsSnapshot snapshot;
+  const std::string name = "we\"ird\\name\nwith\tcontrol\x01chars";
+  snapshot.counters[name] = 42;
+  const std::string json = snapshot.ToJson();
+  JsonParser parser(json);
+  const std::unique_ptr<Json> root = parser.Parse();
+  ASSERT_TRUE(parser.ok()) << json;
+  EXPECT_EQ(root->At("counters").At(name).number, 42.0);
+}
+
+TEST(MetricsExportTest, JsonHandlesNonFiniteGauges) {
+  // Non-finite doubles are not valid JSON; the exporter flattens them to
+  // 0 rather than emitting "inf"/"nan" tokens.
+  MetricsSnapshot snapshot;
+  snapshot.gauges["bad.inf"] = std::numeric_limits<double>::infinity();
+  snapshot.gauges["bad.nan"] = std::numeric_limits<double>::quiet_NaN();
+  const std::string json = snapshot.ToJson();
+  JsonParser parser(json);
+  const std::unique_ptr<Json> root = parser.Parse();
+  ASSERT_TRUE(parser.ok()) << json;
+  EXPECT_EQ(root->At("gauges").At("bad.inf").number, 0.0);
+  EXPECT_EQ(root->At("gauges").At("bad.nan").number, 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tpstream

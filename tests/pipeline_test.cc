@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "query/builder.h"
 #include "workload/market.h"
 
@@ -123,6 +124,46 @@ TEST(PipelineTest, FinalizeReportsConstructionErrors) {
     p.Detect(qb.Build().value());
     EXPECT_FALSE(p.Finalize().ok());
   }
+}
+
+TEST(PipelineTest, ResetRestoresFreshEngineState) {
+  const Schema schema = SensorSchema();
+  obs::MetricsRegistry registry;
+  pipeline::Pipeline p(schema, &registry);
+  std::vector<Event> matches;
+  p.Reorder(2)
+      .Detect(FlagQuery(schema))
+      .Sink([&](const Event& e) { matches.push_back(e); });
+  ASSERT_TRUE(p.Finalize().ok());
+
+  auto run = [&] {
+    for (TimePoint t = 1; t <= 8; ++t) {
+      p.Push(Event({Value(t < 5), Value(0.9)}, t));
+    }
+    p.Finish();
+  };
+  run();
+  const size_t first = matches.size();
+  ASSERT_EQ(first, 1u);
+
+  // Replaying the same (time-rewound) workload against stale matcher and
+  // reorder state would misbehave; Reset rebuilds the detect engine (and
+  // its adaptive MatcherStats, which used to leak across restarts) and
+  // the reorder buffer, so the second run is bit-identical to the first.
+  p.Reset();
+  matches.clear();
+  run();
+  EXPECT_EQ(matches.size(), first);
+
+  // Per-stage counters aggregate across restarts: both runs are visible.
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("pipeline.stage0.reorder.events"), 16);
+  EXPECT_EQ(snap.counters.at("pipeline.stage1.detect.events"), 16);
+  EXPECT_EQ(snap.counters.at("pipeline.stage2.sink.events"),
+            static_cast<int64_t>(2 * first));
+  EXPECT_EQ(snap.counters.at("operator.events"), 16);
+  EXPECT_EQ(snap.counters.at("operator.matches"),
+            static_cast<int64_t>(2 * first));
 }
 
 TEST(PipelineTest, MarketSurveillanceEndToEnd) {
