@@ -6,14 +6,43 @@
 // configured rate. At 1 event/s the gap equals application time, which is
 // where ISEQ's event latency dominates and TPStream introduces none.
 // Flags: --events=N --window=SECONDS --metrics-json=FILE
+//
+// `--ingest-json=FILE` skips the latency experiment and instead measures
+// steady-state ingestion of the same disconnected pattern at max rate,
+// emitting a "tpstream-bench-ingest-v1" document (run "fig7c_push") for
+// cmake/check_bench_regression.cmake.
+#include <utility>
+#include <vector>
+
+#include "bench/ingest_common.h"
 #include "bench/latency_common.h"
 
 namespace tpstream {
 namespace bench {
 namespace {
 
+int RunIngest(const Flags& flags) {
+  const int64_t events = flags.GetInt("events", 1000000);
+  const Duration window = flags.GetInt("window", 100000);
+  const QuerySpec spec = SyntheticSpec(3, LatencyPattern(), window);
+  TPStreamOperator::Options options;
+  options.adaptive = false;
+  TPStreamOperator op(spec, options, /*output=*/nullptr);
+  SyntheticGenerator::Options gopts;
+  gopts.num_streams = 3;
+  SyntheticGenerator gen(gopts);
+  std::vector<std::pair<std::string, IngestMeasurement>> runs;
+  runs.emplace_back(
+      "fig7c_push",
+      MeasureIngest(op, gen, flags.GetInt("warmup", 50000), events,
+                    flags.GetInt("latency-events", 200000)));
+  PrintIngestLine("fig7c_push", runs.back().second);
+  return WriteIngestJson(flags.GetString("ingest-json", ""), runs) ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  if (flags.Has("ingest-json")) return RunIngest(flags);
   const int64_t events = flags.GetInt("events", 1000000);
   const Duration window = flags.GetInt("window", 100000);
 

@@ -6,14 +6,24 @@
 // skips the benchmarks and instead runs a small fully instrumented
 // workload, dumping the registry snapshot as JSON — the smoke input for
 // cmake/check_metrics_json.cmake in CI.
+//
+// `--ingest-json=FILE` likewise skips the benchmarks and measures
+// steady-state sequential ingestion (per-event Push and PushBatch) on the
+// allocation-free profile, emitting a "tpstream-bench-ingest-v1" JSON
+// document that CI compares against the committed BENCH_ingest.json via
+// cmake/check_bench_regression.cmake. Optional knobs: --events=N
+// --warmup=N --latency-events=N.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstring>
 #include <random>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/ingest_common.h"
 #include "cep/nfa.h"
 #include "core/operator.h"
 #include "derive/deriver.h"
@@ -167,12 +177,52 @@ int RunMetricsSmoke(const std::string& path) {
   return 0;
 }
 
+int RunIngestBench(const bench::Flags& flags) {
+  const int64_t events = flags.GetInt("events", 1000000);
+  const int64_t warmup = flags.GetInt("warmup", 50000);
+  const int64_t latency_events = flags.GetInt("latency-events", 200000);
+
+  // The allocation-free profile (see tests/ingest_test.cc): connected
+  // "A before B" on two boolean streams, no aggregates, no metrics, no
+  // adaptive re-planning (the controller's re-optimization allocates).
+  TemporalPattern pattern({"A", "B"});
+  (void)pattern.AddRelation(0, Relation::kBefore, 1);
+  const QuerySpec spec = bench::SyntheticSpec(2, pattern, /*window=*/150);
+  TPStreamOperator::Options options;
+  options.adaptive = false;
+
+  std::vector<std::pair<std::string, bench::IngestMeasurement>> runs;
+  {
+    TPStreamOperator op(spec, options, /*output=*/nullptr);
+    SyntheticGenerator gen({.num_streams = 2, .seed = 9});
+    runs.emplace_back("micro_push", bench::MeasureIngest(
+                                        op, gen, warmup, events,
+                                        latency_events));
+  }
+  {
+    TPStreamOperator op(spec, options, /*output=*/nullptr);
+    SyntheticGenerator gen({.num_streams = 2, .seed = 9});
+    runs.emplace_back("micro_push_batch",
+                      bench::MeasureIngest(op, gen, warmup, events,
+                                           latency_events,
+                                           /*batch_size=*/256));
+  }
+  for (const auto& [name, m] : runs) {
+    bench::PrintIngestLine(name.c_str(), m);
+  }
+  return bench::WriteIngestJson(flags.GetString("ingest-json", ""), runs)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 }  // namespace tpstream
 
 int main(int argc, char** argv) {
-  // Intercept --metrics-json before benchmark::Initialize (which rejects
-  // flags it does not know).
+  // Intercept --metrics-json / --ingest-json before benchmark::Initialize
+  // (which rejects flags it does not know).
+  const tpstream::bench::Flags flags(argc, argv);
+  if (flags.Has("ingest-json")) return tpstream::RunIngestBench(flags);
   constexpr const char kFlag[] = "--metrics-json=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {

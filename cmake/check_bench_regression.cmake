@@ -1,0 +1,151 @@
+# Compares a fresh "tpstream-bench-ingest-v1" document (see
+# bench/ingest_common.h) against the committed BENCH_ingest.json
+# baseline. Usage:
+#   cmake -DCURRENT=out.json -DBASELINE=BENCH_ingest.json \
+#         [-DTHROUGHPUT_TOLERANCE_PCT=30] [-DALLOC_TOLERANCE_MICRO=500000] \
+#         [-DP99_FACTOR_PCT=500] -P cmake/check_bench_regression.cmake
+#
+# For every run present in CURRENT there must be a baseline run of the
+# same name, and:
+#   * events_per_sec        >= baseline * (1 - THROUGHPUT_TOLERANCE_PCT%)
+#   * allocations_per_event <= baseline + ALLOC_TOLERANCE_MICRO * 1e-6
+#   * push_ns.p99           <= baseline * P99_FACTOR_PCT%
+# The thresholds are deliberately generous (30% throughput, 5x p99,
+# +0.5 allocations/event): shared CI machines are noisy, and the gate is
+# meant to catch regressions (an allocation re-introduced on the hot
+# path, a 2x slowdown), not variance. All arithmetic is exact 64-bit
+# integer math on micro-units, since math(EXPR) has no floating point.
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+if(NOT CURRENT OR NOT BASELINE)
+  message(FATAL_ERROR "pass -DCURRENT=<fresh.json> -DBASELINE=<baseline.json>")
+endif()
+if(NOT DEFINED THROUGHPUT_TOLERANCE_PCT)
+  set(THROUGHPUT_TOLERANCE_PCT 30)
+endif()
+if(NOT DEFINED ALLOC_TOLERANCE_MICRO)
+  set(ALLOC_TOLERANCE_MICRO 500000)  # 0.5 allocations/event
+endif()
+if(NOT DEFINED P99_FACTOR_PCT)
+  set(P99_FACTOR_PCT 500)  # 5x
+endif()
+
+file(READ "${CURRENT}" current_doc)
+file(READ "${BASELINE}" baseline_doc)
+
+foreach(pair "current_doc;${CURRENT}" "baseline_doc;${BASELINE}")
+  list(GET pair 0 var)
+  list(GET pair 1 path)
+  string(JSON schema ERROR_VARIABLE err GET "${${var}}" schema)
+  if(err OR NOT schema STREQUAL "tpstream-bench-ingest-v1")
+    message(FATAL_ERROR "${path}: bad or missing schema ('${schema}') ${err}")
+  endif()
+endforeach()
+
+# Parses a non-negative decimal number ("123", "123.45", "4e-06") into
+# integer micro-units (x 1e6, truncated).
+function(to_micro val out)
+  if(val MATCHES "^([0-9]+)(\\.([0-9]+))?[eE]([+-]?[0-9]+)$")
+    # Scientific notation only appears for tiny allocation rates; any
+    # negative exponent <= -6 truncates to < 1 micro-unit.
+    set(mantissa_int ${CMAKE_MATCH_1})
+    set(exp ${CMAKE_MATCH_4})
+    if(exp LESS -5)
+      set(${out} 0 PARENT_SCOPE)
+      return()
+    endif()
+    math(EXPR scale "1000000")
+    if(exp LESS 0)
+      math(EXPR neg "0 - (${exp})")
+      foreach(i RANGE 1 ${neg})
+        math(EXPR scale "${scale} / 10")
+      endforeach()
+    elseif(exp GREATER 0)
+      foreach(i RANGE 1 ${exp})
+        math(EXPR scale "${scale} * 10")
+      endforeach()
+    endif()
+    math(EXPR result "${mantissa_int} * ${scale}")
+    set(${out} ${result} PARENT_SCOPE)
+  elseif(val MATCHES "^([0-9]+)\\.([0-9]+)$")
+    set(int_part ${CMAKE_MATCH_1})  # regex ops below clobber CMAKE_MATCH_*
+    string(SUBSTRING "${CMAKE_MATCH_2}000000" 0 6 frac)
+    # Strip leading zeros so math(EXPR) does not parse octal.
+    string(REGEX REPLACE "^0+" "" frac "${frac}")
+    if(frac STREQUAL "")
+      set(frac 0)
+    endif()
+    math(EXPR result "${int_part} * 1000000 + ${frac}")
+    set(${out} ${result} PARENT_SCOPE)
+  elseif(val MATCHES "^[0-9]+$")
+    math(EXPR result "${val} * 1000000")
+    set(${out} ${result} PARENT_SCOPE)
+  else()
+    message(FATAL_ERROR "cannot parse number '${val}'")
+  endif()
+endfunction()
+
+string(JSON num_runs LENGTH "${current_doc}" runs)
+if(num_runs EQUAL 0)
+  message(FATAL_ERROR "${CURRENT}: no runs")
+endif()
+
+set(failures 0)
+math(EXPR last "${num_runs} - 1")
+foreach(i RANGE 0 ${last})
+  set(failures_before ${failures})
+  string(JSON name MEMBER "${current_doc}" runs ${i})
+  string(JSON base_run ERROR_VARIABLE err GET "${baseline_doc}" runs "${name}")
+  if(err)
+    message(FATAL_ERROR
+            "run '${name}' missing from baseline ${BASELINE} — regenerate it "
+            "(see EXPERIMENTS.md, 'Perf baselines'): ${err}")
+  endif()
+
+  string(JSON cur_eps GET "${current_doc}" runs "${name}" events_per_sec)
+  string(JSON base_eps GET "${baseline_doc}" runs "${name}" events_per_sec)
+  to_micro("${cur_eps}" cur_eps_u)
+  to_micro("${base_eps}" base_eps_u)
+  math(EXPR lhs "${cur_eps_u} / 1000 * 100")
+  math(EXPR rhs "${base_eps_u} / 1000 * (100 - ${THROUGHPUT_TOLERANCE_PCT})")
+  if(lhs LESS rhs)
+    message(SEND_ERROR
+            "${name}: throughput regressed — ${cur_eps} evt/s vs baseline "
+            "${base_eps} (allowed: -${THROUGHPUT_TOLERANCE_PCT}%)")
+    math(EXPR failures "${failures} + 1")
+  endif()
+
+  string(JSON cur_ape GET "${current_doc}" runs "${name}" allocations_per_event)
+  string(JSON base_ape GET "${baseline_doc}" runs "${name}" allocations_per_event)
+  to_micro("${cur_ape}" cur_ape_u)
+  to_micro("${base_ape}" base_ape_u)
+  math(EXPR ape_limit "${base_ape_u} + ${ALLOC_TOLERANCE_MICRO}")
+  if(cur_ape_u GREATER ape_limit)
+    message(SEND_ERROR
+            "${name}: allocations/event regressed — ${cur_ape} vs baseline "
+            "${base_ape} (+${ALLOC_TOLERANCE_MICRO} micro-allocs allowed)")
+    math(EXPR failures "${failures} + 1")
+  endif()
+
+  string(JSON cur_p99 GET "${current_doc}" runs "${name}" push_ns p99)
+  string(JSON base_p99 GET "${baseline_doc}" runs "${name}" push_ns p99)
+  math(EXPR p99_limit "${base_p99} * ${P99_FACTOR_PCT} / 100")
+  if(base_p99 GREATER 0 AND cur_p99 GREATER p99_limit)
+    message(SEND_ERROR
+            "${name}: push p99 regressed — ${cur_p99} ns vs baseline "
+            "${base_p99} ns (allowed: ${P99_FACTOR_PCT}%)")
+    math(EXPR failures "${failures} + 1")
+  endif()
+
+  if(failures EQUAL failures_before)
+    message(STATUS
+            "${name}: ${cur_eps} evt/s (baseline ${base_eps}), "
+            "${cur_ape} alloc/evt (baseline ${base_ape}), "
+            "p99 ${cur_p99} ns (baseline ${base_p99}) — OK within thresholds")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} benchmark threshold(s) exceeded")
+endif()
+message(STATUS "${CURRENT}: ${num_runs} run(s) within thresholds of ${BASELINE}")

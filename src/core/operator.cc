@@ -56,13 +56,15 @@ TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
 void TPStreamOperator::Push(const Event& event) {
   ++num_events_;
   if (events_ctr_ != nullptr) events_ctr_->Inc();
-  const Deriver::Update& update = deriver_.Process(event);
+  Deriver::Update& update = deriver_.Process(event);
   if (update.empty()) return;
 
+  // The update vectors are deriver scratch, cleared on the next
+  // Process(); the matcher is free to move the situations out of them.
   if (ll_matcher_) {
-    ll_matcher_->Update(update.started, update.finished, event.t);
+    ll_matcher_->Consume(update.started, update.finished, event.t);
   } else if (!update.finished.empty()) {
-    matcher_->Update(update.finished, event.t);
+    matcher_->Consume(update.finished, event.t);
   }
 
   if (controller_ != nullptr) {
@@ -78,6 +80,14 @@ void TPStreamOperator::Push(const Event& event) {
       num_events_ % std::max(options_.reopt_interval, 1) == 0) {
     stats_publisher_.Publish(stats());
   }
+}
+
+void TPStreamOperator::PushBatch(std::span<Event> events) {
+  for (Event& event : events) Push(event);
+}
+
+void TPStreamOperator::PushBatch(std::span<const Event> events) {
+  for (const Event& event : events) Push(event);
 }
 
 void TPStreamOperator::OnMatch(const Match& match) {

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/query_spec.h"
@@ -50,6 +51,20 @@ class TPStreamOperator {
 
   /// Processes one input event; timestamps must be strictly increasing.
   void Push(const Event& event);
+
+  /// Rvalue overload. The operator never retains the input event (the
+  /// deriver folds the payload into its aggregate state), so this is
+  /// semantically identical to Push(const Event&); it exists so generic
+  /// ingestion code can forward events without caring about value
+  /// category.
+  void Push(Event&& event) { Push(static_cast<const Event&>(event)); }
+
+  /// Batched ingestion: processes the events in order, equivalent to one
+  /// Push() per event (differential-tested). The mutable-span overload
+  /// matches the batch handoff contract used by ParallelTPStream and
+  /// lets the caller reuse the batch storage afterwards.
+  void PushBatch(std::span<Event> events);
+  void PushBatch(std::span<const Event> events);
 
   /// Optional: observes raw matches (full temporal configurations) in
   /// addition to the projected output events.

@@ -53,6 +53,14 @@ void PartitionedTPStream::Push(const Event& event) {
   Partition(key)->Push(event);
 }
 
+void PartitionedTPStream::PushBatch(std::span<Event> events) {
+  for (Event& event : events) Push(event);
+}
+
+void PartitionedTPStream::PushBatch(std::span<const Event> events) {
+  for (const Event& event : events) Push(event);
+}
+
 size_t PartitionedTPStream::BufferedCount() const {
   size_t total = 0;
   for (const auto& [k, op] : int_partitions_) total += op->BufferedCount();

@@ -18,6 +18,12 @@ class PartitionedTPStream {
                       TPStreamOperator::OutputCallback output);
 
   void Push(const Event& event);
+  void Push(Event&& event) { Push(static_cast<const Event&>(event)); }
+
+  /// Batched ingestion: routes the events in order, equivalent to one
+  /// Push() per event (differential-tested).
+  void PushBatch(std::span<Event> events);
+  void PushBatch(std::span<const Event> events);
 
   size_t num_partitions() const {
     return int_partitions_.size() + string_partitions_.size();

@@ -19,7 +19,7 @@ Deriver::Deriver(std::vector<SituationDefinition> definitions,
   }
 }
 
-const Deriver::Update& Deriver::Process(const Event& event) {
+Deriver::Update& Deriver::Process(const Event& event) {
   update_.started.clear();
   update_.finished.clear();
   if (events_ctr_ != nullptr) {

@@ -41,7 +41,10 @@ class Deriver {
 
   /// Processes one event; events must arrive in strictly increasing
   /// timestamp order. The returned reference is valid until the next call.
-  const Update& Process(const Event& event);
+  /// The reference is mutable so the operator hot path can *move* the
+  /// started/finished situations straight into the matcher buffers; the
+  /// scratch vectors are cleared on the next Process() regardless.
+  Update& Process(const Event& event);
 
   /// True if `symbol` has an announced, still ongoing situation.
   bool IsOngoing(int symbol) const {

@@ -1,39 +1,90 @@
 #include "io/csv.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace tpstream {
 namespace io {
 
-std::vector<std::string> SplitCsvLine(const std::string& line,
-                                      char delimiter) {
-  std::vector<std::string> fields;
-  std::string current;
-  bool quoted = false;
+namespace {
+
+/// Strict int64 parse: the whole string must be consumed and the value
+/// must be representable (strtoll's silent clamping on overflow and
+/// partial consumption of things like "12x" both count as failures).
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  if (errno == ERANGE) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+/// Strict double parse: full consumption required; overflow to +/-inf is
+/// rejected, gradual underflow toward zero is accepted.
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (errno == ERANGE && std::abs(v) == HUGE_VAL) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Status SplitCsvLine(const std::string& line, char delimiter,
+                    std::vector<std::string>* fields) {
+  size_t count = 0;
+  auto next_field = [&]() -> std::string* {
+    if (count == fields->size()) fields->emplace_back();
+    std::string* f = &(*fields)[count++];
+    f->clear();
+    return f;
+  };
+  std::string* current = next_field();
+  bool quoted = false;       // inside a quoted field
+  bool was_quoted = false;   // current field's closing quote was seen
   for (size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
     if (quoted) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
-          current.push_back('"');
+          current->push_back('"');
           ++i;
         } else {
           quoted = false;
+          was_quoted = true;
         }
       } else {
-        current.push_back(c);
+        current->push_back(c);
       }
-    } else if (c == '"' && current.empty()) {
+    } else if (c == '"' && current->empty() && !was_quoted) {
       quoted = true;
     } else if (c == delimiter) {
-      fields.push_back(std::move(current));
-      current.clear();
-    } else if (c != '\r') {
-      current.push_back(c);
+      current = next_field();
+      was_quoted = false;
+    } else if (c == '\r') {
+      // tolerated (CRLF input); dropped
+    } else if (was_quoted) {
+      return Status::ParseError(
+          "unexpected character '" + std::string(1, c) +
+          "' after closing quote (column " + std::to_string(count) + ")");
+    } else {
+      current->push_back(c);
     }
   }
-  fields.push_back(std::move(current));
-  return fields;
+  if (quoted) {
+    return Status::ParseError("unterminated quoted field (column " +
+                              std::to_string(count) + ")");
+  }
+  fields->resize(count);
+  return Status::OK();
 }
 
 std::string CsvQuote(const std::string& value, char delimiter) {
@@ -57,18 +108,19 @@ CsvEventReader::CsvEventReader(std::istream& input, const Schema& schema,
 
 Status CsvEventReader::ParseHeader() {
   header_parsed_ = true;
-  std::string line;
-  if (!std::getline(input_, line)) {
+  if (!std::getline(input_, line_)) {
     return Status::ParseError("CSV input is empty (no header)");
   }
-  const std::vector<std::string> columns =
-      SplitCsvLine(line, options_.delimiter);
-  column_to_field_.assign(columns.size(), -1);
-  for (size_t i = 0; i < columns.size(); ++i) {
-    if (columns[i] == options_.timestamp_column) {
+  if (Status s = SplitCsvLine(line_, options_.delimiter, &column_names_);
+      !s.ok()) {
+    return Status::ParseError("CSV header: " + s.message());
+  }
+  column_to_field_.assign(column_names_.size(), -1);
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == options_.timestamp_column) {
       timestamp_column_ = static_cast<int>(i);
     } else {
-      column_to_field_[i] = schema_.IndexOf(columns[i]);
+      column_to_field_[i] = schema_.IndexOf(column_names_[i]);
     }
   }
   if (timestamp_column_ < 0) {
@@ -82,44 +134,57 @@ Status CsvEventReader::Next(Event* event) {
   if (!header_parsed_) header_status_ = ParseHeader();
   if (!header_status_.ok()) return header_status_;
 
-  std::string line;
   do {
-    if (!std::getline(input_, line)) {
+    if (!std::getline(input_, line_)) {
       return Status::NotFound("end of CSV input");
     }
-  } while (line.empty());
-
-  const std::vector<std::string> fields =
-      SplitCsvLine(line, options_.delimiter);
+  } while (line_.empty());
   ++rows_read_;
-  if (static_cast<int>(fields.size()) <= timestamp_column_) {
-    return Status::ParseError("row " + std::to_string(rows_read_) +
-                              ": missing timestamp column");
+
+  const std::string row_context = "row " + std::to_string(rows_read_);
+  if (Status s = SplitCsvLine(line_, options_.delimiter, &fields_);
+      !s.ok()) {
+    return Status::ParseError(row_context + ": " + s.message());
+  }
+  if (static_cast<int>(fields_.size()) <= timestamp_column_) {
+    return Status::ParseError(row_context + ": missing timestamp column");
   }
 
   event->payload.assign(schema_.num_fields(), Value::Null());
-  char* end = nullptr;
-  event->t = std::strtoll(fields[timestamp_column_].c_str(), &end, 10);
-  if (end == fields[timestamp_column_].c_str()) {
-    return Status::ParseError("row " + std::to_string(rows_read_) +
-                              ": bad timestamp '" +
-                              fields[timestamp_column_] + "'");
+  if (!ParseInt64(fields_[timestamp_column_], &event->t)) {
+    return Status::ParseError(row_context + ", column '" +
+                              options_.timestamp_column +
+                              "': bad timestamp '" +
+                              fields_[timestamp_column_] + "'");
   }
 
   for (size_t col = 0;
-       col < fields.size() && col < column_to_field_.size(); ++col) {
+       col < fields_.size() && col < column_to_field_.size(); ++col) {
     const int field = column_to_field_[col];
     if (field < 0) continue;
-    const std::string& text = fields[col];
+    const std::string& text = fields_[col];
     if (text.empty()) continue;  // null
     switch (schema_.field(field).type) {
-      case ValueType::kInt:
-        event->payload[field] = Value(
-            static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10)));
+      case ValueType::kInt: {
+        int64_t v = 0;
+        if (!ParseInt64(text, &v)) {
+          return Status::ParseError(row_context + ", column '" +
+                                    column_names_[col] + "': bad int '" +
+                                    text + "'");
+        }
+        event->payload[field] = Value(v);
         break;
-      case ValueType::kDouble:
-        event->payload[field] = Value(std::strtod(text.c_str(), nullptr));
+      }
+      case ValueType::kDouble: {
+        double v = 0.0;
+        if (!ParseDouble(text, &v)) {
+          return Status::ParseError(row_context + ", column '" +
+                                    column_names_[col] +
+                                    "': bad double '" + text + "'");
+        }
+        event->payload[field] = Value(v);
         break;
+      }
       case ValueType::kBool:
         event->payload[field] =
             Value(text == "1" || text == "true" || text == "TRUE");

@@ -58,7 +58,13 @@ class CsvEventReader {
   Status header_status_;
   int timestamp_column_ = -1;
   std::vector<int> column_to_field_;  // CSV column -> schema index or -1
+  std::vector<std::string> column_names_;  // for parse-error context
   int64_t rows_read_ = 0;
+  // Scratch reused across Next() calls: the raw line and its split
+  // fields keep their buffers, so steady-state reads don't allocate
+  // (string-typed payload values still copy into the event).
+  std::string line_;
+  std::vector<std::string> fields_;
 };
 
 /// Writes events (e.g. the match output of a TPStream operator) as CSV:
@@ -79,9 +85,13 @@ class CsvEventWriter {
 };
 
 /// Splits one CSV line honoring double-quoted fields ("" escapes a
-/// quote). Exposed for testing.
-std::vector<std::string> SplitCsvLine(const std::string& line,
-                                      char delimiter);
+/// quote) into `*fields`, reusing its storage (strings are cleared and
+/// overwritten in place, so a reader looping over constant-arity rows
+/// allocates nothing in steady state). Malformed quoting — characters
+/// after a closing quote (`"ab"cd`) or an unterminated quoted field — is
+/// a parse error; `*fields` is unspecified then. Exposed for testing.
+Status SplitCsvLine(const std::string& line, char delimiter,
+                    std::vector<std::string>* fields);
 
 /// Quotes a value for CSV output when needed.
 std::string CsvQuote(const std::string& value, char delimiter);

@@ -32,18 +32,24 @@ void IndexRanges::Add(IndexRange r) {
 
 IndexRanges IndexRanges::Intersect(const IndexRanges& other) const {
   IndexRanges out;
+  IntersectInto(other, &out);
+  return out;
+}
+
+void IndexRanges::IntersectInto(const IndexRanges& other,
+                                IndexRanges* out) const {
+  out->ranges_.clear();
   size_t i = 0;
   size_t j = 0;
   while (i < ranges_.size() && j < other.ranges_.size()) {
     const IndexRange overlap = ranges_[i].Intersect(other.ranges_[j]);
-    if (!overlap.empty()) out.ranges_.push_back(overlap);
+    if (!overlap.empty()) out->ranges_.push_back(overlap);
     if (ranges_[i].hi < other.ranges_[j].hi) {
       ++i;
     } else {
       ++j;
     }
   }
-  return out;
 }
 
 uint64_t IndexRanges::TotalSize() const {

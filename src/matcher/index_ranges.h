@@ -42,6 +42,14 @@ class IndexRanges {
   /// Set intersection.
   IndexRanges Intersect(const IndexRanges& other) const;
 
+  /// Allocation-free variants for scratch reuse on the join hot path:
+  /// Clear() keeps the backing capacity, IntersectInto() writes the
+  /// intersection into `out` (cleared first, capacity reused), Swap()
+  /// exchanges contents in O(1).
+  void Clear() { ranges_.clear(); }
+  void IntersectInto(const IndexRanges& other, IndexRanges* out) const;
+  void Swap(IndexRanges& other) { ranges_.swap(other.ranges_); }
+
   bool empty() const { return ranges_.empty(); }
   uint64_t TotalSize() const;
   const std::vector<IndexRange>& ranges() const { return ranges_; }

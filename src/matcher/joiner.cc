@@ -32,6 +32,9 @@ void PatternJoiner::Enumerate(std::vector<const Situation*>& working_set,
                               TimePoint now, const EmitFn& emit,
                               MatcherStats* stats) {
   if (probes_ctr_ != nullptr) probes_ctr_->Inc();
+  if (step_scratch_.size() < order_.steps().size()) {
+    step_scratch_.resize(order_.steps().size());
+  }
   Step(working_set, 0, now, emit, stats);
 }
 
@@ -52,7 +55,10 @@ void PatternJoiner::Step(std::vector<const Situation*>& ws, size_t step_index,
     }
     return;
   }
-  const IndexRanges candidates = FindCandidates(step, ws, stats);
+  // The per-depth scratch keeps the reference stable across the recursive
+  // Step calls below (deeper levels use their own scratch slot).
+  const IndexRanges& candidates =
+      FindCandidates(step, ws, stats, step_scratch_[step_index]);
   const SituationBuffer& buf = buffers_[step.symbol];
   if (partial_configs_ctr_ != nullptr) {
     partial_configs_ctr_->Inc(
@@ -79,12 +85,14 @@ bool PatternJoiner::CheckBound(const EvalStep& step,
   return true;
 }
 
-IndexRanges PatternJoiner::FindCandidatesNaive(
-    const EvalStep& step, const std::vector<const Situation*>& ws) const {
+const IndexRanges& PatternJoiner::FindCandidatesNaive(
+    const EvalStep& step, const std::vector<const Situation*>& ws,
+    StepScratch& scratch) const {
   // Equation 1: scan the whole buffer and evaluate every applicable
   // constraint per candidate.
   const SituationBuffer& buf = buffers_[step.symbol];
-  IndexRanges result;
+  IndexRanges& result = scratch.result;
+  result.Clear();
   for (uint32_t i = 0; i < buf.size(); ++i) {
     const Situation& candidate = buf.At(i);
     bool ok = true;
@@ -104,15 +112,19 @@ IndexRanges PatternJoiner::FindCandidatesNaive(
   return result;
 }
 
-IndexRanges PatternJoiner::FindCandidates(
+const IndexRanges& PatternJoiner::FindCandidates(
     const EvalStep& step, const std::vector<const Situation*>& ws,
-    MatcherStats* stats) const {
+    MatcherStats* stats, StepScratch& scratch) {
   const SituationBuffer& buf = buffers_[step.symbol];
-  if (buf.empty()) return IndexRanges();
-  if (naive_scan_) return FindCandidatesNaive(step, ws);
+  if (naive_scan_ && !buf.empty()) {
+    return FindCandidatesNaive(step, ws, scratch);
+  }
+  IndexRanges& result = scratch.result;
+  result.Clear();
+  if (buf.empty()) return result;
 
   bool first = true;
-  IndexRanges result;
+  IndexRanges& per_constraint = scratch.per_constraint;
   for (const EvalStep::Touching& t : step.constraints) {
     const Situation* other = ws[t.other_symbol];
     if (other == nullptr) continue;
@@ -120,7 +132,7 @@ IndexRanges PatternJoiner::FindCandidates(
 
     // Union of the index ranges of the constraint's relations. The
     // candidate plays role A iff this step's symbol is the constraint's A.
-    IndexRanges per_constraint;
+    per_constraint.Clear();
     c.relations.ForEach([&](Relation r) {
       const auto bounds =
           BoundsForCounterpart(r, *other, /*fixed_is_a=*/!t.symbol_is_a);
@@ -139,10 +151,11 @@ IndexRanges PatternJoiner::FindCandidates(
                             static_cast<double>(buf.size()));
     }
     if (first) {
-      result = std::move(per_constraint);
+      result.Swap(per_constraint);
       first = false;
     } else {
-      result = result.Intersect(per_constraint);
+      result.IntersectInto(per_constraint, &scratch.tmp);
+      result.Swap(scratch.tmp);
     }
     if (result.empty()) return result;
   }

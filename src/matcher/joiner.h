@@ -63,6 +63,15 @@ class PatternJoiner {
                  const EmitFn& emit, MatcherStats* stats);
 
  private:
+  /// Reused per evaluation depth (Step recursion level): candidate-set
+  /// construction never allocates in steady state because the range
+  /// vectors keep their capacity across probes.
+  struct StepScratch {
+    IndexRanges result;
+    IndexRanges per_constraint;
+    IndexRanges tmp;
+  };
+
   void Step(std::vector<const Situation*>& ws, size_t step_index,
             TimePoint now, const EmitFn& emit, MatcherStats* stats);
 
@@ -73,22 +82,27 @@ class PatternJoiner {
 
   /// Candidate indices in the step symbol's buffer satisfying every
   /// applicable constraint (Figure 3: two range queries per relation,
-  /// union within a constraint, intersection across constraints).
-  IndexRanges FindCandidates(const EvalStep& step,
-                             const std::vector<const Situation*>& ws,
-                             MatcherStats* stats) const;
+  /// union within a constraint, intersection across constraints). The
+  /// returned reference points into `scratch` and is valid until the next
+  /// call with the same scratch (i.e. the next probe at this depth).
+  const IndexRanges& FindCandidates(const EvalStep& step,
+                                    const std::vector<const Situation*>& ws,
+                                    MatcherStats* stats,
+                                    StepScratch& scratch);
 
   void EmitIfWindowOk(const std::vector<const Situation*>& ws, TimePoint now,
                       const EmitFn& emit) const;
 
-  IndexRanges FindCandidatesNaive(
-      const EvalStep& step, const std::vector<const Situation*>& ws) const;
+  const IndexRanges& FindCandidatesNaive(
+      const EvalStep& step, const std::vector<const Situation*>& ws,
+      StepScratch& scratch) const;
 
   const TemporalPattern* pattern_;
   Duration window_;
   EvaluationOrder order_;
   std::vector<SituationBuffer> buffers_;
   bool naive_scan_ = false;
+  std::vector<StepScratch> step_scratch_;  // indexed by recursion depth
 
   // Observability handles (null when metrics are disabled).
   obs::Counter* probes_ctr_ = nullptr;

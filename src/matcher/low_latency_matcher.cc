@@ -49,14 +49,22 @@ void LowLatencyMatcher::EnableMetrics(obs::MetricsRegistry* registry) {
 void LowLatencyMatcher::Update(const std::vector<SymbolSituation>& started,
                                const std::vector<SymbolSituation>& finished,
                                TimePoint now) {
+  scratch_started_.assign(started.begin(), started.end());
+  scratch_finished_.assign(finished.begin(), finished.end());
+  Consume(scratch_started_, scratch_finished_, now);
+}
+
+void LowLatencyMatcher::Consume(std::vector<SymbolSituation>& started,
+                                std::vector<SymbolSituation>& finished,
+                                TimePoint now) {
   joiner_.PurgeBefore(now - window_);
 
   // Migrate every situation finishing now before running end triggers, so
   // that simultaneously ending counterparts (equals / finishes /
   // finished-by) are visible in the regular buffers.
-  for (const SymbolSituation& ss : finished) {
+  for (SymbolSituation& ss : finished) {
     started_[ss.symbol].reset();
-    joiner_.buffer(ss.symbol).Append(ss.situation);
+    joiner_.buffer(ss.symbol).Append(std::move(ss.situation));
   }
   for (const SymbolSituation& ss : finished) {
     if (!analysis_.match_on_end(ss.symbol)) continue;
@@ -74,8 +82,8 @@ void LowLatencyMatcher::Update(const std::vector<SymbolSituation>& started,
   // can relate to one starting at `now` only via meets/met-by, which
   // trigger at the *start* of the later situation and find the ended
   // counterpart in its buffer.
-  for (const SymbolSituation& ss : started) {
-    started_[ss.symbol] = ss.situation;
+  for (SymbolSituation& ss : started) {
+    started_[ss.symbol] = std::move(ss.situation);
     if (!analysis_.match_on_start(ss.symbol)) continue;
     Trigger(ss.symbol, *started_[ss.symbol], /*allow_bare=*/true, now);
   }

@@ -51,6 +51,13 @@ class LowLatencyMatcher {
   void Update(const std::vector<SymbolSituation>& started,
               const std::vector<SymbolSituation>& finished, TimePoint now);
 
+  /// Move-consuming variant used by the operator hot path: situation
+  /// payloads are moved (not copied) into the matcher state, leaving the
+  /// input vectors with moved-from elements. Results are identical to
+  /// Update(); no allocation occurs in steady state.
+  void Consume(std::vector<SymbolSituation>& started,
+               std::vector<SymbolSituation>& finished, TimePoint now);
+
   const TemporalPattern& pattern() const { return pattern_; }
   const MatcherStats& stats() const { return stats_; }
   size_t BufferedCount() const { return joiner_.BufferedCount(); }
@@ -78,6 +85,9 @@ class LowLatencyMatcher {
 
   std::vector<const Situation*> working_set_;
   std::vector<int> pool_;  // scratch: candidate started symbols per trigger
+  // Reused by Update() to hand Consume() mutable copies of the inputs.
+  std::vector<SymbolSituation> scratch_started_;
+  std::vector<SymbolSituation> scratch_finished_;
 
   /// Exactly-once guard: configuration fingerprint -> min start timestamp
   /// (for purging).

@@ -17,11 +17,16 @@ void Matcher::SetEvaluationOrder(const std::vector<int>& permutation) {
 
 void Matcher::Update(const std::vector<SymbolSituation>& finished,
                      TimePoint now) {
+  scratch_finished_.assign(finished.begin(), finished.end());
+  Consume(scratch_finished_, now);
+}
+
+void Matcher::Consume(std::vector<SymbolSituation>& finished, TimePoint now) {
   joiner_.PurgeBefore(now - window_);
 
-  for (const SymbolSituation& ss : finished) {
+  for (SymbolSituation& ss : finished) {
     SituationBuffer& buf = joiner_.buffer(ss.symbol);
-    buf.Append(ss.situation);
+    buf.Append(std::move(ss.situation));
     // Force the new situation into every produced configuration: this
     // yields incremental, exactly-once results (Algorithm 2).
     working_set_.assign(working_set_.size(), nullptr);

@@ -38,6 +38,12 @@ class Matcher {
   /// matches each of them.
   void Update(const std::vector<SymbolSituation>& finished, TimePoint now);
 
+  /// Move-consuming variant used by the operator hot path: situation
+  /// payloads are moved (not copied) into the matcher buffers, leaving
+  /// `finished` with moved-from elements. Results are identical to
+  /// Update(); no allocation occurs in steady state.
+  void Consume(std::vector<SymbolSituation>& finished, TimePoint now);
+
   const TemporalPattern& pattern() const { return pattern_; }
   const MatcherStats& stats() const { return stats_; }
   Duration window() const { return window_; }
@@ -52,6 +58,8 @@ class Matcher {
   PatternJoiner joiner_;
   MatcherStats stats_;
   std::vector<const Situation*> working_set_;
+  // Reused by Update() to hand Consume() a mutable copy of the input.
+  std::vector<SymbolSituation> scratch_finished_;
 };
 
 }  // namespace tpstream

@@ -3,6 +3,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "algebra/range_bounds.h"
@@ -26,6 +27,15 @@ class SituationBuffer {
     assert(size_ == 0 || (s.ts >= Back().te));
     if (size_ == data_.size()) Grow();
     data_[(head_ + size_) % data_.size()] = s;
+    ++size_;
+  }
+
+  /// Move-in variant for the allocation-free ingest path: the situation's
+  /// payload tuple changes owner instead of being copied.
+  void Append(Situation&& s) {
+    assert(size_ == 0 || (s.ts >= Back().te));
+    if (size_ == data_.size()) Grow();
+    data_[(head_ + size_) % data_.size()] = std::move(s);
     ++size_;
   }
 
@@ -68,8 +78,12 @@ class SituationBuffer {
 
  private:
   void Grow() {
+    // Move, don't copy: payload tuples keep their heap buffers, so growth
+    // costs one array allocation regardless of situation payload sizes.
     std::vector<Situation> bigger(data_.size() * 2);
-    for (size_t i = 0; i < size_; ++i) bigger[i] = At(i);
+    for (size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move(data_[(head_ + i) % data_.size()]);
+    }
     data_ = std::move(bigger);
     head_ = 0;
   }

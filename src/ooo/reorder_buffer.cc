@@ -1,24 +1,28 @@
 #include "ooo/reorder_buffer.h"
 
+#include <utility>
+
 namespace tpstream {
 namespace ooo {
 
-void ReorderBuffer::Push(const Event& event, const Sink& sink) {
+bool ReorderBuffer::Admit(const Event& event) {
   // Ties are legitimate across partitions (several keys reporting in the
   // same tick); only strictly older events are late.
   if (event.t < last_released_) {
     ++num_dropped_;
     if (dropped_ctr_ != nullptr) dropped_ctr_->Inc();
     if (late_callback_) late_callback_(event);
-    return;
+    return false;
   }
   if (event.t < max_seen_) {
     ++num_reordered_;
     if (reordered_ctr_ != nullptr) reordered_ctr_->Inc();
   }
   if (event.t > max_seen_) max_seen_ = event.t;
-  heap_.push(event);
+  return true;
+}
 
+void ReorderBuffer::ReleaseReady(const Sink& sink) {
   // Release everything at or below the watermark. The subtraction
   // saturates at kTimeMin: for timestamps within `slack` of the lower
   // bound, `max_seen_ - slack` would be signed overflow (UB) and wrap to
@@ -36,6 +40,18 @@ void ReorderBuffer::Push(const Event& event, const Sink& sink) {
     buffered_gauge_->Set(static_cast<double>(heap_.size()));
     lag_gauge_->Set(static_cast<double>(max_seen_ - watermark_));
   }
+}
+
+void ReorderBuffer::Push(const Event& event, const Sink& sink) {
+  if (!Admit(event)) return;
+  heap_.push(event);
+  ReleaseReady(sink);
+}
+
+void ReorderBuffer::Push(Event&& event, const Sink& sink) {
+  if (!Admit(event)) return;
+  heap_.push(std::move(event));
+  ReleaseReady(sink);
 }
 
 void ReorderBuffer::Flush(const Sink& sink) {

@@ -58,6 +58,11 @@ class ReorderBuffer {
   /// is met, in timestamp order.
   void Push(const Event& event, const Sink& sink);
 
+  /// Move overload: the event payload is moved into the buffer heap
+  /// instead of copied (late-dropped events are not moved from — the
+  /// late callback still sees the intact event).
+  void Push(Event&& event, const Sink& sink);
+
   /// Drains all buffered events in order (end of stream).
   void Flush(const Sink& sink);
 
@@ -75,6 +80,12 @@ class ReorderBuffer {
       return a.t > b.t;
     }
   };
+
+  /// Shared front half of the Push overloads: late-drop check and
+  /// disorder accounting. Returns false when the event was dropped.
+  bool Admit(const Event& event);
+  /// Shared back half: advances the watermark and releases in order.
+  void ReleaseReady(const Sink& sink);
 
   Options options_;
   LateCallback late_callback_;

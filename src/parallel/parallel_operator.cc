@@ -125,7 +125,7 @@ void ParallelTPStream::AssertSingleProducer() const {
 #endif
 }
 
-void ParallelTPStream::Push(const Event& event) {
+ParallelTPStream::Worker* ParallelTPStream::RouteTo(const Event& event) {
   AssertSingleProducer();
   events_ctr_->Inc();
   size_t index = 0;
@@ -135,9 +135,27 @@ void ParallelTPStream::Push(const Event& event) {
     index = ValueHash{}(event.payload[spec_.partition_field]) %
             workers_.size();
   }
-  Worker* worker = workers_[index].get();
+  return workers_[index].get();
+}
+
+void ParallelTPStream::Push(const Event& event) {
+  Worker* worker = RouteTo(event);
   worker->pending.push_back(event);
   if (worker->pending.size() >= options_.batch_size) Submit(worker);
+}
+
+void ParallelTPStream::Push(Event&& event) {
+  Worker* worker = RouteTo(event);
+  worker->pending.push_back(std::move(event));
+  if (worker->pending.size() >= options_.batch_size) Submit(worker);
+}
+
+void ParallelTPStream::PushBatch(std::span<Event> events) {
+  for (Event& event : events) Push(std::move(event));
+}
+
+void ParallelTPStream::PushBatch(std::span<const Event> events) {
+  for (const Event& event : events) Push(event);
 }
 
 void ParallelTPStream::Flush() {

@@ -5,7 +5,9 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/partitioned_operator.h"
@@ -73,6 +75,18 @@ class ParallelTPStream {
   /// non-decreasing globally (strictly increasing per partition).
   void Push(const Event& event);
 
+  /// Move overload: the event payload is moved into the worker's pending
+  /// batch instead of copied — the zero-copy hand-off for producers that
+  /// own their events. Same contract as Push(const Event&).
+  void Push(Event&& event);
+
+  /// Batched ingestion: routes the events in order, equivalent to one
+  /// Push() per event (differential-tested). The mutable-span overload
+  /// moves each event's payload into the worker batches, leaving the
+  /// caller's storage with moved-from events for reuse.
+  void PushBatch(std::span<Event> events);
+  void PushBatch(std::span<const Event> events);
+
   /// Drains all queues and blocks until every worker is idle. After it
   /// returns, all matches concluded by pushed events have been delivered
   /// and the statistics getters are exact. Idempotent; also called by
@@ -127,6 +141,9 @@ class ParallelTPStream {
 
   void WorkerLoop(Worker* worker);
   void Submit(Worker* worker);
+  /// Shared routing step of the Push overloads: counts the event and
+  /// picks its partition's worker.
+  Worker* RouteTo(const Event& event);
   /// Debug-build check that Push()/Flush() stay on one thread.
   void AssertSingleProducer() const;
 

@@ -14,6 +14,10 @@ class FilterStage final : public Stage {
     if (EvalPredicate(*predicate_, event.payload)) Emit(event);
   }
 
+  void Process(Event&& event) override {
+    if (EvalPredicate(*predicate_, event.payload)) Emit(std::move(event));
+  }
+
  private:
   ExprPtr predicate_;
 };
@@ -44,6 +48,10 @@ class ReorderStage final : public Stage {
     buffer_.Push(event, [this](const Event& e) { Emit(e); });
   }
 
+  void Process(Event&& event) override {
+    buffer_.Push(std::move(event), [this](const Event& e) { Emit(e); });
+  }
+
   void Finish() override {
     buffer_.Flush([this](const Event& e) { Emit(e); });
     Stage::Finish();
@@ -64,6 +72,8 @@ class DetectStage final : public Stage {
   }
 
   void Process(const Event& event) override { engine_->Push(event); }
+
+  void Process(Event&& event) override { engine_->Push(std::move(event)); }
 
   /// A fresh engine drops derived situations, matcher buffers and the
   /// adaptive statistics — the restart semantics Pipeline::Reset()
@@ -89,6 +99,11 @@ class SinkStage final : public Stage {
   void Process(const Event& event) override {
     sink_(event);
     Emit(event);
+  }
+
+  void Process(Event&& event) override {
+    sink_(event);
+    Emit(std::move(event));
   }
 
  private:
@@ -207,6 +222,19 @@ Status Pipeline::Finalize() {
 void Pipeline::Push(const Event& event) {
   if (!finalized_) return;  // Finalize() reports the error
   stages_.front()->Consume(event);
+}
+
+void Pipeline::Push(Event&& event) {
+  if (!finalized_) return;  // Finalize() reports the error
+  stages_.front()->Consume(std::move(event));
+}
+
+void Pipeline::PushBatch(std::span<Event> events) {
+  for (Event& event : events) Push(std::move(event));
+}
+
+void Pipeline::PushBatch(std::span<const Event> events) {
+  for (const Event& event : events) Push(event);
 }
 
 void Pipeline::Finish() {

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +27,15 @@ class Stage {
   virtual ~Stage() = default;
 
   virtual void Process(const Event& event) = 0;
+
+  /// Move-aware variant. Stages that buffer or forward the event override
+  /// this to move the payload; the default falls back to the const
+  /// overload (correct for every stage, just pays a copy where the
+  /// override would not).
+  virtual void Process(Event&& event) {
+    Process(static_cast<const Event&>(event));
+  }
+
   virtual void Finish() {
     if (next_ != nullptr) next_->Finish();
   }
@@ -42,12 +52,21 @@ class Stage {
     Process(event);
   }
 
+  void Consume(Event&& event) {
+    if (events_ctr_ != nullptr) events_ctr_->Inc();
+    Process(std::move(event));
+  }
+
   void set_next(Stage* next) { next_ = next; }
   void set_events_counter(obs::Counter* counter) { events_ctr_ = counter; }
 
  protected:
   void Emit(const Event& event) {
     if (next_ != nullptr) next_->Consume(event);
+  }
+
+  void Emit(Event&& event) {
+    if (next_ != nullptr) next_->Consume(std::move(event));
   }
 
  private:
@@ -115,6 +134,16 @@ class Pipeline {
   Status Finalize();
 
   void Push(const Event& event);
+
+  /// Move overload: the event is moved through the stage chain (stages
+  /// that buffer it — Reorder, Detect hand-offs — take ownership of the
+  /// payload instead of copying it).
+  void Push(Event&& event);
+
+  /// Batched ingestion: pushes the events in order, equivalent to one
+  /// Push() per event. The mutable-span overload moves each event.
+  void PushBatch(std::span<Event> events);
+  void PushBatch(std::span<const Event> events);
 
   /// Flushes buffered stages at end of stream.
   void Finish();

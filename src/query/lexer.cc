@@ -1,6 +1,9 @@
 #include "query/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 
 namespace tpstream {
 namespace query {
@@ -74,7 +77,17 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
       }
       token.type = TokenType::kNumber;
       token.text = text.substr(start, i - start);
-      token.number = std::stod(token.text);
+      // strtod instead of std::stod: the scanner guarantees the text is a
+      // valid literal, but a huge one (hundreds of digits) overflows and
+      // std::stod would throw std::out_of_range through the
+      // exception-free query frontend.
+      errno = 0;
+      token.number = std::strtod(token.text.c_str(), nullptr);
+      if (errno == ERANGE && std::abs(token.number) == HUGE_VAL) {
+        return Status::ParseError("numeric literal '" + token.text +
+                                  "' out of range at offset " +
+                                  std::to_string(token.position));
+      }
       token.is_int = is_int;
       // Attached unit (must start with a letter or a non-ASCII byte).
       if (i < n && (std::isalpha(static_cast<unsigned char>(text[i])) ||

@@ -109,11 +109,18 @@ void LinearRoadGenerator::AdvanceCar(Car* car) {
 }
 
 Event LinearRoadGenerator::Next() {
+  Event event;
+  Next(&event);
+  return event;
+}
+
+void LinearRoadGenerator::Next(Event* out) {
   if (next_car_ == 0) ++t_;
   Car& car = cars_[next_car_];
   AdvanceCar(&car);
 
-  Tuple payload;
+  Tuple& payload = out->payload;
+  payload.clear();
   payload.reserve(5);
   payload.push_back(Value(static_cast<int64_t>(next_car_)));
   payload.push_back(Value(car.speed));
@@ -122,7 +129,7 @@ Event LinearRoadGenerator::Next() {
   payload.push_back(Value(static_cast<int64_t>(car.lane)));
 
   next_car_ = (next_car_ + 1) % options_.num_cars;
-  return Event(std::move(payload), t_);
+  out->t = t_;
 }
 
 double LinearRoadGenerator::SampleFieldPercentile(const Options& options,

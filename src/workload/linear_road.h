@@ -43,6 +43,11 @@ class LinearRoadGenerator {
   /// (the per-car streams are separated by PARTITION BY car_id).
   Event Next();
 
+  /// Scratch-reuse variant: writes the next report into `*out`, reusing
+  /// its payload storage (allocation-free once the payload capacity has
+  /// been established). Equivalent to `*out = Next()`.
+  void Next(Event* out);
+
   TimePoint now() const { return t_; }
 
   /// Empirical percentile of a field over `sample_size` generated events

@@ -30,8 +30,15 @@ void SyntheticGenerator::SetRatios(std::vector<double> ratios) {
 }
 
 Event SyntheticGenerator::Next() {
+  Event event;
+  Next(&event);
+  return event;
+}
+
+void SyntheticGenerator::Next(Event* out) {
   ++t_;
-  Tuple payload;
+  Tuple& payload = out->payload;
+  payload.clear();
   payload.reserve(streams_.size());
   for (StreamState& s : streams_) {
     if (t_ >= s.until) {
@@ -47,7 +54,7 @@ Event SyntheticGenerator::Next() {
     }
     payload.push_back(Value(s.active));
   }
-  return Event(std::move(payload), t_);
+  out->t = t_;
 }
 
 }  // namespace tpstream

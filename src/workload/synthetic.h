@@ -40,6 +40,11 @@ class SyntheticGenerator {
   /// Next event (timestamps are consecutive ticks starting at 1).
   Event Next();
 
+  /// Scratch-reuse variant: writes the next event into `*out`, reusing
+  /// its payload storage (allocation-free once the payload capacity has
+  /// been established). Equivalent to `*out = Next()`.
+  void Next(Event* out);
+
   /// Sets per-stream occurrence ratios (all 1 initially). Takes effect at
   /// each stream's next phase change.
   void SetRatios(std::vector<double> ratios);

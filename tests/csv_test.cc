@@ -8,22 +8,76 @@ namespace tpstream {
 namespace io {
 namespace {
 
+// Test shim over the out-param API: returns the fields, asserting success.
+std::vector<std::string> Split(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  const Status s = SplitCsvLine(line, delimiter, &fields);
+  EXPECT_TRUE(s.ok()) << s.message();
+  return fields;
+}
+
 TEST(CsvSplitTest, HandlesQuotingAndEscapes) {
-  EXPECT_EQ(SplitCsvLine("a,b,c", ','),
+  EXPECT_EQ(Split("a,b,c", ','),
             (std::vector<std::string>{"a", "b", "c"}));
-  EXPECT_EQ(SplitCsvLine("a,\"b,c\",d", ','),
+  EXPECT_EQ(Split("a,\"b,c\",d", ','),
             (std::vector<std::string>{"a", "b,c", "d"}));
-  EXPECT_EQ(SplitCsvLine("\"he said \"\"hi\"\"\",2", ','),
+  EXPECT_EQ(Split("\"he said \"\"hi\"\"\",2", ','),
             (std::vector<std::string>{"he said \"hi\"", "2"}));
-  EXPECT_EQ(SplitCsvLine("a,,c", ','),
+  EXPECT_EQ(Split("a,,c", ','),
             (std::vector<std::string>{"a", "", "c"}));
-  EXPECT_EQ(SplitCsvLine("x\r", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(Split("x\r", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(CsvSplitTest, ReusesFieldStorageAcrossCalls) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(SplitCsvLine("a,b,c", ',', &fields).ok());
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_TRUE(SplitCsvLine("longer,than,before", ',', &fields).ok());
+  EXPECT_EQ(fields, (std::vector<std::string>{"longer", "than", "before"}));
+  ASSERT_TRUE(SplitCsvLine("x", ',', &fields).ok());
+  EXPECT_EQ(fields, (std::vector<std::string>{"x"}));
+}
+
+TEST(CsvSplitTest, RejectsTrailingCharactersAfterClosingQuote) {
+  std::vector<std::string> fields;
+  // `"ab"cd` used to silently concatenate to `abcd`.
+  EXPECT_EQ(SplitCsvLine("\"ab\"cd", ',', &fields).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(SplitCsvLine("x,\"ab\"cd,y", ',', &fields).code(),
+            StatusCode::kParseError);
+  // A delimiter directly after the closing quote is fine.
+  EXPECT_EQ(Split("\"ab\",cd", ','),
+            (std::vector<std::string>{"ab", "cd"}));
+  // CRLF after a quoted last field is fine.
+  EXPECT_EQ(Split("\"ab\"\r", ','), (std::vector<std::string>{"ab"}));
+}
+
+TEST(CsvSplitTest, RejectsUnterminatedQuotedField) {
+  std::vector<std::string> fields;
+  EXPECT_EQ(SplitCsvLine("\"abc", ',', &fields).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(SplitCsvLine("a,\"b,c", ',', &fields).code(),
+            StatusCode::kParseError);
 }
 
 TEST(CsvQuoteTest, QuotesOnlyWhenNeeded) {
   EXPECT_EQ(CsvQuote("plain", ','), "plain");
   EXPECT_EQ(CsvQuote("with,comma", ','), "\"with,comma\"");
   EXPECT_EQ(CsvQuote("with\"quote", ','), "\"with\"\"quote\"");
+}
+
+TEST(CsvQuoteTest, RoundTripsThroughSplit) {
+  const std::vector<std::string> values = {
+      "plain", "with,comma", "with\"quote", "\"fully quoted\"",
+      "trailing\"", "a,\"b\",c", ""};
+  for (const std::string& value : values) {
+    const std::string quoted = CsvQuote(value, ',');
+    std::vector<std::string> fields;
+    ASSERT_TRUE(SplitCsvLine(quoted, ',', &fields).ok())
+        << "value: " << value << " quoted: " << quoted;
+    ASSERT_EQ(fields.size(), 1u) << "value: " << value;
+    EXPECT_EQ(fields[0], value);
+  }
 }
 
 TEST(CsvEventReaderTest, ReadsTypedEvents) {
@@ -81,6 +135,65 @@ TEST(CsvEventReaderTest, ErrorsAreReported) {
     Event e;
     EXPECT_EQ(reader.Next(&e).code(), StatusCode::kParseError);
   }
+}
+
+TEST(CsvEventReaderTest, RejectsMalformedInts) {
+  const Schema schema({Field{"x", ValueType::kInt}});
+  // Partial consumption used to be silently coerced ("12x" -> 12).
+  {
+    std::istringstream input("timestamp,x\n1,12x\n");
+    CsvEventReader reader(input, schema);
+    Event e;
+    const Status s = reader.Next(&e);
+    EXPECT_EQ(s.code(), StatusCode::kParseError);
+    EXPECT_NE(s.message().find("row 1"), std::string::npos) << s.message();
+    EXPECT_NE(s.message().find("'x'"), std::string::npos) << s.message();
+  }
+  // Overflow used to clamp to INT64_MAX.
+  {
+    std::istringstream input("timestamp,x\n1,99999999999999999999999\n");
+    CsvEventReader reader(input, schema);
+    Event e;
+    EXPECT_EQ(reader.Next(&e).code(), StatusCode::kParseError);
+  }
+  // An empty cell stays a null value, not an error.
+  {
+    std::istringstream input("timestamp,x\n1,\n");
+    CsvEventReader reader(input, schema);
+    Event e;
+    ASSERT_TRUE(reader.Next(&e).ok());
+    EXPECT_TRUE(e.payload[0].is_null());
+  }
+}
+
+TEST(CsvEventReaderTest, RejectsMalformedDoubles) {
+  const Schema schema({Field{"x", ValueType::kDouble}});
+  {
+    std::istringstream input("timestamp,x\n1,3.5mph\n");
+    CsvEventReader reader(input, schema);
+    Event e;
+    const Status s = reader.Next(&e);
+    EXPECT_EQ(s.code(), StatusCode::kParseError);
+    EXPECT_NE(s.message().find("column 'x'"), std::string::npos)
+        << s.message();
+  }
+  {
+    std::istringstream input("timestamp,x\n1,1e999999\n");  // overflow
+    CsvEventReader reader(input, schema);
+    Event e;
+    EXPECT_EQ(reader.Next(&e).code(), StatusCode::kParseError);
+  }
+}
+
+TEST(CsvEventReaderTest, RejectsTrailingGarbageOnTimestamp) {
+  const Schema schema({Field{"x", ValueType::kInt}});
+  std::istringstream input("timestamp,x\n10abc,1\n");
+  CsvEventReader reader(input, schema);
+  Event e;
+  const Status s = reader.Next(&e);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("timestamp"), std::string::npos)
+      << s.message();
 }
 
 TEST(CsvEventReaderTest, ReadAllForwardsEverything) {

@@ -233,6 +233,37 @@ TEST(LowLatencyMatcherTest, EqualsNeverMatchedWhileOngoing) {
   EXPECT_EQ(r2.detections.begin()->second, 9);
 }
 
+TEST(LowLatencyMatcherTest, DedupSurvivesFingerprintPurgeSweep) {
+  // Regression guard for the amortized sweep of the exactly-once
+  // fingerprint table: once it holds 1024 entries, entries older than the
+  // purge horizon (now - window) are erased. Duplicate suppression for
+  // configurations *inside* the window must keep working across sweeps.
+  //
+  // "A finishes B" ends simultaneously, so every configuration is
+  // re-derived by both end triggers and only the fingerprint table keeps
+  // the second emission out. 1400 matches with a 50-tick window force the
+  // sweep (threshold 1024) while each configuration is still deduped at
+  // its own emission instant.
+  TemporalPattern p({"A", "B"});
+  ASSERT_TRUE(p.AddRelation(0, Relation::kFinishes, 1).ok());
+
+  const int kPairs = 1400;
+  std::vector<std::vector<Situation>> streams(2);
+  for (int i = 0; i < kPairs; ++i) {
+    const TimePoint base = 1 + static_cast<TimePoint>(i) * 10;
+    streams[0].push_back(Sit(base, base + 6));
+    streams[1].push_back(Sit(base + 3, base + 6));  // B finishes A's end
+  }
+
+  const auto r = RunLowLatency(p, /*window=*/50, streams);
+  EXPECT_EQ(r.duplicates, 0);
+  ASSERT_EQ(r.detections.size(), static_cast<size_t>(kPairs));
+  for (const auto& [key, detected_at] : r.detections) {
+    // Each pair concludes exactly at its shared end timestamp.
+    EXPECT_EQ(detected_at, key[0] + 6);
+  }
+}
+
 TEST(LowLatencyMatcherTest, WindowSemanticsForOngoingConfigs) {
   // "A before B" with window 10: B starts within the window, so the match
   // is emitted at B.ts even though B's eventual end exceeds the window.

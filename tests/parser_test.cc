@@ -46,6 +46,34 @@ TEST(LexerTest, RejectsBadInput) {
   EXPECT_FALSE(query::Tokenize("'unterminated").ok());
 }
 
+TEST(LexerTest, RejectsOutOfRangeNumericLiterals) {
+  // A literal too large for double used to escape as an uncaught
+  // std::out_of_range from std::stod; it must surface as a Status.
+  const std::string huge(400, '9');
+  const auto result = query::Tokenize(huge);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("out of range"),
+            std::string::npos)
+      << result.status().message();
+  // The same literal inside surrounding tokens.
+  EXPECT_FALSE(query::Tokenize("speed > " + huge).ok());
+  // Huge-but-representable stays fine.
+  EXPECT_TRUE(query::Tokenize("1e3").ok());
+}
+
+TEST(ParserTest, MalformedNumericLiteralSurfacesAsStatus) {
+  // End-to-end: the oversized literal flows through ParseQuery as a
+  // parse error instead of a crash.
+  const std::string huge(400, '9');
+  const auto spec = query::ParseQuery(
+      "FROM CarSensors CS DEFINE A AS CS.speed > " + huge +
+          " PATTERN A WITHIN 10s RETURN first(A.car_id) AS id",
+      CarSchema());
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kParseError);
+}
+
 constexpr char kAggressiveQuery[] = R"(
   FROM CarSensors CS PARTITION BY CS.car_id
   DEFINE A AS CS.accel > 8m/s^2 AT LEAST 5s,
