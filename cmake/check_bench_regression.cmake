@@ -1,20 +1,44 @@
-# Compares a fresh "tpstream-bench-ingest-v1" document (see
-# bench/ingest_common.h) against the committed BENCH_ingest.json
-# baseline. Usage:
+# Compares a fresh benchmark JSON document against a committed baseline.
+# Two schemas are understood, dispatched on the document's "schema" key:
+#
+#   tpstream-bench-ingest-v1   (bench/ingest_common.h -> BENCH_ingest.json)
+#   tpstream-bench-parallel-v1 (bench_parallel_scaling -> BENCH_parallel.json)
+#
+# Usage:
 #   cmake -DCURRENT=out.json -DBASELINE=BENCH_ingest.json \
 #         [-DTHROUGHPUT_TOLERANCE_PCT=30] [-DALLOC_TOLERANCE_MICRO=500000] \
-#         [-DP99_FACTOR_PCT=500] -P cmake/check_bench_regression.cmake
+#         [-DP99_FACTOR_PCT=500] [-DRING_FULL_FACTOR_PCT=500] \
+#         [-DRING_FULL_SLACK=1000] [-DSCALING_FLOOR_2W_PCT=130] \
+#         [-DSCALING_FLOOR_4W_PCT=250] [-DSUMMARY_FILE=summary.md] \
+#         -P cmake/check_bench_regression.cmake
 #
-# For every run present in CURRENT there must be a baseline run of the
-# same name, and:
+# Ingest checks (per run; every CURRENT run needs a same-named baseline):
 #   * events_per_sec        >= baseline * (1 - THROUGHPUT_TOLERANCE_PCT%)
 #   * allocations_per_event <= baseline + ALLOC_TOLERANCE_MICRO * 1e-6
 #   * push_ns.p99           <= baseline * P99_FACTOR_PCT%
-# The thresholds are deliberately generous (30% throughput, 5x p99,
-# +0.5 allocations/event): shared CI machines are noisy, and the gate is
-# meant to catch regressions (an allocation re-introduced on the hot
-# path, a 2x slowdown), not variance. All arithmetic is exact 64-bit
-# integer math on micro-units, since math(EXPR) has no floating point.
+#
+# Parallel checks (per run):
+#   * events_per_sec            >= baseline * (1 - THROUGHPUT_TOLERANCE_PCT%)
+#   * producer_allocs_per_event <= baseline + ALLOC_TOLERANCE_MICRO * 1e-6
+#   * push_ns.p99               <= baseline * P99_FACTOR_PCT%
+#   * ring_full <= baseline * RING_FULL_FACTOR_PCT% + RING_FULL_SLACK
+# plus cross-run scaling floors computed from CURRENT alone, enforced on
+# the match_heavy profile and only when the measuring machine actually
+# has the cores (the document's "cpus" field): with cpus >= 2,
+# eps(w2) >= eps(w1) * SCALING_FLOOR_2W_PCT%; with cpus >= 4,
+# eps(w4) >= eps(w1) * SCALING_FLOOR_4W_PCT%. The match_light profile is
+# producer-bound (single-threaded routing at ingest speed) and carries no
+# scaling floor.
+#
+# The thresholds are deliberately generous: shared CI machines are noisy,
+# and the gate is meant to catch regressions (an allocation re-introduced
+# on the hot path, a 2x slowdown, scaling collapsing back to the
+# single-in-flight hand-off), not variance. All arithmetic is exact
+# 64-bit integer math on micro-units, since math(EXPR) has no floating
+# point.
+#
+# When SUMMARY_FILE is set, a fresh-vs-baseline markdown delta table is
+# appended to it (CI passes $GITHUB_STEP_SUMMARY).
 cmake_minimum_required(VERSION 3.19)  # string(JSON)
 
 if(NOT CURRENT OR NOT BASELINE)
@@ -29,18 +53,33 @@ endif()
 if(NOT DEFINED P99_FACTOR_PCT)
   set(P99_FACTOR_PCT 500)  # 5x
 endif()
+if(NOT DEFINED RING_FULL_FACTOR_PCT)
+  set(RING_FULL_FACTOR_PCT 500)  # 5x
+endif()
+if(NOT DEFINED RING_FULL_SLACK)
+  set(RING_FULL_SLACK 1000)
+endif()
+if(NOT DEFINED SCALING_FLOOR_2W_PCT)
+  set(SCALING_FLOOR_2W_PCT 130)  # speedup(w2) >= 1.3x
+endif()
+if(NOT DEFINED SCALING_FLOOR_4W_PCT)
+  set(SCALING_FLOOR_4W_PCT 250)  # speedup(w4) >= 2.5x
+endif()
 
 file(READ "${CURRENT}" current_doc)
 file(READ "${BASELINE}" baseline_doc)
 
-foreach(pair "current_doc;${CURRENT}" "baseline_doc;${BASELINE}")
-  list(GET pair 0 var)
-  list(GET pair 1 path)
-  string(JSON schema ERROR_VARIABLE err GET "${${var}}" schema)
-  if(err OR NOT schema STREQUAL "tpstream-bench-ingest-v1")
-    message(FATAL_ERROR "${path}: bad or missing schema ('${schema}') ${err}")
-  endif()
-endforeach()
+string(JSON schema ERROR_VARIABLE err GET "${current_doc}" schema)
+if(err OR (NOT schema STREQUAL "tpstream-bench-ingest-v1" AND
+           NOT schema STREQUAL "tpstream-bench-parallel-v1"))
+  message(FATAL_ERROR "${CURRENT}: bad or missing schema ('${schema}') ${err}")
+endif()
+string(JSON base_schema ERROR_VARIABLE err GET "${baseline_doc}" schema)
+if(err OR NOT base_schema STREQUAL schema)
+  message(FATAL_ERROR
+          "${BASELINE}: schema '${base_schema}' does not match ${CURRENT}'s "
+          "'${schema}' ${err}")
+endif()
 
 # Parses a non-negative decimal number ("123", "123.45", "4e-06") into
 # integer micro-units (x 1e6, truncated).
@@ -85,9 +124,52 @@ function(to_micro val out)
   endif()
 endfunction()
 
+# Percentage delta (integer, rounded toward zero) of cur vs base
+# micro-unit values; "n/a" when the baseline is zero.
+function(delta_pct cur_u base_u out)
+  if(base_u EQUAL 0)
+    set(${out} "n/a" PARENT_SCOPE)
+    return()
+  endif()
+  math(EXPR pct "(${cur_u} - ${base_u}) * 100 / ${base_u}")
+  if(pct GREATER_EQUAL 0)
+    set(${out} "+${pct}%" PARENT_SCOPE)
+  else()
+    set(${out} "${pct}%" PARENT_SCOPE)
+  endif()
+endfunction()
+
+function(summary_append line)
+  if(SUMMARY_FILE)
+    file(APPEND "${SUMMARY_FILE}" "${line}\n")
+  endif()
+endfunction()
+
+# string(JSON) re-serializes numbers at full double precision
+# (1.0637000000000001); trim to two decimals for the summary table.
+function(pretty_num val out)
+  if(val MATCHES "^([0-9]+)\\.([0-9][0-9]?)")
+    set(${out} "${CMAKE_MATCH_1}.${CMAKE_MATCH_2}" PARENT_SCOPE)
+  else()
+    set(${out} "${val}" PARENT_SCOPE)
+  endif()
+endfunction()
+
 string(JSON num_runs LENGTH "${current_doc}" runs)
 if(num_runs EQUAL 0)
   message(FATAL_ERROR "${CURRENT}: no runs")
+endif()
+
+get_filename_component(current_name "${CURRENT}" NAME)
+get_filename_component(baseline_name "${BASELINE}" NAME)
+summary_append("### Perf smoke: `${current_name}` vs `${baseline_name}` (${schema})")
+summary_append("")
+if(schema STREQUAL "tpstream-bench-ingest-v1")
+  summary_append("| run | evt/s | baseline | Δ | alloc/evt | p99 ns | baseline p99 |")
+  summary_append("|---|---|---|---|---|---|---|")
+else()
+  summary_append("| run | evt/s | baseline | Δ | speedup | ring_full | alloc/evt | p99 ns |")
+  summary_append("|---|---|---|---|---|---|---|---|")
 endif()
 
 set(failures 0)
@@ -102,6 +184,7 @@ foreach(i RANGE 0 ${last})
             "(see EXPERIMENTS.md, 'Perf baselines'): ${err}")
   endif()
 
+  # Throughput floor — common to both schemas.
   string(JSON cur_eps GET "${current_doc}" runs "${name}" events_per_sec)
   string(JSON base_eps GET "${baseline_doc}" runs "${name}" events_per_sec)
   to_micro("${cur_eps}" cur_eps_u)
@@ -114,19 +197,27 @@ foreach(i RANGE 0 ${last})
             "${base_eps} (allowed: -${THROUGHPUT_TOLERANCE_PCT}%)")
     math(EXPR failures "${failures} + 1")
   endif()
+  delta_pct(${cur_eps_u} ${base_eps_u} eps_delta)
 
-  string(JSON cur_ape GET "${current_doc}" runs "${name}" allocations_per_event)
-  string(JSON base_ape GET "${baseline_doc}" runs "${name}" allocations_per_event)
+  # Allocation ceiling — field name differs per schema.
+  if(schema STREQUAL "tpstream-bench-ingest-v1")
+    set(alloc_field allocations_per_event)
+  else()
+    set(alloc_field producer_allocs_per_event)
+  endif()
+  string(JSON cur_ape GET "${current_doc}" runs "${name}" ${alloc_field})
+  string(JSON base_ape GET "${baseline_doc}" runs "${name}" ${alloc_field})
   to_micro("${cur_ape}" cur_ape_u)
   to_micro("${base_ape}" base_ape_u)
   math(EXPR ape_limit "${base_ape_u} + ${ALLOC_TOLERANCE_MICRO}")
   if(cur_ape_u GREATER ape_limit)
     message(SEND_ERROR
-            "${name}: allocations/event regressed — ${cur_ape} vs baseline "
+            "${name}: ${alloc_field} regressed — ${cur_ape} vs baseline "
             "${base_ape} (+${ALLOC_TOLERANCE_MICRO} micro-allocs allowed)")
     math(EXPR failures "${failures} + 1")
   endif()
 
+  # Push-latency p99 bound — common to both schemas.
   string(JSON cur_p99 GET "${current_doc}" runs "${name}" push_ns p99)
   string(JSON base_p99 GET "${baseline_doc}" runs "${name}" push_ns p99)
   math(EXPR p99_limit "${base_p99} * ${P99_FACTOR_PCT} / 100")
@@ -137,6 +228,30 @@ foreach(i RANGE 0 ${last})
     math(EXPR failures "${failures} + 1")
   endif()
 
+  pretty_num("${cur_eps}" cur_eps_fmt)
+  pretty_num("${base_eps}" base_eps_fmt)
+  pretty_num("${cur_ape}" cur_ape_fmt)
+  if(schema STREQUAL "tpstream-bench-ingest-v1")
+    summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_ape_fmt} | ${cur_p99} | ${base_p99} |")
+  else()
+    # Backpressure bound: a collapse back to single-in-flight hand-off
+    # shows up as ring_full exploding relative to the baseline.
+    string(JSON cur_rf GET "${current_doc}" runs "${name}" ring_full)
+    string(JSON base_rf GET "${baseline_doc}" runs "${name}" ring_full)
+    math(EXPR rf_limit
+         "${base_rf} * ${RING_FULL_FACTOR_PCT} / 100 + ${RING_FULL_SLACK}")
+    if(cur_rf GREATER rf_limit)
+      message(SEND_ERROR
+              "${name}: ring_full regressed — ${cur_rf} stalled submits vs "
+              "baseline ${base_rf} (allowed: *${RING_FULL_FACTOR_PCT}% + "
+              "${RING_FULL_SLACK})")
+      math(EXPR failures "${failures} + 1")
+    endif()
+    string(JSON cur_speedup GET "${current_doc}" runs "${name}" speedup_vs_w1)
+    pretty_num("${cur_speedup}" cur_speedup_fmt)
+    summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_speedup_fmt}x | ${cur_rf} | ${cur_ape_fmt} | ${cur_p99} |")
+  endif()
+
   if(failures EQUAL failures_before)
     message(STATUS
             "${name}: ${cur_eps} evt/s (baseline ${base_eps}), "
@@ -145,7 +260,53 @@ foreach(i RANGE 0 ${last})
   endif()
 endforeach()
 
+# Cross-run scaling floors (parallel schema, CURRENT document only):
+# enforced on match_heavy, gated on the measuring machine's core count.
+if(schema STREQUAL "tpstream-bench-parallel-v1")
+  string(JSON cpus ERROR_VARIABLE err GET "${current_doc}" cpus)
+  if(err)
+    set(cpus 0)
+  endif()
+  string(JSON w1 ERROR_VARIABLE err1 GET "${current_doc}" runs match_heavy.w1
+         events_per_sec)
+  foreach(pair "2;${SCALING_FLOOR_2W_PCT}" "4;${SCALING_FLOOR_4W_PCT}")
+    list(GET pair 0 nworkers)
+    list(GET pair 1 floor_pct)
+    if(err1 OR cpus LESS ${nworkers})
+      message(STATUS
+              "match_heavy.w${nworkers}: scaling floor skipped "
+              "(cpus=${cpus}, need >= ${nworkers})")
+      summary_append("")
+      summary_append("match_heavy w${nworkers} scaling floor skipped: machine has ${cpus} core(s).")
+      continue()
+    endif()
+    string(JSON wn ERROR_VARIABLE errn GET "${current_doc}" runs
+           match_heavy.w${nworkers} events_per_sec)
+    if(errn)
+      continue()  # sweep did not include this worker count
+    endif()
+    to_micro("${w1}" w1_u)
+    to_micro("${wn}" wn_u)
+    math(EXPR lhs "${wn_u} / 1000 * 100")
+    math(EXPR rhs "${w1_u} / 1000 * ${floor_pct}")
+    if(lhs LESS rhs)
+      message(SEND_ERROR
+              "match_heavy.w${nworkers}: scaling floor missed — ${wn} evt/s "
+              "vs ${w1} at 1 worker (need >= ${floor_pct}% on a "
+              "${cpus}-core machine)")
+      math(EXPR failures "${failures} + 1")
+    else()
+      message(STATUS
+              "match_heavy.w${nworkers}: ${wn} evt/s vs ${w1} at 1 worker — "
+              "scaling floor ${floor_pct}% met")
+    endif()
+  endforeach()
+endif()
+
+summary_append("")
 if(failures GREATER 0)
+  summary_append("**${failures} threshold(s) exceeded.**")
   message(FATAL_ERROR "${failures} benchmark threshold(s) exceeded")
 endif()
+summary_append("All runs within thresholds.")
 message(STATUS "${CURRENT}: ${num_runs} run(s) within thresholds of ${BASELINE}")

@@ -5,6 +5,64 @@
 namespace tpstream {
 namespace parallel {
 
+namespace {
+
+// Adaptive-wait budgets. The fast path is pure lock-free ring traffic;
+// when a side runs dry (worker) or full (producer) it spins briefly —
+// first with CpuRelax (cheap, keeps the core) then with yield (lets the
+// other side run on oversubscribed machines) — and only then parks on a
+// condition variable.
+constexpr int kSpinRelax = 128;
+constexpr int kSpinYield = 16;
+
+/// Appends a copy of `event` to `batch`, reusing the recycled Event slot
+/// (and its payload capacity) at `batch->count` when one exists — the
+/// allocation-free steady state of the producer path.
+void AppendCopy(EventBatch* batch, const Event& event) {
+  if (batch->count < batch->events.size()) {
+    Event& slot = batch->events[batch->count];
+    slot.t = event.t;
+    slot.payload.assign(event.payload.begin(), event.payload.end());
+  } else {
+    batch->events.push_back(event);
+  }
+  ++batch->count;
+}
+
+/// Move flavor: swaps payload storage with the recycled slot, so the
+/// caller's event gets the slot's capacity back for reuse (zero-copy,
+/// zero-allocation in steady state).
+void AppendSwap(EventBatch* batch, Event&& event) {
+  if (batch->count < batch->events.size()) {
+    Event& slot = batch->events[batch->count];
+    slot.t = event.t;
+    slot.payload.swap(event.payload);
+  } else {
+    batch->events.push_back(std::move(event));
+  }
+  ++batch->count;
+}
+
+}  // namespace
+
+ParallelTPStream::Worker::Worker(size_t ring_capacity, size_t batch_size)
+    : ring(ring_capacity), free_ring(ring.capacity() + 2) {
+  // Pre-populate the recycling loop: one batch filling at the producer
+  // (`pending`), up to ring.capacity() in flight, one draining at the
+  // worker — capacity + 2 batches total, so the free ring never runs dry
+  // in steady state (see Submit()). The reserve is capped: gigantic
+  // batch sizes would multiply across the circulating batches, and the
+  // vectors reach their steady-state capacity within the first few
+  // batches anyway.
+  const size_t reserve = batch_size < 4096 ? batch_size : 4096;
+  pending.events.reserve(reserve);
+  for (size_t i = 0; i < ring.capacity() + 1; ++i) {
+    EventBatch batch;
+    batch.events.reserve(reserve);
+    free_ring.TryPush(std::move(batch));
+  }
+}
+
 ParallelTPStream::ParallelTPStream(QuerySpec spec, Options options,
                                    TPStreamOperator::OutputCallback output)
     : spec_(std::move(spec)),
@@ -12,29 +70,39 @@ ParallelTPStream::ParallelTPStream(QuerySpec spec, Options options,
       output_(std::move(output)) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.batch_size < 1) options_.batch_size = 1;
+  if (options_.ring_capacity < 1) options_.ring_capacity = 1;
 
   events_ctr_ = producer_registry_.GetCounter("parallel.events");
   batches_ctr_ = producer_registry_.GetCounter("parallel.batches");
+  ring_full_ctr_ = producer_registry_.GetCounter("parallel.ring_full");
   merge_stalls_ctr_ = producer_registry_.GetCounter("parallel.merge_stalls");
+  free_alloc_ctr_ =
+      producer_registry_.GetCounter("parallel.free_ring_allocs");
 
   const bool engine_metrics = options_.operator_options.metrics != nullptr;
   workers_.reserve(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
-    auto worker = std::make_unique<Worker>(options_.batch_size);
+    auto worker = std::make_unique<Worker>(options_.ring_capacity,
+                                           options_.batch_size);
     worker->matches_ctr = worker->registry.GetCounter("parallel.matches");
     worker->partitions_ctr =
         worker->registry.GetCounter("parallel.partitions");
     worker->depth_gauge = producer_registry_.GetGauge(
         "parallel.queue_depth.w" + std::to_string(i));
     // Each worker engine records into the worker's own registry so that
-    // no metric is written from two threads (merge-on-read).
+    // no metric is written from two threads (merge-on-read). Matches are
+    // buffered worker-locally (no lock while a batch runs) and drained
+    // in order at batch boundaries under the output mutex.
     TPStreamOperator::Options op_options = options_.operator_options;
     op_options.metrics = engine_metrics ? &worker->registry : nullptr;
+    TPStreamOperator::OutputCallback sink;
+    if (output_) {
+      sink = [w = worker.get()](const Event& e) {
+        AppendCopy(&w->local_matches, e);
+      };
+    }
     worker->engine = std::make_unique<PartitionedTPStream>(
-        spec_, op_options, [this](const Event& e) {
-          std::lock_guard<std::mutex> lock(output_mutex_);
-          if (output_) output_(e);
-        });
+        spec_, op_options, std::move(sink));
     workers_.push_back(std::move(worker));
   }
   for (auto& worker : workers_) {
@@ -44,10 +112,14 @@ ParallelTPStream::ParallelTPStream(QuerySpec spec, Options options,
 }
 
 ParallelTPStream::~ParallelTPStream() {
-  Flush();
+  // Destruction from a thread other than the producer is legitimate once
+  // pushing has stopped (ownership hand-off); release the producer claim
+  // so the final flush does not trip the single-producer assert.
+  producer_.store(std::thread::id{}, std::memory_order_relaxed);
+  FlushInternal();
   // Shutdown ordering: every worker is marked stopped before any join, so
   // the joins proceed concurrently instead of serializing one wake-up at
-  // a time. Worker loops only exit with an empty queue (and Flush() just
+  // a time. Worker loops only exit with an empty ring (and the flush just
   // emptied them), so nothing is dropped.
   for (auto& worker : workers_) {
     std::lock_guard<std::mutex> lock(worker->mutex);
@@ -57,58 +129,144 @@ ParallelTPStream::~ParallelTPStream() {
   for (auto& worker : workers_) worker->thread.join();
 }
 
+void ParallelTPStream::ProcessBatch(Worker* worker, EventBatch* batch) {
+  for (size_t i = 0; i < batch->count; ++i) {
+    worker->engine->Push(batch->events[i]);
+  }
+  // Drain the worker-local match buffer in order: the callback fires
+  // serialized (output mutex), but contention is per batch, not per
+  // match, and a partition's matches keep their engine emission order
+  // (each partition lives on exactly one worker).
+  if (worker->local_matches.count > 0) {
+    std::lock_guard<std::mutex> lock(output_mutex_);
+    for (size_t i = 0; i < worker->local_matches.count; ++i) {
+      output_(worker->local_matches.events[i]);
+    }
+  }
+  worker->local_matches.count = 0;
+  // Publish engine statistics before announcing idleness: a reader
+  // synchronizing through Flush() (whose drained-wait re-acquires this
+  // worker's mutex after the idle transition) then observes exact
+  // values. Concurrent readers see a monotone snapshot at batch
+  // granularity. Published as counter deltas into the worker-local
+  // registry so they merge with the other workers' on read.
+  worker->matches_ctr->Inc(worker->engine->num_matches() -
+                           worker->last_matches);
+  worker->last_matches = worker->engine->num_matches();
+  const int64_t partitions =
+      static_cast<int64_t>(worker->engine->num_partitions());
+  worker->partitions_ctr->Inc(partitions - worker->last_partitions);
+  worker->last_partitions = partitions;
+}
+
 void ParallelTPStream::WorkerLoop(Worker* worker) {
-  std::vector<Event> batch;
-  while (true) {
-    {
-      std::unique_lock<std::mutex> lock(worker->mutex);
-      worker->wake.wait(
-          lock, [worker] { return worker->stop || !worker->queue.empty(); });
-      if (worker->queue.empty() && worker->stop) return;
-      batch.swap(worker->queue);
-      worker->busy = true;
+  EventBatch batch;
+  for (;;) {
+    if (worker->ring.TryPop(&batch)) {
+      // A slot was just freed: wake the producer if it parked on a full
+      // ring. The seq_cst fence pairs with the one in Submit()'s park
+      // path (Dekker handshake): either we observe producer_parked, or
+      // the producer's post-fence Full() check observes our pop.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (worker->producer_parked.load(std::memory_order_relaxed)) {
+        { std::lock_guard<std::mutex> lock(worker->mutex); }
+        worker->not_full.notify_one();
+      }
+      ProcessBatch(worker, &batch);
+      batch.count = 0;
+      // Recycle the storage. By the circulation invariant the free ring
+      // has room; a failed push (cannot happen in steady state) merely
+      // drops the storage, which the next pop replaces.
+      worker->free_ring.TryPush(std::move(batch));
+      continue;
     }
-    for (const Event& event : batch) {
-      worker->engine->Push(event);
+    // Ring observed empty: spin briefly for the next batch, then park.
+    bool woke = false;
+    for (int spin = 0; spin < kSpinRelax + kSpinYield; ++spin) {
+      if (spin < kSpinRelax) {
+        CpuRelax();
+      } else {
+        std::this_thread::yield();
+      }
+      if (!worker->ring.Empty()) {
+        woke = true;
+        break;
+      }
     }
-    batch.clear();
-    // Publish engine statistics before announcing the batch done: a
-    // reader synchronizing through Flush() (which re-acquires this
-    // worker's mutex) then observes exact values. Concurrent readers see
-    // a monotone snapshot at batch granularity. Published as counter
-    // deltas into the worker-local registry so they merge with the other
-    // workers' on read.
-    worker->matches_ctr->Inc(worker->engine->num_matches() -
-                             worker->last_matches);
-    worker->last_matches = worker->engine->num_matches();
-    const int64_t partitions =
-        static_cast<int64_t>(worker->engine->num_partitions());
-    worker->partitions_ctr->Inc(partitions - worker->last_partitions);
-    worker->last_partitions = partitions;
-    {
-      std::lock_guard<std::mutex> lock(worker->mutex);
-      worker->busy = false;
+    if (woke) continue;
+    std::unique_lock<std::mutex> lock(worker->mutex);
+    worker->idle.store(true, std::memory_order_relaxed);
+    // Pairs with the fence in Submit()'s wake path: either the producer
+    // observes idle==true and notifies under the mutex, or our
+    // post-fence emptiness recheck observes its push.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!worker->ring.Empty()) {
+      worker->idle.store(false, std::memory_order_relaxed);
+      continue;
     }
-    worker->drained.notify_all();
+    worker->drained.notify_all();  // Flush() may be waiting on idleness
+    worker->wake.wait(lock,
+                      [worker] { return worker->stop || !worker->ring.Empty(); });
+    if (worker->stop && worker->ring.Empty()) return;  // idle stays true
+    worker->idle.store(false, std::memory_order_relaxed);
   }
 }
 
 void ParallelTPStream::Submit(Worker* worker) {
-  if (worker->pending.empty()) return;
+  if (worker->pending.count == 0) return;
   batches_ctr_->Inc();
-  worker->depth_gauge->Set(static_cast<double>(worker->pending.size()));
-  {
-    std::unique_lock<std::mutex> lock(worker->mutex);
-    // Keep queues bounded: wait until the previous hand-off was consumed.
-    if (!worker->queue.empty()) {
-      merge_stalls_ctr_->Inc();
-      worker->drained.wait(lock, [worker] { return worker->queue.empty(); });
+  EventBatch batch = std::move(worker->pending);
+  worker->pending.count = 0;
+  if (!worker->ring.TryPush(std::move(batch))) {
+    // Ring full: adaptive spin, then park until the worker frees a slot.
+    // Counted once per stalled submit (`parallel.ring_full`, with the
+    // retired single-slot hand-off's `merge_stalls` kept as an alias).
+    ring_full_ctr_->Inc();
+    merge_stalls_ctr_->Inc();
+    int spin = 0;
+    while (!worker->ring.TryPush(std::move(batch))) {
+      if (spin < kSpinRelax) {
+        ++spin;
+        CpuRelax();
+      } else if (spin < kSpinRelax + kSpinYield) {
+        ++spin;
+        std::this_thread::yield();
+      } else {
+        std::unique_lock<std::mutex> lock(worker->mutex);
+        worker->producer_parked.store(true, std::memory_order_relaxed);
+        // Pairs with the fence in the worker's pop path (see WorkerLoop).
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        worker->not_full.wait(lock,
+                              [worker] { return !worker->ring.Full(); });
+        worker->producer_parked.store(false, std::memory_order_relaxed);
+        spin = 0;  // single producer: the retry is guaranteed to succeed
+      }
     }
-    worker->queue.swap(worker->pending);
   }
-  worker->wake.notify_one();
-  worker->pending.clear();
-  worker->pending.reserve(options_.batch_size);
+  // Wake the worker if it parked on an empty ring (Dekker, see
+  // WorkerLoop's idle transition).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (worker->idle.load(std::memory_order_relaxed)) {
+    { std::lock_guard<std::mutex> lock(worker->mutex); }
+    worker->wake.notify_one();
+  }
+  // True ring occupancy, not the batch size that was just handed off.
+  worker->depth_gauge->Set(static_cast<double>(worker->ring.Size()));
+  // Re-arm `pending` with recycled storage. The circulation invariant
+  // (capacity + 2 batches, see Worker::Worker) guarantees the free ring
+  // is logically non-empty here; the short spin covers store-visibility
+  // lag, and the allocation fallback keeps the producer unconditionally
+  // live (counted, never hit in steady state).
+  bool recycled = worker->free_ring.TryPop(&worker->pending);
+  for (int spin = 0; !recycled && spin < kSpinRelax; ++spin) {
+    CpuRelax();
+    recycled = worker->free_ring.TryPop(&worker->pending);
+  }
+  if (!recycled) {
+    worker->pending = EventBatch{};
+    free_alloc_ctr_->Inc();
+  }
+  worker->pending.count = 0;
 }
 
 void ParallelTPStream::AssertSingleProducer() const {
@@ -140,14 +298,14 @@ ParallelTPStream::Worker* ParallelTPStream::RouteTo(const Event& event) {
 
 void ParallelTPStream::Push(const Event& event) {
   Worker* worker = RouteTo(event);
-  worker->pending.push_back(event);
-  if (worker->pending.size() >= options_.batch_size) Submit(worker);
+  AppendCopy(&worker->pending, event);
+  if (worker->pending.count >= options_.batch_size) Submit(worker);
 }
 
 void ParallelTPStream::Push(Event&& event) {
   Worker* worker = RouteTo(event);
-  worker->pending.push_back(std::move(event));
-  if (worker->pending.size() >= options_.batch_size) Submit(worker);
+  AppendSwap(&worker->pending, std::move(event));
+  if (worker->pending.count >= options_.batch_size) Submit(worker);
 }
 
 void ParallelTPStream::PushBatch(std::span<Event> events) {
@@ -160,12 +318,17 @@ void ParallelTPStream::PushBatch(std::span<const Event> events) {
 
 void ParallelTPStream::Flush() {
   AssertSingleProducer();
+  FlushInternal();
+}
+
+void ParallelTPStream::FlushInternal() {
   for (auto& worker : workers_) Submit(worker.get());
   for (auto& worker : workers_) {
     std::unique_lock<std::mutex> lock(worker->mutex);
     worker->drained.wait(lock, [w = worker.get()] {
-      return w->queue.empty() && !w->busy;
+      return w->ring.Empty() && w->idle.load(std::memory_order_relaxed);
     });
+    worker->depth_gauge->Set(0.0);
   }
 }
 

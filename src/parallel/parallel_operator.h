@@ -12,9 +12,21 @@
 
 #include "core/partitioned_operator.h"
 #include "obs/metrics.h"
+#include "parallel/spsc_ring.h"
 
 namespace tpstream {
 namespace parallel {
+
+/// A batch of events in flight between the producer and one worker. The
+/// `events` vector is storage that is recycled through the worker's free
+/// ring: only the first `count` elements are live (a recycled vector may
+/// be longer than the batch refilled into it), and refills overwrite the
+/// existing Events in place — reusing their payload capacity — so the
+/// steady state allocates nothing per event (PR 3's ingestion contract).
+struct EventBatch {
+  std::vector<Event> events;
+  size_t count = 0;
+};
 
 /// Partition-parallel TPStream execution — the paper's second future-work
 /// item (Section 7): partitions (PARTITION BY keys) are hashed onto a
@@ -26,16 +38,31 @@ namespace parallel {
 ///
 /// Threading contract (see docs/architecture.md "Concurrency contract"):
 ///  * Push() and Flush() must be called from a single producer thread;
-///    debug builds assert this. Per-partition timestamp ordering is the
-///    producer's responsibility (see Push()).
+///    debug builds assert this. The destructor is exempt: once the
+///    producer has stopped pushing, the operator may be destroyed from
+///    any thread (it releases the producer claim before its final
+///    flush). Per-partition timestamp ordering is the producer's
+///    responsibility (see Push()).
+///  * Batches are handed to each worker through a bounded lock-free SPSC
+///    ring (SpscRing, depth Options::ring_capacity) — up to
+///    `ring_capacity` batches may be in flight per worker, so a
+///    temporarily slow worker no longer head-of-line-blocks the
+///    producer. Only when a ring is full does the producer back-pressure
+///    (adaptive spin, then park on a condition variable; counted as
+///    `parallel.ring_full`). Batch storage is recycled through a free
+///    ring, keeping the producer path allocation-free in steady state.
 ///  * Each worker thread exclusively owns its engine; no engine state is
-///    shared across threads. The output callback fires on worker threads
-///    and is serialized by an internal mutex (so a plain callback is
-///    safe, at the cost of contention for match-heavy queries).
+///    shared across threads. Matches are collected into a worker-local
+///    buffer (no locking while a batch is processed) and drained in
+///    order at batch boundaries; the output callback fires on worker
+///    threads serialized by an internal mutex, so a plain callback is
+///    safe and workers never block each other mid-batch. Per-partition
+///    emission order equals the sequential operator's (a partition lives
+///    on exactly one worker, and drains preserve engine order).
 ///  * num_matches() / num_partitions() / num_events() may be called from
 ///    any thread at any time: they read per-worker registry counters
 ///    published after every completed batch. While ingestion is running
-///    they trail the live engines by at most one in-flight batch per
+///    they trail the live engines by at most the in-flight batches per
 ///    worker (and are monotone); once Flush() has returned they are
 ///    exact.
 ///  * Observability follows the merge-on-read design: every worker owns a
@@ -50,6 +77,10 @@ class ParallelTPStream {
     /// Events are handed to workers in batches to amortize queue
     /// synchronization.
     size_t batch_size = 256;
+    /// Bound (in batches, rounded up to a power of two) of each worker's
+    /// SPSC hand-off ring. Larger rings absorb more skew before the
+    /// producer back-pressures; smaller rings bound memory and staleness.
+    size_t ring_capacity = 8;
     /// `operator_options.metrics` acts as an enable flag only: when
     /// non-null, every worker engine is instrumented into its *own*
     /// worker-local registry (never into the supplied registry, which
@@ -63,8 +94,10 @@ class ParallelTPStream {
                    TPStreamOperator::OutputCallback output);
 
   /// Flushes outstanding batches, then stops and joins every worker.
-  /// Workers only exit once their queue is empty, so no event or match
-  /// is dropped. Must run on the producer thread (it flushes).
+  /// Workers only exit once their ring is empty, so no event or match is
+  /// dropped. May run on any thread once the producer has stopped
+  /// pushing: the destructor releases the producer claim before its
+  /// final flush.
   ~ParallelTPStream();
 
   ParallelTPStream(const ParallelTPStream&) = delete;
@@ -75,9 +108,11 @@ class ParallelTPStream {
   /// non-decreasing globally (strictly increasing per partition).
   void Push(const Event& event);
 
-  /// Move overload: the event payload is moved into the worker's pending
-  /// batch instead of copied — the zero-copy hand-off for producers that
-  /// own their events. Same contract as Push(const Event&).
+  /// Move overload: the event's payload storage is swapped into the
+  /// worker's pending batch (the caller's event receives the recycled
+  /// slot storage back, ready for reuse) — the zero-copy hand-off for
+  /// producers that own their events. Same contract as
+  /// Push(const Event&).
   void Push(Event&& event);
 
   /// Batched ingestion: routes the events in order, equivalent to one
@@ -87,7 +122,7 @@ class ParallelTPStream {
   void PushBatch(std::span<Event> events);
   void PushBatch(std::span<const Event> events);
 
-  /// Drains all queues and blocks until every worker is idle. After it
+  /// Drains all rings and blocks until every worker is idle. After it
   /// returns, all matches concluded by pushed events have been delivered
   /// and the statistics getters are exact. Idempotent; also called by
   /// the destructor. Single producer only.
@@ -111,7 +146,7 @@ class ParallelTPStream {
 
  private:
   struct Worker {
-    explicit Worker(size_t reserve) { pending.reserve(reserve); }
+    Worker(size_t ring_capacity, size_t batch_size);
 
     /// Worker-local metrics: the engine (when instrumented) and the
     /// batch-publish counters below record here; only this worker's
@@ -119,19 +154,43 @@ class ParallelTPStream {
     obs::MetricsRegistry registry;
     std::unique_ptr<PartitionedTPStream> engine;  // worker-thread-owned
     std::thread thread;
+
+    /// Lock-free hand-off: filled batches flow producer -> worker through
+    /// `ring`; drained batch storage flows back worker -> producer
+    /// through `free_ring` (sized ring_capacity + 2: one batch filling at
+    /// the producer, `ring_capacity` in flight, one at the worker).
+    SpscRing<EventBatch> ring;
+    SpscRing<EventBatch> free_ring;
+
+    /// Slow-path parking. The mutex guards `stop` and serializes the
+    /// park/notify handshakes; the hot path never takes it.
     std::mutex mutex;
-    std::condition_variable wake;
-    std::condition_variable drained;
-    std::vector<Event> pending;  // producer-side batch (unsynchronized)
-    std::vector<Event> queue;    // handed over under the mutex
-    bool busy = false;
-    bool stop = false;
+    std::condition_variable wake;      // worker parks: ring empty
+    std::condition_variable not_full;  // producer parks: ring full
+    std::condition_variable drained;   // Flush() waits: ring empty + idle
+    bool stop = false;                 // guarded by mutex
+    /// True while the worker is parked (or about to park) on `wake`; set
+    /// under the mutex, read by the producer through a seq_cst fence
+    /// (Dekker handshake, see the .cc) to decide whether to notify.
+    std::atomic<bool> idle{false};
+    /// Symmetric flag for the producer parked on `not_full`.
+    std::atomic<bool> producer_parked{false};
+
+    /// Producer-side batch being filled (recycled storage; only
+    /// `pending.count` elements are live).
+    EventBatch pending;
+    /// Worker-side match buffer: the engine's output callback appends
+    /// here lock-free; drained under the output mutex at batch
+    /// boundaries. Storage recycled like `pending`.
+    EventBatch local_matches;
+
     /// Engine statistics re-published into `registry` by the worker
     /// thread after every completed batch (counter handles resolved at
     /// construction); readable from any thread without the mutex.
     obs::Counter* matches_ctr = nullptr;
     obs::Counter* partitions_ctr = nullptr;
-    /// Producer-registry gauge: queue depth at the last hand-off.
+    /// Producer-registry gauge: true ring occupancy (in batches) after
+    /// the last hand-off / flush.
     obs::Gauge* depth_gauge = nullptr;
     /// Worker-thread-local: engine totals at the last publish (delta
     /// source for the counters above).
@@ -140,10 +199,13 @@ class ParallelTPStream {
   };
 
   void WorkerLoop(Worker* worker);
+  void ProcessBatch(Worker* worker, EventBatch* batch);
   void Submit(Worker* worker);
   /// Shared routing step of the Push overloads: counts the event and
   /// picks its partition's worker.
   Worker* RouteTo(const Event& event);
+  /// Flush body without the single-producer assertion (destructor path).
+  void FlushInternal();
   /// Debug-build check that Push()/Flush() stay on one thread.
   void AssertSingleProducer() const;
 
@@ -156,7 +218,15 @@ class ParallelTPStream {
   obs::MetricsRegistry producer_registry_;
   obs::Counter* events_ctr_ = nullptr;
   obs::Counter* batches_ctr_ = nullptr;
+  /// Submits that found the ring full (producer spun or parked). The
+  /// retired single-slot hand-off counted these as `merge_stalls`; that
+  /// name is kept as an alias (incremented in lockstep) so existing
+  /// exporters keep working.
+  obs::Counter* ring_full_ctr_ = nullptr;
   obs::Counter* merge_stalls_ctr_ = nullptr;
+  /// Free-ring misses: the producer could not recycle batch storage and
+  /// had to allocate fresh (never happens in steady state; see Submit).
+  obs::Counter* free_alloc_ctr_ = nullptr;
   /// First thread to call Push()/Flush(); debug-only enforcement.
   mutable std::atomic<std::thread::id> producer_{};
 };

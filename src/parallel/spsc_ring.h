@@ -1,0 +1,156 @@
+#ifndef TPSTREAM_PARALLEL_SPSC_RING_H_
+#define TPSTREAM_PARALLEL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace tpstream {
+namespace parallel {
+
+// Fixed destructive-interference stride. Deliberately NOT
+// std::hardware_destructive_interference_size: its value can change with
+// compiler tuning flags (GCC warns about exactly that in any header that
+// bakes it into a layout), and 64/128 covers the platforms we build for.
+#if defined(__aarch64__)
+inline constexpr size_t kCacheLineSize = 128;  // big.LITTLE cores prefetch pairs
+#else
+inline constexpr size_t kCacheLineSize = 64;
+#endif
+
+/// One iteration of a bounded busy-wait: tells the CPU we are spinning so
+/// a hyper-thread sibling (or the power governor) can make progress.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Bounded lock-free single-producer / single-consumer ring buffer — the
+/// hand-off primitive between ParallelTPStream's producer thread and each
+/// worker thread (see docs/architecture.md, "Concurrency contract").
+///
+/// Design:
+///  * power-of-two capacity (the requested minimum is rounded up), so the
+///    slot index is `position & mask` and the occupancy is the free-running
+///    64-bit `tail - head` difference — positions never wrap in practice
+///    (2^64 pushes), only the slot index does;
+///  * `head_` (next position to pop, written only by the consumer) and
+///    `tail_` (next position to push, written only by the producer) live on
+///    separate cache lines, each padded together with the *opposite* side's
+///    cached copy, so the producer and consumer never false-share;
+///  * acquire/release ordering: the producer publishes a slot with a
+///    release store of `tail_`; the consumer's acquire load of `tail_`
+///    therefore observes the fully constructed element. Symmetrically the
+///    consumer releases a slot with a release store of `head_`, and the
+///    producer's acquire load of `head_` guarantees the consumer's move-out
+///    happened-before the producer overwrites the slot. No CAS anywhere:
+///    with one producer and one consumer, plain loads/stores suffice;
+///  * cached indices: the producer only re-reads `head_` (a cache-line
+///    transfer from the consumer's core) when its cached copy says the ring
+///    looks full, and vice versa — in steady state each side runs on its
+///    own cache lines.
+///
+/// TryPush/TryPop never block and never allocate; elements are moved in
+/// and out. A failed TryPush leaves the argument untouched (the move only
+/// happens once a free slot is confirmed), so callers can retry with the
+/// same object.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is `min_capacity` rounded up to a power of two (>= 1).
+  /// Slots are default-constructed once, here; pushes and pops move
+  /// elements in and out of them.
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Producer only. Returns false (leaving `item` untouched) when the
+  /// ring is full.
+  bool TryPush(T&& item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. Returns false when the ring is empty; otherwise moves
+  /// the oldest element into `*out`.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Exact from the producer thread (its own `tail_` is always current);
+  /// conservative from elsewhere (a stale `head_` can only overstate the
+  /// occupancy, never report empty while elements remain unobserved).
+  bool Full() const {
+    return tail_.load(std::memory_order_relaxed) -
+               head_.load(std::memory_order_acquire) >=
+           capacity_;
+  }
+
+  /// Exact from the consumer thread and from the producer thread (each
+  /// side's own index is current and the other side's index only ever
+  /// advances toward "less empty" / "more empty" respectively, so a stale
+  /// read errs on the side of reporting elements still present).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate occupancy for observability (gauge exports); clamped to
+  /// [0, capacity] because the two loads are not a consistent snapshot.
+  size_t Size() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t diff = tail - head;
+    if (static_cast<int64_t>(diff) <= 0) return 0;
+    return diff > capacity_ ? capacity_ : static_cast<size_t>(diff);
+  }
+
+ private:
+  // Producer line: tail_ is written by the producer every push;
+  // cached_head_ is the producer's private copy of the consumer index.
+  alignas(kCacheLineSize) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+  // Consumer line: head_ is written by the consumer every pop;
+  // cached_tail_ is the consumer's private copy of the producer index.
+  alignas(kCacheLineSize) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+  // Cold configuration + storage.
+  alignas(kCacheLineSize) size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::vector<T> slots_;
+};
+
+}  // namespace parallel
+}  // namespace tpstream
+
+#endif  // TPSTREAM_PARALLEL_SPSC_RING_H_

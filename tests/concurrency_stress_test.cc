@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <thread>
@@ -26,6 +27,7 @@
 #include <gtest/gtest.h>
 
 #include "core/partitioned_operator.h"
+#include "obs/metrics.h"
 #include "query/builder.h"
 
 namespace tpstream {
@@ -187,6 +189,92 @@ TEST(ConcurrencyStressTest, StatsGettersAreSafeDuringIngestion) {
   EXPECT_EQ(op.num_matches(), static_cast<int64_t>(expected.size()));
   EXPECT_EQ(op.num_matches(), delivered.load());
   EXPECT_EQ(op.num_partitions(), 8u);
+}
+
+// Heavy skew (key 0 emits every tick, other keys rarely) funnels ~90% of
+// the traffic through one worker while tiny rings force the producer
+// into its backpressure path (ring_full -> spin -> park) and drive the
+// ring indices around the 2^k wrap many times. Results must still match
+// the sequential reference exactly, and the ring metrics must be
+// coherent: `parallel.ring_full` counts stalled submits with
+// `parallel.merge_stalls` as its legacy alias, and the occupancy gauges
+// read zero once Flush() has drained everything.
+TEST(ConcurrencyStressTest, SkewedBackpressureWithTinyRings) {
+  const QuerySpec spec = KeyedSpec();
+  for (const size_t ring_capacity : {size_t{1}, size_t{2}}) {
+    for (const size_t batch : {size_t{1}, size_t{7}, size_t{64}}) {
+      SCOPED_TRACE(testing::Message() << "ring_capacity=" << ring_capacity
+                                      << " batch=" << batch);
+      // emit_prob 0.012 with 10 keys: key 0 carries ~90% of all events.
+      const std::vector<Event> events =
+          SkewedWorkload(10, 3000, 0.012, 7000 + ring_capacity * 10 + batch);
+      const Signature expected = SequentialReference(spec, events);
+
+      Signature parallel_out;
+      std::mutex mutex;
+      parallel::ParallelTPStream::Options options;
+      options.num_workers = 4;
+      options.batch_size = batch;
+      options.ring_capacity = ring_capacity;
+      obs::MetricsSnapshot metrics;
+      {
+        parallel::ParallelTPStream op(spec, options, [&](const Event& e) {
+          std::lock_guard<std::mutex> lock(mutex);
+          parallel_out.emplace_back(e.t, e.payload[0].AsInt());
+        });
+        for (const Event& e : events) op.Push(e);
+        op.Flush();
+        EXPECT_EQ(op.num_events(), static_cast<int64_t>(events.size()));
+        EXPECT_EQ(op.num_matches(), static_cast<int64_t>(expected.size()));
+        metrics = op.Metrics();
+      }
+      std::sort(parallel_out.begin(), parallel_out.end());
+      EXPECT_EQ(parallel_out, expected);
+
+      // Alias contract: the retired merge_stalls name tracks ring_full.
+      EXPECT_EQ(metrics.counters.at("parallel.ring_full"),
+                metrics.counters.at("parallel.merge_stalls"));
+      // Recycling keeps the steady state allocation-free: the free ring
+      // only misses in pathological visibility races, never sustainably.
+      EXPECT_LE(metrics.counters.at("parallel.free_ring_allocs"),
+                metrics.counters.at("parallel.batches") / 10 + 2);
+      // After Flush() the rings are empty and the gauges say so.
+      for (const auto& [name, value] : metrics.gauges) {
+        if (name.rfind("parallel.queue_depth.", 0) == 0) {
+          EXPECT_EQ(value, 0.0) << name;
+        }
+      }
+    }
+  }
+}
+
+// Regression: destroying the operator from a thread other than the
+// producer is legitimate once pushing has stopped (ownership hand-off);
+// the destructor must release the producer claim before its final flush
+// instead of tripping the debug single-producer assert — and still
+// deliver every match.
+TEST(ConcurrencyStressTest, DestructionFromSecondThreadAfterProducerStops) {
+  const QuerySpec spec = KeyedSpec();
+  const std::vector<Event> events = SkewedWorkload(9, 600, 0.7, 77);
+  const Signature expected = SequentialReference(spec, events);
+  ASSERT_FALSE(expected.empty());
+
+  parallel::ParallelTPStream::Options options;
+  options.num_workers = 3;
+  options.batch_size = 1 << 20;  // everything still pending at destruction
+  std::atomic<int64_t> delivered{0};
+  auto op = std::make_unique<parallel::ParallelTPStream>(
+      spec, options, [&](const Event&) { ++delivered; });
+
+  // The pushing thread becomes the producer; this test's main thread is
+  // a different thread by construction.
+  std::thread producer([&] {
+    for (const Event& e : events) op->Push(e);
+  });
+  producer.join();
+
+  op.reset();  // destruction from a non-producer thread
+  EXPECT_EQ(delivered.load(), static_cast<int64_t>(expected.size()));
 }
 
 TEST(ConcurrencyStressTest, DestructionFromAnyStateIsCleanAndLossless) {

@@ -12,6 +12,7 @@
 #include <random>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -165,6 +166,74 @@ TEST(MetricsDifferentialTest, SequentialAndParallelCountersAgree) {
     // The sentinel registry must stay untouched: workers record into
     // their own registries, never through the caller's pointer.
     EXPECT_TRUE(enable.Snapshot().counters.empty());
+  }
+}
+
+// Sharded output path: every worker buffers its matches locally and
+// drains them at batch boundaries under the output mutex. Because a
+// partition lives on exactly one worker and drains preserve the engine's
+// emission order, the *sequence* of matches within each partition must
+// equal the sequential PartitionedTPStream's — not just the multiset.
+// Match-heavy on purpose: many matches per batch exercise the buffered
+// drain, several workers interleave their drains.
+TEST(MetricsDifferentialTest, ShardedOutputPreservesPerPartitionOrder) {
+  const QuerySpec spec = KeyedSpec();
+  // High flip probability => frequent phase changes => match-heavy.
+  std::vector<Event> events;
+  {
+    std::mt19937_64 rng(123);
+    const int keys = 13;
+    std::vector<bool> value(keys, false);
+    std::bernoulli_distribution flip(0.35);
+    for (TimePoint t = 1; t <= 2000; ++t) {
+      for (int k = 0; k < keys; ++k) {
+        if (flip(rng)) value[k] = !value[k];
+        events.push_back(
+            Event({Value(static_cast<int64_t>(k)), Value(value[k])}, t));
+      }
+    }
+  }
+
+  // Per-key emission sequences, in callback arrival order. The match
+  // payload is (key, n): include both fields plus the timestamp so
+  // reordering within a key cannot cancel out.
+  using KeyedSequences =
+      std::map<int64_t, std::vector<std::pair<TimePoint, int64_t>>>;
+  KeyedSequences sequential;
+  {
+    PartitionedTPStream op(spec, {}, [&](const Event& e) {
+      sequential[e.payload[0].AsInt()].emplace_back(e.t,
+                                                    e.payload[1].AsInt());
+    });
+    for (const Event& e : events) op.Push(e);
+  }
+  ASSERT_FALSE(sequential.empty());
+  size_t total_matches = 0;
+  for (const auto& [key, seq] : sequential) total_matches += seq.size();
+  ASSERT_GT(total_matches, 500u) << "workload is not match-heavy enough";
+
+  for (int workers : {1, 2, 4}) {
+    for (const size_t ring_capacity : {size_t{2}, size_t{8}}) {
+      SCOPED_TRACE(testing::Message() << "workers=" << workers
+                                      << " ring_capacity=" << ring_capacity);
+      parallel::ParallelTPStream::Options options;
+      options.num_workers = workers;
+      options.batch_size = 32;
+      options.ring_capacity = ring_capacity;
+      KeyedSequences parallel_seqs;
+      {
+        // The callback fires serialized under the operator's output
+        // mutex, so the map needs no extra locking; Flush() orders the
+        // writes before the read below.
+        parallel::ParallelTPStream op(spec, options, [&](const Event& e) {
+          parallel_seqs[e.payload[0].AsInt()].emplace_back(
+              e.t, e.payload[1].AsInt());
+        });
+        for (const Event& e : events) op.Push(e);
+        op.Flush();
+      }
+      EXPECT_EQ(parallel_seqs, sequential);
+    }
   }
 }
 

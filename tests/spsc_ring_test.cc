@@ -1,0 +1,193 @@
+// Unit tests for the lock-free SPSC ring backing ParallelTPStream's
+// batch hand-off (carried by the `concurrency` ctest label, so the TSan
+// CI job verifies the acquire/release protocol on the torture loops).
+
+#include "parallel/spsc_ring.h"
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tpstream {
+namespace parallel {
+namespace {
+
+// Bounded-progress wait for the two-thread torture loops: a few relax
+// iterations, then yield so the loops also finish promptly on
+// single-core machines (pure CpuRelax spinning would only advance on
+// preemption there).
+void SpinWait(int* spin) {
+  if (++*spin < 64) {
+    CpuRelax();
+  } else {
+    *spin = 0;
+    std::this_thread::yield();
+  }
+}
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(9).capacity(), 16u);
+  // Degenerate request still yields a usable ring.
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 1u);
+}
+
+TEST(SpscRingTest, CapacityOneAlternatesPushAndPop) {
+  SpscRing<int> ring(1);
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_FALSE(ring.Full());
+  int out = -1;
+  EXPECT_FALSE(ring.TryPop(&out));
+
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ring.TryPush(int{i}));
+    EXPECT_TRUE(ring.Full());
+    EXPECT_FALSE(ring.TryPush(int{999}));  // full: rejected
+    EXPECT_EQ(ring.Size(), 1u);
+    EXPECT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+    EXPECT_TRUE(ring.Empty());
+    EXPECT_FALSE(ring.TryPop(&out));
+  }
+}
+
+TEST(SpscRingTest, FifoOrderAcrossManyWraps) {
+  // Capacity 4: mixed-size bursts drive the slot index across the 2^k
+  // boundary hundreds of times; pops must come out in push order.
+  SpscRing<int> ring(4);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const int burst = 1 + round % static_cast<int>(ring.capacity());
+    for (int i = 0; i < burst; ++i) {
+      if (!ring.TryPush(int{next_push})) break;
+      ++next_push;
+    }
+    const int drain = 1 + (round * 7) % static_cast<int>(ring.capacity());
+    for (int i = 0; i < drain; ++i) {
+      int out = -1;
+      if (!ring.TryPop(&out)) break;
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  int out = -1;
+  while (ring.TryPop(&out)) {
+    EXPECT_EQ(out, next_pop);
+    ++next_pop;
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_GT(next_push, 1000);  // well past many wraps of the mask
+}
+
+TEST(SpscRingTest, MoveOnlyElements) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(7)));
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(8)));
+
+  // A rejected push must leave the argument untouched so the caller can
+  // retry with the same object (the operator's backpressure path relies
+  // on this).
+  auto survivor = std::make_unique<int>(9);
+  EXPECT_FALSE(ring.TryPush(std::move(survivor)));
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(*survivor, 9);
+
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(*out, 7);
+  EXPECT_TRUE(ring.TryPush(std::move(survivor)));
+  EXPECT_EQ(survivor, nullptr);  // accepted push does move
+
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(*out, 8);
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(*out, 9);
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, SizeIsClampedAndConsistentWhenQuiescent) {
+  SpscRing<int> ring(8);
+  EXPECT_EQ(ring.Size(), 0u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.TryPush(int{i}));
+  EXPECT_EQ(ring.Size(), 5u);
+  int out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(ring.Size(), 4u);
+}
+
+// Two-thread torture: the producer pushes a strictly increasing sequence
+// (spinning on full), the consumer pops it back (spinning on empty) and
+// checks order and completeness. Run for several capacities, including
+// the capacity-1 edge; under TSan this exercises the release/acquire
+// pairing on head_/tail_ and the slot hand-off.
+TEST(SpscRingTest, ConcurrentTortureLoopPreservesSequence) {
+  for (const size_t capacity : {size_t{1}, size_t{2}, size_t{16}}) {
+    SCOPED_TRACE(testing::Message() << "capacity=" << capacity);
+    SpscRing<int64_t> ring(capacity);
+    constexpr int64_t kCount = 200000;
+
+    std::thread producer([&ring] {
+      int spin = 0;
+      for (int64_t i = 0; i < kCount; ++i) {
+        while (!ring.TryPush(int64_t{i})) SpinWait(&spin);
+      }
+    });
+
+    int64_t expected = 0;
+    int64_t popped;
+    int spin = 0;
+    while (expected < kCount) {
+      if (ring.TryPop(&popped)) {
+        ASSERT_EQ(popped, expected);
+        ++expected;
+      } else {
+        SpinWait(&spin);
+      }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.Empty());
+    EXPECT_EQ(expected, kCount);
+  }
+}
+
+// Same torture with a heap-owning element type: a moved-in unique_ptr
+// must come out exactly once (ASan would flag double-free or leak).
+TEST(SpscRingTest, ConcurrentTortureLoopMoveOnly) {
+  SpscRing<std::unique_ptr<int64_t>> ring(4);
+  constexpr int64_t kCount = 50000;
+
+  std::thread producer([&ring] {
+    int spin = 0;
+    for (int64_t i = 0; i < kCount; ++i) {
+      auto item = std::make_unique<int64_t>(i);
+      while (!ring.TryPush(std::move(item))) SpinWait(&spin);
+    }
+  });
+
+  int64_t expected = 0;
+  std::unique_ptr<int64_t> popped;
+  int spin = 0;
+  while (expected < kCount) {
+    if (ring.TryPop(&popped)) {
+      ASSERT_NE(popped, nullptr);
+      ASSERT_EQ(*popped, expected);
+      ++expected;
+    } else {
+      SpinWait(&spin);
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.Empty());
+}
+
+}  // namespace
+}  // namespace parallel
+}  // namespace tpstream
