@@ -1,8 +1,9 @@
 # Compares a fresh benchmark JSON document against a committed baseline.
-# Two schemas are understood, dispatched on the document's "schema" key:
+# Three schemas are understood, dispatched on the document's "schema" key:
 #
 #   tpstream-bench-ingest-v1   (bench/ingest_common.h -> BENCH_ingest.json)
 #   tpstream-bench-parallel-v1 (bench_parallel_scaling -> BENCH_parallel.json)
+#   tpstream-bench-overload-v1 (bench_overload -> BENCH_overload.json)
 #
 # Usage:
 #   cmake -DCURRENT=out.json -DBASELINE=BENCH_ingest.json \
@@ -29,6 +30,22 @@
 # eps(w4) >= eps(w1) * SCALING_FLOOR_4W_PCT%. The match_light profile is
 # producer-bound (single-threaded routing at ingest speed) and carries no
 # scaling floor.
+#
+# Overload checks (runs: block / drop_newest / drop_oldest at 2x the
+# calibrated capacity — the Degradation contract of docs/architecture.md):
+#   * events_per_sec >= baseline * (1 - THROUGHPUT_TOLERANCE_PCT%)
+#   * push_ns.p99    <= baseline * P99_FACTOR_PCT%   (drop runs only:
+#     kBlock's push latency is unbounded by design, so it carries no p99
+#     gate; for the drop policies the bound is the shed-spin budget)
+# plus absolute invariants evaluated on CURRENT alone:
+#   * block sheds nothing and quarantines nothing (lossless by contract)
+#   * every drop run's quarantined count equals its shed_batches (each
+#     shed batch reaches the dead-letter sink exactly once)
+#   * drop_oldest actually sheds (shed_events > 0) — at 2x offered load a
+#     zero here means the bench no longer overloads the operator and the
+#     other numbers are vacuous. (kDropNewest may legitimately shed
+#     nothing when the ring clears within its spin budget, so only its
+#     accounting — not a shed floor — is enforced.)
 #
 # The thresholds are deliberately generous: shared CI machines are noisy,
 # and the gate is meant to catch regressions (an allocation re-introduced
@@ -71,7 +88,8 @@ file(READ "${BASELINE}" baseline_doc)
 
 string(JSON schema ERROR_VARIABLE err GET "${current_doc}" schema)
 if(err OR (NOT schema STREQUAL "tpstream-bench-ingest-v1" AND
-           NOT schema STREQUAL "tpstream-bench-parallel-v1"))
+           NOT schema STREQUAL "tpstream-bench-parallel-v1" AND
+           NOT schema STREQUAL "tpstream-bench-overload-v1"))
   message(FATAL_ERROR "${CURRENT}: bad or missing schema ('${schema}') ${err}")
 endif()
 string(JSON base_schema ERROR_VARIABLE err GET "${baseline_doc}" schema)
@@ -167,6 +185,9 @@ summary_append("")
 if(schema STREQUAL "tpstream-bench-ingest-v1")
   summary_append("| run | evt/s | baseline | Δ | alloc/evt | p99 ns | baseline p99 |")
   summary_append("|---|---|---|---|---|---|---|")
+elseif(schema STREQUAL "tpstream-bench-overload-v1")
+  summary_append("| run | evt/s | baseline | Δ | shed_events | quarantined | ring_full | p99 ns |")
+  summary_append("|---|---|---|---|---|---|---|---|")
 else()
   summary_append("| run | evt/s | baseline | Δ | speedup | ring_full | alloc/evt | p99 ns |")
   summary_append("|---|---|---|---|---|---|---|---|")
@@ -199,33 +220,46 @@ foreach(i RANGE 0 ${last})
   endif()
   delta_pct(${cur_eps_u} ${base_eps_u} eps_delta)
 
-  # Allocation ceiling — field name differs per schema.
-  if(schema STREQUAL "tpstream-bench-ingest-v1")
-    set(alloc_field allocations_per_event)
+  # Allocation ceiling — field name differs per schema; the overload
+  # schema has no allocation counter (its producer thread blocks or
+  # sheds, it never allocates) so the check does not apply.
+  if(schema STREQUAL "tpstream-bench-overload-v1")
+    set(cur_ape "n/a")
+    set(base_ape "n/a")
   else()
-    set(alloc_field producer_allocs_per_event)
-  endif()
-  string(JSON cur_ape GET "${current_doc}" runs "${name}" ${alloc_field})
-  string(JSON base_ape GET "${baseline_doc}" runs "${name}" ${alloc_field})
-  to_micro("${cur_ape}" cur_ape_u)
-  to_micro("${base_ape}" base_ape_u)
-  math(EXPR ape_limit "${base_ape_u} + ${ALLOC_TOLERANCE_MICRO}")
-  if(cur_ape_u GREATER ape_limit)
-    message(SEND_ERROR
-            "${name}: ${alloc_field} regressed — ${cur_ape} vs baseline "
-            "${base_ape} (+${ALLOC_TOLERANCE_MICRO} micro-allocs allowed)")
-    math(EXPR failures "${failures} + 1")
+    if(schema STREQUAL "tpstream-bench-ingest-v1")
+      set(alloc_field allocations_per_event)
+    else()
+      set(alloc_field producer_allocs_per_event)
+    endif()
+    string(JSON cur_ape GET "${current_doc}" runs "${name}" ${alloc_field})
+    string(JSON base_ape GET "${baseline_doc}" runs "${name}" ${alloc_field})
+    to_micro("${cur_ape}" cur_ape_u)
+    to_micro("${base_ape}" base_ape_u)
+    math(EXPR ape_limit "${base_ape_u} + ${ALLOC_TOLERANCE_MICRO}")
+    if(cur_ape_u GREATER ape_limit)
+      message(SEND_ERROR
+              "${name}: ${alloc_field} regressed — ${cur_ape} vs baseline "
+              "${base_ape} (+${ALLOC_TOLERANCE_MICRO} micro-allocs allowed)")
+      math(EXPR failures "${failures} + 1")
+    endif()
   endif()
 
-  # Push-latency p99 bound — common to both schemas.
+  # Push-latency p99 bound. For the overload schema the bound applies to
+  # the drop runs only: kBlock converts excess offered load into push
+  # latency by design, so its p99 tracks the overload factor, not a
+  # regression.
   string(JSON cur_p99 GET "${current_doc}" runs "${name}" push_ns p99)
   string(JSON base_p99 GET "${baseline_doc}" runs "${name}" push_ns p99)
-  math(EXPR p99_limit "${base_p99} * ${P99_FACTOR_PCT} / 100")
-  if(base_p99 GREATER 0 AND cur_p99 GREATER p99_limit)
-    message(SEND_ERROR
-            "${name}: push p99 regressed — ${cur_p99} ns vs baseline "
-            "${base_p99} ns (allowed: ${P99_FACTOR_PCT}%)")
-    math(EXPR failures "${failures} + 1")
+  if(NOT (schema STREQUAL "tpstream-bench-overload-v1" AND
+          name STREQUAL "block"))
+    math(EXPR p99_limit "${base_p99} * ${P99_FACTOR_PCT} / 100")
+    if(base_p99 GREATER 0 AND cur_p99 GREATER p99_limit)
+      message(SEND_ERROR
+              "${name}: push p99 regressed — ${cur_p99} ns vs baseline "
+              "${base_p99} ns (allowed: ${P99_FACTOR_PCT}%)")
+      math(EXPR failures "${failures} + 1")
+    endif()
   endif()
 
   pretty_num("${cur_eps}" cur_eps_fmt)
@@ -233,6 +267,35 @@ foreach(i RANGE 0 ${last})
   pretty_num("${cur_ape}" cur_ape_fmt)
   if(schema STREQUAL "tpstream-bench-ingest-v1")
     summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_ape_fmt} | ${cur_p99} | ${base_p99} |")
+  elseif(schema STREQUAL "tpstream-bench-overload-v1")
+    # Absolute invariants of the Degradation contract, from CURRENT alone.
+    string(JSON cur_shed GET "${current_doc}" runs "${name}" shed_events)
+    string(JSON cur_shed_b GET "${current_doc}" runs "${name}" shed_batches)
+    string(JSON cur_quar GET "${current_doc}" runs "${name}" quarantined)
+    string(JSON cur_rf GET "${current_doc}" runs "${name}" ring_full)
+    if(name STREQUAL "block")
+      if(NOT cur_shed EQUAL 0 OR NOT cur_quar EQUAL 0)
+        message(SEND_ERROR
+                "block: kBlock must be lossless but shed ${cur_shed} "
+                "event(s) / quarantined ${cur_quar} item(s)")
+        math(EXPR failures "${failures} + 1")
+      endif()
+    else()
+      if(NOT cur_quar EQUAL cur_shed_b)
+        message(SEND_ERROR
+                "${name}: ${cur_quar} quarantined item(s) vs "
+                "${cur_shed_b} shed batch(es) — every shed batch must "
+                "reach the dead-letter sink exactly once")
+        math(EXPR failures "${failures} + 1")
+      endif()
+    endif()
+    if(name STREQUAL "drop_oldest" AND cur_shed EQUAL 0)
+      message(SEND_ERROR
+              "drop_oldest: shed nothing at 2x offered load — the bench "
+              "no longer overloads the operator, its numbers are vacuous")
+      math(EXPR failures "${failures} + 1")
+    endif()
+    summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_shed} | ${cur_quar} | ${cur_rf} | ${cur_p99} |")
   else()
     # Backpressure bound: a collapse back to single-in-flight hand-off
     # shows up as ring_full exploding relative to the baseline.

@@ -16,7 +16,34 @@ enum class StatusCode : int {
   kTypeError = 3,
   kNotFound = 4,
   kInternal = 5,
+  /// A hard resource cap was hit (overload protection, Degradation
+  /// contract in docs/architecture.md): dead-letter sink at capacity,
+  /// CSV quarantine budget exceeded, and every other cap-enforcement
+  /// path. Distinct from kInternal — the input was valid, the system
+  /// chose to degrade rather than grow without bound.
+  kResourceExhausted = 6,
 };
+
+/// Stable name of a StatusCode (diagnostics, counters, log lines).
+inline const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kTypeError:
+      return "TYPE_ERROR";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
 
 /// Lightweight success/error result, modeled after the Status idiom used by
 /// Arrow and Google codebases. The library avoids exceptions on hot paths;
@@ -43,6 +70,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

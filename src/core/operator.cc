@@ -24,6 +24,11 @@ TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
                                          on_match, options_.stats_alpha);
   }
 
+  if (!options_.overload.unbounded()) {
+    if (ll_matcher_) ll_matcher_->SetOverload(options_.overload);
+    if (matcher_) matcher_->SetOverload(options_.overload);
+  }
+
   if (options_.metrics != nullptr) {
     if (ll_matcher_) ll_matcher_->EnableMetrics(options_.metrics);
     if (matcher_) matcher_->EnableMetrics(options_.metrics);
@@ -158,6 +163,20 @@ const MatcherStats& TPStreamOperator::stats() const {
 size_t TPStreamOperator::BufferedCount() const {
   return ll_matcher_ ? ll_matcher_->BufferedCount()
                      : matcher_->BufferedCount();
+}
+
+int64_t TPStreamOperator::shed_situations() const {
+  return ll_matcher_ ? ll_matcher_->shed_situations()
+                     : matcher_->shed_situations();
+}
+
+int64_t TPStreamOperator::lost_match_upper_bound() const {
+  return ll_matcher_ ? ll_matcher_->lost_match_upper_bound()
+                     : matcher_->lost_match_upper_bound();
+}
+
+int64_t TPStreamOperator::shed_trigger_candidates() const {
+  return ll_matcher_ ? ll_matcher_->shed_trigger_candidates() : 0;
 }
 
 }  // namespace tpstream

@@ -13,6 +13,7 @@
 #include "matcher/matcher.h"
 #include "obs/metrics.h"
 #include "optimizer/plan_optimizer.h"
+#include "robust/overload_policy.h"
 
 namespace tpstream {
 
@@ -43,6 +44,12 @@ class TPStreamOperator {
     /// the hot path is untouched. The registry must outlive the operator.
     /// See docs/architecture.md ("Observability") for the metric names.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Overload protection (Degradation contract): hard caps on the
+    /// per-symbol situation buffers and, in low-latency mode, on the
+    /// trigger-pool size. Defaults to unbounded (today's behaviour).
+    /// Evictions are oldest-first and accounted via shed_situations() /
+    /// lost_match_upper_bound() and the `robust.*` metrics.
+    robust::OverloadPolicy overload;
   };
 
   using OutputCallback = std::function<void(const Event&)>;
@@ -88,6 +95,12 @@ class TPStreamOperator {
 
   /// Buffered situations across all matcher buffers (memory accounting).
   size_t BufferedCount() const;
+
+  /// Overload-shedding accounting (Degradation contract); all zero when
+  /// Options::overload leaves the caps unbounded.
+  int64_t shed_situations() const;
+  int64_t lost_match_upper_bound() const;
+  int64_t shed_trigger_candidates() const;
 
  private:
   void OnMatch(const Match& match);

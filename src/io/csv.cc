@@ -104,7 +104,11 @@ std::string CsvQuote(const std::string& value, char delimiter) {
 
 CsvEventReader::CsvEventReader(std::istream& input, const Schema& schema,
                                Options options)
-    : input_(input), schema_(schema), options_(std::move(options)) {}
+    : input_(input), schema_(schema), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    quarantined_ctr_ = options_.metrics->GetCounter("csv.quarantined");
+  }
+}
 
 Status CsvEventReader::ParseHeader() {
   header_parsed_ = true;
@@ -130,17 +134,47 @@ Status CsvEventReader::ParseHeader() {
   return Status::OK();
 }
 
+void CsvEventReader::Quarantine(const Status& error) {
+  ++quarantined_;
+  if (quarantined_ctr_ != nullptr) quarantined_ctr_->Inc();
+  if (options_.dead_letter == nullptr) return;
+  robust::DeadLetterItem item;
+  item.kind = robust::DeadLetterKind::kCsvRow;
+  item.detail = error.message();
+  item.row = rows_read_;
+  item.raw = line_;
+  (void)options_.dead_letter->Consume(std::move(item));
+}
+
 Status CsvEventReader::Next(Event* event) {
   if (!header_parsed_) header_status_ = ParseHeader();
   if (!header_status_.ok()) return header_status_;
 
-  do {
-    if (!std::getline(input_, line_)) {
-      return Status::NotFound("end of CSV input");
-    }
-  } while (line_.empty());
-  ++rows_read_;
+  for (;;) {
+    do {
+      if (!std::getline(input_, line_)) {
+        return Status::NotFound("end of CSV input");
+      }
+    } while (line_.empty());
+    ++rows_read_;
 
+    Status status = ParseRow(event);
+    if (status.ok() || options_.on_error == OnError::kStop) return status;
+
+    // kSkipAndQuarantine: route the bad row to the dead-letter sink and
+    // keep reading.
+    Quarantine(status);
+    if (options_.max_quarantined > 0 &&
+        quarantined_ > static_cast<int64_t>(options_.max_quarantined)) {
+      return Status::ResourceExhausted(
+          "CSV quarantine budget exceeded (" +
+          std::to_string(options_.max_quarantined) +
+          " rows); last error: " + status.message());
+    }
+  }
+}
+
+Status CsvEventReader::ParseRow(Event* event) {
   const std::string row_context = "row " + std::to_string(rows_read_);
   if (Status s = SplitCsvLine(line_, options_.delimiter, &fields_);
       !s.ok()) {

@@ -10,6 +10,8 @@
 #include "common/event.h"
 #include "common/schema.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "robust/dead_letter.h"
 
 namespace tpstream {
 namespace io {
@@ -30,26 +32,66 @@ namespace io {
 ///   }
 class CsvEventReader {
  public:
+  /// Malformed-row handling (Degradation contract). Header errors are
+  /// always fatal regardless of the mode: without a valid header no row
+  /// can be interpreted.
+  enum class OnError {
+    /// Next() returns kParseError for the bad row (default; the reader
+    /// stays usable and the caller decides).
+    kStop,
+    /// Next() silently skips bad rows and keeps reading: each one is
+    /// counted (`csv.quarantined` when metrics are enabled) and routed to
+    /// the dead-letter sink (when set) with its row number, parse error,
+    /// and raw text.
+    kSkipAndQuarantine,
+  };
+
   struct Options {
     std::string timestamp_column;
     char delimiter;
-    Options() : timestamp_column("timestamp"), delimiter(',') {}
+    OnError on_error;
+    /// Quarantine destination for kSkipAndQuarantine (not owned; may be
+    /// null: rows are then counted but discarded).
+    robust::DeadLetterSink* dead_letter;
+    /// Counts quarantined rows as `csv.quarantined` (not owned).
+    obs::MetricsRegistry* metrics;
+    /// Upper bound on quarantined rows in kSkipAndQuarantine mode; once
+    /// exceeded Next() returns kResourceExhausted (a poisoned input
+    /// should fail loudly, not skip forever). 0 = unlimited.
+    size_t max_quarantined;
+    Options()
+        : timestamp_column("timestamp"),
+          delimiter(','),
+          on_error(OnError::kStop),
+          dead_letter(nullptr),
+          metrics(nullptr),
+          max_quarantined(0) {}
   };
 
   CsvEventReader(std::istream& input, const Schema& schema,
                  Options options = Options());
 
   /// Reads the next event. Returns kNotFound at end of input and
-  /// kParseError (with row context) on malformed rows.
+  /// kParseError (with row context) on malformed rows — unless
+  /// Options::on_error is kSkipAndQuarantine, in which case bad rows are
+  /// quarantined and reading continues (kResourceExhausted once more
+  /// than Options::max_quarantined rows were skipped).
   Status Next(Event* event);
 
   /// Convenience: reads everything, forwarding to `sink`.
   Status ReadAll(const std::function<void(const Event&)>& sink);
 
   int64_t rows_read() const { return rows_read_; }
+  /// Rows skipped under kSkipAndQuarantine.
+  int64_t quarantined() const { return quarantined_; }
 
  private:
   Status ParseHeader();
+  /// Parses the row already in `line_` into `*event` (no error-mode
+  /// handling; Next() wraps it).
+  Status ParseRow(Event* event);
+  /// Routes the bad row in `line_` to the dead-letter sink and counts it.
+  void Quarantine(const Status& error);
 
   std::istream& input_;
   const Schema schema_;
@@ -60,6 +102,8 @@ class CsvEventReader {
   std::vector<int> column_to_field_;  // CSV column -> schema index or -1
   std::vector<std::string> column_names_;  // for parse-error context
   int64_t rows_read_ = 0;
+  int64_t quarantined_ = 0;
+  obs::Counter* quarantined_ctr_ = nullptr;  // resolved lazily from options
   // Scratch reused across Next() calls: the raw line and its split
   // fields keep their buffers, so steady-state reads don't allocate
   // (string-typed payload values still copy into the event).

@@ -1,8 +1,29 @@
 #include "matcher/joiner.h"
 
+#include <limits>
 #include <numeric>
 
 namespace tpstream {
+
+namespace {
+
+// Saturating arithmetic for the lost-match upper bound: a flooded buffer
+// set can push the configuration-count product past int64 range; the
+// counter then pins at the maximum instead of wrapping (UB-free).
+int64_t SaturatingMul(int64_t a, int64_t b) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (a == 0 || b == 0) return 0;
+  if (a > kMax / b) return kMax;
+  return a * b;
+}
+
+int64_t SaturatingAdd(int64_t a, int64_t b) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (a > kMax - b) return kMax;
+  return a + b;
+}
+
+}  // namespace
 
 PatternJoiner::PatternJoiner(const TemporalPattern* pattern, Duration window)
     : pattern_(pattern), window_(window) {
@@ -14,6 +35,9 @@ PatternJoiner::PatternJoiner(const TemporalPattern* pattern, Duration window)
 
 void PatternJoiner::EnableMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) return;
+  shed_situations_ctr_ = registry->GetCounter("robust.shed_situations");
+  lost_match_bound_ctr_ =
+      registry->GetCounter("robust.lost_match_upper_bound");
   probes_ctr_ = registry->GetCounter("matcher.probes");
   range_queries_ctr_ = registry->GetCounter("matcher.range_queries");
   range_query_hits_ctr_ = registry->GetCounter("matcher.range_query_hits");
@@ -26,6 +50,38 @@ size_t PatternJoiner::BufferedCount() const {
   size_t total = 0;
   for (const SituationBuffer& b : buffers_) total += b.size();
   return total;
+}
+
+void PatternJoiner::EnforceCap(int symbol) {
+  if (situation_cap_ == 0) return;
+  const size_t cap = situation_cap_;
+  SituationBuffer& buf = buffers_[symbol];
+  if (buf.size() <= cap) return;
+
+  // Upper bound on the matches enumerable right now that each evicted
+  // situation could still complete: one candidate per other symbol
+  // already buffered (future arrivals are not counted — the bound
+  // covers the currently-enumerable loss only).
+  int64_t per_evicted = 1;
+  for (size_t j = 0; j < buffers_.size(); ++j) {
+    if (static_cast<int>(j) == symbol) continue;
+    per_evicted = SaturatingMul(
+        per_evicted,
+        std::max<int64_t>(1, static_cast<int64_t>(buffers_[j].size())));
+  }
+
+  int64_t evicted = 0;
+  while (buf.size() > cap) {
+    buf.PopFront();
+    ++evicted;
+  }
+  shed_situations_ += evicted;
+  lost_match_bound_ =
+      SaturatingAdd(lost_match_bound_, SaturatingMul(evicted, per_evicted));
+  if (shed_situations_ctr_ != nullptr) {
+    shed_situations_ctr_->Inc(evicted);
+    lost_match_bound_ctr_->Inc(SaturatingMul(evicted, per_evicted));
+  }
 }
 
 void PatternJoiner::Enumerate(std::vector<const Situation*>& working_set,

@@ -38,9 +38,35 @@ class PatternJoiner {
 
   /// Registers the `matcher.*` join-core counters (probes, range queries
   /// and their hits, partial configurations, full matches, window
-  /// rejects) with `registry` and starts recording into them. Disabled
-  /// (null handles, a dead branch per site) by default.
+  /// rejects) with `registry` and starts recording into them, plus the
+  /// `robust.shed_situations` / `robust.lost_match_upper_bound` overload
+  /// counters. Disabled (null handles, a dead branch per site) by
+  /// default.
   void EnableMetrics(obs::MetricsRegistry* registry);
+
+  /// Overload protection (Degradation contract): caps every symbol
+  /// buffer at `max_per_buffer` finished situations. 0 disables the cap;
+  /// non-zero values are clamped to >= 1 so the newest situation always
+  /// survives (incremental matching forces it into every new
+  /// configuration). Enforcement happens via EnforceCap() after each
+  /// append; evictions drop the *oldest* situations and are accounted.
+  void SetSituationCap(size_t max_per_buffer) {
+    situation_cap_ = max_per_buffer;
+  }
+  size_t situation_cap() const { return situation_cap_; }
+
+  /// Evicts `symbol`'s buffer down to the cap (oldest first), updating
+  /// the shed accounting. Called by the matchers right after appending.
+  void EnforceCap(int symbol);
+
+  /// Situations evicted by cap enforcement since construction.
+  int64_t shed_situations() const { return shed_situations_; }
+  /// Upper bound on the matches that were enumerable at shed time (one
+  /// candidate per other symbol already buffered) and can no longer be
+  /// emitted. Configurations completed by situations arriving *after*
+  /// the shed are additionally lost and not counted here — see
+  /// docs/architecture.md, "Degradation contract".
+  int64_t lost_match_upper_bound() const { return lost_match_bound_; }
 
   SituationBuffer& buffer(int symbol) { return buffers_[symbol]; }
   const SituationBuffer& buffer(int symbol) const { return buffers_[symbol]; }
@@ -104,7 +130,14 @@ class PatternJoiner {
   bool naive_scan_ = false;
   std::vector<StepScratch> step_scratch_;  // indexed by recursion depth
 
+  // Overload shedding state (Degradation contract).
+  size_t situation_cap_ = 0;  // 0 = unbounded
+  int64_t shed_situations_ = 0;
+  int64_t lost_match_bound_ = 0;
+
   // Observability handles (null when metrics are disabled).
+  obs::Counter* shed_situations_ctr_ = nullptr;
+  obs::Counter* lost_match_bound_ctr_ = nullptr;
   obs::Counter* probes_ctr_ = nullptr;
   obs::Counter* range_queries_ctr_ = nullptr;
   obs::Counter* range_query_hits_ctr_ = nullptr;

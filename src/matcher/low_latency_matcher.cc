@@ -1,5 +1,7 @@
 #include "matcher/low_latency_matcher.h"
 
+#include <algorithm>
+
 namespace tpstream {
 
 namespace {
@@ -44,6 +46,7 @@ void LowLatencyMatcher::EnableMetrics(obs::MetricsRegistry* registry) {
   joiner_.EnableMetrics(registry);
   triggers_ctr_ = registry->GetCounter("matcher.triggers");
   dedup_hits_ctr_ = registry->GetCounter("matcher.dedup_hits");
+  shed_trigger_ctr_ = registry->GetCounter("robust.shed_trigger_candidates");
 }
 
 void LowLatencyMatcher::Update(const std::vector<SymbolSituation>& started,
@@ -65,6 +68,9 @@ void LowLatencyMatcher::Consume(std::vector<SymbolSituation>& started,
   for (SymbolSituation& ss : finished) {
     started_[ss.symbol].reset();
     joiner_.buffer(ss.symbol).Append(std::move(ss.situation));
+    // Overload cap: evict oldest situations; the one just appended is the
+    // newest and always survives (cap >= 1), so Back() below stays valid.
+    joiner_.EnforceCap(ss.symbol);
   }
   for (const SymbolSituation& ss : finished) {
     if (!analysis_.match_on_end(ss.symbol)) continue;
@@ -124,6 +130,24 @@ void LowLatencyMatcher::Trigger(int symbol, const Situation& situation,
       if (c.Check(sa, sb) != Certainty::kCertain) continue;
     }
     pool_.push_back(j);
+  }
+
+  // Trigger-pool cap: the subset enumeration below is 2^pool, so a flood
+  // of concurrently ongoing situations on a wide pattern can stall a
+  // single trigger. Shed the *oldest* started candidates (smallest start
+  // timestamp — closest to expiry, least likely to complete), keep the
+  // newest, then restore ascending symbol order so the enumeration
+  // sequence for surviving candidates is unperturbed.
+  if (max_trigger_pool_ > 0 && pool_.size() > max_trigger_pool_) {
+    const int64_t excess =
+        static_cast<int64_t>(pool_.size() - max_trigger_pool_);
+    std::sort(pool_.begin(), pool_.end(), [this](int a, int b) {
+      return started_[a]->ts > started_[b]->ts;
+    });
+    pool_.resize(max_trigger_pool_);
+    std::sort(pool_.begin(), pool_.end());
+    shed_trigger_candidates_ += excess;
+    if (shed_trigger_ctr_ != nullptr) shed_trigger_ctr_->Inc(excess);
   }
 
   const size_t subsets = size_t{1} << pool_.size();

@@ -9,6 +9,7 @@
 #include "algebra/pattern.h"
 #include "matcher/joiner.h"
 #include "matcher/match.h"
+#include "robust/overload_policy.h"
 
 namespace tpstream {
 
@@ -62,6 +63,21 @@ class LowLatencyMatcher {
   const MatcherStats& stats() const { return stats_; }
   size_t BufferedCount() const { return joiner_.BufferedCount(); }
 
+  /// Installs the overload caps (Degradation contract): the per-symbol
+  /// situation-buffer cap (enforced via the joiner, oldest evicted first)
+  /// and the trigger-pool cap bounding the 2^pool subset enumeration per
+  /// trigger (oldest started candidates shed first).
+  void SetOverload(const robust::OverloadPolicy& policy) {
+    joiner_.SetSituationCap(policy.max_situations_per_buffer);
+    max_trigger_pool_ = policy.max_trigger_pool;
+  }
+  int64_t shed_situations() const { return joiner_.shed_situations(); }
+  int64_t lost_match_upper_bound() const {
+    return joiner_.lost_match_upper_bound();
+  }
+  /// Started situations dropped from trigger pools by the pool cap.
+  int64_t shed_trigger_candidates() const { return shed_trigger_candidates_; }
+
  private:
   /// Runs the join for every admissible combination of the trigger
   /// situation and started situations (the power-set construction of
@@ -94,9 +110,14 @@ class LowLatencyMatcher {
   std::unordered_map<uint64_t, TimePoint> emitted_;
   size_t emitted_sweep_threshold_ = 1024;
 
+  // Overload shedding state (Degradation contract).
+  size_t max_trigger_pool_ = 0;  // 0 = unbounded
+  int64_t shed_trigger_candidates_ = 0;
+
   // Observability handles (null when metrics are disabled).
   obs::Counter* triggers_ctr_ = nullptr;
   obs::Counter* dedup_hits_ctr_ = nullptr;
+  obs::Counter* shed_trigger_ctr_ = nullptr;
 };
 
 }  // namespace tpstream

@@ -27,6 +27,9 @@ void Matcher::Consume(std::vector<SymbolSituation>& finished, TimePoint now) {
   for (SymbolSituation& ss : finished) {
     SituationBuffer& buf = joiner_.buffer(ss.symbol);
     buf.Append(std::move(ss.situation));
+    // Overload cap: evict the oldest situations before enumerating (the
+    // appended one is the newest and always survives — cap >= 1).
+    joiner_.EnforceCap(ss.symbol);
     // Force the new situation into every produced configuration: this
     // yields incremental, exactly-once results (Algorithm 2).
     working_set_.assign(working_set_.size(), nullptr);

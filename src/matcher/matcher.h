@@ -7,6 +7,7 @@
 #include "algebra/pattern.h"
 #include "matcher/joiner.h"
 #include "matcher/match.h"
+#include "robust/overload_policy.h"
 
 namespace tpstream {
 
@@ -50,6 +51,16 @@ class Matcher {
 
   /// Number of buffered situations (memory accounting, Section 6.2.2).
   size_t BufferedCount() const { return joiner_.BufferedCount(); }
+
+  /// Installs the overload caps (Degradation contract); only the
+  /// situation-buffer cap applies to the baseline matcher.
+  void SetOverload(const robust::OverloadPolicy& policy) {
+    joiner_.SetSituationCap(policy.max_situations_per_buffer);
+  }
+  int64_t shed_situations() const { return joiner_.shed_situations(); }
+  int64_t lost_match_upper_bound() const {
+    return joiner_.lost_match_upper_bound();
+  }
 
  private:
   TemporalPattern pattern_;

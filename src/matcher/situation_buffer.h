@@ -47,6 +47,19 @@ class SituationBuffer {
     }
   }
 
+  /// Drops the oldest buffered situation (overload shedding; the caller
+  /// accounts for the eviction). No-op on an empty buffer. Indices from
+  /// earlier range queries are invalidated; pointers to the remaining
+  /// situations stay valid (no reallocation).
+  void PopFront() {
+    if (size_ == 0) return;
+    // The slot keeps its payload capacity for reuse by a later Append
+    // (allocation-free steady state); total retained storage stays
+    // bounded by the ring's slot count.
+    head_ = (head_ + 1) % data_.size();
+    --size_;
+  }
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 

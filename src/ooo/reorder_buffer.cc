@@ -42,14 +42,34 @@ void ReorderBuffer::ReleaseReady(const Sink& sink) {
   }
 }
 
+void ReorderBuffer::QuarantineLate(Event&& event) {
+  if (options_.dead_letter == nullptr) return;
+  robust::DeadLetterItem item;
+  item.kind = robust::DeadLetterKind::kLateEvent;
+  item.detail = "late event t=" + std::to_string(event.t) +
+                " older than release point " +
+                std::to_string(last_released_) + " (slack " +
+                std::to_string(options_.slack) + ")";
+  item.events.push_back(std::move(event));
+  (void)options_.dead_letter->Consume(std::move(item));
+}
+
 void ReorderBuffer::Push(const Event& event, const Sink& sink) {
-  if (!Admit(event)) return;
+  if (!Admit(event)) {
+    QuarantineLate(Event(event));
+    return;
+  }
   heap_.push(event);
   ReleaseReady(sink);
 }
 
 void ReorderBuffer::Push(Event&& event, const Sink& sink) {
-  if (!Admit(event)) return;
+  if (!Admit(event)) {
+    // Admit's late callback saw the event intact; only now does the
+    // payload move into the quarantine item.
+    QuarantineLate(std::move(event));
+    return;
+  }
   heap_.push(std::move(event));
   ReleaseReady(sink);
 }

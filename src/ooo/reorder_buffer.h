@@ -7,6 +7,7 @@
 
 #include "common/event.h"
 #include "obs/metrics.h"
+#include "robust/dead_letter.h"
 
 namespace tpstream {
 namespace ooo {
@@ -36,6 +37,12 @@ class ReorderBuffer {
     /// `.dropped` counters, `reorder.buffered` / `.watermark_lag` gauges
     /// (lag = max seen timestamp minus watermark, in ticks).
     obs::MetricsRegistry* metrics = nullptr;
+    /// Quarantine destination for late-dropped events (Degradation
+    /// contract): each dropped event is delivered as a kLateEvent item
+    /// carrying the intact event and its lateness, *after* the late
+    /// callback (which sees the event first and un-moved). Not owned; may
+    /// be null (late events are then only counted).
+    robust::DeadLetterSink* dead_letter = nullptr;
   };
 
   using Sink = std::function<void(const Event&)>;
@@ -84,6 +91,9 @@ class ReorderBuffer {
   /// Shared front half of the Push overloads: late-drop check and
   /// disorder accounting. Returns false when the event was dropped.
   bool Admit(const Event& event);
+  /// Delivers a dropped event to the dead-letter sink (after the late
+  /// callback already saw it intact).
+  void QuarantineLate(Event&& event);
   /// Shared back half: advances the watermark and releases in order.
   void ReleaseReady(const Sink& sink);
 

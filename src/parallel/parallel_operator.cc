@@ -43,6 +43,36 @@ void AppendSwap(EventBatch* batch, Event&& event) {
   ++batch->count;
 }
 
+/// Moves a shed batch's live events into a dead-letter item and delivers
+/// it. The batch slots are left moved-from; refills overwrite them in
+/// place, so recycling keeps working. A full sink counts the loss itself
+/// (CollectingDeadLetterSink::dropped()).
+void QuarantineBatch(robust::DeadLetterSink* sink, EventBatch* batch,
+                     const char* detail) {
+  if (sink == nullptr || batch->count == 0) return;
+  robust::DeadLetterItem item;
+  item.kind = robust::DeadLetterKind::kShedBatch;
+  item.detail = detail;
+  item.events.reserve(batch->count);
+  for (size_t i = 0; i < batch->count; ++i) {
+    item.events.push_back(std::move(batch->events[i]));
+  }
+  (void)sink->Consume(std::move(item));
+}
+
+/// CAS-decrements `credit` if it is positive. Returns true when a credit
+/// was taken (consume on the worker, revoke on the producer).
+bool TakeCredit(std::atomic<int64_t>* credit) {
+  int64_t value = credit->load(std::memory_order_acquire);
+  while (value > 0) {
+    if (credit->compare_exchange_weak(value, value - 1,
+                                      std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 ParallelTPStream::Worker::Worker(size_t ring_capacity, size_t batch_size)
@@ -78,6 +108,10 @@ ParallelTPStream::ParallelTPStream(QuerySpec spec, Options options,
   merge_stalls_ctr_ = producer_registry_.GetCounter("parallel.merge_stalls");
   free_alloc_ctr_ =
       producer_registry_.GetCounter("parallel.free_ring_allocs");
+  shed_batches_ctr_ = producer_registry_.GetCounter("parallel.shed_batches");
+  shed_events_ctr_ = producer_registry_.GetCounter("parallel.shed_events");
+  drop_oldest_fallback_ctr_ =
+      producer_registry_.GetCounter("parallel.drop_oldest_fallback");
 
   const bool engine_metrics = options_.operator_options.metrics != nullptr;
   workers_.reserve(options_.num_workers);
@@ -87,6 +121,10 @@ ParallelTPStream::ParallelTPStream(QuerySpec spec, Options options,
     worker->matches_ctr = worker->registry.GetCounter("parallel.matches");
     worker->partitions_ctr =
         worker->registry.GetCounter("parallel.partitions");
+    worker->shed_batches_ctr =
+        worker->registry.GetCounter("parallel.shed_batches");
+    worker->shed_events_ctr =
+        worker->registry.GetCounter("parallel.shed_events");
     worker->depth_gauge = producer_registry_.GetGauge(
         "parallel.queue_depth.w" + std::to_string(i));
     // Each worker engine records into the worker's own registry so that
@@ -172,7 +210,17 @@ void ParallelTPStream::WorkerLoop(Worker* worker) {
         { std::lock_guard<std::mutex> lock(worker->mutex); }
         worker->not_full.notify_one();
       }
-      ProcessBatch(worker, &batch);
+      // Drop-oldest: a pending credit means the producer found the ring
+      // full — quarantine this (oldest queued) batch instead of
+      // processing it, freeing the slot without paying the engine cost.
+      if (TakeCredit(&worker->drop_credit)) {
+        worker->shed_batches_ctr->Inc();
+        worker->shed_events_ctr->Inc(static_cast<int64_t>(batch.count));
+        QuarantineBatch(options_.dead_letter, &batch,
+                        "ring shed (drop_oldest)");
+      } else {
+        ProcessBatch(worker, &batch);
+      }
       batch.count = 0;
       // Recycle the storage. By the circulation invariant the free ring
       // has room; a failed push (cannot happen in steady state) merely
@@ -212,35 +260,116 @@ void ParallelTPStream::WorkerLoop(Worker* worker) {
   }
 }
 
+void ParallelTPStream::ShedBatch(Worker* worker, EventBatch* batch,
+                                 const char* detail) {
+  (void)worker;
+  shed_batches_ctr_->Inc();
+  shed_events_ctr_->Inc(static_cast<int64_t>(batch->count));
+  QuarantineBatch(options_.dead_letter, batch, detail);
+  batch->count = 0;
+}
+
+bool ParallelTPStream::ResolveFullRing(Worker* worker, EventBatch* batch) {
+  switch (options_.backpressure) {
+    case robust::BackpressurePolicy::kBlock: {
+      // Lossless: adaptive spin, then park until the worker frees a slot.
+      int spin = 0;
+      while (!worker->ring.TryPush(std::move(*batch))) {
+        if (spin < kSpinRelax) {
+          ++spin;
+          CpuRelax();
+        } else if (spin < kSpinRelax + kSpinYield) {
+          ++spin;
+          std::this_thread::yield();
+        } else {
+          std::unique_lock<std::mutex> lock(worker->mutex);
+          worker->producer_parked.store(true, std::memory_order_relaxed);
+          // Pairs with the fence in the worker's pop path (WorkerLoop).
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          worker->not_full.wait(lock,
+                                [worker] { return !worker->ring.Full(); });
+          worker->producer_parked.store(false, std::memory_order_relaxed);
+          spin = 0;  // single producer: the retry is guaranteed to succeed
+        }
+      }
+      return true;
+    }
+
+    case robust::BackpressurePolicy::kDropNewest: {
+      // Bounded wait, then shed the batch being submitted.
+      for (int spin = 0; spin < options_.shed_spin; ++spin) {
+        if (spin < kSpinRelax) {
+          CpuRelax();
+        } else {
+          std::this_thread::yield();
+        }
+        if (worker->ring.TryPush(std::move(*batch))) return true;
+      }
+      ShedBatch(worker, batch, "ring shed (drop_newest)");
+      return false;
+    }
+
+    case robust::BackpressurePolicy::kDropOldest: {
+      // Grant the worker a drop credit: the next batch it pops is
+      // quarantined instead of processed, freeing a slot at dequeue cost
+      // rather than engine cost.
+      worker->drop_credit.fetch_add(1, std::memory_order_acq_rel);
+      bool pushed = false;
+      for (int spin = 0; spin < options_.shed_spin && !pushed; ++spin) {
+        if (spin < kSpinRelax) {
+          CpuRelax();
+        } else {
+          std::this_thread::yield();
+        }
+        pushed = worker->ring.TryPush(std::move(*batch));
+      }
+      if (pushed) {
+        // The slot may have freed by normal draining; revoke the credit
+        // if the worker has not consumed it yet so an overload that
+        // resolves on its own drops nothing. A lost race (worker already
+        // quarantining) is correct drop-oldest behaviour and accounted
+        // on the worker side.
+        (void)TakeCredit(&worker->drop_credit);
+        return true;
+      }
+      if (!TakeCredit(&worker->drop_credit)) {
+        // The worker consumed the credit, so a slot is being freed right
+        // now; give the push one more bounded spin.
+        for (int spin = 0; spin < options_.shed_spin && !pushed; ++spin) {
+          CpuRelax();
+          pushed = worker->ring.TryPush(std::move(*batch));
+        }
+        if (pushed) return true;
+      }
+      // Worker stalled mid-batch (or the freed slot never materialized in
+      // budget): shed the new batch to keep push latency bounded.
+      drop_oldest_fallback_ctr_->Inc();
+      ShedBatch(worker, batch, "ring shed (drop_oldest fallback)");
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
 void ParallelTPStream::Submit(Worker* worker) {
   if (worker->pending.count == 0) return;
   batches_ctr_->Inc();
   EventBatch batch = std::move(worker->pending);
   worker->pending.count = 0;
   if (!worker->ring.TryPush(std::move(batch))) {
-    // Ring full: adaptive spin, then park until the worker frees a slot.
-    // Counted once per stalled submit (`parallel.ring_full`, with the
-    // retired single-slot hand-off's `merge_stalls` kept as an alias).
+    // Ring full: apply the backpressure policy. Counted once per stalled
+    // submit (`parallel.ring_full`, with the retired single-slot
+    // hand-off's `merge_stalls` kept as an alias).
     ring_full_ctr_->Inc();
     merge_stalls_ctr_->Inc();
-    int spin = 0;
-    while (!worker->ring.TryPush(std::move(batch))) {
-      if (spin < kSpinRelax) {
-        ++spin;
-        CpuRelax();
-      } else if (spin < kSpinRelax + kSpinYield) {
-        ++spin;
-        std::this_thread::yield();
-      } else {
-        std::unique_lock<std::mutex> lock(worker->mutex);
-        worker->producer_parked.store(true, std::memory_order_relaxed);
-        // Pairs with the fence in the worker's pop path (see WorkerLoop).
-        std::atomic_thread_fence(std::memory_order_seq_cst);
-        worker->not_full.wait(lock,
-                              [worker] { return !worker->ring.Full(); });
-        worker->producer_parked.store(false, std::memory_order_relaxed);
-        spin = 0;  // single producer: the retry is guaranteed to succeed
-      }
+    if (!ResolveFullRing(worker, &batch)) {
+      // The batch was shed: it never entered the ring, so its storage
+      // becomes the new `pending` directly (the circulation invariant is
+      // untouched — no free-ring pop). The worker has a full ring and is
+      // not parked, so no wake is needed.
+      worker->pending = std::move(batch);
+      worker->pending.count = 0;
+      return;
     }
   }
   // Wake the worker if it parked on an empty ring (Dekker, see
@@ -344,6 +473,22 @@ int64_t ParallelTPStream::num_matches() const {
   int64_t total = 0;
   for (const auto& worker : workers_) {
     total += worker->matches_ctr->value();
+  }
+  return total;
+}
+
+int64_t ParallelTPStream::shed_batches() const {
+  int64_t total = shed_batches_ctr_->value();
+  for (const auto& worker : workers_) {
+    total += worker->shed_batches_ctr->value();
+  }
+  return total;
+}
+
+int64_t ParallelTPStream::shed_events() const {
+  int64_t total = shed_events_ctr_->value();
+  for (const auto& worker : workers_) {
+    total += worker->shed_events_ctr->value();
   }
   return total;
 }

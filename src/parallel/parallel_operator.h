@@ -13,6 +13,8 @@
 #include "core/partitioned_operator.h"
 #include "obs/metrics.h"
 #include "parallel/spsc_ring.h"
+#include "robust/dead_letter.h"
+#include "robust/overload_policy.h"
 
 namespace tpstream {
 namespace parallel {
@@ -88,6 +90,32 @@ class ParallelTPStream {
     /// the merged result — engine metrics plus the routing-layer
     /// `parallel.*` metrics — with Metrics().
     TPStreamOperator::Options operator_options;
+    /// What the producer does when a worker's ring is full (Degradation
+    /// contract, docs/architecture.md):
+    ///  * kBlock (default): adaptive spin, then park until a slot frees —
+    ///    lossless, unbounded push latency under sustained overload.
+    ///  * kDropNewest: spin at most `shed_spin` iterations, then shed the
+    ///    batch being submitted. Push latency is bounded; the freshest
+    ///    data is lost first.
+    ///  * kDropOldest: grant the worker a drop credit (it discards the
+    ///    next batch it pops instead of processing it) and spin for the
+    ///    freed slot; if the worker is stalled mid-batch the credit is
+    ///    revoked and the new batch is shed instead (counted separately
+    ///    as `parallel.drop_oldest_fallback`). Push latency is bounded;
+    ///    the stalest queued data is lost first.
+    /// Shed batches are counted (`parallel.shed_batches` /
+    /// `parallel.shed_events`) and quarantined to `dead_letter` when set.
+    robust::BackpressurePolicy backpressure =
+        robust::BackpressurePolicy::kBlock;
+    /// Optional quarantine sink for shed batches. Must be thread-safe:
+    /// the producer (drop-newest, fallback) and worker threads
+    /// (drop-oldest) both deliver to it. Not owned; must outlive the
+    /// operator.
+    robust::DeadLetterSink* dead_letter = nullptr;
+    /// Spin budget (iterations) a drop policy waits for a slot before
+    /// shedding. Bounds the producer's worst-case push latency; irrelevant
+    /// under kBlock.
+    int shed_spin = 256;
   };
 
   ParallelTPStream(QuerySpec spec, Options options,
@@ -144,6 +172,13 @@ class ParallelTPStream {
   /// thread; exact once Flush() has returned.
   obs::MetricsSnapshot Metrics() const;
 
+  /// Batches / events shed by the backpressure policy (producer-side
+  /// drop-newest and fallback sheds plus worker-side drop-oldest
+  /// discards). Always 0 under kBlock. Safe from any thread; exact after
+  /// Flush().
+  int64_t shed_batches() const;
+  int64_t shed_events() const;
+
  private:
   struct Worker {
     Worker(size_t ring_capacity, size_t batch_size);
@@ -175,6 +210,12 @@ class ParallelTPStream {
     std::atomic<bool> idle{false};
     /// Symmetric flag for the producer parked on `not_full`.
     std::atomic<bool> producer_parked{false};
+    /// Drop-oldest hand-off: the producer grants a credit when it finds
+    /// the ring full; the worker consumes it (CAS decrement) right after
+    /// a pop and quarantines that batch instead of processing it. The
+    /// producer revokes unconsumed credits once its push lands so an
+    /// overload that resolves by normal draining drops nothing.
+    std::atomic<int64_t> drop_credit{0};
 
     /// Producer-side batch being filled (recycled storage; only
     /// `pending.count` elements are live).
@@ -189,6 +230,11 @@ class ParallelTPStream {
     /// construction); readable from any thread without the mutex.
     obs::Counter* matches_ctr = nullptr;
     obs::Counter* partitions_ctr = nullptr;
+    /// Worker-registry shed accounting for drop-oldest discards (the
+    /// producer-side sheds use the producer-registry twins; Metrics()
+    /// merges both under the same names).
+    obs::Counter* shed_batches_ctr = nullptr;
+    obs::Counter* shed_events_ctr = nullptr;
     /// Producer-registry gauge: true ring occupancy (in batches) after
     /// the last hand-off / flush.
     obs::Gauge* depth_gauge = nullptr;
@@ -201,6 +247,13 @@ class ParallelTPStream {
   void WorkerLoop(Worker* worker);
   void ProcessBatch(Worker* worker, EventBatch* batch);
   void Submit(Worker* worker);
+  /// Slow path of Submit() once the first TryPush failed: applies the
+  /// configured backpressure policy. Returns true when the batch entered
+  /// the ring, false when it was shed (its storage is reusable).
+  bool ResolveFullRing(Worker* worker, EventBatch* batch);
+  /// Counts `batch` as shed (producer side) and quarantines its events
+  /// to the dead-letter sink; resets the batch to empty-but-reusable.
+  void ShedBatch(Worker* worker, EventBatch* batch, const char* detail);
   /// Shared routing step of the Push overloads: counts the event and
   /// picks its partition's worker.
   Worker* RouteTo(const Event& event);
@@ -227,6 +280,14 @@ class ParallelTPStream {
   /// Free-ring misses: the producer could not recycle batch storage and
   /// had to allocate fresh (never happens in steady state; see Submit).
   obs::Counter* free_alloc_ctr_ = nullptr;
+  /// Producer-side shed accounting (drop-newest sheds and drop-oldest
+  /// fallbacks; the worker-side drop-oldest discards live in the worker
+  /// registries under the same names).
+  obs::Counter* shed_batches_ctr_ = nullptr;
+  obs::Counter* shed_events_ctr_ = nullptr;
+  /// Drop-oldest submits that had to shed the new batch because the
+  /// worker was stalled mid-batch and never consumed the credit.
+  obs::Counter* drop_oldest_fallback_ctr_ = nullptr;
   /// First thread to call Push()/Flush(); debug-only enforcement.
   mutable std::atomic<std::thread::id> producer_{};
 };

@@ -153,13 +153,18 @@ Pipeline& Pipeline::Map(
 }
 
 Pipeline& Pipeline::Reorder(Duration slack) {
-  if (slack < 0) {
+  ooo::ReorderBuffer::Options options;
+  options.slack = slack;
+  return Reorder(options);
+}
+
+Pipeline& Pipeline::Reorder(ooo::ReorderBuffer::Options options) {
+  if (options.slack < 0) {
     deferred_error_ = Status::InvalidArgument("Reorder slack is negative");
     return *this;
   }
-  Append(std::make_unique<ReorderStage>(
-             ooo::ReorderBuffer::Options{slack, metrics_}),
-         "reorder");
+  if (options.metrics == nullptr) options.metrics = metrics_;
+  Append(std::make_unique<ReorderStage>(options), "reorder");
   return *this;
 }
 

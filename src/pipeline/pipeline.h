@@ -120,6 +120,11 @@ class Pipeline {
   /// Repairs bounded out-of-order arrival (ooo::ReorderBuffer).
   Pipeline& Reorder(Duration slack);
 
+  /// Full-options overload: wires the reorder stage's dead-letter sink
+  /// and other knobs. A null `metrics` field inherits the pipeline's
+  /// registry (matching the Duration overload's behaviour).
+  Pipeline& Reorder(ooo::ReorderBuffer::Options options);
+
   /// Runs a TPStream query (partitioned if the spec says so); downstream
   /// stages see the match output events.
   Pipeline& Detect(QuerySpec spec,

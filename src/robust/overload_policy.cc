@@ -1,0 +1,19 @@
+#include "robust/overload_policy.h"
+
+namespace tpstream {
+namespace robust {
+
+const char* BackpressurePolicyName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kDropNewest:
+      return "drop_newest";
+    case BackpressurePolicy::kDropOldest:
+      return "drop_oldest";
+  }
+  return "unknown";
+}
+
+}  // namespace robust
+}  // namespace tpstream

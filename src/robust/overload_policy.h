@@ -1,0 +1,57 @@
+#ifndef TPSTREAM_ROBUST_OVERLOAD_POLICY_H_
+#define TPSTREAM_ROBUST_OVERLOAD_POLICY_H_
+
+#include <cstddef>
+
+namespace tpstream {
+namespace robust {
+
+/// What the ParallelTPStream producer does when a worker's SPSC ring is
+/// full (see docs/architecture.md, "Degradation contract"):
+///  * kBlock       — spin, yield, then park until a slot frees (the
+///                   lossless default; push latency is unbounded);
+///  * kDropNewest  — after a bounded spin, quarantine the batch being
+///                   submitted to the dead-letter sink (bounded push
+///                   latency; the newest data is shed);
+///  * kDropOldest  — grant the worker a drop credit so it discards the
+///                   oldest in-flight batch (quarantined by the worker),
+///                   then retry for a bounded spin; if the worker is
+///                   stuck mid-batch the producer falls back to shedding
+///                   the new batch (counted separately) so push latency
+///                   stays bounded.
+enum class BackpressurePolicy { kBlock, kDropNewest, kDropOldest };
+
+const char* BackpressurePolicyName(BackpressurePolicy policy);
+
+/// Hard resource caps for one TPStream operator (per partition when the
+/// query is partitioned). All caps default to 0 = unbounded, preserving
+/// the pre-existing behaviour; setting a cap turns unbounded growth into
+/// accounted shedding (`robust.*` counters, StatusCode::kResourceExhausted
+/// on Status-returning paths).
+struct OverloadPolicy {
+  /// Maximum finished situations retained per SituationBuffer (one
+  /// buffer per pattern symbol). When an append exceeds the cap the
+  /// *oldest* buffered situations are evicted and counted
+  /// (`robust.shed_situations`, with `robust.lost_match_upper_bound`
+  /// tracking an upper bound on the then-enumerable matches lost).
+  /// Values < 1 other than 0 are treated as 1 (the newest situation is
+  /// always retained so incremental matching stays well-defined).
+  size_t max_situations_per_buffer = 0;
+
+  /// Maximum started (open) situations a low-latency trigger may seed
+  /// its working set with — the joiner's working-set depth cap. The
+  /// trigger enumerates subsets of this pool (2^n probes), so the cap
+  /// bounds both memory and per-trigger work. The oldest open
+  /// situations are shed from the pool first
+  /// (`robust.shed_trigger_candidates`).
+  size_t max_trigger_pool = 0;
+
+  bool unbounded() const {
+    return max_situations_per_buffer == 0 && max_trigger_pool == 0;
+  }
+};
+
+}  // namespace robust
+}  // namespace tpstream
+
+#endif  // TPSTREAM_ROBUST_OVERLOAD_POLICY_H_

@@ -36,6 +36,36 @@ TEST(SituationBufferTest, AppendGrowPurge) {
   }
 }
 
+TEST(SituationBufferTest, PopFrontEvictsOldestAndKeepsOrder) {
+  SituationBuffer buf;
+  buf.PopFront();  // empty: no-op
+  EXPECT_EQ(buf.size(), 0u);
+
+  for (int i = 0; i < 10; ++i) buf.Append(Sit(i * 10, i * 10 + 5));
+  buf.PopFront();
+  buf.PopFront();
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.Front().ts, 20);
+  EXPECT_EQ(buf.Back().ts, 90);
+  for (size_t i = 1; i < buf.size(); ++i) {
+    EXPECT_LT(buf.At(i - 1).ts, buf.At(i).ts);
+  }
+
+  // Interleaved with appends and purges (ring wrap-around).
+  for (int i = 10; i < 40; ++i) {
+    buf.Append(Sit(i * 10, i * 10 + 5));
+    if (i % 3 == 0) buf.PopFront();
+  }
+  EXPECT_EQ(buf.Back().ts, 390);
+  for (size_t i = 1; i < buf.size(); ++i) {
+    EXPECT_LT(buf.At(i - 1).ts, buf.At(i).ts);
+  }
+  while (buf.size() > 0) buf.PopFront();
+  EXPECT_EQ(buf.size(), 0u);
+  buf.Append(Sit(1000, 1005));
+  EXPECT_EQ(buf.Front().ts, 1000);
+}
+
 TEST(SituationBufferTest, RangeQueriesMatchScan) {
   std::mt19937_64 rng(21);
   SituationBuffer buf;

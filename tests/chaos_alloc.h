@@ -1,0 +1,151 @@
+#ifndef TPSTREAM_TESTS_CHAOS_ALLOC_H_
+#define TPSTREAM_TESTS_CHAOS_ALLOC_H_
+
+// Live-byte counting allocator for the chaos suite's bounded-memory
+// proofs, plus the allocation-failure hook of tests/fault_injection.h.
+//
+// This header DEFINES the replacement global operator new/delete, so it
+// must be included from exactly ONE translation unit per binary
+// (tests/chaos_test.cc). A size header is stored in front of every
+// allocation so delete can subtract the exact live bytes — no reliance
+// on malloc_usable_size, which keeps the accounting identical under
+// ASan/TSan (their interceptors see the inner malloc/free as usual).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "tests/fault_injection.h"
+
+namespace tpstream {
+namespace testing {
+
+inline std::atomic<int64_t> g_live_bytes{0};
+inline std::atomic<int64_t> g_high_water{0};
+
+inline int64_t LiveBytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+inline int64_t HighWaterBytes() {
+  return g_high_water.load(std::memory_order_relaxed);
+}
+/// Restarts the high-water mark from the current live volume (call after
+/// warmup so the mark measures only the phase under test).
+inline void ResetHighWater() {
+  g_high_water.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+namespace chaos_alloc_internal {
+
+// Big enough for the {raw pointer, size} aligned-path header and a
+// multiple of the worst-case fundamental alignment, so offsetting the
+// malloc result keeps it suitably aligned.
+constexpr size_t kHeader = 2 * sizeof(void*) >= alignof(std::max_align_t)
+                               ? 2 * sizeof(void*)
+                               : alignof(std::max_align_t);
+
+inline void MaybeInjectFailure() {
+  int64_t c = g_fail_alloc_countdown.load(std::memory_order_relaxed);
+  while (c > 0 && !g_fail_alloc_countdown.compare_exchange_weak(
+                      c, c - 1, std::memory_order_relaxed)) {
+  }
+  if (c == 1) throw std::bad_alloc();
+}
+
+inline void AddLive(int64_t bytes) {
+  const int64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t hw = g_high_water.load(std::memory_order_relaxed);
+  while (live > hw && !g_high_water.compare_exchange_weak(
+                          hw, live, std::memory_order_relaxed)) {
+  }
+}
+
+/// Plain-alignment path: [size_t size | pad][user data...]; the user
+/// pointer sits kHeader past the malloc result.
+inline void* Alloc(size_t size) {
+  MaybeInjectFailure();
+  void* raw = std::malloc(size + kHeader);
+  if (raw == nullptr) throw std::bad_alloc();
+  *static_cast<size_t*>(raw) = size;
+  AddLive(static_cast<int64_t>(size));
+  return static_cast<char*>(raw) + kHeader;
+}
+
+inline void Free(void* p) {
+  if (p == nullptr) return;
+  void* raw = static_cast<char*>(p) - kHeader;
+  AddLive(-static_cast<int64_t>(*static_cast<size_t*>(raw)));
+  std::free(raw);
+}
+
+/// Over-aligned path: the user pointer is aligned up inside an oversized
+/// block, with {raw pointer, size} stored immediately below it.
+inline void* AllocAligned(size_t size, size_t alignment) {
+  MaybeInjectFailure();
+  if (alignment < kHeader) alignment = kHeader;
+  void* raw = std::malloc(size + alignment + kHeader);
+  if (raw == nullptr) throw std::bad_alloc();
+  uintptr_t user = reinterpret_cast<uintptr_t>(raw) + kHeader;
+  user = (user + alignment - 1) & ~(static_cast<uintptr_t>(alignment) - 1);
+  void** header = reinterpret_cast<void**>(user) - 2;
+  header[0] = raw;
+  header[1] = reinterpret_cast<void*>(size);
+  AddLive(static_cast<int64_t>(size));
+  return reinterpret_cast<void*>(user);
+}
+
+inline void FreeAligned(void* p) {
+  if (p == nullptr) return;
+  void** header = static_cast<void**>(p) - 2;
+  AddLive(-static_cast<int64_t>(reinterpret_cast<uintptr_t>(header[1])));
+  std::free(header[0]);
+}
+
+}  // namespace chaos_alloc_internal
+}  // namespace testing
+}  // namespace tpstream
+
+void* operator new(std::size_t size) {
+  return tpstream::testing::chaos_alloc_internal::Alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return tpstream::testing::chaos_alloc_internal::Alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return tpstream::testing::chaos_alloc_internal::AllocAligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return tpstream::testing::chaos_alloc_internal::AllocAligned(
+      size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept {
+  tpstream::testing::chaos_alloc_internal::Free(p);
+}
+void operator delete[](void* p) noexcept {
+  tpstream::testing::chaos_alloc_internal::Free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  tpstream::testing::chaos_alloc_internal::Free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  tpstream::testing::chaos_alloc_internal::Free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  tpstream::testing::chaos_alloc_internal::FreeAligned(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  tpstream::testing::chaos_alloc_internal::FreeAligned(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  tpstream::testing::chaos_alloc_internal::FreeAligned(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  tpstream::testing::chaos_alloc_internal::FreeAligned(p);
+}
+
+#endif  // TPSTREAM_TESTS_CHAOS_ALLOC_H_

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "robust/dead_letter.h"
+
 namespace tpstream {
 namespace io {
 namespace {
@@ -206,6 +209,62 @@ TEST(CsvEventReaderTest, ReadAllForwardsEverything) {
         values.push_back(e.payload[0].AsInt());
       }).ok());
   EXPECT_EQ(values, (std::vector<int64_t>{10, 20, 30}));
+}
+
+TEST(CsvEventReaderTest, SkipAndQuarantineDeliversGoodRowsWithContext) {
+  const Schema schema({Field{"v", ValueType::kInt}});
+  std::istringstream input(
+      "timestamp,v\n"
+      "1,10\n"
+      "oops,20\n"   // row 2: bad timestamp
+      "3,not_int\n" // row 3: bad typed cell
+      "4,40\n");
+  robust::CollectingDeadLetterSink dead_letter(16);
+  obs::MetricsRegistry registry;
+  CsvEventReader::Options options;
+  options.on_error = CsvEventReader::OnError::kSkipAndQuarantine;
+  options.dead_letter = &dead_letter;
+  options.metrics = &registry;
+  CsvEventReader reader(input, schema, options);
+
+  std::vector<TimePoint> delivered;
+  Event e;
+  while (reader.Next(&e).ok()) delivered.push_back(e.t);
+  EXPECT_EQ(delivered, (std::vector<TimePoint>{1, 4}));
+  EXPECT_EQ(reader.quarantined(), 2);
+  EXPECT_EQ(registry.Snapshot().counters.at("csv.quarantined"), 2);
+
+  const auto items = dead_letter.Items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].kind, robust::DeadLetterKind::kCsvRow);
+  EXPECT_EQ(items[0].row, 2);
+  EXPECT_EQ(items[0].raw, "oops,20");
+  EXPECT_FALSE(items[0].detail.empty());
+  EXPECT_EQ(items[1].row, 3);
+  EXPECT_EQ(items[1].raw, "3,not_int");
+}
+
+TEST(CsvEventReaderTest, StopModeStillFailsFastOnBadRows) {
+  const Schema schema({Field{"v", ValueType::kInt}});
+  std::istringstream input("timestamp,v\n1,10\noops,20\n3,30\n");
+  CsvEventReader reader(input, schema);  // default: kStop
+  Event e;
+  ASSERT_TRUE(reader.Next(&e).ok());
+  EXPECT_EQ(reader.Next(&e).code(), StatusCode::kParseError);
+  EXPECT_EQ(reader.quarantined(), 0);
+}
+
+TEST(CsvEventReaderTest, QuarantineWorksWithoutSinkOrMetrics) {
+  const Schema schema({Field{"v", ValueType::kInt}});
+  std::istringstream input("timestamp,v\nbad,1\n2,20\n");
+  CsvEventReader::Options options;
+  options.on_error = CsvEventReader::OnError::kSkipAndQuarantine;
+  CsvEventReader reader(input, schema, options);
+  Event e;
+  ASSERT_TRUE(reader.Next(&e).ok());
+  EXPECT_EQ(e.t, 2);
+  EXPECT_EQ(reader.quarantined(), 1);
+  EXPECT_EQ(reader.Next(&e).code(), StatusCode::kNotFound);
 }
 
 TEST(CsvEventWriterTest, RoundTripsThroughReader) {

@@ -6,6 +6,7 @@
 
 #include "core/operator.h"
 #include "query/builder.h"
+#include "robust/dead_letter.h"
 
 namespace tpstream {
 namespace {
@@ -41,6 +42,64 @@ TEST(ReorderBufferTest, DropsEventsBeyondSlack) {
   EXPECT_EQ(released, (std::vector<TimePoint>{10, 20}));
   EXPECT_EQ(late, (std::vector<TimePoint>{5}));
   EXPECT_EQ(reorder.num_dropped(), 1);
+}
+
+// Regression for the move-Push late path: the late callback must observe
+// the event *before* it is moved anywhere, and the dead-letter sink must
+// then receive the same intact event (not a moved-from husk).
+TEST(ReorderBufferTest, LateMovePushDeliversIntactEvent) {
+  robust::CollectingDeadLetterSink dead_letter(8);
+  ooo::ReorderBuffer::Options options;
+  options.slack = 2;
+  options.dead_letter = &dead_letter;
+  ooo::ReorderBuffer reorder(options);
+
+  int late_calls = 0;
+  reorder.SetLateCallback([&](const Event& e) {
+    ++late_calls;
+    EXPECT_EQ(e.t, 5);
+    ASSERT_EQ(e.payload.size(), 1u);
+    EXPECT_TRUE(e.payload[0].AsBool());
+  });
+  auto sink = [](const Event&) {};
+
+  reorder.Push(Ev(10), sink);
+  reorder.Push(Ev(20), sink);
+  Event late_event = Ev(5);
+  reorder.Push(std::move(late_event), sink);  // move overload, late
+
+  EXPECT_EQ(late_calls, 1);
+  const auto items = dead_letter.Items();
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].kind, robust::DeadLetterKind::kLateEvent);
+  ASSERT_EQ(items[0].events.size(), 1u);
+  EXPECT_EQ(items[0].events[0].t, 5);
+  ASSERT_EQ(items[0].events[0].payload.size(), 1u);
+  EXPECT_TRUE(items[0].events[0].payload[0].AsBool());
+  EXPECT_FALSE(items[0].detail.empty());
+}
+
+// The copy-Push overload must quarantine a copy and leave the caller's
+// event untouched.
+TEST(ReorderBufferTest, LateCopyPushLeavesCallerEventUntouched) {
+  robust::CollectingDeadLetterSink dead_letter(8);
+  ooo::ReorderBuffer::Options options;
+  options.slack = 2;
+  options.dead_letter = &dead_letter;
+  ooo::ReorderBuffer reorder(options);
+  auto sink = [](const Event&) {};
+
+  reorder.Push(Ev(10), sink);
+  reorder.Push(Ev(20), sink);
+  const Event late_event = Ev(5);
+  reorder.Push(late_event, sink);
+
+  ASSERT_EQ(late_event.payload.size(), 1u);
+  EXPECT_TRUE(late_event.payload[0].AsBool());
+  const auto items = dead_letter.Items();
+  ASSERT_EQ(items.size(), 1u);
+  ASSERT_EQ(items[0].events.size(), 1u);
+  EXPECT_EQ(items[0].events[0].t, 5);
 }
 
 TEST(ReorderBufferTest, TiesAcrossPartitionsPassThrough) {

@@ -1,0 +1,57 @@
+#include "common/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tpstream {
+namespace {
+
+TEST(StatusCodeTest, EveryCodeHasAStableName) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "PARSE_ERROR");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTypeError), "TYPE_ERROR");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusCodeTest, UnknownValuesDoNotCrash) {
+  EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(999)), "UNKNOWN");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::ParseError("b"), StatusCode::kParseError},
+      {Status::TypeError("c"), StatusCode::kTypeError},
+      {Status::NotFound("d"), StatusCode::kNotFound},
+      {Status::Internal("e"), StatusCode::kInternal},
+      {Status::ResourceExhausted("f"), StatusCode::kResourceExhausted},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+    EXPECT_EQ(c.status.ToString(), c.status.message());
+  }
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().code(), StatusCode::kOk);
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, ResourceExhaustedIsDistinctFromInternal) {
+  const Status s = Status::ResourceExhausted("cap hit");
+  EXPECT_NE(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "cap hit");
+}
+
+}  // namespace
+}  // namespace tpstream
