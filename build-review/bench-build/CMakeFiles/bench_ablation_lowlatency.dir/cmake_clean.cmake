@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lowlatency"
+  "../bench/bench_ablation_lowlatency.pdb"
+  "CMakeFiles/bench_ablation_lowlatency.dir/bench_ablation_lowlatency.cc.o"
+  "CMakeFiles/bench_ablation_lowlatency.dir/bench_ablation_lowlatency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lowlatency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rangequery"
+  "../bench/bench_ablation_rangequery.pdb"
+  "CMakeFiles/bench_ablation_rangequery.dir/bench_ablation_rangequery.cc.o"
+  "CMakeFiles/bench_ablation_rangequery.dir/bench_ablation_rangequery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rangequery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

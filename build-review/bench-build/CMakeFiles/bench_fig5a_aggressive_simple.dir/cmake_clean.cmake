@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5a_aggressive_simple"
+  "../bench/bench_fig5a_aggressive_simple.pdb"
+  "CMakeFiles/bench_fig5a_aggressive_simple.dir/bench_fig5a_aggressive_simple.cc.o"
+  "CMakeFiles/bench_fig5a_aggressive_simple.dir/bench_fig5a_aggressive_simple.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_aggressive_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

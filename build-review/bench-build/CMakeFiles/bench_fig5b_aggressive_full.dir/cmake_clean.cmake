@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5b_aggressive_full"
+  "../bench/bench_fig5b_aggressive_full.pdb"
+  "CMakeFiles/bench_fig5b_aggressive_full.dir/bench_fig5b_aggressive_full.cc.o"
+  "CMakeFiles/bench_fig5b_aggressive_full.dir/bench_fig5b_aggressive_full.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_aggressive_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

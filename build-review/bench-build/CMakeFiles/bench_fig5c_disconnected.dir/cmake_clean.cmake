@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5c_disconnected"
+  "../bench/bench_fig5c_disconnected.pdb"
+  "CMakeFiles/bench_fig5c_disconnected.dir/bench_fig5c_disconnected.cc.o"
+  "CMakeFiles/bench_fig5c_disconnected.dir/bench_fig5c_disconnected.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_disconnected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7b_wallclock_window"
+  "../bench/bench_fig7b_wallclock_window.pdb"
+  "CMakeFiles/bench_fig7b_wallclock_window.dir/bench_fig7b_wallclock_window.cc.o"
+  "CMakeFiles/bench_fig7b_wallclock_window.dir/bench_fig7b_wallclock_window.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_wallclock_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

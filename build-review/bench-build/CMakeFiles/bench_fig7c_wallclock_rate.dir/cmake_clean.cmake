@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7c_wallclock_rate"
+  "../bench/bench_fig7c_wallclock_rate.pdb"
+  "CMakeFiles/bench_fig7c_wallclock_rate.dir/bench_fig7c_wallclock_rate.cc.o"
+  "CMakeFiles/bench_fig7c_wallclock_rate.dir/bench_fig7c_wallclock_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7c_wallclock_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8a_plan_quality"
+  "../bench/bench_fig8a_plan_quality.pdb"
+  "CMakeFiles/bench_fig8a_plan_quality.dir/bench_fig8a_plan_quality.cc.o"
+  "CMakeFiles/bench_fig8a_plan_quality.dir/bench_fig8a_plan_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_plan_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8b_adaptivity"
+  "../bench/bench_fig8b_adaptivity.pdb"
+  "CMakeFiles/bench_fig8b_adaptivity.dir/bench_fig8b_adaptivity.cc.o"
+  "CMakeFiles/bench_fig8b_adaptivity.dir/bench_fig8b_adaptivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_overload"
+  "../bench/bench_overload.pdb"
+  "CMakeFiles/bench_overload.dir/bench_overload.cc.o"
+  "CMakeFiles/bench_overload.dir/bench_overload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

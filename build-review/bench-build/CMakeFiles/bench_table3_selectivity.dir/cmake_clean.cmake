@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_selectivity"
+  "../bench/bench_table3_selectivity.pdb"
+  "CMakeFiles/bench_table3_selectivity.dir/bench_table3_selectivity.cc.o"
+  "CMakeFiles/bench_table3_selectivity.dir/bench_table3_selectivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

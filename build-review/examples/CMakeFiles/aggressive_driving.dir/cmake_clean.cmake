@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggressive_driving.dir/aggressive_driving.cpp.o"
+  "CMakeFiles/aggressive_driving.dir/aggressive_driving.cpp.o.d"
+  "aggressive_driving"
+  "aggressive_driving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggressive_driving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patient_monitoring.dir/patient_monitoring.cpp.o"
+  "CMakeFiles/patient_monitoring.dir/patient_monitoring.cpp.o.d"
+  "patient_monitoring"
+  "patient_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patient_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

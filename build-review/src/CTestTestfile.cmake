@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("robust")
+subdirs("algebra")
+subdirs("expr")
+subdirs("derive")
+subdirs("matcher")
+subdirs("optimizer")
+subdirs("core")
+subdirs("query")
+subdirs("cep")
+subdirs("baselines")
+subdirs("workload")
+subdirs("ooo")
+subdirs("parallel")
+subdirs("io")
+subdirs("pipeline")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/detection.cc" "src/algebra/CMakeFiles/tpstream_algebra.dir/detection.cc.o" "gcc" "src/algebra/CMakeFiles/tpstream_algebra.dir/detection.cc.o.d"
+  "/root/repo/src/algebra/interval_relation.cc" "src/algebra/CMakeFiles/tpstream_algebra.dir/interval_relation.cc.o" "gcc" "src/algebra/CMakeFiles/tpstream_algebra.dir/interval_relation.cc.o.d"
+  "/root/repo/src/algebra/pattern.cc" "src/algebra/CMakeFiles/tpstream_algebra.dir/pattern.cc.o" "gcc" "src/algebra/CMakeFiles/tpstream_algebra.dir/pattern.cc.o.d"
+  "/root/repo/src/algebra/range_bounds.cc" "src/algebra/CMakeFiles/tpstream_algebra.dir/range_bounds.cc.o" "gcc" "src/algebra/CMakeFiles/tpstream_algebra.dir/range_bounds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/tpstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_algebra.dir/detection.cc.o"
+  "CMakeFiles/tpstream_algebra.dir/detection.cc.o.d"
+  "CMakeFiles/tpstream_algebra.dir/interval_relation.cc.o"
+  "CMakeFiles/tpstream_algebra.dir/interval_relation.cc.o.d"
+  "CMakeFiles/tpstream_algebra.dir/pattern.cc.o"
+  "CMakeFiles/tpstream_algebra.dir/pattern.cc.o.d"
+  "CMakeFiles/tpstream_algebra.dir/range_bounds.cc.o"
+  "CMakeFiles/tpstream_algebra.dir/range_bounds.cc.o.d"
+  "libtpstream_algebra.a"
+  "libtpstream_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_baselines.dir/iseq.cc.o"
+  "CMakeFiles/tpstream_baselines.dir/iseq.cc.o.d"
+  "CMakeFiles/tpstream_baselines.dir/strawman.cc.o"
+  "CMakeFiles/tpstream_baselines.dir/strawman.cc.o.d"
+  "libtpstream_baselines.a"
+  "libtpstream_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_cep.dir/nfa.cc.o"
+  "CMakeFiles/tpstream_cep.dir/nfa.cc.o.d"
+  "libtpstream_cep.a"
+  "libtpstream_cep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_cep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_common.dir/schema.cc.o"
+  "CMakeFiles/tpstream_common.dir/schema.cc.o.d"
+  "CMakeFiles/tpstream_common.dir/value.cc.o"
+  "CMakeFiles/tpstream_common.dir/value.cc.o.d"
+  "libtpstream_common.a"
+  "libtpstream_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

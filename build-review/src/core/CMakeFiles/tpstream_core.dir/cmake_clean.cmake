@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_core.dir/operator.cc.o"
+  "CMakeFiles/tpstream_core.dir/operator.cc.o.d"
+  "CMakeFiles/tpstream_core.dir/partitioned_operator.cc.o"
+  "CMakeFiles/tpstream_core.dir/partitioned_operator.cc.o.d"
+  "CMakeFiles/tpstream_core.dir/query_spec.cc.o"
+  "CMakeFiles/tpstream_core.dir/query_spec.cc.o.d"
+  "libtpstream_core.a"
+  "libtpstream_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

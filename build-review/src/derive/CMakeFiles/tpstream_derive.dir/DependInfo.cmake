@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/derive/deriver.cc" "src/derive/CMakeFiles/tpstream_derive.dir/deriver.cc.o" "gcc" "src/derive/CMakeFiles/tpstream_derive.dir/deriver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/tpstream_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/expr/CMakeFiles/tpstream_expr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tpstream_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

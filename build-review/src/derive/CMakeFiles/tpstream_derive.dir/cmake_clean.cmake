@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_derive.dir/deriver.cc.o"
+  "CMakeFiles/tpstream_derive.dir/deriver.cc.o.d"
+  "libtpstream_derive.a"
+  "libtpstream_derive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_derive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_expr.dir/aggregate.cc.o"
+  "CMakeFiles/tpstream_expr.dir/aggregate.cc.o.d"
+  "CMakeFiles/tpstream_expr.dir/expression.cc.o"
+  "CMakeFiles/tpstream_expr.dir/expression.cc.o.d"
+  "libtpstream_expr.a"
+  "libtpstream_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

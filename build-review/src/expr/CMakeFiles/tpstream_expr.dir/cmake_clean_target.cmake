@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpstream_expr.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/tpstream_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/tpstream_io.dir/csv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/tpstream_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tpstream_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/robust/CMakeFiles/tpstream_robust.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

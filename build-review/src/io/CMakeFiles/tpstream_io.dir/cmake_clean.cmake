@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_io.dir/csv.cc.o"
+  "CMakeFiles/tpstream_io.dir/csv.cc.o.d"
+  "libtpstream_io.a"
+  "libtpstream_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

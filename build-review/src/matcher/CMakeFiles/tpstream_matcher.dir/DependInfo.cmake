@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matcher/eval_order.cc" "src/matcher/CMakeFiles/tpstream_matcher.dir/eval_order.cc.o" "gcc" "src/matcher/CMakeFiles/tpstream_matcher.dir/eval_order.cc.o.d"
+  "/root/repo/src/matcher/index_ranges.cc" "src/matcher/CMakeFiles/tpstream_matcher.dir/index_ranges.cc.o" "gcc" "src/matcher/CMakeFiles/tpstream_matcher.dir/index_ranges.cc.o.d"
+  "/root/repo/src/matcher/joiner.cc" "src/matcher/CMakeFiles/tpstream_matcher.dir/joiner.cc.o" "gcc" "src/matcher/CMakeFiles/tpstream_matcher.dir/joiner.cc.o.d"
+  "/root/repo/src/matcher/low_latency_matcher.cc" "src/matcher/CMakeFiles/tpstream_matcher.dir/low_latency_matcher.cc.o" "gcc" "src/matcher/CMakeFiles/tpstream_matcher.dir/low_latency_matcher.cc.o.d"
+  "/root/repo/src/matcher/matcher.cc" "src/matcher/CMakeFiles/tpstream_matcher.dir/matcher.cc.o" "gcc" "src/matcher/CMakeFiles/tpstream_matcher.dir/matcher.cc.o.d"
+  "/root/repo/src/matcher/stats.cc" "src/matcher/CMakeFiles/tpstream_matcher.dir/stats.cc.o" "gcc" "src/matcher/CMakeFiles/tpstream_matcher.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/algebra/CMakeFiles/tpstream_algebra.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/tpstream_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tpstream_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/robust/CMakeFiles/tpstream_robust.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_matcher.dir/eval_order.cc.o"
+  "CMakeFiles/tpstream_matcher.dir/eval_order.cc.o.d"
+  "CMakeFiles/tpstream_matcher.dir/index_ranges.cc.o"
+  "CMakeFiles/tpstream_matcher.dir/index_ranges.cc.o.d"
+  "CMakeFiles/tpstream_matcher.dir/joiner.cc.o"
+  "CMakeFiles/tpstream_matcher.dir/joiner.cc.o.d"
+  "CMakeFiles/tpstream_matcher.dir/low_latency_matcher.cc.o"
+  "CMakeFiles/tpstream_matcher.dir/low_latency_matcher.cc.o.d"
+  "CMakeFiles/tpstream_matcher.dir/matcher.cc.o"
+  "CMakeFiles/tpstream_matcher.dir/matcher.cc.o.d"
+  "CMakeFiles/tpstream_matcher.dir/stats.cc.o"
+  "CMakeFiles/tpstream_matcher.dir/stats.cc.o.d"
+  "libtpstream_matcher.a"
+  "libtpstream_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

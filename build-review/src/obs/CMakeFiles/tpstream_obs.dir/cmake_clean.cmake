@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_obs.dir/metrics.cc.o"
+  "CMakeFiles/tpstream_obs.dir/metrics.cc.o.d"
+  "libtpstream_obs.a"
+  "libtpstream_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

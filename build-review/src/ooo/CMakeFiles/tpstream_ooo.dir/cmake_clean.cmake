@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_ooo.dir/reorder_buffer.cc.o"
+  "CMakeFiles/tpstream_ooo.dir/reorder_buffer.cc.o.d"
+  "libtpstream_ooo.a"
+  "libtpstream_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

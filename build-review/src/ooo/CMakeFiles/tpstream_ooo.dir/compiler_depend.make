@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tpstream_ooo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_optimizer.dir/plan_optimizer.cc.o"
+  "CMakeFiles/tpstream_optimizer.dir/plan_optimizer.cc.o.d"
+  "libtpstream_optimizer.a"
+  "libtpstream_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_parallel.dir/parallel_operator.cc.o"
+  "CMakeFiles/tpstream_parallel.dir/parallel_operator.cc.o.d"
+  "libtpstream_parallel.a"
+  "libtpstream_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/tpstream_pipeline.dir/pipeline.cc.o.d"
+  "libtpstream_pipeline.a"
+  "libtpstream_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

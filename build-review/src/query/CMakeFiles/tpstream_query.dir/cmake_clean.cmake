@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_query.dir/builder.cc.o"
+  "CMakeFiles/tpstream_query.dir/builder.cc.o.d"
+  "CMakeFiles/tpstream_query.dir/lexer.cc.o"
+  "CMakeFiles/tpstream_query.dir/lexer.cc.o.d"
+  "CMakeFiles/tpstream_query.dir/parser.cc.o"
+  "CMakeFiles/tpstream_query.dir/parser.cc.o.d"
+  "libtpstream_query.a"
+  "libtpstream_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

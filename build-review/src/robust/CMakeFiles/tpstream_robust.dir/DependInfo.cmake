@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robust/dead_letter.cc" "src/robust/CMakeFiles/tpstream_robust.dir/dead_letter.cc.o" "gcc" "src/robust/CMakeFiles/tpstream_robust.dir/dead_letter.cc.o.d"
+  "/root/repo/src/robust/overload_policy.cc" "src/robust/CMakeFiles/tpstream_robust.dir/overload_policy.cc.o" "gcc" "src/robust/CMakeFiles/tpstream_robust.dir/overload_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/tpstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_robust.dir/dead_letter.cc.o"
+  "CMakeFiles/tpstream_robust.dir/dead_letter.cc.o.d"
+  "CMakeFiles/tpstream_robust.dir/overload_policy.cc.o"
+  "CMakeFiles/tpstream_robust.dir/overload_policy.cc.o.d"
+  "libtpstream_robust.a"
+  "libtpstream_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

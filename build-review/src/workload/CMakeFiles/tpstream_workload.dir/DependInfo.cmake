@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/interval_source.cc" "src/workload/CMakeFiles/tpstream_workload.dir/interval_source.cc.o" "gcc" "src/workload/CMakeFiles/tpstream_workload.dir/interval_source.cc.o.d"
+  "/root/repo/src/workload/linear_road.cc" "src/workload/CMakeFiles/tpstream_workload.dir/linear_road.cc.o" "gcc" "src/workload/CMakeFiles/tpstream_workload.dir/linear_road.cc.o.d"
+  "/root/repo/src/workload/market.cc" "src/workload/CMakeFiles/tpstream_workload.dir/market.cc.o" "gcc" "src/workload/CMakeFiles/tpstream_workload.dir/market.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/tpstream_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/tpstream_workload.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/tpstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

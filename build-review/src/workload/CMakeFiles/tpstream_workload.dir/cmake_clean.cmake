@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpstream_workload.dir/interval_source.cc.o"
+  "CMakeFiles/tpstream_workload.dir/interval_source.cc.o.d"
+  "CMakeFiles/tpstream_workload.dir/linear_road.cc.o"
+  "CMakeFiles/tpstream_workload.dir/linear_road.cc.o.d"
+  "CMakeFiles/tpstream_workload.dir/market.cc.o"
+  "CMakeFiles/tpstream_workload.dir/market.cc.o.d"
+  "CMakeFiles/tpstream_workload.dir/synthetic.cc.o"
+  "CMakeFiles/tpstream_workload.dir/synthetic.cc.o.d"
+  "libtpstream_workload.a"
+  "libtpstream_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpstream_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deriver_test.dir/deriver_test.cc.o"
+  "CMakeFiles/deriver_test.dir/deriver_test.cc.o.d"
+  "deriver_test"
+  "deriver_test.pdb"
+  "deriver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deriver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_property_test.dir/histogram_property_test.cc.o"
+  "CMakeFiles/histogram_property_test.dir/histogram_property_test.cc.o.d"
+  "histogram_property_test"
+  "histogram_property_test.pdb"
+  "histogram_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_latency_test.dir/low_latency_test.cc.o"
+  "CMakeFiles/low_latency_test.dir/low_latency_test.cc.o.d"
+  "low_latency_test"
+  "low_latency_test.pdb"
+  "low_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

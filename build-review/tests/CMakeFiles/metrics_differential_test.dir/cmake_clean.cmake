@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_differential_test.dir/metrics_differential_test.cc.o"
+  "CMakeFiles/metrics_differential_test.dir/metrics_differential_test.cc.o.d"
+  "metrics_differential_test"
+  "metrics_differential_test.pdb"
+  "metrics_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

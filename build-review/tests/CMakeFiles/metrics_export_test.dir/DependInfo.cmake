@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics_export_test.cc" "tests/CMakeFiles/metrics_export_test.dir/metrics_export_test.cc.o" "gcc" "tests/CMakeFiles/metrics_export_test.dir/metrics_export_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/baselines/CMakeFiles/tpstream_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cep/CMakeFiles/tpstream_cep.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/tpstream_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/tpstream_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/tpstream_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ooo/CMakeFiles/tpstream_ooo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/tpstream_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pipeline/CMakeFiles/tpstream_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/query/CMakeFiles/tpstream_query.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/robust/CMakeFiles/tpstream_robust.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/tpstream_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/derive/CMakeFiles/tpstream_derive.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/expr/CMakeFiles/tpstream_expr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/optimizer/CMakeFiles/tpstream_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/matcher/CMakeFiles/tpstream_matcher.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/algebra/CMakeFiles/tpstream_algebra.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/tpstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

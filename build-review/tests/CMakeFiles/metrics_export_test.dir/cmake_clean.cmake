@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_export_test.dir/metrics_export_test.cc.o"
+  "CMakeFiles/metrics_export_test.dir/metrics_export_test.cc.o.d"
+  "metrics_export_test"
+  "metrics_export_test.pdb"
+  "metrics_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_test.dir/operator_test.cc.o"
+  "CMakeFiles/operator_test.dir/operator_test.cc.o.d"
+  "operator_test"
+  "operator_test.pdb"
+  "operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_hash_test.dir/partition_hash_test.cc.o"
+  "CMakeFiles/partition_hash_test.dir/partition_hash_test.cc.o.d"
+  "partition_hash_test"
+  "partition_hash_test.pdb"
+  "partition_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_bounds_test.dir/range_bounds_test.cc.o"
+  "CMakeFiles/range_bounds_test.dir/range_bounds_test.cc.o.d"
+  "range_bounds_test"
+  "range_bounds_test.pdb"
+  "range_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+foreach(t ${chaos_test_TESTS})
+  set_tests_properties(${t} PROPERTIES LABELS "concurrency;chaos")
+endforeach()

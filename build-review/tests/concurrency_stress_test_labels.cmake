@@ -1,0 +1,3 @@
+foreach(t ${concurrency_stress_test_TESTS})
+  set_tests_properties(${t} PROPERTIES LABELS "concurrency")
+endforeach()

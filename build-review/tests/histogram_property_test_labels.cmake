@@ -1,0 +1,3 @@
+foreach(t ${histogram_property_test_TESTS})
+  set_tests_properties(${t} PROPERTIES LABELS "concurrency;metrics")
+endforeach()

@@ -1,0 +1,3 @@
+foreach(t ${metrics_differential_test_TESTS})
+  set_tests_properties(${t} PROPERTIES LABELS "concurrency;metrics")
+endforeach()

@@ -1,0 +1,3 @@
+foreach(t ${partition_hash_test_TESTS})
+  set_tests_properties(${t} PROPERTIES LABELS "concurrency")
+endforeach()

@@ -1,0 +1,3 @@
+foreach(t ${spsc_ring_test_TESTS})
+  set_tests_properties(${t} PROPERTIES LABELS "concurrency")
+endforeach()
