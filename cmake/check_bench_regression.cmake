@@ -1,9 +1,10 @@
 # Compares a fresh benchmark JSON document against a committed baseline.
-# Three schemas are understood, dispatched on the document's "schema" key:
+# Four schemas are understood, dispatched on the document's "schema" key:
 #
-#   tpstream-bench-ingest-v1   (bench/ingest_common.h -> BENCH_ingest.json)
-#   tpstream-bench-parallel-v1 (bench_parallel_scaling -> BENCH_parallel.json)
-#   tpstream-bench-overload-v1 (bench_overload -> BENCH_overload.json)
+#   tpstream-bench-ingest-v1     (bench/ingest_common.h -> BENCH_ingest.json)
+#   tpstream-bench-parallel-v1   (bench_parallel_scaling -> BENCH_parallel.json)
+#   tpstream-bench-overload-v1   (bench_overload -> BENCH_overload.json)
+#   tpstream-bench-multiquery-v1 (bench_multiquery -> BENCH_multiquery.json)
 #
 # Usage:
 #   cmake -DCURRENT=out.json -DBASELINE=BENCH_ingest.json \
@@ -47,6 +48,15 @@
 #     nothing when the ring clears within its spin budget, so only its
 #     accounting — not a shed floor — is enforced.)
 #
+# Multiquery checks (runs: nN.{identical,distinct}.{shared,unshared}):
+#   * events_per_sec >= baseline * (1 - THROUGHPUT_TOLERANCE_PCT%)
+# plus the headline sharing invariant, evaluated on CURRENT alone: at
+# N = 10000 identical queries the shared engine must sustain
+#   eps(n10000.identical.shared) >=
+#       eps(n10000.identical.unshared) * MULTIQUERY_SPEEDUP_FLOOR_PCT%
+# (default 500% = 5x; the unshared side may be extrapolated from N = 100,
+# which the bench document marks with "extrapolated": true).
+#
 # The thresholds are deliberately generous: shared CI machines are noisy,
 # and the gate is meant to catch regressions (an allocation re-introduced
 # on the hot path, a 2x slowdown, scaling collapsing back to the
@@ -82,6 +92,9 @@ endif()
 if(NOT DEFINED SCALING_FLOOR_4W_PCT)
   set(SCALING_FLOOR_4W_PCT 250)  # speedup(w4) >= 2.5x
 endif()
+if(NOT DEFINED MULTIQUERY_SPEEDUP_FLOOR_PCT)
+  set(MULTIQUERY_SPEEDUP_FLOOR_PCT 500)  # shared >= 5x unshared at N=10000
+endif()
 
 file(READ "${CURRENT}" current_doc)
 file(READ "${BASELINE}" baseline_doc)
@@ -89,7 +102,8 @@ file(READ "${BASELINE}" baseline_doc)
 string(JSON schema ERROR_VARIABLE err GET "${current_doc}" schema)
 if(err OR (NOT schema STREQUAL "tpstream-bench-ingest-v1" AND
            NOT schema STREQUAL "tpstream-bench-parallel-v1" AND
-           NOT schema STREQUAL "tpstream-bench-overload-v1"))
+           NOT schema STREQUAL "tpstream-bench-overload-v1" AND
+           NOT schema STREQUAL "tpstream-bench-multiquery-v1"))
   message(FATAL_ERROR "${CURRENT}: bad or missing schema ('${schema}') ${err}")
 endif()
 string(JSON base_schema ERROR_VARIABLE err GET "${baseline_doc}" schema)
@@ -188,6 +202,9 @@ if(schema STREQUAL "tpstream-bench-ingest-v1")
 elseif(schema STREQUAL "tpstream-bench-overload-v1")
   summary_append("| run | evt/s | baseline | Δ | shed_events | quarantined | ring_full | p99 ns |")
   summary_append("|---|---|---|---|---|---|---|---|")
+elseif(schema STREQUAL "tpstream-bench-multiquery-v1")
+  summary_append("| run | evt/s | baseline | Δ | matches/query | distinct defs |")
+  summary_append("|---|---|---|---|---|---|")
 else()
   summary_append("| run | evt/s | baseline | Δ | speedup | ring_full | alloc/evt | p99 ns |")
   summary_append("|---|---|---|---|---|---|---|---|")
@@ -222,8 +239,10 @@ foreach(i RANGE 0 ${last})
 
   # Allocation ceiling — field name differs per schema; the overload
   # schema has no allocation counter (its producer thread blocks or
-  # sheds, it never allocates) so the check does not apply.
-  if(schema STREQUAL "tpstream-bench-overload-v1")
+  # sheds, it never allocates) and the multiquery schema measures bulk
+  # throughput only, so the check does not apply to either.
+  if(schema STREQUAL "tpstream-bench-overload-v1" OR
+     schema STREQUAL "tpstream-bench-multiquery-v1")
     set(cur_ape "n/a")
     set(base_ape "n/a")
   else()
@@ -245,13 +264,20 @@ foreach(i RANGE 0 ${last})
     endif()
   endif()
 
-  # Push-latency p99 bound. For the overload schema the bound applies to
-  # the drop runs only: kBlock converts excess offered load into push
-  # latency by design, so its p99 tracks the overload factor, not a
-  # regression.
-  string(JSON cur_p99 GET "${current_doc}" runs "${name}" push_ns p99)
-  string(JSON base_p99 GET "${baseline_doc}" runs "${name}" push_ns p99)
-  if(NOT (schema STREQUAL "tpstream-bench-overload-v1" AND
+  # Push-latency p99 bound. The multiquery schema records no latency
+  # distribution (bulk-throughput runs); for the overload schema the
+  # bound applies to the drop runs only: kBlock converts excess offered
+  # load into push latency by design, so its p99 tracks the overload
+  # factor, not a regression.
+  if(schema STREQUAL "tpstream-bench-multiquery-v1")
+    set(cur_p99 "n/a")
+    set(base_p99 0)
+  else()
+    string(JSON cur_p99 GET "${current_doc}" runs "${name}" push_ns p99)
+    string(JSON base_p99 GET "${baseline_doc}" runs "${name}" push_ns p99)
+  endif()
+  if(NOT schema STREQUAL "tpstream-bench-multiquery-v1" AND
+     NOT (schema STREQUAL "tpstream-bench-overload-v1" AND
           name STREQUAL "block"))
     math(EXPR p99_limit "${base_p99} * ${P99_FACTOR_PCT} / 100")
     if(base_p99 GREATER 0 AND cur_p99 GREATER p99_limit)
@@ -267,6 +293,11 @@ foreach(i RANGE 0 ${last})
   pretty_num("${cur_ape}" cur_ape_fmt)
   if(schema STREQUAL "tpstream-bench-ingest-v1")
     summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_ape_fmt} | ${cur_p99} | ${base_p99} |")
+  elseif(schema STREQUAL "tpstream-bench-multiquery-v1")
+    string(JSON cur_mpq GET "${current_doc}" runs "${name}" matches_per_query)
+    string(JSON cur_defs GET "${current_doc}" runs "${name}"
+           distinct_definitions)
+    summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_mpq} | ${cur_defs} |")
   elseif(schema STREQUAL "tpstream-bench-overload-v1")
     # Absolute invariants of the Degradation contract, from CURRENT alone.
     string(JSON cur_shed GET "${current_doc}" runs "${name}" shed_events)
@@ -364,6 +395,36 @@ if(schema STREQUAL "tpstream-bench-parallel-v1")
               "scaling floor ${floor_pct}% met")
     endif()
   endforeach()
+endif()
+
+# Sharing floor (multiquery schema, CURRENT document only): the shared
+# engine must hold its headline advantage over N independent operators.
+if(schema STREQUAL "tpstream-bench-multiquery-v1")
+  string(JSON shared_eps ERROR_VARIABLE err_s GET "${current_doc}" runs
+         n10000.identical.shared events_per_sec)
+  string(JSON unshared_eps ERROR_VARIABLE err_u GET "${current_doc}" runs
+         n10000.identical.unshared events_per_sec)
+  if(err_s OR err_u)
+    message(FATAL_ERROR
+            "multiquery document is missing the n10000.identical runs "
+            "needed for the sharing floor: ${err_s} ${err_u}")
+  endif()
+  to_micro("${shared_eps}" shared_u)
+  to_micro("${unshared_eps}" unshared_u)
+  math(EXPR lhs "${shared_u} / 1000 * 100")
+  math(EXPR rhs "${unshared_u} / 1000 * ${MULTIQUERY_SPEEDUP_FLOOR_PCT}")
+  if(lhs LESS rhs)
+    message(SEND_ERROR
+            "n10000.identical: sharing floor missed — shared ${shared_eps} "
+            "evt/s vs unshared ${unshared_eps} (need >= "
+            "${MULTIQUERY_SPEEDUP_FLOOR_PCT}%)")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS
+            "n10000.identical: shared ${shared_eps} evt/s vs unshared "
+            "${unshared_eps} — sharing floor "
+            "${MULTIQUERY_SPEEDUP_FLOOR_PCT}% met")
+  endif()
 endif()
 
 summary_append("")

@@ -1,0 +1,190 @@
+#include "core/match_engine.h"
+
+#include <algorithm>
+
+#include "algebra/detection.h"
+
+namespace tpstream {
+
+MatchEngine::MatchEngine(const QuerySpec* spec, const Deriver* deriver,
+                         std::vector<int> deriver_slots, Options options,
+                         OutputCallback output)
+    : spec_(spec),
+      deriver_(deriver),
+      deriver_slots_(std::move(deriver_slots)),
+      options_(std::move(options)),
+      output_(std::move(output)) {
+  auto on_match = [this](const Match& m) { OnMatch(m); };
+  if (options_.low_latency) {
+    // Duration constraints in *query symbol* order: the shared deriver
+    // stores definitions in deduplicated order, so index through the
+    // slot mapping (the identity for a standalone operator).
+    const std::vector<DurationConstraint> shared = deriver_->durations();
+    std::vector<DurationConstraint> durations;
+    durations.reserve(deriver_slots_.size());
+    for (int slot : deriver_slots_) durations.push_back(shared[slot]);
+    DetectionAnalysis analysis(spec_->pattern, std::move(durations));
+    ll_matcher_ = std::make_unique<LowLatencyMatcher>(
+        spec_->pattern, std::move(analysis), spec_->window, on_match,
+        options_.stats_alpha);
+  } else {
+    matcher_ = std::make_unique<Matcher>(spec_->pattern, spec_->window,
+                                         on_match, options_.stats_alpha);
+  }
+
+  if (!options_.overload.unbounded()) {
+    if (ll_matcher_) ll_matcher_->SetOverload(options_.overload);
+    if (matcher_) matcher_->SetOverload(options_.overload);
+  }
+
+  if (options_.metrics != nullptr) {
+    if (ll_matcher_) ll_matcher_->EnableMetrics(options_.metrics);
+    if (matcher_) matcher_->EnableMetrics(options_.metrics);
+    events_ctr_ = options_.metrics->GetCounter("operator.events");
+    matches_ctr_ = options_.metrics->GetCounter("operator.matches");
+    detection_latency_hist_ =
+        options_.metrics->GetHistogram("matcher.detection_latency");
+    stats_publisher_ = MatcherStatsPublisher(options_.metrics, spec_->pattern);
+  }
+
+  if (options_.fixed_order.has_value()) {
+    if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*options_.fixed_order);
+    if (matcher_) matcher_->SetEvaluationOrder(*options_.fixed_order);
+  } else {
+    // Install the cost-based initial plan (Table 3 selectivities).
+    AdaptiveController::Options copts;
+    copts.threshold = options_.reopt_threshold;
+    copts.check_interval = options_.reopt_interval;
+    copts.low_latency = options_.low_latency;
+    copts.metrics = options_.metrics;
+    copts.plan_cache = options_.plan_cache;
+    controller_ = std::make_unique<AdaptiveController>(&spec_->pattern, copts);
+    if (auto order = controller_->MaybeReoptimize(stats())) {
+      if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*order);
+      if (matcher_) matcher_->SetEvaluationOrder(*order);
+    }
+    if (!options_.adaptive) controller_.reset();
+  }
+}
+
+void MatchEngine::NoteEvents(int64_t n) {
+  num_events_ += n;
+  if (events_ctr_ != nullptr) events_ctr_->Inc(n);
+}
+
+void MatchEngine::Consume(Deriver::Update& update, TimePoint t) {
+  if (update.empty()) return;
+
+  // The update vectors are scratch, cleared by the producer; the matcher
+  // is free to move the situations out of them.
+  if (ll_matcher_) {
+    ll_matcher_->Consume(update.started, update.finished, t);
+  } else if (!update.finished.empty()) {
+    matcher_->Consume(update.finished, t);
+  }
+
+  if (controller_ != nullptr) {
+    if (auto order = controller_->MaybeReoptimize(stats())) {
+      if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*order);
+      if (matcher_) matcher_->SetEvaluationOrder(*order);
+    }
+  }
+
+  // EMAs change slowly; publishing at the optimizer's check cadence keeps
+  // the gauges fresh without touching the per-event fast path.
+  if (stats_publisher_.enabled() &&
+      num_events_ % std::max(options_.reopt_interval, 1) == 0) {
+    stats_publisher_.Publish(stats());
+  }
+}
+
+void MatchEngine::Flush() {
+  if (stats_publisher_.enabled()) stats_publisher_.Publish(stats());
+}
+
+void MatchEngine::OnMatch(const Match& match) {
+  ++num_matches_;
+  if (matches_ctr_ != nullptr) matches_ctr_->Inc();
+  if (detection_latency_hist_ != nullptr) {
+    // Detection latency in application time: how far behind the analytic
+    // earliest detection instant t_d (Section 5.3.1) this match surfaced.
+    // The low-latency matcher should pin this at ~0; the baseline matcher
+    // pays the distance between t_d and the last end timestamp.
+    const TimePoint td = EarliestDetection(spec_->pattern, match.config);
+    if (td != kTimeMax && match.detected_at >= td) {
+      detection_latency_hist_->Record(
+          static_cast<int64_t>(match.detected_at - td));
+    }
+  }
+  if (match_observer_) match_observer_(match);
+  if (!output_) return;
+
+  Tuple payload;
+  payload.reserve(spec_->returns.size());
+  for (const ReturnItem& item : spec_->returns) {
+    const Situation& s = match.config[item.symbol];
+    switch (item.source) {
+      case ReturnItem::Source::kStartTime:
+        payload.push_back(Value(static_cast<int64_t>(s.ts)));
+        continue;
+      case ReturnItem::Source::kEndTime:
+        payload.push_back(s.ongoing() ? Value::Null()
+                                      : Value(static_cast<int64_t>(s.te)));
+        continue;
+      case ReturnItem::Source::kDuration:
+        payload.push_back(
+            s.ongoing() ? Value::Null()
+                        : Value(static_cast<int64_t>(s.duration())));
+        continue;
+      case ReturnItem::Source::kAggregate:
+        break;
+    }
+    const int slot = deriver_slots_[item.symbol];
+    if (s.ongoing() && deriver_->IsOngoing(slot)) {
+      // Freshest aggregate snapshot for situations still being derived.
+      const Tuple snapshot = deriver_->SnapshotOngoing(slot);
+      payload.push_back(item.agg_index < static_cast<int>(snapshot.size())
+                            ? snapshot[item.agg_index]
+                            : Value::Null());
+    } else {
+      payload.push_back(item.agg_index < static_cast<int>(s.payload.size())
+                            ? s.payload[item.agg_index]
+                            : Value::Null());
+    }
+  }
+  output_(Event(std::move(payload), match.detected_at));
+}
+
+void MatchEngine::ForceEvaluationOrder(const std::vector<int>& order) {
+  if (ll_matcher_) ll_matcher_->SetEvaluationOrder(order);
+  if (matcher_) matcher_->SetEvaluationOrder(order);
+}
+
+std::vector<int> MatchEngine::CurrentOrder() const {
+  return ll_matcher_ ? ll_matcher_->CurrentOrder() : matcher_->CurrentOrder();
+}
+
+const MatcherStats& MatchEngine::stats() const {
+  return ll_matcher_ ? ll_matcher_->stats() : matcher_->stats();
+}
+
+size_t MatchEngine::BufferedCount() const {
+  return ll_matcher_ ? ll_matcher_->BufferedCount()
+                     : matcher_->BufferedCount();
+}
+
+int64_t MatchEngine::shed_situations() const {
+  return ll_matcher_ ? ll_matcher_->shed_situations()
+                     : matcher_->shed_situations();
+}
+
+int64_t MatchEngine::lost_match_upper_bound() const {
+  return ll_matcher_ ? ll_matcher_->lost_match_upper_bound()
+                     : matcher_->lost_match_upper_bound();
+}
+
+int64_t MatchEngine::shed_trigger_candidates() const {
+  return ll_matcher_ ? ll_matcher_->shed_trigger_candidates() : 0;
+}
+
+}  // namespace tpstream

@@ -1,90 +1,46 @@
 #include "core/operator.h"
 
-#include <algorithm>
-
-#include "algebra/detection.h"
+#include <numeric>
 
 namespace tpstream {
+
+namespace {
+
+MatchEngine::Options EngineOptions(const TPStreamOperator::Options& o) {
+  MatchEngine::Options eo;
+  eo.low_latency = o.low_latency;
+  eo.adaptive = o.adaptive;
+  eo.stats_alpha = o.stats_alpha;
+  eo.reopt_threshold = o.reopt_threshold;
+  eo.reopt_interval = o.reopt_interval;
+  eo.fixed_order = o.fixed_order;
+  eo.metrics = o.metrics;
+  eo.overload = o.overload;
+  return eo;
+}
+
+std::vector<int> IdentitySlots(size_t n) {
+  std::vector<int> slots(n);
+  std::iota(slots.begin(), slots.end(), 0);
+  return slots;
+}
+
+}  // namespace
 
 TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
                                    OutputCallback output)
     : spec_(std::move(spec)),
-      options_(std::move(options)),
-      output_(std::move(output)),
-      deriver_(spec_.definitions, /*announce_starts=*/options_.low_latency,
-               options_.metrics) {
-  auto on_match = [this](const Match& m) { OnMatch(m); };
-  if (options_.low_latency) {
-    DetectionAnalysis analysis(spec_.pattern, deriver_.durations());
-    ll_matcher_ = std::make_unique<LowLatencyMatcher>(
-        spec_.pattern, std::move(analysis), spec_.window, on_match,
-        options_.stats_alpha);
-  } else {
-    matcher_ = std::make_unique<Matcher>(spec_.pattern, spec_.window,
-                                         on_match, options_.stats_alpha);
-  }
-
-  if (!options_.overload.unbounded()) {
-    if (ll_matcher_) ll_matcher_->SetOverload(options_.overload);
-    if (matcher_) matcher_->SetOverload(options_.overload);
-  }
-
-  if (options_.metrics != nullptr) {
-    if (ll_matcher_) ll_matcher_->EnableMetrics(options_.metrics);
-    if (matcher_) matcher_->EnableMetrics(options_.metrics);
-    events_ctr_ = options_.metrics->GetCounter("operator.events");
-    matches_ctr_ = options_.metrics->GetCounter("operator.matches");
-    detection_latency_hist_ =
-        options_.metrics->GetHistogram("matcher.detection_latency");
-    stats_publisher_ = MatcherStatsPublisher(options_.metrics, spec_.pattern);
-  }
-
-  if (options_.fixed_order.has_value()) {
-    if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*options_.fixed_order);
-    if (matcher_) matcher_->SetEvaluationOrder(*options_.fixed_order);
-  } else {
-    // Install the cost-based initial plan (Table 3 selectivities).
-    AdaptiveController::Options copts;
-    copts.threshold = options_.reopt_threshold;
-    copts.check_interval = options_.reopt_interval;
-    copts.low_latency = options_.low_latency;
-    copts.metrics = options_.metrics;
-    controller_ = std::make_unique<AdaptiveController>(&spec_.pattern, copts);
-    if (auto order = controller_->MaybeReoptimize(stats())) {
-      if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*order);
-      if (matcher_) matcher_->SetEvaluationOrder(*order);
-    }
-    if (!options_.adaptive) controller_.reset();
-  }
-}
+      deriver_(spec_.definitions, /*announce_starts=*/options.low_latency,
+               options.metrics),
+      engine_(std::make_unique<MatchEngine>(
+          &spec_, &deriver_, IdentitySlots(spec_.definitions.size()),
+          EngineOptions(options), std::move(output))) {}
 
 void TPStreamOperator::Push(const Event& event) {
-  ++num_events_;
-  if (events_ctr_ != nullptr) events_ctr_->Inc();
+  engine_->NoteEvents(1);
   Deriver::Update& update = deriver_.Process(event);
   if (update.empty()) return;
-
-  // The update vectors are deriver scratch, cleared on the next
-  // Process(); the matcher is free to move the situations out of them.
-  if (ll_matcher_) {
-    ll_matcher_->Consume(update.started, update.finished, event.t);
-  } else if (!update.finished.empty()) {
-    matcher_->Consume(update.finished, event.t);
-  }
-
-  if (controller_ != nullptr) {
-    if (auto order = controller_->MaybeReoptimize(stats())) {
-      if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*order);
-      if (matcher_) matcher_->SetEvaluationOrder(*order);
-    }
-  }
-
-  // EMAs change slowly; publishing at the optimizer's check cadence keeps
-  // the gauges fresh without touching the per-event fast path.
-  if (stats_publisher_.enabled() &&
-      num_events_ % std::max(options_.reopt_interval, 1) == 0) {
-    stats_publisher_.Publish(stats());
-  }
+  engine_->Consume(update, event.t);
 }
 
 void TPStreamOperator::PushBatch(std::span<Event> events) {
@@ -95,88 +51,6 @@ void TPStreamOperator::PushBatch(std::span<const Event> events) {
   for (const Event& event : events) Push(event);
 }
 
-void TPStreamOperator::OnMatch(const Match& match) {
-  ++num_matches_;
-  if (matches_ctr_ != nullptr) matches_ctr_->Inc();
-  if (detection_latency_hist_ != nullptr) {
-    // Detection latency in application time: how far behind the analytic
-    // earliest detection instant t_d (Section 5.3.1) this match surfaced.
-    // The low-latency matcher should pin this at ~0; the baseline matcher
-    // pays the distance between t_d and the last end timestamp.
-    const TimePoint td = EarliestDetection(spec_.pattern, match.config);
-    if (td != kTimeMax && match.detected_at >= td) {
-      detection_latency_hist_->Record(
-          static_cast<int64_t>(match.detected_at - td));
-    }
-  }
-  if (match_observer_) match_observer_(match);
-  if (!output_) return;
-
-  Tuple payload;
-  payload.reserve(spec_.returns.size());
-  for (const ReturnItem& item : spec_.returns) {
-    const Situation& s = match.config[item.symbol];
-    switch (item.source) {
-      case ReturnItem::Source::kStartTime:
-        payload.push_back(Value(static_cast<int64_t>(s.ts)));
-        continue;
-      case ReturnItem::Source::kEndTime:
-        payload.push_back(s.ongoing() ? Value::Null()
-                                      : Value(static_cast<int64_t>(s.te)));
-        continue;
-      case ReturnItem::Source::kDuration:
-        payload.push_back(
-            s.ongoing() ? Value::Null()
-                        : Value(static_cast<int64_t>(s.duration())));
-        continue;
-      case ReturnItem::Source::kAggregate:
-        break;
-    }
-    if (s.ongoing() && deriver_.IsOngoing(item.symbol)) {
-      // Freshest aggregate snapshot for situations still being derived.
-      const Tuple snapshot = deriver_.SnapshotOngoing(item.symbol);
-      payload.push_back(item.agg_index < static_cast<int>(snapshot.size())
-                            ? snapshot[item.agg_index]
-                            : Value::Null());
-    } else {
-      payload.push_back(item.agg_index < static_cast<int>(s.payload.size())
-                            ? s.payload[item.agg_index]
-                            : Value::Null());
-    }
-  }
-  output_(Event(std::move(payload), match.detected_at));
-}
-
-void TPStreamOperator::ForceEvaluationOrder(const std::vector<int>& order) {
-  if (ll_matcher_) ll_matcher_->SetEvaluationOrder(order);
-  if (matcher_) matcher_->SetEvaluationOrder(order);
-}
-
-std::vector<int> TPStreamOperator::CurrentOrder() const {
-  return ll_matcher_ ? ll_matcher_->CurrentOrder() : matcher_->CurrentOrder();
-}
-
-const MatcherStats& TPStreamOperator::stats() const {
-  return ll_matcher_ ? ll_matcher_->stats() : matcher_->stats();
-}
-
-size_t TPStreamOperator::BufferedCount() const {
-  return ll_matcher_ ? ll_matcher_->BufferedCount()
-                     : matcher_->BufferedCount();
-}
-
-int64_t TPStreamOperator::shed_situations() const {
-  return ll_matcher_ ? ll_matcher_->shed_situations()
-                     : matcher_->shed_situations();
-}
-
-int64_t TPStreamOperator::lost_match_upper_bound() const {
-  return ll_matcher_ ? ll_matcher_->lost_match_upper_bound()
-                     : matcher_->lost_match_upper_bound();
-}
-
-int64_t TPStreamOperator::shed_trigger_candidates() const {
-  return ll_matcher_ ? ll_matcher_->shed_trigger_candidates() : 0;
-}
+void TPStreamOperator::Flush() { engine_->Flush(); }
 
 }  // namespace tpstream

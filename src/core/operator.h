@@ -7,12 +7,10 @@
 #include <span>
 #include <vector>
 
+#include "core/match_engine.h"
 #include "core/query_spec.h"
 #include "derive/deriver.h"
-#include "matcher/low_latency_matcher.h"
-#include "matcher/matcher.h"
 #include "obs/metrics.h"
-#include "optimizer/plan_optimizer.h"
 #include "robust/overload_policy.h"
 
 namespace tpstream {
@@ -21,6 +19,9 @@ namespace tpstream {
 /// event stream, derives situation streams, matches the temporal pattern,
 /// and emits one output event per match (timestamp = detection time,
 /// payload = the RETURN projections).
+///
+/// Composition: a Deriver feeding a MatchEngine (the matcher / adaptive
+/// controller / projection half, shared with multi::QueryGroup).
 ///
 /// With `low_latency` enabled (default), matches are concluded at the
 /// earliest possible point in time t_d(P); otherwise matching waits for
@@ -73,56 +74,55 @@ class TPStreamOperator {
   void PushBatch(std::span<Event> events);
   void PushBatch(std::span<const Event> events);
 
+  /// Synchronization point (lifecycle contract): brings all observable
+  /// state — counters, published statistics gauges — up to date with
+  /// every event pushed so far. The operator is single-threaded and never
+  /// defers matching work, so Flush() emits nothing; it exists so all
+  /// operator surfaces (sequential, partitioned, parallel, grouped)
+  /// share one lifecycle. Idempotent: Flush(); Flush(); is equivalent to
+  /// one Flush(). Flush on an empty stream is a no-op, and Push() may
+  /// legally continue the stream after a Flush().
+  void Flush();
+
   /// Optional: observes raw matches (full temporal configurations) in
   /// addition to the projected output events.
   void SetMatchObserver(MatchCallback observer) {
-    match_observer_ = std::move(observer);
+    engine_->SetMatchObserver(std::move(observer));
   }
 
   /// Installs an evaluation order immediately (migration is free, Section
   /// 5.4.1). Used by the oracle variant of the adaptivity experiment;
   /// adaptive re-optimization, if enabled, may override it later.
-  void ForceEvaluationOrder(const std::vector<int>& order);
-
-  const QuerySpec& spec() const { return spec_; }
-  int64_t num_events() const { return num_events_; }
-  int64_t num_matches() const { return num_matches_; }
-  std::vector<int> CurrentOrder() const;
-  const MatcherStats& stats() const;
-  int64_t plan_migrations() const {
-    return controller_ ? controller_->migrations() : 0;
+  void ForceEvaluationOrder(const std::vector<int>& order) {
+    engine_->ForceEvaluationOrder(order);
   }
 
+  const QuerySpec& spec() const { return spec_; }
+  int64_t num_events() const { return engine_->num_events(); }
+  int64_t num_matches() const { return engine_->num_matches(); }
+  std::vector<int> CurrentOrder() const { return engine_->CurrentOrder(); }
+  const MatcherStats& stats() const { return engine_->stats(); }
+  int64_t plan_migrations() const { return engine_->plan_migrations(); }
+
   /// Buffered situations across all matcher buffers (memory accounting).
-  size_t BufferedCount() const;
+  size_t BufferedCount() const { return engine_->BufferedCount(); }
 
   /// Overload-shedding accounting (Degradation contract); all zero when
   /// Options::overload leaves the caps unbounded.
-  int64_t shed_situations() const;
-  int64_t lost_match_upper_bound() const;
-  int64_t shed_trigger_candidates() const;
+  int64_t shed_situations() const { return engine_->shed_situations(); }
+  int64_t lost_match_upper_bound() const {
+    return engine_->lost_match_upper_bound();
+  }
+  int64_t shed_trigger_candidates() const {
+    return engine_->shed_trigger_candidates();
+  }
 
  private:
-  void OnMatch(const Match& match);
-
   QuerySpec spec_;
-  Options options_;
-  OutputCallback output_;
-  MatchCallback match_observer_;
-
   Deriver deriver_;
-  std::unique_ptr<Matcher> matcher_;               // baseline mode
-  std::unique_ptr<LowLatencyMatcher> ll_matcher_;  // low-latency mode
-  std::unique_ptr<AdaptiveController> controller_;
-
-  int64_t num_events_ = 0;
-  int64_t num_matches_ = 0;
-
-  // Observability handles (null when metrics are disabled).
-  obs::Counter* events_ctr_ = nullptr;
-  obs::Counter* matches_ctr_ = nullptr;
-  obs::LatencyHistogram* detection_latency_hist_ = nullptr;
-  MatcherStatsPublisher stats_publisher_;
+  // unique_ptr: the engine holds pointers into spec_ and deriver_, so the
+  // operator must stay non-movable-by-default while keeping them stable.
+  std::unique_ptr<MatchEngine> engine_;
 };
 
 }  // namespace tpstream

@@ -61,6 +61,11 @@ void PartitionedTPStream::PushBatch(std::span<const Event> events) {
   for (const Event& event : events) Push(event);
 }
 
+void PartitionedTPStream::Flush() {
+  for (const auto& [k, op] : int_partitions_) op->Flush();
+  for (const auto& [k, op] : string_partitions_) op->Flush();
+}
+
 size_t PartitionedTPStream::BufferedCount() const {
   size_t total = 0;
   for (const auto& [k, op] : int_partitions_) total += op->BufferedCount();

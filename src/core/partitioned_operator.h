@@ -25,6 +25,11 @@ class PartitionedTPStream {
   void PushBatch(std::span<Event> events);
   void PushBatch(std::span<const Event> events);
 
+  /// Synchronization point (lifecycle contract): flushes every partition
+  /// operator (see TPStreamOperator::Flush). Idempotent; a no-op before
+  /// the first Push; the stream may continue afterwards.
+  void Flush();
+
   size_t num_partitions() const {
     return int_partitions_.size() + string_partitions_.size();
   }

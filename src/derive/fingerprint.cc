@@ -1,0 +1,24 @@
+#include "derive/fingerprint.h"
+
+namespace tpstream {
+
+std::string DefinitionFingerprint(const SituationDefinition& def) {
+  std::string out;
+  out.reserve(64);
+  out.append("phi:");
+  if (def.predicate != nullptr) def.predicate->AppendFingerprint(&out);
+  out.append("|gamma:");
+  for (const AggregateSpec& agg : def.aggregates) {
+    out.append(std::to_string(static_cast<int>(agg.kind)))
+        .append("@")
+        .append(std::to_string(agg.field))
+        .append(";");
+  }
+  out.append("|tau:")
+      .append(std::to_string(def.duration.min))
+      .append(",")
+      .append(std::to_string(def.duration.max));
+  return out;
+}
+
+}  // namespace tpstream

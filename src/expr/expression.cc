@@ -1,6 +1,48 @@
 #include "expr/expression.h"
 
+#include <cstdio>
+#include <cstring>
+
 namespace tpstream {
+
+namespace {
+
+/// Canonical literal encoding: type tag plus an exact, locale-free
+/// rendering. Doubles use their IEEE-754 bit pattern (hex) so that
+/// 0.1's shortest decimal form vs a longer spelling can never alias.
+void AppendValueFingerprint(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->append("n");
+      return;
+    case ValueType::kInt:
+      out->append("i").append(std::to_string(v.AsInt()));
+      return;
+    case ValueType::kDouble: {
+      uint64_t bits = 0;
+      const double d = v.AsDouble();
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      char buf[19];
+      std::snprintf(buf, sizeof(buf), "d%016llx",
+                    static_cast<unsigned long long>(bits));
+      out->append(buf);
+      return;
+    }
+    case ValueType::kBool:
+      out->append(v.AsBool() ? "b1" : "b0");
+      return;
+    case ValueType::kString:
+      // Length-prefixed so no string content can fake tree structure.
+      out->append("s")
+          .append(std::to_string(v.AsString().size()))
+          .append(":")
+          .append(v.AsString());
+      return;
+  }
+}
+
+}  // namespace
 
 const char* BinaryOpName(BinaryOp op) {
   switch (op) {
@@ -39,6 +81,9 @@ class LiteralExpr final : public Expression {
   explicit LiteralExpr(Value v) : value_(std::move(v)) {}
   Value Eval(const Tuple&) const override { return value_; }
   std::string ToString() const override { return value_.ToString(); }
+  void AppendFingerprint(std::string* out) const override {
+    AppendValueFingerprint(value_, out);
+  }
 
  private:
   Value value_;
@@ -56,6 +101,11 @@ class FieldRefExpr final : public Expression {
   }
   std::string ToString() const override {
     return name_.empty() ? "$" + std::to_string(index_) : name_;
+  }
+  void AppendFingerprint(std::string* out) const override {
+    // Positional only: the name is a diagnostic label; evaluation reads
+    // tuple[index_] regardless of what the field was called.
+    out->append("$").append(std::to_string(index_));
   }
 
  private:
@@ -121,6 +171,16 @@ class BinaryExpr final : public Expression {
            rhs_->ToString() + ")";
   }
 
+  void AppendFingerprint(std::string* out) const override {
+    out->append("(")
+        .append(std::to_string(static_cast<int>(op_)))
+        .append(" ");
+    lhs_->AppendFingerprint(out);
+    out->append(" ");
+    rhs_->AppendFingerprint(out);
+    out->append(")");
+  }
+
  private:
   BinaryOp op_;
   ExprPtr lhs_;
@@ -135,6 +195,11 @@ class NotExpr final : public Expression {
   }
   std::string ToString() const override {
     return "NOT " + operand_->ToString();
+  }
+  void AppendFingerprint(std::string* out) const override {
+    out->append("!(");
+    operand_->AppendFingerprint(out);
+    out->append(")");
   }
 
  private:
@@ -151,12 +216,23 @@ class NegateExpr final : public Expression {
     return Value::Null();
   }
   std::string ToString() const override { return "-" + operand_->ToString(); }
+  void AppendFingerprint(std::string* out) const override {
+    out->append("~(");
+    operand_->AppendFingerprint(out);
+    out->append(")");
+  }
 
  private:
   ExprPtr operand_;
 };
 
 }  // namespace
+
+std::string ExprFingerprint(const Expression& expr) {
+  std::string out;
+  expr.AppendFingerprint(&out);
+  return out;
+}
 
 ExprPtr Literal(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
 

@@ -24,9 +24,24 @@ class Expression {
   virtual Value Eval(const Tuple& tuple) const = 0;
 
   virtual std::string ToString() const = 0;
+
+  /// Appends a canonical structural encoding of this subtree to `out`.
+  /// Unlike ToString(), the encoding is name-free (field references
+  /// encode their positional index only — names are diagnostics) and
+  /// literal values are type-tagged and bit-exact, so two trees encode
+  /// equally iff they are structurally identical and therefore evaluate
+  /// identically on every tuple. Used by the multi-query engine
+  /// (src/multi) to deduplicate situation definitions; equal encodings
+  /// imply equal semantics, while semantically equal but structurally
+  /// different trees (e.g. commuted operands) may encode differently —
+  /// that only costs sharing, never correctness.
+  virtual void AppendFingerprint(std::string* out) const = 0;
 };
 
 using ExprPtr = std::shared_ptr<const Expression>;
+
+/// The canonical structural encoding of `expr` (see AppendFingerprint).
+std::string ExprFingerprint(const Expression& expr);
 
 /// Binary operators. Comparisons yield bool, arithmetic is numeric with
 /// widening, kAnd/kOr operate on truthiness.

@@ -1,29 +1,13 @@
 #include "matcher/joiner.h"
 
-#include <limits>
 #include <numeric>
+
+#include "robust/saturating.h"
 
 namespace tpstream {
 
-namespace {
-
-// Saturating arithmetic for the lost-match upper bound: a flooded buffer
-// set can push the configuration-count product past int64 range; the
-// counter then pins at the maximum instead of wrapping (UB-free).
-int64_t SaturatingMul(int64_t a, int64_t b) {
-  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
-  if (a == 0 || b == 0) return 0;
-  if (a > kMax / b) return kMax;
-  return a * b;
-}
-
-int64_t SaturatingAdd(int64_t a, int64_t b) {
-  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
-  if (a > kMax - b) return kMax;
-  return a + b;
-}
-
-}  // namespace
+using robust::SaturatingAdd;
+using robust::SaturatingMul;
 
 PatternJoiner::PatternJoiner(const TemporalPattern* pattern, Duration window)
     : pattern_(pattern), window_(window) {
@@ -76,11 +60,16 @@ void PatternJoiner::EnforceCap(int symbol) {
     ++evicted;
   }
   shed_situations_ += evicted;
+  // Accumulate the delta actually applied after saturation, and saturate
+  // the counter too: once the bound pins at int64 max, a plain Inc(kMax)
+  // per eviction round would wrap the metric while the member stays
+  // pinned, and the two would disagree.
+  const int64_t before = lost_match_bound_;
   lost_match_bound_ =
       SaturatingAdd(lost_match_bound_, SaturatingMul(evicted, per_evicted));
   if (shed_situations_ctr_ != nullptr) {
     shed_situations_ctr_->Inc(evicted);
-    lost_match_bound_ctr_->Inc(SaturatingMul(evicted, per_evicted));
+    lost_match_bound_ctr_->IncSaturating(lost_match_bound_ - before);
   }
 }
 

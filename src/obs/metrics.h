@@ -44,6 +44,24 @@ class Counter {
   void Inc(int64_t delta = 1) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
+
+  /// Increment that pins at int64 max instead of wrapping. For
+  /// upper-bound accounting (e.g. `robust.lost_match_upper_bound`) whose
+  /// deltas are themselves saturated products: repeated Inc(kMax) would
+  /// wrap the plain counter and understate the bound. `delta` must be
+  /// non-negative.
+  void IncSaturating(int64_t delta = 1) {
+    constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (true) {
+      const int64_t next = (cur > kMax - delta) ? kMax : cur + delta;
+      if (value_.compare_exchange_weak(cur, next,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 

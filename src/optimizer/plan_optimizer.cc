@@ -279,6 +279,9 @@ std::vector<std::vector<int>> PlanOptimizer::EnumerateOrders() const {
 AdaptiveController::AdaptiveController(const TemporalPattern* pattern,
                                        Options options)
     : optimizer_(pattern, options.low_latency), options_(options) {
+  if (options_.plan_cache != nullptr) {
+    plan_key_prefix_ = PatternPlanKey(*pattern, options_.low_latency);
+  }
   if (options_.metrics != nullptr) {
     reopt_ctr_ = options_.metrics->GetCounter("optimizer.reoptimizations");
     switches_ctr_ = options_.metrics->GetCounter("optimizer.plan_switches");
@@ -323,7 +326,12 @@ std::optional<std::vector<int>> AdaptiveController::MaybeReoptimize(
   snapshot_selectivities_ = stats.selectivity_emas();
   ++reoptimizations_;
   if (reopt_ctr_ != nullptr) reopt_ctr_->Inc();
-  std::vector<int> order = optimizer_.BestOrder(stats);
+  std::vector<int> order =
+      options_.plan_cache != nullptr
+          ? options_.plan_cache->GetOrCompute(
+                plan_key_prefix_ + StatsPlanKey(stats),
+                [&] { return optimizer_.BestOrder(stats); })
+          : optimizer_.BestOrder(stats);
   if (initialized_ && order == current_order_) return std::nullopt;
   current_order_ = order;
   initialized_ = true;

@@ -4,9 +4,12 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "algebra/pattern.h"
 #include "matcher/stats.h"
 #include "obs/metrics.h"
+#include "optimizer/shared_plan_cache.h"
 
 namespace tpstream {
 
@@ -114,6 +117,12 @@ class AdaptiveController {
     /// the live EMAs from the estimates the current plan was built on —
     /// i.e. estimated-vs-actual statistics).
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional cross-query plan memo (multi::QueryGroup). BestOrder is
+    /// deterministic in (pattern, seed mode, stats), so a cache hit
+    /// returns exactly the order the local optimizer would compute; the
+    /// cache only skips the subset-DP, it never changes plans. Must
+    /// outlive the controller; not synchronized (single-threaded use).
+    SharedPlanCache* plan_cache = nullptr;
   };
 
   AdaptiveController(const TemporalPattern* pattern, Options options);
@@ -130,6 +139,7 @@ class AdaptiveController {
 
   PlanOptimizer optimizer_;
   Options options_;
+  std::string plan_key_prefix_;  // PatternPlanKey; set iff plan_cache
   int64_t calls_ = 0;
   int64_t reoptimizations_ = 0;
   int64_t migrations_ = 0;

@@ -75,6 +75,14 @@ class DetectStage final : public Stage {
 
   void Process(Event&& event) override { engine_->Push(std::move(event)); }
 
+  /// End-of-stream synchronization: settles the engine's published
+  /// gauges (TPStreamOperator::Flush contract) before finishing
+  /// downstream stages. The stream may resume afterwards.
+  void Finish() override {
+    engine_->Flush();
+    Stage::Finish();
+  }
+
   /// A fresh engine drops derived situations, matcher buffers and the
   /// adaptive statistics — the restart semantics Pipeline::Reset()
   /// promises (the statistics used to leak across restarts).

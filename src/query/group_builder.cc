@@ -1,0 +1,25 @@
+#include "query/group_builder.h"
+
+#include "query/parser.h"
+
+namespace tpstream {
+namespace query {
+
+Result<int> QueryGroupBuilder::AddQueryText(
+    const std::string& text, multi::QueryGroup::OutputCallback output,
+    multi::QueryGroup::QueryOptions query_options) {
+  Result<QuerySpec> spec = ParseQuery(text, schema_);
+  if (!spec.ok()) return spec.status();
+  return AddSpec(std::move(spec).value(), std::move(output),
+                 std::move(query_options));
+}
+
+Result<int> QueryGroupBuilder::AddSpec(
+    QuerySpec spec, multi::QueryGroup::OutputCallback output,
+    multi::QueryGroup::QueryOptions query_options) {
+  return group_->AddQuery(std::move(spec), std::move(output),
+                          std::move(query_options));
+}
+
+}  // namespace query
+}  // namespace tpstream

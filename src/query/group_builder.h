@@ -1,0 +1,62 @@
+#ifndef TPSTREAM_QUERY_GROUP_BUILDER_H_
+#define TPSTREAM_QUERY_GROUP_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/schema.h"
+#include "multi/query_group.h"
+
+namespace tpstream {
+namespace query {
+
+/// Group-level construction entry: compiles query texts (ParseQuery) or
+/// accepts pre-built QuerySpecs against one input schema and registers
+/// them on a multi::QueryGroup. This is the standing-query front door —
+/// thousands of textual queries become one engine with shared situation
+/// derivation.
+///
+///   QueryGroupBuilder gb(schema);
+///   auto id = gb.AddQueryText(
+///       "DEFINE A AS S.x > 1 PATTERN ... RETURN count(A.x) AS n",
+///       [](const Event& e) { ... });
+///   if (!id.ok()) { /* report id.status() */ }
+///   std::unique_ptr<multi::QueryGroup> group = gb.Build();
+///   group->Push(event);  // once per event, for all queries
+///
+/// Build() seals nothing — the group still accepts AddQuery() until its
+/// first Push(). The builder is single-use: Build() releases the group.
+class QueryGroupBuilder {
+ public:
+  explicit QueryGroupBuilder(Schema schema,
+                             multi::QueryGroup::Options options = {})
+      : schema_(std::move(schema)),
+        group_(std::make_unique<multi::QueryGroup>(std::move(options))) {}
+
+  /// Parses `text` against the group schema and registers the query.
+  /// Returns the dense query id (see multi::QueryGroup::AddQuery).
+  Result<int> AddQueryText(
+      const std::string& text, multi::QueryGroup::OutputCallback output,
+      multi::QueryGroup::QueryOptions query_options = {});
+
+  /// Registers a pre-compiled spec (QueryBuilder::Build or ParseQuery).
+  Result<int> AddSpec(QuerySpec spec,
+                      multi::QueryGroup::OutputCallback output,
+                      multi::QueryGroup::QueryOptions query_options = {});
+
+  const Schema& schema() const { return schema_; }
+  int num_queries() const { return group_->num_queries(); }
+
+  /// Releases the configured group. The builder is empty afterwards.
+  std::unique_ptr<multi::QueryGroup> Build() { return std::move(group_); }
+
+ private:
+  Schema schema_;
+  std::unique_ptr<multi::QueryGroup> group_;
+};
+
+}  // namespace query
+}  // namespace tpstream
+
+#endif  // TPSTREAM_QUERY_GROUP_BUILDER_H_

@@ -1,0 +1,32 @@
+#ifndef TPSTREAM_ROBUST_SATURATING_H_
+#define TPSTREAM_ROBUST_SATURATING_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tpstream {
+namespace robust {
+
+/// Saturating arithmetic for overload accounting (Degradation contract):
+/// shed counts and lost-match upper bounds are products of buffer sizes
+/// and can exceed int64 range under sustained flooding. A bound that
+/// wraps is worse than useless — it understates the loss — so every
+/// multiplied or accumulated overload statistic pins at int64 max
+/// instead. Domain is non-negative (counts); callers never pass negative
+/// operands.
+
+constexpr int64_t SaturatingAdd(int64_t a, int64_t b) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  return (a > kMax - b) ? kMax : a + b;
+}
+
+constexpr int64_t SaturatingMul(int64_t a, int64_t b) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (a == 0 || b == 0) return 0;
+  return (a > kMax / b) ? kMax : a * b;
+}
+
+}  // namespace robust
+}  // namespace tpstream
+
+#endif  // TPSTREAM_ROBUST_SATURATING_H_

@@ -1,0 +1,229 @@
+// Flush/Finish lifecycle contract, audited across every engine front-end:
+// Flush is an idempotent synchronization point (double Flush changes
+// nothing), the stream may continue after it (Push after Flush is
+// well-defined and still detects), and Flush on an empty stream is a
+// no-op rather than an error.
+
+#include <algorithm>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/operator.h"
+#include "core/partitioned_operator.h"
+#include "multi/query_group.h"
+#include "parallel/parallel_operator.h"
+#include "pipeline/pipeline.h"
+#include "query/builder.h"
+
+namespace tpstream {
+namespace {
+
+Schema TwoBoolSchema() {
+  return Schema({Field{"a", ValueType::kBool}, Field{"b", ValueType::kBool}});
+}
+
+QuerySpec OverlapSpec() {
+  QueryBuilder qb(TwoBoolSchema());
+  qb.Define("A", FieldRef(0, "a"))
+      .Define("B", FieldRef(1, "b"))
+      .Relate("A", Relation::kOverlaps, "B")
+      .Within(100)
+      .Return("n_a", "A", AggKind::kCount);
+  auto spec = qb.Build();
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return spec.value();
+}
+
+void ExpectSameSnapshot(const obs::MetricsSnapshot& a,
+                        const obs::MetricsSnapshot& b) {
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  EXPECT_EQ(a.histograms, b.histograms);
+}
+
+/// One a-overlaps-b episode on [base+2, base+9); concludes at base+6.
+void PushEpisode(const std::function<void(const Event&)>& push,
+                 TimePoint base) {
+  for (TimePoint t = 1; t <= 10; ++t) {
+    push(Event({Value(t >= 2 && t < 6), Value(t >= 4 && t < 9)},
+               base + t));
+  }
+}
+
+TEST(FlushLifecycleTest, OperatorFlushOnEmptyAndDoubleFlush) {
+  obs::MetricsRegistry metrics;
+  TPStreamOperator::Options options;
+  options.metrics = &metrics;
+  TPStreamOperator op(OverlapSpec(), options, nullptr);
+
+  op.Flush();  // empty stream: well-defined no-op
+  EXPECT_EQ(op.num_events(), 0);
+
+  PushEpisode([&](const Event& e) { op.Push(e); }, 0);
+  op.Flush();
+  const obs::MetricsSnapshot once = metrics.Snapshot();
+  op.Flush();  // idempotent: second flush observes no new input
+  ExpectSameSnapshot(once, metrics.Snapshot());
+  // Flush published the matcher gauges.
+  EXPECT_EQ(once.gauges.count("matcher.buffer_ema.s0"), 1u);
+}
+
+TEST(FlushLifecycleTest, OperatorPushAfterFlushKeepsDetecting) {
+  std::vector<Event> outputs;
+  TPStreamOperator op(OverlapSpec(), {},
+                      [&](const Event& e) { outputs.push_back(e); });
+  PushEpisode([&](const Event& e) { op.Push(e); }, 0);
+  op.Flush();
+  ASSERT_EQ(outputs.size(), 1u);
+
+  // The stream resumes with later timestamps; detection must continue
+  // with undisturbed state.
+  PushEpisode([&](const Event& e) { op.Push(e); }, 100);
+  op.Flush();
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[1].t, 106);
+  EXPECT_EQ(outputs[1].payload[0].AsInt(), 4);
+  EXPECT_EQ(op.num_events(), 20);
+}
+
+TEST(FlushLifecycleTest, PartitionedFlushLifecycle) {
+  Schema schema({Field{"a", ValueType::kBool}, Field{"b", ValueType::kBool},
+                 Field{"key", ValueType::kInt}});
+  QueryBuilder qb(schema);
+  qb.Define("A", FieldRef(0, "a"))
+      .Define("B", FieldRef(1, "b"))
+      .Relate("A", Relation::kOverlaps, "B")
+      .Within(100)
+      .Return("n", "A", AggKind::kCount)
+      .PartitionBy("key");
+  auto spec = qb.Build();
+  ASSERT_TRUE(spec.ok());
+
+  std::vector<Event> outputs;
+  PartitionedTPStream op(spec.value(), {},
+                         [&](const Event& e) { outputs.push_back(e); });
+  op.Flush();  // no partitions exist yet
+  for (int64_t key : {1, 2}) {
+    PushEpisode(
+        [&](const Event& e) {
+          Event keyed({e.payload[0], e.payload[1], Value(key)}, e.t);
+          op.Push(keyed);
+        },
+        key * 100);
+  }
+  op.Flush();
+  op.Flush();
+  ASSERT_EQ(outputs.size(), 2u);
+
+  PushEpisode(
+      [&](const Event& e) {
+        Event keyed({e.payload[0], e.payload[1], Value(int64_t{1})}, e.t);
+        op.Push(keyed);
+      },
+      300);
+  EXPECT_EQ(outputs.size(), 3u);
+}
+
+TEST(FlushLifecycleTest, ParallelFlushLifecycle) {
+  Schema schema({Field{"key", ValueType::kInt}, Field{"a", ValueType::kBool},
+                 Field{"b", ValueType::kBool}});
+  QueryBuilder qb(schema);
+  qb.Define("A", FieldRef(1, "a"))
+      .Define("B", FieldRef(2, "b"))
+      .Relate("A", Relation::kOverlaps, "B")
+      .Within(100)
+      .Return("n", "A", AggKind::kCount)
+      .PartitionBy("key");
+  auto spec = qb.Build();
+  ASSERT_TRUE(spec.ok());
+
+  std::vector<Event> outputs;
+  std::mutex mutex;
+  parallel::ParallelTPStream::Options options;
+  options.num_workers = 2;
+  parallel::ParallelTPStream op(spec.value(), options, [&](const Event& e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    outputs.push_back(e);
+  });
+
+  op.Flush();  // empty stream
+  EXPECT_EQ(op.num_events(), 0);
+
+  for (TimePoint t = 1; t <= 10; ++t) {
+    for (int64_t key : {1, 2, 3}) {
+      op.Push(Event({Value(key), Value(t >= 2 && t < 6),
+                     Value(t >= 4 && t < 9)},
+                    t));
+    }
+  }
+  op.Flush();
+  op.Flush();  // idempotent
+  ASSERT_EQ(outputs.size(), 3u);
+  EXPECT_EQ(op.num_events(), 30);
+
+  // Stream resumes after the synchronization point.
+  for (TimePoint t = 101; t <= 110; ++t) {
+    const TimePoint r = t - 100;
+    op.Push(Event({Value(int64_t{1}), Value(r >= 2 && r < 6),
+                   Value(r >= 4 && r < 9)},
+                  t));
+  }
+  op.Flush();
+  EXPECT_EQ(outputs.size(), 4u);
+}
+
+TEST(FlushLifecycleTest, PipelineFinishLifecycle) {
+  obs::MetricsRegistry metrics;
+  pipeline::Pipeline p(TwoBoolSchema(), &metrics);
+  std::vector<Event> matches;
+  p.Detect(OverlapSpec()).Sink([&](const Event& e) { matches.push_back(e); });
+  ASSERT_TRUE(p.Finalize().ok());
+
+  p.Finish();  // empty stream
+  PushEpisode([&](const Event& e) { p.Push(e); }, 0);
+  p.Finish();
+  ASSERT_EQ(matches.size(), 1u);
+  // Finish now settles the detect engine's published gauges.
+  EXPECT_EQ(metrics.Snapshot().gauges.count("matcher.buffer_ema.s0"), 1u);
+
+  const obs::MetricsSnapshot once = metrics.Snapshot();
+  p.Finish();  // idempotent
+  ExpectSameSnapshot(once, metrics.Snapshot());
+
+  // Finish is a synchronization point, not a terminator: later events
+  // still flow and detect.
+  PushEpisode([&](const Event& e) { p.Push(e); }, 100);
+  p.Finish();
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[1].t, 106);
+}
+
+TEST(FlushLifecycleTest, QueryGroupFlushLifecycle) {
+  std::vector<Event> outputs;
+  multi::QueryGroup group;
+  ASSERT_TRUE(group
+                  .AddQuery(OverlapSpec(),
+                            [&](const Event& e) { outputs.push_back(e); })
+                  .ok());
+
+  group.Flush();  // before sealing: well-defined no-op
+  EXPECT_FALSE(group.sealed());
+
+  PushEpisode([&](const Event& e) { group.Push(e); }, 0);
+  group.Flush();
+  group.Flush();  // idempotent
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(group.engine(0)->num_events(), group.num_events());
+
+  PushEpisode([&](const Event& e) { group.Push(e); }, 100);
+  group.Flush();
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[1].t, 106);
+  EXPECT_EQ(group.num_events(), 20);
+}
+
+}  // namespace
+}  // namespace tpstream

@@ -1,0 +1,89 @@
+// Overflow-safe overload accounting: the lost-match upper bound and the
+// counters multiplied out of it saturate at int64 max instead of
+// wrapping into meaningless (possibly negative) values, and the `robust.*`
+// registry counters stay consistent with the operator accessors.
+
+#include "robust/saturating.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/operator.h"
+#include "obs/metrics.h"
+#include "query/builder.h"
+#include "tests/fault_injection.h"
+
+namespace tpstream {
+namespace {
+
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+TEST(SaturatingTest, AddSaturatesAtBoundary) {
+  EXPECT_EQ(robust::SaturatingAdd(0, 0), 0);
+  EXPECT_EQ(robust::SaturatingAdd(2, 3), 5);
+  EXPECT_EQ(robust::SaturatingAdd(kMax, 0), kMax);
+  EXPECT_EQ(robust::SaturatingAdd(kMax - 1, 1), kMax);
+  EXPECT_EQ(robust::SaturatingAdd(kMax - 1, 2), kMax);
+  EXPECT_EQ(robust::SaturatingAdd(kMax, kMax), kMax);
+  EXPECT_EQ(robust::SaturatingAdd(kMax / 2, kMax / 2 + 1), kMax);
+}
+
+TEST(SaturatingTest, MulSaturatesAtBoundary) {
+  EXPECT_EQ(robust::SaturatingMul(0, kMax), 0);
+  EXPECT_EQ(robust::SaturatingMul(kMax, 0), 0);
+  EXPECT_EQ(robust::SaturatingMul(3, 4), 12);
+  EXPECT_EQ(robust::SaturatingMul(kMax, 1), kMax);
+  EXPECT_EQ(robust::SaturatingMul(1, kMax), kMax);
+  EXPECT_EQ(robust::SaturatingMul(kMax / 2, 3), kMax);
+  EXPECT_EQ(robust::SaturatingMul(kMax, kMax), kMax);
+}
+
+TEST(SaturatingTest, CounterIncSaturatingPinsAtMax) {
+  obs::MetricsRegistry registry;
+  obs::Counter* ctr = registry.GetCounter("robust.test");
+  ctr->IncSaturating(5);
+  EXPECT_EQ(registry.Snapshot().counters.at("robust.test"), 5);
+  ctr->IncSaturating(kMax - 5);
+  EXPECT_EQ(registry.Snapshot().counters.at("robust.test"), kMax);
+  // Further increments stay pinned instead of wrapping negative.
+  ctr->IncSaturating(kMax);
+  ctr->IncSaturating(1);
+  EXPECT_EQ(registry.Snapshot().counters.at("robust.test"), kMax);
+}
+
+// End to end: an overload-capped operator keeps its registry counter
+// bit-equal to the lost_match_upper_bound() accessor while evictions
+// multiply the bound upward.
+TEST(SaturatingTest, LostMatchBoundCounterTracksAccessor) {
+  Schema schema(
+      {Field{"key", ValueType::kInt}, Field{"flag", ValueType::kBool}});
+  QueryBuilder qb(schema);
+  qb.Define("A", FieldRef(1, "flag"))
+      .Define("B", Not(FieldRef(1, "flag")))
+      .Relate("A", {Relation::kMeets, Relation::kBefore}, "B")
+      .Within(Duration{1} << 30)  // nothing purges; only the cap bounds
+      .Return("n", "A", AggKind::kCount);
+  auto spec = qb.Build();
+  ASSERT_TRUE(spec.ok());
+
+  obs::MetricsRegistry registry;
+  TPStreamOperator::Options options;
+  options.low_latency = false;
+  options.metrics = &registry;
+  options.overload.max_situations_per_buffer = 16;
+  TPStreamOperator op(spec.value(), options, nullptr);
+
+  for (const Event& e : testing::FloodWorkload(1, 4000, 77)) op.Push(e);
+
+  ASSERT_GT(op.shed_situations(), 0) << "flood did not reach the cap";
+  EXPECT_GT(op.lost_match_upper_bound(), 0);
+  const auto snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("robust.shed_situations"),
+            op.shed_situations());
+  EXPECT_EQ(snap.counters.at("robust.lost_match_upper_bound"),
+            op.lost_match_upper_bound());
+}
+
+}  // namespace
+}  // namespace tpstream
