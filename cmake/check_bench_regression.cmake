@@ -1,10 +1,11 @@
 # Compares a fresh benchmark JSON document against a committed baseline.
-# Four schemas are understood, dispatched on the document's "schema" key:
+# Five schemas are understood, dispatched on the document's "schema" key:
 #
 #   tpstream-bench-ingest-v1     (bench/ingest_common.h -> BENCH_ingest.json)
 #   tpstream-bench-parallel-v1   (bench_parallel_scaling -> BENCH_parallel.json)
 #   tpstream-bench-overload-v1   (bench_overload -> BENCH_overload.json)
 #   tpstream-bench-multiquery-v1 (bench_multiquery -> BENCH_multiquery.json)
+#   tpstream-bench-compiled-v1   (bench_compiled -> BENCH_compiled.json)
 #
 # Usage:
 #   cmake -DCURRENT=out.json -DBASELINE=BENCH_ingest.json \
@@ -57,6 +58,15 @@
 # (default 500% = 5x; the unshared side may be extrapolated from N = 100,
 # which the bench document marks with "extrapolated": true).
 #
+# Compiled checks (runs: deriver.{interpreter,bytecode,bytecode_batch}):
+#   * events_per_sec >= baseline * (1 - THROUGHPUT_TOLERANCE_PCT%)
+# plus the headline ablation invariant, evaluated on CURRENT alone: the
+# columnar bytecode path must hold its advantage over the interpreter,
+#   eps(deriver.bytecode_batch) >=
+#       eps(deriver.interpreter) * COMPILED_SPEEDUP_FLOOR_PCT%
+# (default 200% = 2x; the bench itself aborts if any mode derives a
+# different situation stream, so the gate only reasons about speed).
+#
 # The thresholds are deliberately generous: shared CI machines are noisy,
 # and the gate is meant to catch regressions (an allocation re-introduced
 # on the hot path, a 2x slowdown, scaling collapsing back to the
@@ -95,6 +105,9 @@ endif()
 if(NOT DEFINED MULTIQUERY_SPEEDUP_FLOOR_PCT)
   set(MULTIQUERY_SPEEDUP_FLOOR_PCT 500)  # shared >= 5x unshared at N=10000
 endif()
+if(NOT DEFINED COMPILED_SPEEDUP_FLOOR_PCT)
+  set(COMPILED_SPEEDUP_FLOOR_PCT 200)  # batched bytecode >= 2x interpreter
+endif()
 
 file(READ "${CURRENT}" current_doc)
 file(READ "${BASELINE}" baseline_doc)
@@ -103,7 +116,8 @@ string(JSON schema ERROR_VARIABLE err GET "${current_doc}" schema)
 if(err OR (NOT schema STREQUAL "tpstream-bench-ingest-v1" AND
            NOT schema STREQUAL "tpstream-bench-parallel-v1" AND
            NOT schema STREQUAL "tpstream-bench-overload-v1" AND
-           NOT schema STREQUAL "tpstream-bench-multiquery-v1"))
+           NOT schema STREQUAL "tpstream-bench-multiquery-v1" AND
+           NOT schema STREQUAL "tpstream-bench-compiled-v1"))
   message(FATAL_ERROR "${CURRENT}: bad or missing schema ('${schema}') ${err}")
 endif()
 string(JSON base_schema ERROR_VARIABLE err GET "${baseline_doc}" schema)
@@ -205,6 +219,9 @@ elseif(schema STREQUAL "tpstream-bench-overload-v1")
 elseif(schema STREQUAL "tpstream-bench-multiquery-v1")
   summary_append("| run | evt/s | baseline | Δ | matches/query | distinct defs |")
   summary_append("|---|---|---|---|---|---|")
+elseif(schema STREQUAL "tpstream-bench-compiled-v1")
+  summary_append("| run | evt/s | baseline | Δ | situations | programs | speedup |")
+  summary_append("|---|---|---|---|---|---|---|")
 else()
   summary_append("| run | evt/s | baseline | Δ | speedup | ring_full | alloc/evt | p99 ns |")
   summary_append("|---|---|---|---|---|---|---|---|")
@@ -239,10 +256,11 @@ foreach(i RANGE 0 ${last})
 
   # Allocation ceiling — field name differs per schema; the overload
   # schema has no allocation counter (its producer thread blocks or
-  # sheds, it never allocates) and the multiquery schema measures bulk
-  # throughput only, so the check does not apply to either.
+  # sheds, it never allocates) and the multiquery/compiled schemas
+  # measure bulk throughput only, so the check does not apply to them.
   if(schema STREQUAL "tpstream-bench-overload-v1" OR
-     schema STREQUAL "tpstream-bench-multiquery-v1")
+     schema STREQUAL "tpstream-bench-multiquery-v1" OR
+     schema STREQUAL "tpstream-bench-compiled-v1")
     set(cur_ape "n/a")
     set(base_ape "n/a")
   else()
@@ -264,12 +282,13 @@ foreach(i RANGE 0 ${last})
     endif()
   endif()
 
-  # Push-latency p99 bound. The multiquery schema records no latency
-  # distribution (bulk-throughput runs); for the overload schema the
-  # bound applies to the drop runs only: kBlock converts excess offered
-  # load into push latency by design, so its p99 tracks the overload
-  # factor, not a regression.
-  if(schema STREQUAL "tpstream-bench-multiquery-v1")
+  # Push-latency p99 bound. The multiquery and compiled schemas record no
+  # latency distribution (bulk-throughput runs); for the overload schema
+  # the bound applies to the drop runs only: kBlock converts excess
+  # offered load into push latency by design, so its p99 tracks the
+  # overload factor, not a regression.
+  if(schema STREQUAL "tpstream-bench-multiquery-v1" OR
+     schema STREQUAL "tpstream-bench-compiled-v1")
     set(cur_p99 "n/a")
     set(base_p99 0)
   else()
@@ -277,6 +296,7 @@ foreach(i RANGE 0 ${last})
     string(JSON base_p99 GET "${baseline_doc}" runs "${name}" push_ns p99)
   endif()
   if(NOT schema STREQUAL "tpstream-bench-multiquery-v1" AND
+     NOT schema STREQUAL "tpstream-bench-compiled-v1" AND
      NOT (schema STREQUAL "tpstream-bench-overload-v1" AND
           name STREQUAL "block"))
     math(EXPR p99_limit "${base_p99} * ${P99_FACTOR_PCT} / 100")
@@ -298,6 +318,14 @@ foreach(i RANGE 0 ${last})
     string(JSON cur_defs GET "${current_doc}" runs "${name}"
            distinct_definitions)
     summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_mpq} | ${cur_defs} |")
+  elseif(schema STREQUAL "tpstream-bench-compiled-v1")
+    string(JSON cur_sits GET "${current_doc}" runs "${name}" situations)
+    string(JSON cur_progs GET "${current_doc}" runs "${name}"
+           compiled_programs)
+    string(JSON cur_spd GET "${current_doc}" runs "${name}"
+           speedup_vs_interpreter)
+    pretty_num("${cur_spd}" cur_spd_fmt)
+    summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_sits} | ${cur_progs} | ${cur_spd_fmt}x |")
   elseif(schema STREQUAL "tpstream-bench-overload-v1")
     # Absolute invariants of the Degradation contract, from CURRENT alone.
     string(JSON cur_shed GET "${current_doc}" runs "${name}" shed_events)
@@ -424,6 +452,38 @@ if(schema STREQUAL "tpstream-bench-multiquery-v1")
             "n10000.identical: shared ${shared_eps} evt/s vs unshared "
             "${unshared_eps} — sharing floor "
             "${MULTIQUERY_SPEEDUP_FLOOR_PCT}% met")
+  endif()
+endif()
+
+# Ablation floor (compiled schema, CURRENT document only): batched
+# bytecode evaluation must hold its headline advantage over the tree
+# interpreter on the derivation-bound workload.
+if(schema STREQUAL "tpstream-bench-compiled-v1")
+  string(JSON interp_eps ERROR_VARIABLE err_i GET "${current_doc}" runs
+         deriver.interpreter events_per_sec)
+  string(JSON batch_eps ERROR_VARIABLE err_b GET "${current_doc}" runs
+         deriver.bytecode_batch events_per_sec)
+  if(err_i OR err_b)
+    message(FATAL_ERROR
+            "compiled document is missing the deriver.interpreter / "
+            "deriver.bytecode_batch runs needed for the ablation floor: "
+            "${err_i} ${err_b}")
+  endif()
+  to_micro("${interp_eps}" interp_u)
+  to_micro("${batch_eps}" batch_u)
+  math(EXPR lhs "${batch_u} / 1000 * 100")
+  math(EXPR rhs "${interp_u} / 1000 * ${COMPILED_SPEEDUP_FLOOR_PCT}")
+  if(lhs LESS rhs)
+    message(SEND_ERROR
+            "deriver.bytecode_batch: ablation floor missed — ${batch_eps} "
+            "evt/s vs interpreter ${interp_eps} (need >= "
+            "${COMPILED_SPEEDUP_FLOOR_PCT}%)")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS
+            "deriver.bytecode_batch: ${batch_eps} evt/s vs interpreter "
+            "${interp_eps} — ablation floor ${COMPILED_SPEEDUP_FLOOR_PCT}% "
+            "met")
   endif()
 endif()
 

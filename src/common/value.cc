@@ -133,19 +133,19 @@ Value NumericOp(const Value& a, const Value& b, IntOp int_op,
 
 Value Add(const Value& a, const Value& b) {
   return NumericOp(
-      a, b, [](int64_t x, int64_t y) { return Value(x + y); },
+      a, b, [](int64_t x, int64_t y) { return Value(WrapAdd(x, y)); },
       [](double x, double y) { return Value(x + y); });
 }
 
 Value Sub(const Value& a, const Value& b) {
   return NumericOp(
-      a, b, [](int64_t x, int64_t y) { return Value(x - y); },
+      a, b, [](int64_t x, int64_t y) { return Value(WrapSub(x, y)); },
       [](double x, double y) { return Value(x - y); });
 }
 
 Value Mul(const Value& a, const Value& b) {
   return NumericOp(
-      a, b, [](int64_t x, int64_t y) { return Value(x * y); },
+      a, b, [](int64_t x, int64_t y) { return Value(WrapMul(x, y)); },
       [](double x, double y) { return Value(x * y); });
 }
 

@@ -82,6 +82,26 @@ struct ValueHash {
   size_t operator()(const Value& value) const;
 };
 
+/// Integer arithmetic used by every predicate evaluator (the expression
+/// interpreter and the bytecode VM must agree bit-for-bit, so both call
+/// these). Two's-complement wraparound on overflow — well-defined, unlike
+/// the signed built-ins.
+inline int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapNeg(int64_t a) {
+  return static_cast<int64_t>(0u - static_cast<uint64_t>(a));
+}
+
 /// Arithmetic with numeric widening; null on type mismatch.
 Value Add(const Value& a, const Value& b);
 Value Sub(const Value& a, const Value& b);

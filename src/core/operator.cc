@@ -31,7 +31,8 @@ TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
                                    OutputCallback output)
     : spec_(std::move(spec)),
       deriver_(spec_.definitions, /*announce_starts=*/options.low_latency,
-               options.metrics),
+               options.metrics,
+               DeriveOptions{options.compiled_predicates}),
       engine_(std::make_unique<MatchEngine>(
           &spec_, &deriver_, IdentitySlots(spec_.definitions.size()),
           EngineOptions(options), std::move(output))) {}
@@ -44,10 +45,12 @@ void TPStreamOperator::Push(const Event& event) {
 }
 
 void TPStreamOperator::PushBatch(std::span<Event> events) {
+  deriver_.PrepareBatch({events.data(), events.size()});
   for (Event& event : events) Push(event);
 }
 
 void TPStreamOperator::PushBatch(std::span<const Event> events) {
+  deriver_.PrepareBatch(events);
   for (const Event& event : events) Push(event);
 }
 

@@ -36,6 +36,11 @@ class TPStreamOperator {
     double stats_alpha = 0.01;
     double reopt_threshold = 0.2;
     int reopt_interval = 64;
+    /// Compile DEFINE predicates to register bytecode and evaluate them
+    /// columnarly over PushBatch() spans (expr/bytecode.h). Off by
+    /// default — the expression interpreter remains the semantic oracle;
+    /// outputs are identical either way (differentially tested).
+    bool compiled_predicates = false;
     /// When set, pins the evaluation order and disables adaptivity (used
     /// by the plan-quality experiments).
     std::optional<std::vector<int>> fixed_order;
@@ -106,6 +111,12 @@ class TPStreamOperator {
 
   /// Buffered situations across all matcher buffers (memory accounting).
   size_t BufferedCount() const { return engine_->BufferedCount(); }
+
+  /// Distinct bytecode programs backing the DEFINE predicates (0 unless
+  /// Options::compiled_predicates; fingerprint-equal predicates share).
+  int num_compiled_programs() const {
+    return deriver_.num_compiled_programs();
+  }
 
   /// Overload-shedding accounting (Degradation contract); all zero when
   /// Options::overload leaves the caps unbounded.

@@ -1,14 +1,21 @@
 #include "derive/deriver.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 namespace tpstream {
 
 Deriver::Deriver(std::vector<SituationDefinition> definitions,
-                 bool announce_starts, obs::MetricsRegistry* metrics)
-    : defs_(std::move(definitions)), announce_starts_(announce_starts) {
+                 bool announce_starts, obs::MetricsRegistry* metrics,
+                 DeriveOptions options)
+    : defs_(std::move(definitions)),
+      announce_starts_(announce_starts),
+      options_(options) {
   slots_.reserve(defs_.size());
   for (const SituationDefinition& def : defs_) {
     slots_.emplace_back(def.aggregates);
   }
+  if (options_.compiled_predicates) CompilePredicates();
   if (metrics != nullptr) {
     events_ctr_ = metrics->GetCounter("deriver.events");
     predicate_evals_ctr_ = metrics->GetCounter("deriver.predicate_evals");
@@ -16,7 +23,73 @@ Deriver::Deriver(std::vector<SituationDefinition> definitions,
     announced_ctr_ = metrics->GetCounter("deriver.situations_announced");
     finished_ctr_ = metrics->GetCounter("deriver.situations_finished");
     discarded_ctr_ = metrics->GetCounter("deriver.situations_discarded");
+    if (options_.compiled_predicates) {
+      metrics->GetGauge("deriver.compiled_programs")
+          ->Set(static_cast<double>(programs_.size()));
+      metrics->GetCounter("deriver.program_cache_hits")
+          ->Inc(program_cache_hits_);
+    }
   }
+}
+
+void Deriver::CompilePredicates() {
+  // One program per distinct predicate fingerprint: definitions that
+  // differ only in aggregates/duration (or symbol name) share code, the
+  // same keying the multi-query engine uses to share whole definitions.
+  std::unordered_map<std::string, int> by_fingerprint;
+  program_of_def_.assign(defs_.size(), -1);
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].predicate == nullptr) continue;
+    const std::string fp = ExprFingerprint(*defs_[i].predicate);
+    auto [it, inserted] =
+        by_fingerprint.emplace(fp, static_cast<int>(programs_.size()));
+    if (inserted) {
+      auto compiled = CompilePredicate(*defs_[i].predicate);
+      if (!compiled.ok()) {
+        // Semantics over speed: this definition keeps the interpreter.
+        by_fingerprint.erase(it);
+        continue;
+      }
+      programs_.push_back(std::move(compiled).value());
+      const auto& fields = programs_.back()->referenced_fields();
+      batch_fields_.insert(batch_fields_.end(), fields.begin(),
+                           fields.end());
+    } else {
+      ++program_cache_hits_;
+    }
+    program_of_def_[i] = it->second;
+  }
+  std::sort(batch_fields_.begin(), batch_fields_.end());
+  batch_fields_.erase(
+      std::unique(batch_fields_.begin(), batch_fields_.end()),
+      batch_fields_.end());
+}
+
+void Deriver::PrepareBatch(std::span<const Event> events) {
+  batch_base_ = nullptr;
+  if (!options_.compiled_predicates || events.empty() ||
+      programs_.empty()) {
+    return;
+  }
+  batch_.Assign(events, batch_fields_);
+  batch_n_ = events.size();
+  batch_bits_.resize(programs_.size() * batch_n_);
+  for (size_t p = 0; p < programs_.size(); ++p) {
+    programs_[p]->RunPredicateColumn(batch_, &exec_scratch_,
+                                     batch_bits_.data() + p * batch_n_);
+  }
+  batch_base_ = events.data();
+  batch_cursor_ = 0;
+}
+
+bool Deriver::EvalCompiled(int def, const Event& event) {
+  const int p = program_of_def_[def];
+  if (p < 0) return EvalPredicate(*defs_[def].predicate, event.payload);
+  if (batch_base_ != nullptr) {
+    return batch_bits_[static_cast<size_t>(p) * batch_n_ +
+                       batch_cursor_] != 0;
+  }
+  return programs_[p]->RunPredicate(event.payload, &exec_scratch_);
 }
 
 Deriver::Update& Deriver::Process(const Event& event) {
@@ -27,10 +100,20 @@ Deriver::Update& Deriver::Process(const Event& event) {
     predicate_evals_ctr_->Inc(static_cast<int64_t>(defs_.size()));
   }
 
+  const bool compiled = options_.compiled_predicates;
+  if (compiled && batch_base_ != nullptr &&
+      (batch_cursor_ >= batch_n_ || &event != batch_base_ + batch_cursor_)) {
+    // The caller deviated from the announced batch (or consumed it);
+    // drop the precomputed rows and evaluate per tuple.
+    batch_base_ = nullptr;
+  }
+
   for (int i = 0; i < static_cast<int>(defs_.size()); ++i) {
     const SituationDefinition& def = defs_[i];
     Slot& slot = slots_[i];
-    const bool satisfied = EvalPredicate(*def.predicate, event.payload);
+    const bool satisfied =
+        compiled ? EvalCompiled(i, event)
+                 : EvalPredicate(*def.predicate, event.payload);
 
     if (satisfied) {
       if (!slot.active) {
@@ -65,6 +148,7 @@ Deriver::Update& Deriver::Process(const Event& event) {
       slot.announced = false;
     }
   }
+  if (compiled && batch_base_ != nullptr) ++batch_cursor_;
   return update_;
 }
 

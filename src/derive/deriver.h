@@ -1,15 +1,32 @@
 #ifndef TPSTREAM_DERIVE_DERIVER_H_
 #define TPSTREAM_DERIVE_DERIVER_H_
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/event.h"
 #include "common/situation.h"
 #include "derive/definition.h"
+#include "expr/bytecode.h"
 #include "obs/metrics.h"
 
 namespace tpstream {
+
+/// Tuning knobs for the deriver's predicate-evaluation stage.
+struct DeriveOptions {
+  /// Compile DEFINE predicates to flat register bytecode (expr/bytecode.h)
+  /// instead of interpreting the Expression tree per event, and evaluate
+  /// them columnarly over event batches when the caller announces one via
+  /// PrepareBatch(). Off by default: the tree interpreter remains the
+  /// semantic oracle (the two are differentially fuzzed against each
+  /// other; see docs/architecture.md, "Compiled predicate path").
+  /// Observable behaviour — situations, counters, metrics — is identical
+  /// either way; a predicate that fails to compile silently keeps the
+  /// interpreter.
+  bool compiled_predicates = false;
+};
 
 /// The deriver component (Algorithm 1): consumes a point event stream and
 /// incrementally derives one situation stream per definition.
@@ -36,8 +53,15 @@ class Deriver {
   /// `metrics`, when non-null, receives the `deriver.*` counters (events,
   /// predicate evaluations, situations opened / announced / finished /
   /// discarded). Must outlive the deriver.
+  ///
+  /// With `options.compiled_predicates`, each distinct predicate (keyed
+  /// by its structural fingerprint, expr/expression.h) is compiled once
+  /// and shared across definitions; `num_compiled_programs()` /
+  /// `program_cache_hits()` and the `deriver.compiled_programs` /
+  /// `deriver.program_cache_hits` metrics pin the sharing.
   Deriver(std::vector<SituationDefinition> definitions, bool announce_starts,
-          obs::MetricsRegistry* metrics = nullptr);
+          obs::MetricsRegistry* metrics = nullptr,
+          DeriveOptions options = {});
 
   /// Processes one event; events must arrive in strictly increasing
   /// timestamp order. The returned reference is valid until the next call.
@@ -45,6 +69,18 @@ class Deriver {
   /// started/finished situations straight into the matcher buffers; the
   /// scratch vectors are cleared on the next Process() regardless.
   Update& Process(const Event& event);
+
+  /// Announces that the next `events.size()` Process() calls will walk
+  /// exactly the elements of `events` in order (the PushBatch contract).
+  /// In compiled mode this pre-evaluates every predicate columnarly over
+  /// the whole batch — one pass per distinct program with its code and
+  /// the referenced field columns hot in cache — and Process() then
+  /// consumes the precomputed rows. A no-op in interpreter mode, and
+  /// never required for correctness: if the caller pushes different
+  /// events instead, Process() detects the mismatch and falls back to
+  /// per-tuple evaluation. `events` must stay alive and unmodified until
+  /// the batch is consumed.
+  void PrepareBatch(std::span<const Event> events);
 
   /// True if `symbol` has an announced, still ongoing situation.
   bool IsOngoing(int symbol) const {
@@ -63,6 +99,15 @@ class Deriver {
   /// Duration constraints in symbol order (input to DetectionAnalysis).
   std::vector<DurationConstraint> durations() const;
 
+  /// Compiled-mode introspection (0 in interpreter mode): distinct
+  /// bytecode programs, and definitions that reused a sibling's program
+  /// because their predicate fingerprints matched.
+  int num_compiled_programs() const {
+    return static_cast<int>(programs_.size());
+  }
+  int64_t program_cache_hits() const { return program_cache_hits_; }
+  bool compiled() const { return options_.compiled_predicates; }
+
  private:
   struct Slot {
     bool active = false;
@@ -74,10 +119,33 @@ class Deriver {
         : aggs(std::move(specs)) {}
   };
 
+  void CompilePredicates();
+  bool EvalCompiled(int def, const Event& event);
+
   std::vector<SituationDefinition> defs_;
   std::vector<Slot> slots_;
   bool announce_starts_;
+  DeriveOptions options_;
   Update update_;
+
+  // Compiled-predicate state (empty in interpreter mode). Definitions
+  // with fingerprint-equal predicates share one program: program_of_def_
+  // maps definition -> index into programs_; -1 falls back to the
+  // interpreter for that definition.
+  std::vector<std::shared_ptr<const BytecodeProgram>> programs_;
+  std::vector<int> program_of_def_;
+  std::vector<int> batch_fields_;  // union of referenced fields, ascending
+  int64_t program_cache_hits_ = 0;
+  ExecScratch exec_scratch_;
+
+  // Prepared-batch state: bits_[prog * batch_n_ + row] is the prog's
+  // predicate over batch event `row`, valid while the caller walks the
+  // announced span in order (checked by address).
+  ColumnarBatch batch_;
+  std::vector<uint8_t> batch_bits_;
+  const Event* batch_base_ = nullptr;
+  size_t batch_n_ = 0;
+  size_t batch_cursor_ = 0;
 
   // Observability handles (null when metrics are disabled).
   obs::Counter* events_ctr_ = nullptr;

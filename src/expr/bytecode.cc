@@ -1,0 +1,1274 @@
+#include "expr/bytecode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+namespace tpstream {
+
+namespace {
+
+constexpr int kMaxOperand = 0xFFFF;
+
+// --- Unboxed Value operations, mirrored from common/value.cc ------------
+// Every branch below is the RegSlot transliteration of the corresponding
+// Value operation; the differential fuzzer holds the two in lockstep.
+
+inline bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kDouble;
+}
+
+inline double SlotToDouble(const RegSlot& s) {
+  // Only reached with numeric slots (arithmetic guards on IsNumeric),
+  // mirroring Value::ToDouble on the int/double cases.
+  return s.type == ValueType::kInt ? static_cast<double>(s.v.i) : s.v.d;
+}
+
+inline bool SlotTruthy(const RegSlot& s) {
+  switch (s.type) {
+    case ValueType::kBool:
+      return s.v.b;
+    case ValueType::kInt:
+      return s.v.i != 0;
+    case ValueType::kDouble:
+      return s.v.d != 0.0;
+    default:
+      return false;  // null and string, like Value::Truthy
+  }
+}
+
+inline RegSlot IntSlot(int64_t v) {
+  RegSlot s;
+  s.type = ValueType::kInt;
+  s.v.i = v;
+  return s;
+}
+
+inline RegSlot DoubleSlot(double v) {
+  RegSlot s;
+  s.type = ValueType::kDouble;
+  s.v.d = v;
+  return s;
+}
+
+inline RegSlot BoolSlot(bool v) {
+  RegSlot s;
+  s.type = ValueType::kBool;
+  s.v.b = v;
+  return s;
+}
+
+inline RegSlot SlotFromValue(const Value& v) {
+  RegSlot s;
+  s.type = v.type();
+  switch (v.type()) {
+    case ValueType::kInt:
+      s.v.i = v.AsInt();
+      break;
+    case ValueType::kDouble:
+      s.v.d = v.AsDouble();
+      break;
+    case ValueType::kBool:
+      s.v.b = v.AsBool();
+      break;
+    case ValueType::kString:
+      s.v.s = &v.AsString();
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  return s;
+}
+
+inline Value SlotToValue(const RegSlot& s) {
+  switch (s.type) {
+    case ValueType::kInt:
+      return Value(s.v.i);
+    case ValueType::kDouble:
+      return Value(s.v.d);
+    case ValueType::kBool:
+      return Value(s.v.b);
+    case ValueType::kString:
+      return Value(*s.v.s);
+    case ValueType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+inline RegSlot LoadTupleField(const Tuple& tuple, int field) {
+  if (field >= static_cast<int>(tuple.size())) return RegSlot{};
+  return SlotFromValue(tuple[field]);
+}
+
+template <typename IntOp, typename DoubleOp>
+inline RegSlot NumericSlotOp(const RegSlot& a, const RegSlot& b,
+                             IntOp int_op, DoubleOp double_op) {
+  if (!IsNumeric(a.type) || !IsNumeric(b.type)) return RegSlot{};
+  if (a.type == ValueType::kInt && b.type == ValueType::kInt) {
+    return IntSlot(int_op(a.v.i, b.v.i));
+  }
+  return DoubleSlot(double_op(SlotToDouble(a), SlotToDouble(b)));
+}
+
+inline RegSlot SlotDiv(const RegSlot& a, const RegSlot& b) {
+  if (!IsNumeric(a.type) || !IsNumeric(b.type)) return RegSlot{};
+  const double y = SlotToDouble(b);
+  if (y == 0.0) return RegSlot{};
+  return DoubleSlot(SlotToDouble(a) / y);
+}
+
+// Value::Compare transliterated to slots.
+inline int SlotCompare(const RegSlot& a, const RegSlot& b) {
+  if (a.type == ValueType::kNull || b.type == ValueType::kNull) {
+    return Value::kIncomparable;
+  }
+  if (IsNumeric(a.type) && IsNumeric(b.type)) {
+    if (a.type == ValueType::kInt && b.type == ValueType::kInt) {
+      return a.v.i < b.v.i ? -1 : (a.v.i > b.v.i ? 1 : 0);
+    }
+    const double x = SlotToDouble(a);
+    const double y = SlotToDouble(b);
+    if (std::isnan(x) || std::isnan(y)) return Value::kIncomparable;
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type != b.type) return Value::kIncomparable;
+  switch (a.type) {
+    case ValueType::kBool:
+      return (a.v.b ? 1 : 0) - (b.v.b ? 1 : 0);
+    case ValueType::kString: {
+      const int c = a.v.s->compare(*b.v.s);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return Value::kIncomparable;
+  }
+}
+
+inline RegSlot SlotCmp(OpCode op, const RegSlot& a, const RegSlot& b) {
+  const int cmp = SlotCompare(a, b);
+  if (cmp == Value::kIncomparable) return RegSlot{};  // null, falsy
+  switch (op) {
+    case OpCode::kCmpEq:
+      return BoolSlot(cmp == 0);
+    case OpCode::kCmpNe:
+      return BoolSlot(cmp != 0);
+    case OpCode::kCmpLt:
+      return BoolSlot(cmp < 0);
+    case OpCode::kCmpLe:
+      return BoolSlot(cmp <= 0);
+    case OpCode::kCmpGt:
+      return BoolSlot(cmp > 0);
+    default:
+      return BoolSlot(cmp >= 0);  // kCmpGe
+  }
+}
+
+/// The plain comparison a fused field-vs-const opcode stands for; relies
+/// on the two enum blocks sharing order and being contiguous.
+inline OpCode FusedCmpBase(OpCode op) {
+  return static_cast<OpCode>(static_cast<int>(OpCode::kCmpEq) +
+                             (static_cast<int>(op) -
+                              static_cast<int>(OpCode::kCmpEqFC)));
+}
+
+/// Strided comparison loop for the columnar executor: the opcode switch
+/// runs once per batch (selecting `pred`), not once per row. Stride 0
+/// broadcasts a scalar (a fused constant, or a null for an absent
+/// column).
+template <typename Pred>
+inline void CmpLoop(const RegSlot* a, size_t a_stride, const RegSlot* b,
+                    size_t b_stride, RegSlot* d, size_t rows, Pred pred) {
+  for (size_t r = 0; r < rows; ++r) {
+    const int c = SlotCompare(a[r * a_stride], b[r * b_stride]);
+    d[r] = c == Value::kIncomparable ? RegSlot{} : BoolSlot(pred(c));
+  }
+}
+
+inline void CmpColumns(OpCode base, const RegSlot* a, size_t a_stride,
+                       const RegSlot* b, size_t b_stride, RegSlot* d,
+                       size_t rows) {
+  switch (base) {
+    case OpCode::kCmpEq:
+      CmpLoop(a, a_stride, b, b_stride, d, rows,
+              [](int c) { return c == 0; });
+      break;
+    case OpCode::kCmpNe:
+      CmpLoop(a, a_stride, b, b_stride, d, rows,
+              [](int c) { return c != 0; });
+      break;
+    case OpCode::kCmpLt:
+      CmpLoop(a, a_stride, b, b_stride, d, rows,
+              [](int c) { return c < 0; });
+      break;
+    case OpCode::kCmpLe:
+      CmpLoop(a, a_stride, b, b_stride, d, rows,
+              [](int c) { return c <= 0; });
+      break;
+    case OpCode::kCmpGt:
+      CmpLoop(a, a_stride, b, b_stride, d, rows,
+              [](int c) { return c > 0; });
+      break;
+    default:  // kCmpGe
+      CmpLoop(a, a_stride, b, b_stride, d, rows,
+              [](int c) { return c >= 0; });
+      break;
+  }
+}
+
+// --- Type-specialized columnar kernels ----------------------------------
+// Selected when a column's ColClass proves every slot shares a type; each
+// kernel is elementwise-exact, so class tracking can be conservative.
+
+inline ColClass ClassOfType(ValueType t) {
+  switch (t) {
+    case ValueType::kInt:
+      return ColClass::kInt;
+    case ValueType::kDouble:
+      return ColClass::kDouble;
+    case ValueType::kBool:
+      return ColClass::kBool;
+    default:
+      return ColClass::kMixed;
+  }
+}
+
+/// Instantiates `f` with the relational predicate `base` stands for, as a
+/// generic lambda — int64 pairs compare in the integer domain, widened
+/// pairs as doubles, exactly like SlotCompare's two numeric branches.
+template <typename F>
+inline void WithCmpPred(OpCode base, F f) {
+  switch (base) {
+    case OpCode::kCmpEq:
+      f([](auto x, auto y) { return x == y; });
+      break;
+    case OpCode::kCmpNe:
+      f([](auto x, auto y) { return x != y; });
+      break;
+    case OpCode::kCmpLt:
+      f([](auto x, auto y) { return x < y; });
+      break;
+    case OpCode::kCmpLe:
+      f([](auto x, auto y) { return x <= y; });
+      break;
+    case OpCode::kCmpGt:
+      f([](auto x, auto y) { return x > y; });
+      break;
+    default:  // kCmpGe
+      f([](auto x, auto y) { return x >= y; });
+      break;
+  }
+}
+
+template <typename Pred>
+inline void CmpLoopII(const RegSlot* a, const RegSlot* b, size_t bs,
+                      RegSlot* d, size_t rows, Pred pred) {
+  for (size_t r = 0; r < rows; ++r) {
+    d[r] = BoolSlot(pred(a[r].v.i, b[r * bs].v.i));
+  }
+}
+
+/// Widened numeric comparison; the NaN guard reproduces SlotCompare's
+/// incomparable (null) result bit-for-bit. The `*_int` flags are
+/// loop-invariant, so the conversions hoist.
+template <typename Pred>
+inline void CmpLoopNumeric(const RegSlot* a, bool a_int, const RegSlot* b,
+                           size_t bs, bool b_int, RegSlot* d, size_t rows,
+                           Pred pred) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double x = a_int ? static_cast<double>(a[r].v.i) : a[r].v.d;
+    const double y =
+        b_int ? static_cast<double>(b[r * bs].v.i) : b[r * bs].v.d;
+    d[r] = (x != x || y != y) ? RegSlot{} : BoolSlot(pred(x, y));
+  }
+}
+
+/// Fast comparison over numeric columns. Returns false when no
+/// specialized kernel applies (caller falls back to the generic loop).
+inline bool CmpColumnsFast(OpCode base, const RegSlot* a, ColClass ac,
+                           const RegSlot* b, size_t bs, ColClass bc,
+                           RegSlot* d, size_t rows) {
+  const bool a_num = ac == ColClass::kInt || ac == ColClass::kDouble;
+  const bool b_num = bc == ColClass::kInt || bc == ColClass::kDouble;
+  if (!a_num || !b_num) return false;
+  if (ac == ColClass::kInt && bc == ColClass::kInt) {
+    WithCmpPred(base,
+                [&](auto pred) { CmpLoopII(a, b, bs, d, rows, pred); });
+  } else {
+    WithCmpPred(base, [&](auto pred) {
+      CmpLoopNumeric(a, ac == ColClass::kInt, b, bs, bc == ColClass::kInt,
+                     d, rows, pred);
+    });
+  }
+  return true;
+}
+
+/// Widening add/sub/mul over numeric columns (at least one double):
+/// always produces doubles, NaN/inf propagating exactly as the scalar
+/// double op does.
+template <typename DoubleOp>
+inline void ArithWidenLoop(const RegSlot* a, bool a_int, const RegSlot* b,
+                           bool b_int, RegSlot* d, size_t rows,
+                           DoubleOp op) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double x = a_int ? static_cast<double>(a[r].v.i) : a[r].v.d;
+    const double y = b_int ? static_cast<double>(b[r].v.i) : b[r].v.d;
+    d[r] = DoubleSlot(op(x, y));
+  }
+}
+
+}  // namespace
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kLoadConst:
+      return "load_const";
+    case OpCode::kLoadField:
+      return "load_field";
+    case OpCode::kAdd:
+      return "add";
+    case OpCode::kSub:
+      return "sub";
+    case OpCode::kMul:
+      return "mul";
+    case OpCode::kDiv:
+      return "div";
+    case OpCode::kCmpEq:
+      return "cmp_eq";
+    case OpCode::kCmpNe:
+      return "cmp_ne";
+    case OpCode::kCmpLt:
+      return "cmp_lt";
+    case OpCode::kCmpLe:
+      return "cmp_le";
+    case OpCode::kCmpGt:
+      return "cmp_gt";
+    case OpCode::kCmpGe:
+      return "cmp_ge";
+    case OpCode::kTruthy:
+      return "truthy";
+    case OpCode::kNot:
+      return "not";
+    case OpCode::kNeg:
+      return "neg";
+    case OpCode::kJump:
+      return "jump";
+    case OpCode::kJumpIfFalsy:
+      return "jump_if_falsy";
+    case OpCode::kJumpIfTruthy:
+      return "jump_if_truthy";
+    case OpCode::kRet:
+      return "ret";
+    case OpCode::kCmpEqFC:
+      return "cmp_eq_fc";
+    case OpCode::kCmpNeFC:
+      return "cmp_ne_fc";
+    case OpCode::kCmpLtFC:
+      return "cmp_lt_fc";
+    case OpCode::kCmpLeFC:
+      return "cmp_le_fc";
+    case OpCode::kCmpGtFC:
+      return "cmp_gt_fc";
+    case OpCode::kCmpGeFC:
+      return "cmp_ge_fc";
+    case OpCode::kAndEager:
+      return "and_eager";
+    case OpCode::kOrEager:
+      return "or_eager";
+  }
+  return "?";
+}
+
+// --- ColumnarBatch ------------------------------------------------------
+
+void ColumnarBatch::Assign(std::span<const Event> events,
+                           const std::vector<int>& fields) {
+  rows_ = events.size();
+  const int max_field = fields.empty() ? -1 : fields.back();
+  col_of_field_.assign(max_field + 1, -1);
+  if (columns_.size() < fields.size()) columns_.resize(fields.size());
+  col_class_.assign(fields.size(), ColClass::kMixed);
+  for (size_t c = 0; c < fields.size(); ++c) {
+    const int f = fields[c];
+    col_of_field_[f] = static_cast<int>(c);
+    std::vector<RegSlot>& col = columns_[c];
+    col.resize(rows_);
+    bool uniform = rows_ > 0;
+    for (size_t row = 0; row < rows_; ++row) {
+      col[row] = LoadTupleField(events[row].payload, f);
+      uniform &= col[row].type == col[0].type;
+    }
+    if (uniform) col_class_[c] = ClassOfType(col[0].type);
+  }
+}
+
+// --- Execution ----------------------------------------------------------
+
+template <typename FieldLoader>
+RegSlot BytecodeProgram::Exec(ExecScratch* scratch,
+                              const FieldLoader& load) const {
+  if (static_cast<int>(scratch->regs.size()) < num_regs_) {
+    scratch->regs.resize(num_regs_);
+  }
+  RegSlot* regs = scratch->regs.data();
+  const Instr* code = code_.data();
+  const RegSlot* consts = const_slots_.data();
+  size_t pc = 0;
+  for (;;) {
+    const Instr in = code[pc];
+    switch (in.op) {
+      case OpCode::kLoadConst:
+        regs[in.dst] = consts[in.a];
+        break;
+      case OpCode::kLoadField:
+        regs[in.dst] = load(in.a);
+        break;
+      case OpCode::kAdd:
+        regs[in.dst] = NumericSlotOp(
+            regs[in.a], regs[in.b], WrapAdd,
+            [](double x, double y) { return x + y; });
+        break;
+      case OpCode::kSub:
+        regs[in.dst] = NumericSlotOp(
+            regs[in.a], regs[in.b], WrapSub,
+            [](double x, double y) { return x - y; });
+        break;
+      case OpCode::kMul:
+        regs[in.dst] = NumericSlotOp(
+            regs[in.a], regs[in.b], WrapMul,
+            [](double x, double y) { return x * y; });
+        break;
+      case OpCode::kDiv:
+        regs[in.dst] = SlotDiv(regs[in.a], regs[in.b]);
+        break;
+      case OpCode::kCmpEq:
+      case OpCode::kCmpNe:
+      case OpCode::kCmpLt:
+      case OpCode::kCmpLe:
+      case OpCode::kCmpGt:
+      case OpCode::kCmpGe:
+        regs[in.dst] = SlotCmp(in.op, regs[in.a], regs[in.b]);
+        break;
+      case OpCode::kCmpEqFC:
+      case OpCode::kCmpNeFC:
+      case OpCode::kCmpLtFC:
+      case OpCode::kCmpLeFC:
+      case OpCode::kCmpGtFC:
+      case OpCode::kCmpGeFC:
+        regs[in.dst] = SlotCmp(FusedCmpBase(in.op), load(in.a), consts[in.b]);
+        break;
+      case OpCode::kAndEager:
+        regs[in.dst] =
+            BoolSlot(SlotTruthy(regs[in.a]) && SlotTruthy(regs[in.b]));
+        break;
+      case OpCode::kOrEager:
+        regs[in.dst] =
+            BoolSlot(SlotTruthy(regs[in.a]) || SlotTruthy(regs[in.b]));
+        break;
+      case OpCode::kTruthy:
+        regs[in.dst] = BoolSlot(SlotTruthy(regs[in.a]));
+        break;
+      case OpCode::kNot:
+        regs[in.dst] = BoolSlot(!SlotTruthy(regs[in.a]));
+        break;
+      case OpCode::kNeg: {
+        const RegSlot& src = regs[in.a];
+        if (src.type == ValueType::kInt) {
+          regs[in.dst] = IntSlot(WrapNeg(src.v.i));
+        } else if (src.type == ValueType::kDouble) {
+          regs[in.dst] = DoubleSlot(-src.v.d);
+        } else {
+          regs[in.dst] = RegSlot{};
+        }
+        break;
+      }
+      case OpCode::kJump:
+        pc = in.b;
+        continue;
+      case OpCode::kJumpIfFalsy:
+        if (!SlotTruthy(regs[in.a])) {
+          pc = in.b;
+          continue;
+        }
+        break;
+      case OpCode::kJumpIfTruthy:
+        if (SlotTruthy(regs[in.a])) {
+          pc = in.b;
+          continue;
+        }
+        break;
+      case OpCode::kRet:
+        return regs[in.a];
+    }
+    ++pc;
+  }
+}
+
+Value BytecodeProgram::Run(const Tuple& tuple, ExecScratch* scratch) const {
+  return SlotToValue(
+      Exec(scratch, [&](int f) { return LoadTupleField(tuple, f); }));
+}
+
+Value BytecodeProgram::Run(const Tuple& tuple) const {
+  ExecScratch scratch;
+  return Run(tuple, &scratch);
+}
+
+bool BytecodeProgram::RunPredicate(const Tuple& tuple,
+                                   ExecScratch* scratch) const {
+  return SlotTruthy(
+      Exec(scratch, [&](int f) { return LoadTupleField(tuple, f); }));
+}
+
+bool BytecodeProgram::RunPredicate(const Tuple& tuple) const {
+  ExecScratch scratch;
+  return RunPredicate(tuple, &scratch);
+}
+
+void BytecodeProgram::RunPredicateColumn(const ColumnarBatch& batch,
+                                         ExecScratch* scratch,
+                                         uint8_t* out) const {
+  const size_t rows = batch.num_rows();
+  if (rows == 0) return;
+  // Column-major register file: register r is cols[r*rows .. r*rows+rows),
+  // with a uniformity class per register selecting specialized kernels.
+  const size_t need = static_cast<size_t>(flat_num_regs_) * rows;
+  if (scratch->cols.size() < need) scratch->cols.resize(need);
+  scratch->reg_class.assign(static_cast<size_t>(flat_num_regs_),
+                            ColClass::kMixed);
+  RegSlot* const regs = scratch->cols.data();
+  ColClass* const rc = scratch->reg_class.data();
+  const RegSlot* consts = const_slots_.data();
+  const RegSlot null_slot{};
+  for (const Instr& in : flat_code_) {
+    RegSlot* const d = regs + static_cast<size_t>(in.dst) * rows;
+    switch (in.op) {
+      case OpCode::kLoadConst: {
+        const RegSlot k = consts[in.a];
+        std::fill(d, d + rows, k);
+        rc[in.dst] = ClassOfType(k.type);
+        break;
+      }
+      case OpCode::kLoadField: {
+        const RegSlot* src = batch.ColumnPtr(in.a);
+        if (src != nullptr) {
+          std::copy(src, src + rows, d);
+          rc[in.dst] = batch.ColumnClass(in.a);
+        } else {
+          std::fill(d, d + rows, null_slot);
+          rc[in.dst] = ColClass::kMixed;
+        }
+        break;
+      }
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul: {
+        const RegSlot* a = regs + static_cast<size_t>(in.a) * rows;
+        const RegSlot* b = regs + static_cast<size_t>(in.b) * rows;
+        const ColClass ac = rc[in.a];
+        const ColClass bc = rc[in.b];
+        if (ac == ColClass::kInt && bc == ColClass::kInt) {
+          if (in.op == OpCode::kAdd) {
+            for (size_t r = 0; r < rows; ++r) {
+              d[r] = IntSlot(WrapAdd(a[r].v.i, b[r].v.i));
+            }
+          } else if (in.op == OpCode::kSub) {
+            for (size_t r = 0; r < rows; ++r) {
+              d[r] = IntSlot(WrapSub(a[r].v.i, b[r].v.i));
+            }
+          } else {
+            for (size_t r = 0; r < rows; ++r) {
+              d[r] = IntSlot(WrapMul(a[r].v.i, b[r].v.i));
+            }
+          }
+          rc[in.dst] = ColClass::kInt;
+        } else if ((ac == ColClass::kInt || ac == ColClass::kDouble) &&
+                   (bc == ColClass::kInt || bc == ColClass::kDouble)) {
+          const bool ai = ac == ColClass::kInt;
+          const bool bi = bc == ColClass::kInt;
+          if (in.op == OpCode::kAdd) {
+            ArithWidenLoop(a, ai, b, bi, d, rows,
+                           [](double x, double y) { return x + y; });
+          } else if (in.op == OpCode::kSub) {
+            ArithWidenLoop(a, ai, b, bi, d, rows,
+                           [](double x, double y) { return x - y; });
+          } else {
+            ArithWidenLoop(a, ai, b, bi, d, rows,
+                           [](double x, double y) { return x * y; });
+          }
+          rc[in.dst] = ColClass::kDouble;
+        } else {
+          if (in.op == OpCode::kAdd) {
+            for (size_t r = 0; r < rows; ++r) {
+              d[r] = NumericSlotOp(a[r], b[r], WrapAdd,
+                                   [](double x, double y) { return x + y; });
+            }
+          } else if (in.op == OpCode::kSub) {
+            for (size_t r = 0; r < rows; ++r) {
+              d[r] = NumericSlotOp(a[r], b[r], WrapSub,
+                                   [](double x, double y) { return x - y; });
+            }
+          } else {
+            for (size_t r = 0; r < rows; ++r) {
+              d[r] = NumericSlotOp(a[r], b[r], WrapMul,
+                                   [](double x, double y) { return x * y; });
+            }
+          }
+          rc[in.dst] = ColClass::kMixed;
+        }
+        break;
+      }
+      case OpCode::kDiv: {
+        const RegSlot* a = regs + static_cast<size_t>(in.a) * rows;
+        const RegSlot* b = regs + static_cast<size_t>(in.b) * rows;
+        if (rc[in.a] == ColClass::kDouble && rc[in.b] == ColClass::kDouble) {
+          bool saw_zero = false;
+          for (size_t r = 0; r < rows; ++r) {
+            const double y = b[r].v.d;
+            saw_zero |= y == 0.0;
+            d[r] = y == 0.0 ? RegSlot{} : DoubleSlot(a[r].v.d / y);
+          }
+          rc[in.dst] = saw_zero ? ColClass::kMixed : ColClass::kDouble;
+        } else {
+          for (size_t r = 0; r < rows; ++r) d[r] = SlotDiv(a[r], b[r]);
+          rc[in.dst] = ColClass::kMixed;
+        }
+        break;
+      }
+      case OpCode::kCmpEq:
+      case OpCode::kCmpNe:
+      case OpCode::kCmpLt:
+      case OpCode::kCmpLe:
+      case OpCode::kCmpGt:
+      case OpCode::kCmpGe: {
+        const RegSlot* a = regs + static_cast<size_t>(in.a) * rows;
+        const RegSlot* b = regs + static_cast<size_t>(in.b) * rows;
+        const ColClass ac = rc[in.a];
+        const ColClass bc = rc[in.b];
+        if (CmpColumnsFast(in.op, a, ac, b, 1, bc, d, rows)) {
+          rc[in.dst] = ac == ColClass::kInt && bc == ColClass::kInt
+                           ? ColClass::kBool
+                           : ColClass::kMixed;
+        } else {
+          CmpColumns(in.op, a, 1, b, 1, d, rows);
+          rc[in.dst] = ColClass::kMixed;
+        }
+        break;
+      }
+      case OpCode::kCmpEqFC:
+      case OpCode::kCmpNeFC:
+      case OpCode::kCmpLtFC:
+      case OpCode::kCmpLeFC:
+      case OpCode::kCmpGtFC:
+      case OpCode::kCmpGeFC: {
+        const OpCode base = FusedCmpBase(in.op);
+        const RegSlot k = consts[in.b];
+        const RegSlot* src = batch.ColumnPtr(in.a);
+        if (src == nullptr) {
+          CmpColumns(base, &null_slot, 0, &k, 0, d, rows);
+          rc[in.dst] = ColClass::kMixed;
+          break;
+        }
+        const ColClass sc = batch.ColumnClass(in.a);
+        const ColClass kc = ClassOfType(k.type);
+        if (CmpColumnsFast(base, src, sc, &k, 0, kc, d, rows)) {
+          rc[in.dst] = sc == ColClass::kInt && kc == ColClass::kInt
+                           ? ColClass::kBool
+                           : ColClass::kMixed;
+        } else {
+          CmpColumns(base, src, 1, &k, 0, d, rows);
+          rc[in.dst] = ColClass::kMixed;
+        }
+        break;
+      }
+      case OpCode::kTruthy: {
+        const RegSlot* a = regs + static_cast<size_t>(in.a) * rows;
+        switch (rc[in.a]) {
+          case ColClass::kBool:
+            std::copy(a, a + rows, d);
+            break;
+          case ColClass::kInt:
+            for (size_t r = 0; r < rows; ++r) {
+              d[r] = BoolSlot(a[r].v.i != 0);
+            }
+            break;
+          case ColClass::kDouble:
+            // NaN != 0.0 is true, exactly SlotTruthy on a NaN double.
+            for (size_t r = 0; r < rows; ++r) {
+              d[r] = BoolSlot(a[r].v.d != 0.0);
+            }
+            break;
+          default:
+            for (size_t r = 0; r < rows; ++r) {
+              d[r] = BoolSlot(SlotTruthy(a[r]));
+            }
+            break;
+        }
+        rc[in.dst] = ColClass::kBool;
+        break;
+      }
+      case OpCode::kNot: {
+        const RegSlot* a = regs + static_cast<size_t>(in.a) * rows;
+        if (rc[in.a] == ColClass::kBool) {
+          for (size_t r = 0; r < rows; ++r) d[r] = BoolSlot(!a[r].v.b);
+        } else {
+          for (size_t r = 0; r < rows; ++r) {
+            d[r] = BoolSlot(!SlotTruthy(a[r]));
+          }
+        }
+        rc[in.dst] = ColClass::kBool;
+        break;
+      }
+      case OpCode::kNeg: {
+        const RegSlot* a = regs + static_cast<size_t>(in.a) * rows;
+        if (rc[in.a] == ColClass::kDouble) {
+          for (size_t r = 0; r < rows; ++r) d[r] = DoubleSlot(-a[r].v.d);
+          rc[in.dst] = ColClass::kDouble;
+        } else if (rc[in.a] == ColClass::kInt) {
+          for (size_t r = 0; r < rows; ++r) {
+            d[r] = IntSlot(WrapNeg(a[r].v.i));
+          }
+          rc[in.dst] = ColClass::kInt;
+        } else {
+          for (size_t r = 0; r < rows; ++r) {
+            const RegSlot& src = a[r];
+            if (src.type == ValueType::kInt) {
+              d[r] = IntSlot(WrapNeg(src.v.i));
+            } else if (src.type == ValueType::kDouble) {
+              d[r] = DoubleSlot(-src.v.d);
+            } else {
+              d[r] = RegSlot{};
+            }
+          }
+          rc[in.dst] = ColClass::kMixed;
+        }
+        break;
+      }
+      case OpCode::kAndEager: {
+        const RegSlot* a = regs + static_cast<size_t>(in.a) * rows;
+        const RegSlot* b = regs + static_cast<size_t>(in.b) * rows;
+        if (rc[in.a] == ColClass::kBool && rc[in.b] == ColClass::kBool) {
+          for (size_t r = 0; r < rows; ++r) {
+            d[r] = BoolSlot(a[r].v.b && b[r].v.b);
+          }
+        } else {
+          for (size_t r = 0; r < rows; ++r) {
+            d[r] = BoolSlot(SlotTruthy(a[r]) && SlotTruthy(b[r]));
+          }
+        }
+        rc[in.dst] = ColClass::kBool;
+        break;
+      }
+      case OpCode::kOrEager: {
+        const RegSlot* a = regs + static_cast<size_t>(in.a) * rows;
+        const RegSlot* b = regs + static_cast<size_t>(in.b) * rows;
+        if (rc[in.a] == ColClass::kBool && rc[in.b] == ColClass::kBool) {
+          for (size_t r = 0; r < rows; ++r) {
+            d[r] = BoolSlot(a[r].v.b || b[r].v.b);
+          }
+        } else {
+          for (size_t r = 0; r < rows; ++r) {
+            d[r] = BoolSlot(SlotTruthy(a[r]) || SlotTruthy(b[r]));
+          }
+        }
+        rc[in.dst] = ColClass::kBool;
+        break;
+      }
+      case OpCode::kRet: {
+        const RegSlot* a = regs + static_cast<size_t>(in.a) * rows;
+        if (rc[in.a] == ColClass::kBool) {
+          for (size_t r = 0; r < rows; ++r) out[r] = a[r].v.b ? 1 : 0;
+        } else {
+          for (size_t r = 0; r < rows; ++r) {
+            out[r] = SlotTruthy(a[r]) ? 1 : 0;
+          }
+        }
+        return;
+      }
+      case OpCode::kJump:
+      case OpCode::kJumpIfFalsy:
+      case OpCode::kJumpIfTruthy: {
+        // Unreachable: the flat lowering is branch-free by construction.
+        // Fall back to per-row scalar execution rather than misexecute.
+        for (size_t row = 0; row < rows; ++row) {
+          out[row] = SlotTruthy(
+              Exec(scratch, [&](int f) { return batch.Cell(f, row); }));
+        }
+        return;
+      }
+    }
+  }
+}
+
+
+// --- Disassembler -------------------------------------------------------
+
+std::string BytecodeProgram::Disassemble() const {
+  std::string out;
+  out.append("; regs=").append(std::to_string(num_regs_));
+  out.append(" consts=").append(std::to_string(consts_.size()));
+  out.append(" fields=[");
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out.append(",");
+    out.append(std::to_string(fields_[i]));
+  }
+  out.append("]\n");
+  for (size_t i = 0; i < consts_.size(); ++i) {
+    out.append("; c").append(std::to_string(i)).append(" = ");
+    out.append(ValueTypeName(consts_[i].type()));
+    out.append(":").append(consts_[i].ToString()).append("\n");
+  }
+  AppendListing(code_, &out);
+  // The branch-free columnar lowering of the same predicate; pinned in
+  // the goldens alongside the scalar stream so eager AND/OR codegen
+  // changes are just as reviewable.
+  out.append("; columnar: regs=").append(std::to_string(flat_num_regs_));
+  out.append("\n");
+  AppendListing(flat_code_, &out);
+  return out;
+}
+
+void BytecodeProgram::AppendListing(const std::vector<Instr>& code,
+                                    std::string* out) {
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Instr& in = code[i];
+    char head[16];
+    std::snprintf(head, sizeof(head), "L%zu:", i);
+    out->append(head);
+    out->append(" ").append(OpCodeName(in.op));
+    switch (in.op) {
+      case OpCode::kLoadConst:
+        out->append(" r").append(std::to_string(in.dst));
+        out->append(", c").append(std::to_string(in.a));
+        break;
+      case OpCode::kLoadField:
+        out->append(" r").append(std::to_string(in.dst));
+        out->append(", f").append(std::to_string(in.a));
+        break;
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv:
+      case OpCode::kCmpEq:
+      case OpCode::kCmpNe:
+      case OpCode::kCmpLt:
+      case OpCode::kCmpLe:
+      case OpCode::kCmpGt:
+      case OpCode::kCmpGe:
+      case OpCode::kAndEager:
+      case OpCode::kOrEager:
+        out->append(" r").append(std::to_string(in.dst));
+        out->append(", r").append(std::to_string(in.a));
+        out->append(", r").append(std::to_string(in.b));
+        break;
+      case OpCode::kCmpEqFC:
+      case OpCode::kCmpNeFC:
+      case OpCode::kCmpLtFC:
+      case OpCode::kCmpLeFC:
+      case OpCode::kCmpGtFC:
+      case OpCode::kCmpGeFC:
+        out->append(" r").append(std::to_string(in.dst));
+        out->append(", f").append(std::to_string(in.a));
+        out->append(", c").append(std::to_string(in.b));
+        break;
+      case OpCode::kTruthy:
+      case OpCode::kNot:
+      case OpCode::kNeg:
+        out->append(" r").append(std::to_string(in.dst));
+        out->append(", r").append(std::to_string(in.a));
+        break;
+      case OpCode::kJump:
+        out->append(" @L").append(std::to_string(in.b));
+        break;
+      case OpCode::kJumpIfFalsy:
+      case OpCode::kJumpIfTruthy:
+        out->append(" r").append(std::to_string(in.a));
+        out->append(", @L").append(std::to_string(in.b));
+        break;
+      case OpCode::kRet:
+        out->append(" r").append(std::to_string(in.a));
+        break;
+    }
+    out->append("\n");
+  }
+}
+
+// --- Compiler -----------------------------------------------------------
+
+/// Shallow operand classifier backing the comparison-fusion peephole:
+/// reports whether a node is a usable field reference or a literal
+/// without recursing. A negative field index is classified as the null
+/// literal it always evaluates to (matching VisitFieldRef's fold).
+class NodeShape : private ExpressionVisitor {
+ public:
+  static NodeShape Of(const Expression& expr) {
+    NodeShape shape;
+    expr.Accept(&shape);
+    return shape;
+  }
+
+  bool is_literal = false;
+  bool is_field = false;
+  Value literal;
+  int field = -1;
+
+ private:
+  void VisitLiteral(const Value& value) override {
+    is_literal = true;
+    literal = value;
+  }
+  void VisitFieldRef(int index, const std::string& name) override {
+    (void)name;
+    if (index < 0) {
+      is_literal = true;
+      literal = Value::Null();
+    } else if (index <= kMaxOperand) {
+      is_field = true;
+      field = index;
+    }
+  }
+  void VisitBinary(BinaryOp, const Expression&, const Expression&) override {}
+  void VisitNot(const Expression&) override {}
+  void VisitNegate(const Expression&) override {}
+};
+
+/// Tree-walking code generator. Register allocation is stack-shaped: a
+/// node's result lands in `dst`, binary operands in `dst` / `dst + 1`, so
+/// the register count equals the tree depth. Each predicate is lowered
+/// twice from the same tree: a scalar stream where AND/OR become
+/// short-circuit jumps with the interpreter's exact result values
+/// (lhs-falsy AND returns literal false, not the lhs value), and a
+/// branch-free stream where they become eager boolean opcodes — value-
+/// identical because no opcode traps — which the columnar executor can
+/// run column-at-a-time. `field OP literal` comparisons fuse into one
+/// instruction in both streams (mirrored when the literal is on the
+/// left: c < f  ==  f > c, and incomparability is symmetric).
+class PredicateCompiler : private ExpressionVisitor {
+ public:
+  Result<std::shared_ptr<const BytecodeProgram>> Compile(
+      const Expression& root) {
+    program_ = std::shared_ptr<BytecodeProgram>(new BytecodeProgram());
+    Instr ret;
+    ret.op = OpCode::kRet;
+    ret.a = 0;
+
+    eager_bool_ = false;
+    out_ = &program_->code_;
+    num_regs_ptr_ = &program_->num_regs_;
+    CompileInto(root, 0);
+    program_->code_.push_back(ret);
+
+    eager_bool_ = true;
+    out_ = &program_->flat_code_;
+    num_regs_ptr_ = &program_->flat_num_regs_;
+    CompileInto(root, 0);
+    program_->flat_code_.push_back(ret);
+
+    if (!error_.ok()) return error_;
+    std::sort(program_->fields_.begin(), program_->fields_.end());
+    // Prebuild the unboxed constant pool; string slots borrow from the
+    // program-owned consts_ vector, which is final from here on.
+    program_->const_slots_.reserve(program_->consts_.size());
+    for (const Value& v : program_->consts_) {
+      program_->const_slots_.push_back(SlotFromValue(v));
+    }
+    std::shared_ptr<const BytecodeProgram> done = std::move(program_);
+    return done;
+  }
+
+ private:
+  void CompileInto(const Expression& expr, int dst) {
+    if (dst > kMaxOperand) {
+      Fail("expression tree too deep for 16-bit registers");
+      return;
+    }
+    if (dst + 1 > *num_regs_ptr_) *num_regs_ptr_ = dst + 1;
+    dst_ = dst;
+    expr.Accept(this);
+  }
+
+  void VisitLiteral(const Value& value) override {
+    Instr in;
+    in.op = OpCode::kLoadConst;
+    in.dst = static_cast<uint16_t>(dst_);
+    in.a = InternConst(value);
+    Emit(in);
+  }
+
+  void VisitFieldRef(int index, const std::string& name) override {
+    (void)name;  // diagnostics only; evaluation is positional
+    if (index < 0) {
+      // The interpreter yields null for a negative index on every tuple;
+      // fold that to a null constant.
+      VisitLiteral(Value::Null());
+      return;
+    }
+    if (index > kMaxOperand) {
+      Fail("field index exceeds 16-bit operand");
+      return;
+    }
+    Instr in;
+    in.op = OpCode::kLoadField;
+    in.dst = static_cast<uint16_t>(dst_);
+    in.a = static_cast<uint16_t>(index);
+    Emit(in);
+    RecordField(index);
+  }
+
+  void VisitBinary(BinaryOp op, const Expression& lhs,
+                   const Expression& rhs) override {
+    const int dst = dst_;
+    if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+      const bool is_and = op == BinaryOp::kAnd;
+      if (eager_bool_) {
+        // Branch-free lowering: evaluate both sides, combine truthiness.
+        // Identical to the short-circuit result because evaluation is
+        // total and pure — skipping the rhs is unobservable.
+        CompileInto(lhs, dst);
+        CompileInto(rhs, dst + 1);
+        Instr in;
+        in.op = is_and ? OpCode::kAndEager : OpCode::kOrEager;
+        in.dst = static_cast<uint16_t>(dst);
+        in.a = static_cast<uint16_t>(dst);
+        in.b = static_cast<uint16_t>(dst + 1);
+        Emit(in);
+        return;
+      }
+      // lhs decides; on short-circuit the result is the literal bool,
+      // otherwise Truthy(rhs) — exactly BinaryExpr::Eval.
+      CompileInto(lhs, dst);
+      Instr jshort;
+      jshort.op = is_and ? OpCode::kJumpIfFalsy : OpCode::kJumpIfTruthy;
+      jshort.a = static_cast<uint16_t>(dst);
+      const size_t jshort_at = Emit(jshort);
+      CompileInto(rhs, dst);
+      Instr truthy;
+      truthy.op = OpCode::kTruthy;
+      truthy.dst = static_cast<uint16_t>(dst);
+      truthy.a = static_cast<uint16_t>(dst);
+      Emit(truthy);
+      Instr jend;
+      jend.op = OpCode::kJump;
+      const size_t jend_at = Emit(jend);
+      Patch(jshort_at, CurrentLabel());
+      Instr load;
+      load.op = OpCode::kLoadConst;
+      load.dst = static_cast<uint16_t>(dst);
+      load.a = InternConst(Value(!is_and));
+      Emit(load);
+      Patch(jend_at, CurrentLabel());
+      return;
+    }
+    if (OpCode fused; FusedCmpOp(op, &fused)) {
+      const NodeShape l = NodeShape::Of(lhs);
+      const NodeShape r = NodeShape::Of(rhs);
+      if (l.is_field && r.is_literal) {
+        EmitFusedCmp(fused, dst, l.field, r.literal);
+        return;
+      }
+      if (l.is_literal && r.is_field) {
+        EmitFusedCmp(MirrorFusedCmp(fused), dst, r.field, l.literal);
+        return;
+      }
+    }
+    CompileInto(lhs, dst);
+    CompileInto(rhs, dst + 1);
+    Instr in;
+    switch (op) {
+      case BinaryOp::kAdd:
+        in.op = OpCode::kAdd;
+        break;
+      case BinaryOp::kSub:
+        in.op = OpCode::kSub;
+        break;
+      case BinaryOp::kMul:
+        in.op = OpCode::kMul;
+        break;
+      case BinaryOp::kDiv:
+        in.op = OpCode::kDiv;
+        break;
+      case BinaryOp::kEq:
+        in.op = OpCode::kCmpEq;
+        break;
+      case BinaryOp::kNe:
+        in.op = OpCode::kCmpNe;
+        break;
+      case BinaryOp::kLt:
+        in.op = OpCode::kCmpLt;
+        break;
+      case BinaryOp::kLe:
+        in.op = OpCode::kCmpLe;
+        break;
+      case BinaryOp::kGt:
+        in.op = OpCode::kCmpGt;
+        break;
+      case BinaryOp::kGe:
+        in.op = OpCode::kCmpGe;
+        break;
+      default:
+        Fail("unhandled binary operator");
+        return;
+    }
+    in.dst = static_cast<uint16_t>(dst);
+    in.a = static_cast<uint16_t>(dst);
+    in.b = static_cast<uint16_t>(dst + 1);
+    Emit(in);
+  }
+
+  void VisitNot(const Expression& operand) override {
+    const int dst = dst_;
+    CompileInto(operand, dst);
+    Instr in;
+    in.op = OpCode::kNot;
+    in.dst = static_cast<uint16_t>(dst);
+    in.a = static_cast<uint16_t>(dst);
+    Emit(in);
+  }
+
+  void VisitNegate(const Expression& operand) override {
+    const int dst = dst_;
+    CompileInto(operand, dst);
+    Instr in;
+    in.op = OpCode::kNeg;
+    in.dst = static_cast<uint16_t>(dst);
+    in.a = static_cast<uint16_t>(dst);
+    Emit(in);
+  }
+
+  /// Maps a comparison BinaryOp to its fused field-vs-const opcode.
+  static bool FusedCmpOp(BinaryOp op, OpCode* fused) {
+    switch (op) {
+      case BinaryOp::kEq:
+        *fused = OpCode::kCmpEqFC;
+        return true;
+      case BinaryOp::kNe:
+        *fused = OpCode::kCmpNeFC;
+        return true;
+      case BinaryOp::kLt:
+        *fused = OpCode::kCmpLtFC;
+        return true;
+      case BinaryOp::kLe:
+        *fused = OpCode::kCmpLeFC;
+        return true;
+      case BinaryOp::kGt:
+        *fused = OpCode::kCmpGtFC;
+        return true;
+      case BinaryOp::kGe:
+        *fused = OpCode::kCmpGeFC;
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// `literal OP field` fuses as the mirrored comparison with the field
+  /// on the left: c < f == f > c. Eq/Ne are symmetric and the
+  /// incomparable (null) result is order-independent.
+  static OpCode MirrorFusedCmp(OpCode fused) {
+    switch (fused) {
+      case OpCode::kCmpLtFC:
+        return OpCode::kCmpGtFC;
+      case OpCode::kCmpLeFC:
+        return OpCode::kCmpGeFC;
+      case OpCode::kCmpGtFC:
+        return OpCode::kCmpLtFC;
+      case OpCode::kCmpGeFC:
+        return OpCode::kCmpLeFC;
+      default:
+        return fused;  // kCmpEqFC / kCmpNeFC
+    }
+  }
+
+  void EmitFusedCmp(OpCode fused, int dst, int field, const Value& literal) {
+    Instr in;
+    in.op = fused;
+    in.dst = static_cast<uint16_t>(dst);
+    in.a = static_cast<uint16_t>(field);
+    in.b = InternConst(literal);
+    Emit(in);
+    RecordField(field);
+  }
+
+  size_t Emit(const Instr& in) {
+    out_->push_back(in);
+    return out_->size() - 1;
+  }
+
+  uint16_t CurrentLabel() const {
+    return static_cast<uint16_t>(out_->size());
+  }
+
+  void Patch(size_t at, uint16_t target) { (*out_)[at].b = target; }
+
+  /// Deduplicates by the bit-exact structural encoding (the same one the
+  /// multi-query fingerprint uses), so 0.1 and a longer spelling of the
+  /// same double share a pool entry while 2 and 2.0 do not.
+  uint16_t InternConst(const Value& value) {
+    std::string key;
+    key.push_back(static_cast<char>(value.type()));
+    AppendValueFingerprintKey(value, &key);
+    auto [it, inserted] = const_index_.emplace(
+        std::move(key), static_cast<int>(program_->consts_.size()));
+    if (inserted) {
+      if (program_->consts_.size() > static_cast<size_t>(kMaxOperand)) {
+        Fail("constant pool exceeds 16-bit operand");
+        return 0;
+      }
+      program_->consts_.push_back(value);
+    }
+    return static_cast<uint16_t>(it->second);
+  }
+
+  static void AppendValueFingerprintKey(const Value& v, std::string* out) {
+    switch (v.type()) {
+      case ValueType::kNull:
+        return;
+      case ValueType::kInt: {
+        const int64_t i = v.AsInt();
+        out->append(reinterpret_cast<const char*>(&i), sizeof(int64_t));
+        return;
+      }
+      case ValueType::kDouble: {
+        const double d = v.AsDouble();
+        out->append(reinterpret_cast<const char*>(&d), sizeof(double));
+        return;
+      }
+      case ValueType::kBool:
+        out->push_back(v.AsBool() ? 1 : 0);
+        return;
+      case ValueType::kString:
+        out->append(v.AsString());
+        return;
+    }
+  }
+
+  void RecordField(int index) {
+    auto& fields = program_->fields_;
+    for (const int f : fields) {
+      if (f == index) return;
+    }
+    fields.push_back(index);
+  }
+
+  void Fail(const std::string& message) {
+    if (error_.ok()) error_ = Status::InvalidArgument("compile: " + message);
+  }
+
+  std::shared_ptr<BytecodeProgram> program_;
+  std::unordered_map<std::string, int> const_index_;
+  Status error_ = Status::OK();
+  std::vector<Instr>* out_ = nullptr;   // stream of the current pass
+  int* num_regs_ptr_ = nullptr;         // its register-count watermark
+  bool eager_bool_ = false;             // flat pass: eager AND/OR
+  int dst_ = 0;
+};
+
+Result<std::shared_ptr<const BytecodeProgram>> CompilePredicate(
+    const Expression& expr) {
+  PredicateCompiler compiler;
+  return compiler.Compile(expr);
+}
+
+}  // namespace tpstream

@@ -1,0 +1,249 @@
+#ifndef TPSTREAM_EXPR_BYTECODE_H_
+#define TPSTREAM_EXPR_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "expr/expression.h"
+
+namespace tpstream {
+
+/// Compiled predicate bytecode: a flat register program equivalent to one
+/// DEFINE predicate's Expression tree, plus a columnar batch entry point.
+///
+/// Semantics are pinned to the tree interpreter bit-for-bit — the same
+/// null/type-error propagation, numeric widening, wraparound integer
+/// arithmetic (common/value.h), NaN-aware comparisons and AND/OR
+/// short-circuiting (tests/bytecode_fuzz_test.cc differentially fuzzes
+/// the two evaluators; the interpreter stays the default oracle). The VM
+/// exists purely to make the deriver's per-event hot path cheaper: no
+/// virtual dispatch, no Value variant copies, and — through
+/// ColumnarBatch — field decoding done once per (event, field) instead of
+/// once per (event, predicate).
+
+// --- Instruction set ----------------------------------------------------
+
+enum class OpCode : uint8_t {
+  kLoadConst,     // r[dst] = consts[a]
+  kLoadField,     // r[dst] = tuple/column field a (null when absent)
+  kAdd,           // r[dst] = r[a] op r[b]: numeric widening, null on
+  kSub,           //   type mismatch; int op int wraps (common/value.h)
+  kMul,
+  kDiv,           // always widens to double; null on division by zero
+  kCmpEq,         // r[dst] = three-valued comparison of r[a], r[b]:
+  kCmpNe,         //   bool on comparable types, null on incomparable
+  kCmpLt,         //   (mixed non-numeric types, any null, NaN operand)
+  kCmpLe,
+  kCmpGt,
+  kCmpGe,
+  kTruthy,        // r[dst] = bool(Truthy(r[a])) — materializes AND/OR
+  kNot,           // r[dst] = bool(!Truthy(r[a]))
+  kNeg,           // r[dst] = -r[a] for int/double, null otherwise
+  kJump,          // pc = b
+  kJumpIfFalsy,   // pc = b when !Truthy(r[a])
+  kJumpIfTruthy,  // pc = b when Truthy(r[a])
+  kRet,           // return r[a]
+  // Fused comparisons: r[dst] = cmp(field a, consts[b]) in one dispatch.
+  // `field OP literal` is the dominant DEFINE shape; fusing it removes
+  // two loads and two dispatches per evaluation. Must stay contiguous
+  // and ordered like the kCmpEq..kCmpGe block (FusedCmpBase relies on
+  // the fixed offset).
+  kCmpEqFC,
+  kCmpNeFC,
+  kCmpLtFC,
+  kCmpLeFC,
+  kCmpGtFC,
+  kCmpGeFC,
+  // Eager boolean connectives: r[dst] = Truthy(r[a]) op Truthy(r[b]).
+  // Only emitted into the branch-free columnar stream. Because every
+  // opcode is total (division by zero and type errors yield null, never
+  // a trap), evaluating the skipped operand is unobservable and the
+  // eager result Value is identical to the short-circuit one.
+  kAndEager,
+  kOrEager,
+};
+
+const char* OpCodeName(OpCode op);
+
+/// One instruction. Operand meaning depends on the opcode: `a` is the
+/// first source register (or the constant/field index for loads), `b` the
+/// second source register or the jump target.
+struct Instr {
+  OpCode op;
+  uint16_t dst = 0;
+  uint16_t a = 0;
+  uint16_t b = 0;
+};
+
+/// One VM register: an unboxed Value. Strings are never created by
+/// bytecode (no string-producing opcode exists), so a register only ever
+/// *borrows* a string owned by the constant pool or by the evaluated
+/// tuple.
+struct RegSlot {
+  ValueType type = ValueType::kNull;
+  union Payload {
+    int64_t i;
+    double d;
+    bool b;
+    const std::string* s;
+  } v = {0};
+};
+
+/// Uniformity summary of one column (or one register column): when every
+/// slot shares a numeric/bool type, the columnar executor runs a
+/// type-specialized kernel with no per-row dispatch. The class only
+/// *selects* a kernel — every kernel is elementwise-exact (NaN guards,
+/// integer-domain int comparisons, null on division by zero), so a
+/// conservative kMixed is always safe, never wrong.
+enum class ColClass : uint8_t { kMixed, kInt, kDouble, kBool };
+
+/// Reusable register file, owned by the caller so one evaluation
+/// allocates nothing. Sized on first use per program. `cols` is the
+/// column-major register file of the columnar executor (register r is
+/// the slice [r * rows, (r + 1) * rows)).
+struct ExecScratch {
+  std::vector<RegSlot> regs;
+  std::vector<RegSlot> cols;
+  std::vector<ColClass> reg_class;  // uniformity per column register
+};
+
+// --- Columnar batches ---------------------------------------------------
+
+/// A column-major view of an event batch, restricted to the fields the
+/// compiled programs actually reference: column(f)[row] is
+/// events[row].payload[f] decoded into a RegSlot exactly once, however
+/// many predicates read it. Rebuilt (storage reused) per batch by
+/// Deriver::PrepareBatch.
+class ColumnarBatch {
+ public:
+  /// Transposes `events` into columns for each field index in `fields`
+  /// (ascending, deduplicated). Rows whose tuple is too short yield null
+  /// slots, matching the interpreter's out-of-range FieldRef semantics.
+  /// String cells borrow the event's payload, so `events` must outlive
+  /// any evaluation against this batch.
+  void Assign(std::span<const Event> events, const std::vector<int>& fields);
+
+  size_t num_rows() const { return rows_; }
+
+  /// The decoded cell for (field, row); null slot when `field` was not
+  /// materialized. `row < num_rows()`.
+  RegSlot Cell(int field, size_t row) const {
+    const RegSlot* col = ColumnPtr(field);
+    return col == nullptr ? RegSlot{} : col[row];
+  }
+
+  /// The whole decoded column for `field` (num_rows() slots), or nullptr
+  /// when the field was not materialized — the columnar executor hoists
+  /// this lookup out of its per-row loops.
+  const RegSlot* ColumnPtr(int field) const {
+    const int c = ColumnIndex(field);
+    return c < 0 ? nullptr : columns_[c].data();
+  }
+
+  /// The uniformity class of `field`'s column (kMixed when absent or
+  /// heterogeneous), computed once during Assign.
+  ColClass ColumnClass(int field) const {
+    const int c = ColumnIndex(field);
+    return c < 0 ? ColClass::kMixed : col_class_[c];
+  }
+
+ private:
+  int ColumnIndex(int field) const {
+    return field >= 0 && field < static_cast<int>(col_of_field_.size())
+               ? col_of_field_[field]
+               : -1;
+  }
+
+  std::vector<std::vector<RegSlot>> columns_;
+  std::vector<ColClass> col_class_;  // uniformity per columns_ entry
+  std::vector<int> col_of_field_;  // field index -> columns_ index or -1
+  size_t rows_ = 0;
+};
+
+// --- Programs -----------------------------------------------------------
+
+/// An immutable compiled predicate. Not copyable or movable: register
+/// slots of string constants point into the program's own pool, so the
+/// program lives behind the unique_ptr CompilePredicate returns.
+class BytecodeProgram {
+ public:
+  BytecodeProgram(const BytecodeProgram&) = delete;
+  BytecodeProgram& operator=(const BytecodeProgram&) = delete;
+
+  /// Evaluates against one tuple; returns exactly what the source
+  /// Expression's Eval returns (type- and bit-identical).
+  Value Run(const Tuple& tuple, ExecScratch* scratch) const;
+
+  /// Convenience overload with a throwaway register file (tests).
+  Value Run(const Tuple& tuple) const;
+
+  /// Predicate form: Truthy(Run(tuple)) without materializing the Value.
+  bool RunPredicate(const Tuple& tuple, ExecScratch* scratch) const;
+  bool RunPredicate(const Tuple& tuple) const;
+
+  /// Columnar entry point: evaluates the predicate over every row of
+  /// `batch`, writing Truthy(result) into out[0..num_rows). The batch
+  /// must have been assigned with (a superset of) referenced_fields().
+  ///
+  /// Runs the branch-free flat_code() stream column-at-a-time: one
+  /// opcode dispatch covers the whole batch, with registers as columns,
+  /// so the per-row cost is just the operation itself. Results are
+  /// bit-identical to Run() per row (the fuzzer pins this).
+  void RunPredicateColumn(const ColumnarBatch& batch, ExecScratch* scratch,
+                          uint8_t* out) const;
+
+  /// Field indices this program reads, ascending — the columns a
+  /// ColumnarBatch must materialize for RunPredicateColumn.
+  const std::vector<int>& referenced_fields() const { return fields_; }
+
+  int num_registers() const { return num_regs_; }
+  int num_instructions() const { return static_cast<int>(code_.size()); }
+  const std::vector<Instr>& code() const { return code_; }
+
+  /// The branch-free columnar lowering of the same predicate: AND/OR
+  /// compile to kAndEager/kOrEager instead of short-circuit jumps, so
+  /// the stream is straight-line and can execute column-at-a-time. May
+  /// use more registers than code() (eager operands can't share a slot).
+  const std::vector<Instr>& flat_code() const { return flat_code_; }
+  int num_flat_registers() const { return flat_num_regs_; }
+
+  /// Stable text listing (golden-tested): header line, constant pool,
+  /// then one line per instruction with @Ln jump targets. Codegen changes
+  /// surface as reviewable golden-file diffs.
+  std::string Disassemble() const;
+
+ private:
+  friend class PredicateCompiler;
+  BytecodeProgram() = default;
+
+  template <typename FieldLoader>
+  RegSlot Exec(ExecScratch* scratch, const FieldLoader& load) const;
+
+  static void AppendListing(const std::vector<Instr>& code,
+                            std::string* out);
+
+  std::vector<Instr> code_;       // short-circuit stream (scalar Run)
+  std::vector<Instr> flat_code_;  // branch-free stream (columnar)
+  std::vector<Value> consts_;         // owns string literal storage
+  std::vector<RegSlot> const_slots_;  // unboxed consts_, prebuilt
+  std::vector<int> fields_;           // referenced fields, ascending
+  int num_regs_ = 0;
+  int flat_num_regs_ = 0;
+};
+
+/// Compiles a predicate Expression tree into a bytecode program.
+/// Compilation cannot change semantics — it fails (callers then keep the
+/// interpreter for that predicate) rather than approximate, e.g. on
+/// register or constant pools outgrowing 16-bit operands.
+Result<std::shared_ptr<const BytecodeProgram>> CompilePredicate(
+    const Expression& expr);
+
+}  // namespace tpstream
+
+#endif  // TPSTREAM_EXPR_BYTECODE_H_

@@ -84,6 +84,9 @@ class LiteralExpr final : public Expression {
   void AppendFingerprint(std::string* out) const override {
     AppendValueFingerprint(value_, out);
   }
+  void Accept(ExpressionVisitor* visitor) const override {
+    visitor->VisitLiteral(value_);
+  }
 
  private:
   Value value_;
@@ -106,6 +109,9 @@ class FieldRefExpr final : public Expression {
     // Positional only: the name is a diagnostic label; evaluation reads
     // tuple[index_] regardless of what the field was called.
     out->append("$").append(std::to_string(index_));
+  }
+  void Accept(ExpressionVisitor* visitor) const override {
+    visitor->VisitFieldRef(index_, name_);
   }
 
  private:
@@ -181,6 +187,10 @@ class BinaryExpr final : public Expression {
     out->append(")");
   }
 
+  void Accept(ExpressionVisitor* visitor) const override {
+    visitor->VisitBinary(op_, *lhs_, *rhs_);
+  }
+
  private:
   BinaryOp op_;
   ExprPtr lhs_;
@@ -201,6 +211,9 @@ class NotExpr final : public Expression {
     operand_->AppendFingerprint(out);
     out->append(")");
   }
+  void Accept(ExpressionVisitor* visitor) const override {
+    visitor->VisitNot(*operand_);
+  }
 
  private:
   ExprPtr operand_;
@@ -211,7 +224,7 @@ class NegateExpr final : public Expression {
   explicit NegateExpr(ExprPtr operand) : operand_(std::move(operand)) {}
   Value Eval(const Tuple& tuple) const override {
     const Value v = operand_->Eval(tuple);
-    if (v.type() == ValueType::kInt) return Value(-v.AsInt());
+    if (v.type() == ValueType::kInt) return Value(WrapNeg(v.AsInt()));
     if (v.type() == ValueType::kDouble) return Value(-v.AsDouble());
     return Value::Null();
   }
@@ -220,6 +233,9 @@ class NegateExpr final : public Expression {
     out->append("~(");
     operand_->AppendFingerprint(out);
     out->append(")");
+  }
+  void Accept(ExpressionVisitor* visitor) const override {
+    visitor->VisitNegate(*operand_);
   }
 
  private:

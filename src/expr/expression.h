@@ -12,36 +12,7 @@
 
 namespace tpstream {
 
-/// Immutable, typed expression tree evaluated against a single tuple.
-/// Field accesses are compiled to positional indices, so evaluation does
-/// no name lookups. Used for situation predicates (DEFINE clause).
-class Expression {
- public:
-  virtual ~Expression() = default;
-
-  /// Evaluates against `tuple`. Type errors yield a null Value, which
-  /// predicates treat as false; the hot path never throws.
-  virtual Value Eval(const Tuple& tuple) const = 0;
-
-  virtual std::string ToString() const = 0;
-
-  /// Appends a canonical structural encoding of this subtree to `out`.
-  /// Unlike ToString(), the encoding is name-free (field references
-  /// encode their positional index only — names are diagnostics) and
-  /// literal values are type-tagged and bit-exact, so two trees encode
-  /// equally iff they are structurally identical and therefore evaluate
-  /// identically on every tuple. Used by the multi-query engine
-  /// (src/multi) to deduplicate situation definitions; equal encodings
-  /// imply equal semantics, while semantically equal but structurally
-  /// different trees (e.g. commuted operands) may encode differently —
-  /// that only costs sharing, never correctness.
-  virtual void AppendFingerprint(std::string* out) const = 0;
-};
-
-using ExprPtr = std::shared_ptr<const Expression>;
-
-/// The canonical structural encoding of `expr` (see AppendFingerprint).
-std::string ExprFingerprint(const Expression& expr);
+class Expression;
 
 /// Binary operators. Comparisons yield bool, arithmetic is numeric with
 /// widening, kAnd/kOr operate on truthiness.
@@ -61,6 +32,56 @@ enum class BinaryOp {
 };
 
 const char* BinaryOpName(BinaryOp op);
+
+/// Structural visitor over expression trees (Expression::Accept). One
+/// Visit* callback fires per node; recursing into operands is the
+/// visitor's job, so tree walks stay explicit (the bytecode compiler
+/// in expr/bytecode.h is the canonical client).
+class ExpressionVisitor {
+ public:
+  virtual ~ExpressionVisitor() = default;
+  virtual void VisitLiteral(const Value& value) = 0;
+  virtual void VisitFieldRef(int index, const std::string& name) = 0;
+  virtual void VisitBinary(BinaryOp op, const Expression& lhs,
+                           const Expression& rhs) = 0;
+  virtual void VisitNot(const Expression& operand) = 0;
+  virtual void VisitNegate(const Expression& operand) = 0;
+};
+
+/// Immutable, typed expression tree evaluated against a single tuple.
+/// Field accesses are compiled to positional indices, so evaluation does
+/// no name lookups. Used for situation predicates (DEFINE clause).
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  /// Evaluates against `tuple`. Type errors yield a null Value, which
+  /// predicates treat as false; the hot path never throws.
+  virtual Value Eval(const Tuple& tuple) const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// Dispatches exactly one Visit* callback for this node (not the
+  /// subtree; see ExpressionVisitor).
+  virtual void Accept(ExpressionVisitor* visitor) const = 0;
+
+  /// Appends a canonical structural encoding of this subtree to `out`.
+  /// Unlike ToString(), the encoding is name-free (field references
+  /// encode their positional index only — names are diagnostics) and
+  /// literal values are type-tagged and bit-exact, so two trees encode
+  /// equally iff they are structurally identical and therefore evaluate
+  /// identically on every tuple. Used by the multi-query engine
+  /// (src/multi) to deduplicate situation definitions; equal encodings
+  /// imply equal semantics, while semantically equal but structurally
+  /// different trees (e.g. commuted operands) may encode differently —
+  /// that only costs sharing, never correctness.
+  virtual void AppendFingerprint(std::string* out) const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expression>;
+
+/// The canonical structural encoding of `expr` (see AppendFingerprint).
+std::string ExprFingerprint(const Expression& expr);
 
 // --- Factory functions (the public way to build expression trees) -------
 

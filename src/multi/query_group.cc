@@ -100,7 +100,7 @@ void QueryGroup::Seal() {
 
   deriver_ = std::make_unique<Deriver>(
       shared_defs_, /*announce_starts=*/options_.low_latency,
-      options_.metrics);
+      options_.metrics, DeriveOptions{options_.compiled_predicates});
   for (auto& query : queries_) {
     query->engine = std::make_unique<MatchEngine>(
         &query->spec, deriver_.get(), query->slots, query->engine_options,
@@ -195,10 +195,14 @@ void QueryGroup::Push(const Event& event) {
 }
 
 void QueryGroup::PushBatch(std::span<Event> events) {
+  if (!sealed_) Seal();
+  deriver_->PrepareBatch({events.data(), events.size()});
   for (Event& event : events) Push(event);
 }
 
 void QueryGroup::PushBatch(std::span<const Event> events) {
+  if (!sealed_) Seal();
+  deriver_->PrepareBatch(events);
   for (const Event& event : events) Push(event);
 }
 

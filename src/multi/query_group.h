@@ -74,6 +74,12 @@ class QueryGroup {
     /// Cross-query memo of optimizer plans (on by default; never changes
     /// any query's plan, only skips recomputation).
     bool share_plans = true;
+    /// Compile the shared deriver's DEFINE predicates to bytecode
+    /// (expr/bytecode.h). Programs are keyed by the same structural
+    /// fingerprint that deduplicates definitions, so each distinct
+    /// predicate across ALL registered queries compiles exactly once
+    /// (pinned by num_compiled_programs()). Off by default.
+    bool compiled_predicates = false;
   };
 
   /// Per-query knobs; everything else comes from the group Options so
@@ -141,6 +147,17 @@ class QueryGroup {
 
   int64_t plan_cache_hits() const { return plan_cache_.hits(); }
   int64_t plan_cache_misses() const { return plan_cache_.misses(); }
+
+  /// Compiled-predicate sharing introspection (0 each unless
+  /// Options::compiled_predicates and sealed): distinct bytecode
+  /// programs in the shared deriver, and definitions that reused a
+  /// sibling's program because their predicate fingerprints matched.
+  int num_compiled_programs() const {
+    return deriver_ ? deriver_->num_compiled_programs() : 0;
+  }
+  int64_t program_cache_hits() const {
+    return deriver_ ? deriver_->program_cache_hits() : 0;
+  }
 
   bool sealed() const { return sealed_; }
 

@@ -452,8 +452,13 @@ Result<ExprPtr> Parser::ParsePrimary() {
   if (t.type == TokenType::kNumber) {
     Advance();
     // Physical units on literals ("8m/s^2", "70mph") are documentation
-    // only; the value is used as written.
-    if (t.is_int) return ExprPtr(Literal(static_cast<int64_t>(t.number)));
+    // only; the value is used as written. Integer-shaped literals whose
+    // strtod value falls outside int64 (the cast would be undefined)
+    // stay double, like any other value only double can hold.
+    if (t.is_int && t.number >= -9223372036854775808.0 &&
+        t.number < 9223372036854775808.0) {
+      return ExprPtr(Literal(static_cast<int64_t>(t.number)));
+    }
     return ExprPtr(Literal(t.number));
   }
   if (t.type == TokenType::kString) {

@@ -30,6 +30,7 @@
 #include "derive/definition.h"
 #include "derive/deriver.h"
 #include "expr/aggregate.h"
+#include "expr/bytecode.h"
 #include "expr/expression.h"
 #include "io/csv.h"
 #include "matcher/low_latency_matcher.h"

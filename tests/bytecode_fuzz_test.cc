@@ -1,0 +1,387 @@
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expr/bytecode.h"
+#include "expr/expression.h"
+
+// Differential fuzzer: random predicate trees evaluated by the tree
+// interpreter (the oracle) and the bytecode VM must agree bit-for-bit —
+// same result type, same integer value, same double *bit pattern* (so
+// NaN payloads and signed zeros count), same null propagation — on
+// random tuples that deliberately include nulls, wrong types, short
+// tuples and adversarial numerics (NaN, ±inf, int64 extremes, values
+// that overflow int multiplication).
+//
+// Reproduction: every case derives its RNG stream from (base seed, case
+// index) only. A failure prints the one-line replay environment, e.g.
+//     TPSTREAM_FUZZ_SEED=20260807 TPSTREAM_FUZZ_CASE=1729 ./bytecode_fuzz_test
+// which re-runs exactly the failing case (and dumps the expression, the
+// disassembled program and the tuple).
+//
+// Knobs (environment):
+//   TPSTREAM_FUZZ_SEED   base seed (default 20260807)
+//   TPSTREAM_FUZZ_CASES  number of random expression trees (default 12000)
+//   TPSTREAM_FUZZ_CASE   run exactly this one case index
+
+namespace tpstream {
+namespace {
+
+// --- Deterministic RNG (splitmix64: identical on every platform) --------
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  double UnitDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr && *s != '\0' ? std::strtoll(s, nullptr, 10) : fallback;
+}
+
+// --- Random values / tuples ---------------------------------------------
+
+Value RandomInt(Rng& rng) {
+  switch (rng.Below(6)) {
+    case 0:
+      return Value(int64_t{0});
+    case 1:
+      return Value(static_cast<int64_t>(rng.Below(10)) - 5);
+    case 2:
+      return Value(std::numeric_limits<int64_t>::max());
+    case 3:
+      return Value(std::numeric_limits<int64_t>::min());
+    case 4:  // big enough that products overflow
+      return Value(static_cast<int64_t>(rng.Next() >> 1));
+    default:
+      return Value(static_cast<int64_t>(rng.Next()));
+  }
+}
+
+Value RandomDouble(Rng& rng) {
+  switch (rng.Below(8)) {
+    case 0:
+      return Value(0.0);
+    case 1:
+      return Value(-0.0);
+    case 2:
+      return Value(std::numeric_limits<double>::quiet_NaN());
+    case 3:
+      return Value(std::numeric_limits<double>::infinity());
+    case 4:
+      return Value(-std::numeric_limits<double>::infinity());
+    case 5:
+      return Value(std::numeric_limits<double>::max());
+    case 6:
+      return Value(std::numeric_limits<double>::denorm_min());
+    default:
+      return Value((rng.UnitDouble() - 0.5) * 200.0);
+  }
+}
+
+Value RandomString(Rng& rng) {
+  static const char* kStrings[] = {"", "a", "b", "stop", "GO", "0", "1.5"};
+  return Value(std::string(kStrings[rng.Below(7)]));
+}
+
+Value RandomValue(Rng& rng) {
+  switch (rng.Below(10)) {
+    case 0:
+      return Value();  // null
+    case 1:
+    case 2:
+      return Value(rng.Chance(1, 2));
+    case 3:
+      return RandomString(rng);
+    case 4:
+    case 5:
+    case 6:
+      return RandomInt(rng);
+    default:
+      return RandomDouble(rng);
+  }
+}
+
+// A tuple for a nominally `num_fields`-wide schema, but adversarial:
+// sometimes short (missing trailing fields), each cell of random type.
+Tuple RandomTuple(Rng& rng, int num_fields) {
+  const int len = rng.Chance(1, 5)
+                      ? static_cast<int>(rng.Below(num_fields + 1))
+                      : num_fields;
+  Tuple tuple;
+  tuple.reserve(len);
+  for (int i = 0; i < len; ++i) tuple.push_back(RandomValue(rng));
+  return tuple;
+}
+
+// --- Random expression trees --------------------------------------------
+
+constexpr BinaryOp kAllOps[] = {
+    BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul, BinaryOp::kDiv,
+    BinaryOp::kEq,  BinaryOp::kNe,  BinaryOp::kLt,  BinaryOp::kLe,
+    BinaryOp::kGt,  BinaryOp::kGe,  BinaryOp::kAnd, BinaryOp::kOr,
+};
+
+ExprPtr RandomExpr(Rng& rng, int depth, int num_fields) {
+  if (depth <= 0 || rng.Chance(1, 4)) {
+    // Leaf: field reference (sometimes deliberately out of range, which
+    // both evaluators must fold to null) or literal.
+    if (rng.Chance(1, 2)) {
+      const int index = static_cast<int>(rng.Below(num_fields + 3)) - 1;
+      return FieldRef(index);
+    }
+    return Literal(RandomValue(rng));
+  }
+  switch (rng.Below(8)) {
+    case 0:
+      return Not(RandomExpr(rng, depth - 1, num_fields));
+    case 1:
+      return Negate(RandomExpr(rng, depth - 1, num_fields));
+    default:
+      return Binary(kAllOps[rng.Below(12)],
+                    RandomExpr(rng, depth - 1, num_fields),
+                    RandomExpr(rng, depth - 1, num_fields));
+  }
+}
+
+// --- Bit-exact comparison -----------------------------------------------
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+bool BitIdentical(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kInt:
+      return a.AsInt() == b.AsInt();
+    case ValueType::kDouble:
+      return DoubleBits(a.AsDouble()) == DoubleBits(b.AsDouble());
+    case ValueType::kBool:
+      return a.AsBool() == b.AsBool();
+    case ValueType::kString:
+      return a.AsString() == b.AsString();
+  }
+  return false;
+}
+
+std::string Describe(const Value& v) {
+  std::ostringstream os;
+  os << ValueTypeName(v.type()) << ":" << v.ToString();
+  if (v.type() == ValueType::kDouble) {
+    os << " (bits 0x" << std::hex << DoubleBits(v.AsDouble()) << ")";
+  }
+  return os.str();
+}
+
+std::string DescribeTuple(const Tuple& tuple) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << Describe(tuple[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+// --- The fuzz loop ------------------------------------------------------
+
+constexpr uint64_t kDefaultSeed = 20260807;
+constexpr int kDefaultCases = 12000;
+constexpr int kMaxDepth = 6;
+constexpr int kNumFields = 5;
+constexpr int kTuplesPerExpr = 4;
+
+// Runs one case; returns false (with gtest failure) on divergence.
+void RunCase(uint64_t base_seed, int64_t case_index) {
+  Rng rng(base_seed ^ (static_cast<uint64_t>(case_index) *
+                       0x9e3779b97f4a7c15ull));
+  const int depth = 1 + static_cast<int>(rng.Below(kMaxDepth));
+  const ExprPtr expr = RandomExpr(rng, depth, kNumFields);
+
+  auto compiled = CompilePredicate(*expr);
+  ASSERT_TRUE(compiled.ok())
+      << "compile failed: " << compiled.status().message()
+      << "\n  expr: " << expr->ToString()
+      << "\n  replay: TPSTREAM_FUZZ_SEED=" << base_seed
+      << " TPSTREAM_FUZZ_CASE=" << case_index;
+  const auto& program = *compiled.value();
+
+  const auto fail_header = [&](const Tuple& tuple) {
+    std::ostringstream os;
+    os << "expr: " << expr->ToString()
+       << "\n  tuple: " << DescribeTuple(tuple)
+       << "\n  replay: TPSTREAM_FUZZ_SEED=" << base_seed
+       << " TPSTREAM_FUZZ_CASE=" << case_index << "\n"
+       << program.Disassemble();
+    return os.str();
+  };
+
+  // Per-tuple: Run() must be bit-identical to Eval(), and RunPredicate()
+  // to EvalPredicate().
+  ExecScratch scratch;
+  std::vector<Event> events;
+  events.reserve(kTuplesPerExpr);
+  for (int i = 0; i < kTuplesPerExpr; ++i) {
+    events.emplace_back(RandomTuple(rng, kNumFields),
+                        static_cast<TimePoint>(i + 1));
+    const Tuple& tuple = events.back().payload;
+
+    const Value want = expr->Eval(tuple);
+    const Value got = program.Run(tuple, &scratch);
+    ASSERT_TRUE(BitIdentical(want, got))
+        << "interpreter=" << Describe(want) << " bytecode=" << Describe(got)
+        << "\n  " << fail_header(tuple);
+    ASSERT_EQ(EvalPredicate(*expr, tuple),
+              program.RunPredicate(tuple, &scratch))
+        << fail_header(tuple);
+  }
+
+  // Columnar: one batch pass over the same events must agree with the
+  // per-tuple predicate on every row.
+  ColumnarBatch batch;
+  batch.Assign({events.data(), events.size()}, program.referenced_fields());
+  std::vector<uint8_t> bits(events.size(), 0xAA);
+  program.RunPredicateColumn(batch, &scratch, bits.data());
+  for (size_t row = 0; row < events.size(); ++row) {
+    ASSERT_EQ(EvalPredicate(*expr, events[row].payload), bits[row] != 0)
+        << "columnar row " << row << "\n  " << fail_header(events[row].payload);
+  }
+}
+
+TEST(BytecodeFuzzTest, DifferentialAgainstInterpreter) {
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvInt("TPSTREAM_FUZZ_SEED", kDefaultSeed));
+  const int64_t only_case = EnvInt("TPSTREAM_FUZZ_CASE", -1);
+  if (only_case >= 0) {
+    RunCase(seed, only_case);
+    return;
+  }
+  const int64_t cases = EnvInt("TPSTREAM_FUZZ_CASES", kDefaultCases);
+  for (int64_t i = 0; i < cases; ++i) {
+    RunCase(seed, i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// A second stream under a different seed exercises deeper trees with a
+// wider-than-default schema, so CI covers register pressure beyond what
+// the main loop's depth cap reaches.
+TEST(BytecodeFuzzTest, DeepTreesRegisterPressure) {
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvInt("TPSTREAM_FUZZ_SEED", kDefaultSeed)) ^
+      0xdeadbeefull;
+  for (int64_t i = 0; i < 300; ++i) {
+    Rng rng(seed ^ (static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull));
+    const ExprPtr expr = RandomExpr(rng, 12, 8);
+    auto compiled = CompilePredicate(*expr);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().message();
+    ExecScratch scratch;
+    for (int t = 0; t < 2; ++t) {
+      const Tuple tuple = RandomTuple(rng, 8);
+      const Value want = expr->Eval(tuple);
+      const Value got = compiled.value()->Run(tuple, &scratch);
+      ASSERT_TRUE(BitIdentical(want, got))
+          << "case " << i << " interpreter=" << Describe(want)
+          << " bytecode=" << Describe(got)
+          << "\n  expr: " << expr->ToString()
+          << "\n  tuple: " << DescribeTuple(tuple) << "\n"
+          << compiled.value()->Disassemble();
+    }
+  }
+}
+
+// A third stream with homogeneous columns: every event shares one
+// per-field type profile, so ColumnarBatch::Assign reports uniform
+// ColClasses and the typed kernels (integer-domain compares, widened
+// double arithmetic, NaN guards, division-by-zero nulls) run instead of
+// the generic fallbacks the mixed-tuple loop above mostly exercises.
+// 64-row batches also stress intra-batch value variety (NaN next to
+// finite doubles in one column) that 4-row batches rarely produce.
+TEST(BytecodeFuzzTest, TypedColumnKernels) {
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvInt("TPSTREAM_FUZZ_SEED", kDefaultSeed)) ^
+      0xc0117777ull;
+  constexpr int kRows = 64;
+  for (int64_t i = 0; i < 400; ++i) {
+    Rng rng(seed ^ (static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull));
+    int profile[kNumFields];
+    for (int f = 0; f < kNumFields; ++f) {
+      profile[f] = static_cast<int>(rng.Below(3));
+    }
+    const ExprPtr expr = RandomExpr(rng, 5, kNumFields);
+    auto compiled = CompilePredicate(*expr);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().message();
+    const auto& program = *compiled.value();
+
+    std::vector<Event> events;
+    events.reserve(kRows);
+    for (int r = 0; r < kRows; ++r) {
+      Tuple tuple;
+      tuple.reserve(kNumFields);
+      for (int f = 0; f < kNumFields; ++f) {
+        switch (profile[f]) {
+          case 0:
+            tuple.push_back(RandomInt(rng));
+            break;
+          case 1:
+            tuple.push_back(RandomDouble(rng));
+            break;
+          default:
+            tuple.push_back(Value(rng.Chance(1, 2)));
+            break;
+        }
+      }
+      events.emplace_back(std::move(tuple), static_cast<TimePoint>(r + 1));
+    }
+
+    ColumnarBatch batch;
+    batch.Assign({events.data(), events.size()},
+                 program.referenced_fields());
+    ExecScratch scratch;
+    std::vector<uint8_t> bits(events.size(), 0xAA);
+    program.RunPredicateColumn(batch, &scratch, bits.data());
+    for (size_t row = 0; row < events.size(); ++row) {
+      ASSERT_EQ(EvalPredicate(*expr, events[row].payload), bits[row] != 0)
+          << "typed column case " << i << " row " << row
+          << "\n  expr: " << expr->ToString()
+          << "\n  tuple: " << DescribeTuple(events[row].payload) << "\n"
+          << program.Disassemble();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpstream
