@@ -1,11 +1,12 @@
 # Compares a fresh benchmark JSON document against a committed baseline.
-# Five schemas are understood, dispatched on the document's "schema" key:
+# Six schemas are understood, dispatched on the document's "schema" key:
 #
 #   tpstream-bench-ingest-v1     (bench/ingest_common.h -> BENCH_ingest.json)
 #   tpstream-bench-parallel-v1   (bench_parallel_scaling -> BENCH_parallel.json)
 #   tpstream-bench-overload-v1   (bench_overload -> BENCH_overload.json)
 #   tpstream-bench-multiquery-v1 (bench_multiquery -> BENCH_multiquery.json)
 #   tpstream-bench-compiled-v1   (bench_compiled -> BENCH_compiled.json)
+#   tpstream-bench-checkpoint-v1 (bench_checkpoint -> BENCH_checkpoint.json)
 #
 # Usage:
 #   cmake -DCURRENT=out.json -DBASELINE=BENCH_ingest.json \
@@ -67,12 +68,35 @@
 # (default 200% = 2x; the bench itself aborts if any mode derives a
 # different situation stream, so the gate only reasons about speed).
 #
+# Checkpoint checks (runs: operator.steady / partitioned.k64 — periodic
+# checkpoints on a random-walk stream, bench_checkpoint):
+#   * events_per_sec      >= baseline * (1 - THROUGHPUT_TOLERANCE_PCT%)
+#   * pause_ns.p99        <= baseline * CHECKPOINT_P99_FACTOR_PCT%
+#     (skipped when the baseline p99 is zero — a sub-ns-resolution pause
+#     carries no signal, and a zero baseline must not divide or gate)
+#   * bytes_per_checkpoint <= baseline * CHECKPOINT_BYTES_FACTOR_PCT%
+#                              + CHECKPOINT_BYTES_SLACK bytes
+#     (the additive slack keeps a zero/near-zero baseline from forbidding
+#     any growth at all)
+# plus an absolute invariant on CURRENT alone: every run must report
+# restore_verified = 1 (the bench's built-in restore-and-replay
+# differential passed; without it the pause numbers are vacuous).
+#
 # The thresholds are deliberately generous: shared CI machines are noisy,
 # and the gate is meant to catch regressions (an allocation re-introduced
 # on the hot path, a 2x slowdown, scaling collapsing back to the
 # single-in-flight hand-off), not variance. All arithmetic is exact
 # 64-bit integer math on micro-units, since math(EXPR) has no floating
-# point.
+# point. Ratio gates multiply the micro-unit values by percentages
+# directly (no pre-division): events/sec micro-units stay below ~1e13,
+# so even * 500 keeps ~3 decimal orders of headroom under the int64
+# ceiling, while the old "/ 1000 * 100" form silently truncated any
+# field below 1000 micro-units (1e-3 in natural units) to zero.
+#
+# This script is itself under test: cmake/check_bench_regression_selftest
+# .cmake (a ctest entry) feeds it crafted documents — scientific-notation
+# baselines, zero baselines, regressed and healthy runs — and asserts the
+# pass/fail verdicts.
 #
 # When SUMMARY_FILE is set, a fresh-vs-baseline markdown delta table is
 # appended to it (CI passes $GITHUB_STEP_SUMMARY).
@@ -108,6 +132,15 @@ endif()
 if(NOT DEFINED COMPILED_SPEEDUP_FLOOR_PCT)
   set(COMPILED_SPEEDUP_FLOOR_PCT 200)  # batched bytecode >= 2x interpreter
 endif()
+if(NOT DEFINED CHECKPOINT_P99_FACTOR_PCT)
+  set(CHECKPOINT_P99_FACTOR_PCT 500)  # pause p99 <= 5x baseline
+endif()
+if(NOT DEFINED CHECKPOINT_BYTES_FACTOR_PCT)
+  set(CHECKPOINT_BYTES_FACTOR_PCT 200)  # bytes/checkpoint <= 2x baseline
+endif()
+if(NOT DEFINED CHECKPOINT_BYTES_SLACK)
+  set(CHECKPOINT_BYTES_SLACK 4096)  # + 4 KiB absolute slack
+endif()
 
 file(READ "${CURRENT}" current_doc)
 file(READ "${BASELINE}" baseline_doc)
@@ -117,7 +150,8 @@ if(err OR (NOT schema STREQUAL "tpstream-bench-ingest-v1" AND
            NOT schema STREQUAL "tpstream-bench-parallel-v1" AND
            NOT schema STREQUAL "tpstream-bench-overload-v1" AND
            NOT schema STREQUAL "tpstream-bench-multiquery-v1" AND
-           NOT schema STREQUAL "tpstream-bench-compiled-v1"))
+           NOT schema STREQUAL "tpstream-bench-compiled-v1" AND
+           NOT schema STREQUAL "tpstream-bench-checkpoint-v1"))
   message(FATAL_ERROR "${CURRENT}: bad or missing schema ('${schema}') ${err}")
 endif()
 string(JSON base_schema ERROR_VARIABLE err GET "${baseline_doc}" schema)
@@ -131,26 +165,43 @@ endif()
 # integer micro-units (x 1e6, truncated).
 function(to_micro val out)
   if(val MATCHES "^([0-9]+)(\\.([0-9]+))?[eE]([+-]?[0-9]+)$")
-    # Scientific notation only appears for tiny allocation rates; any
-    # negative exponent <= -6 truncates to < 1 micro-unit.
-    set(mantissa_int ${CMAKE_MATCH_1})
+    # Normalize the mantissa to an integer by shifting its fractional
+    # digits in and deducting their count from the exponent — dropping
+    # the fraction (the old behaviour) mis-parsed "1.5e3" as 1000, which
+    # silently loosened every gate fed such a baseline.
+    set(int_part ${CMAKE_MATCH_1})
+    set(frac ${CMAKE_MATCH_3})  # regex ops below clobber CMAKE_MATCH_*
     set(exp ${CMAKE_MATCH_4})
-    if(exp LESS -5)
-      set(${out} 0 PARENT_SCOPE)
-      return()
+    string(LENGTH "${frac}" frac_len)
+    set(digits "${int_part}${frac}")
+    # Strip leading zeros so math(EXPR) does not parse octal.
+    string(REGEX REPLACE "^0+" "" digits "${digits}")
+    if(digits STREQUAL "")
+      set(digits 0)
     endif()
-    math(EXPR scale "1000000")
+    math(EXPR exp "(${exp}) - ${frac_len} + 6")  # +6: micro-units
     if(exp LESS 0)
       math(EXPR neg "0 - (${exp})")
+      if(neg GREATER 18)  # below int64 resolution: truncates to zero
+        set(${out} 0 PARENT_SCOPE)
+        return()
+      endif()
+      set(result ${digits})
       foreach(i RANGE 1 ${neg})
-        math(EXPR scale "${scale} / 10")
+        math(EXPR result "${result} / 10")
       endforeach()
-    elseif(exp GREATER 0)
-      foreach(i RANGE 1 ${exp})
-        math(EXPR scale "${scale} * 10")
-      endforeach()
+    else()
+      if(exp GREATER 12)
+        message(FATAL_ERROR
+                "number '${val}' too large for micro-unit int64 math")
+      endif()
+      set(result ${digits})
+      if(exp GREATER 0)
+        foreach(i RANGE 1 ${exp})
+          math(EXPR result "${result} * 10")
+        endforeach()
+      endif()
     endif()
-    math(EXPR result "${mantissa_int} * ${scale}")
     set(${out} ${result} PARENT_SCOPE)
   elseif(val MATCHES "^([0-9]+)\\.([0-9]+)$")
     set(int_part ${CMAKE_MATCH_1})  # regex ops below clobber CMAKE_MATCH_*
@@ -222,6 +273,9 @@ elseif(schema STREQUAL "tpstream-bench-multiquery-v1")
 elseif(schema STREQUAL "tpstream-bench-compiled-v1")
   summary_append("| run | evt/s | baseline | Δ | situations | programs | speedup |")
   summary_append("|---|---|---|---|---|---|---|")
+elseif(schema STREQUAL "tpstream-bench-checkpoint-v1")
+  summary_append("| run | evt/s | baseline | Δ | bytes/ckpt | baseline | pause p99 ns | baseline p99 | verified |")
+  summary_append("|---|---|---|---|---|---|---|---|---|")
 else()
   summary_append("| run | evt/s | baseline | Δ | speedup | ring_full | alloc/evt | p99 ns |")
   summary_append("|---|---|---|---|---|---|---|---|")
@@ -244,8 +298,11 @@ foreach(i RANGE 0 ${last})
   string(JSON base_eps GET "${baseline_doc}" runs "${name}" events_per_sec)
   to_micro("${cur_eps}" cur_eps_u)
   to_micro("${base_eps}" base_eps_u)
-  math(EXPR lhs "${cur_eps_u} / 1000 * 100")
-  math(EXPR rhs "${base_eps_u} / 1000 * (100 - ${THROUGHPUT_TOLERANCE_PCT})")
+  # Multiply micro-units by percentages directly: the former
+  # "/ 1000 * 100" form truncated any rate below 1000 micro-units to
+  # zero, which made a near-zero baseline unfailable (0 >= 0).
+  math(EXPR lhs "${cur_eps_u} * 100")
+  math(EXPR rhs "${base_eps_u} * (100 - ${THROUGHPUT_TOLERANCE_PCT})")
   if(lhs LESS rhs)
     message(SEND_ERROR
             "${name}: throughput regressed — ${cur_eps} evt/s vs baseline "
@@ -260,7 +317,8 @@ foreach(i RANGE 0 ${last})
   # measure bulk throughput only, so the check does not apply to them.
   if(schema STREQUAL "tpstream-bench-overload-v1" OR
      schema STREQUAL "tpstream-bench-multiquery-v1" OR
-     schema STREQUAL "tpstream-bench-compiled-v1")
+     schema STREQUAL "tpstream-bench-compiled-v1" OR
+     schema STREQUAL "tpstream-bench-checkpoint-v1")
     set(cur_ape "n/a")
     set(base_ape "n/a")
   else()
@@ -291,19 +349,34 @@ foreach(i RANGE 0 ${last})
      schema STREQUAL "tpstream-bench-compiled-v1")
     set(cur_p99 "n/a")
     set(base_p99 0)
+  elseif(schema STREQUAL "tpstream-bench-checkpoint-v1")
+    # The checkpoint schema's latency distribution is the checkpoint
+    # pause, not the push latency, and carries its own (stricter-purpose)
+    # factor.
+    string(JSON cur_p99 GET "${current_doc}" runs "${name}" pause_ns p99)
+    string(JSON base_p99 GET "${baseline_doc}" runs "${name}" pause_ns p99)
   else()
     string(JSON cur_p99 GET "${current_doc}" runs "${name}" push_ns p99)
     string(JSON base_p99 GET "${baseline_doc}" runs "${name}" push_ns p99)
+  endif()
+  if(schema STREQUAL "tpstream-bench-checkpoint-v1")
+    set(p99_factor ${CHECKPOINT_P99_FACTOR_PCT})
+    set(p99_what "checkpoint pause")
+  else()
+    set(p99_factor ${P99_FACTOR_PCT})
+    set(p99_what "push")
   endif()
   if(NOT schema STREQUAL "tpstream-bench-multiquery-v1" AND
      NOT schema STREQUAL "tpstream-bench-compiled-v1" AND
      NOT (schema STREQUAL "tpstream-bench-overload-v1" AND
           name STREQUAL "block"))
-    math(EXPR p99_limit "${base_p99} * ${P99_FACTOR_PCT} / 100")
+    # The base_p99 > 0 guard doubles as zero-safety: a zero baseline
+    # (sub-resolution pause) gates nothing rather than gating everything.
+    math(EXPR p99_limit "${base_p99} * ${p99_factor} / 100")
     if(base_p99 GREATER 0 AND cur_p99 GREATER p99_limit)
       message(SEND_ERROR
-              "${name}: push p99 regressed — ${cur_p99} ns vs baseline "
-              "${base_p99} ns (allowed: ${P99_FACTOR_PCT}%)")
+              "${name}: ${p99_what} p99 regressed — ${cur_p99} ns vs "
+              "baseline ${base_p99} ns (allowed: ${p99_factor}%)")
       math(EXPR failures "${failures} + 1")
     endif()
   endif()
@@ -355,6 +428,38 @@ foreach(i RANGE 0 ${last})
       math(EXPR failures "${failures} + 1")
     endif()
     summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_shed} | ${cur_quar} | ${cur_rf} | ${cur_p99} |")
+  elseif(schema STREQUAL "tpstream-bench-checkpoint-v1")
+    # Bytes-per-checkpoint ceiling: a factor on the baseline plus an
+    # absolute slack, so a tiny baseline (a near-empty operator) cannot
+    # forbid all growth, and a zero baseline never divides.
+    string(JSON cur_bpc GET "${current_doc}" runs "${name}"
+           bytes_per_checkpoint)
+    string(JSON base_bpc GET "${baseline_doc}" runs "${name}"
+           bytes_per_checkpoint)
+    to_micro("${cur_bpc}" cur_bpc_u)
+    to_micro("${base_bpc}" base_bpc_u)
+    math(EXPR bpc_limit
+         "${base_bpc_u} * ${CHECKPOINT_BYTES_FACTOR_PCT} / 100 + ${CHECKPOINT_BYTES_SLACK} * 1000000")
+    if(cur_bpc_u GREATER bpc_limit)
+      message(SEND_ERROR
+              "${name}: bytes_per_checkpoint regressed — ${cur_bpc} vs "
+              "baseline ${base_bpc} (allowed: *${CHECKPOINT_BYTES_FACTOR_PCT}% "
+              "+ ${CHECKPOINT_BYTES_SLACK})")
+      math(EXPR failures "${failures} + 1")
+    endif()
+    # Absolute invariant from CURRENT alone: the bench's built-in
+    # restore-and-replay differential must have passed.
+    string(JSON cur_rv GET "${current_doc}" runs "${name}" restore_verified)
+    if(NOT cur_rv EQUAL 1)
+      message(SEND_ERROR
+              "${name}: restore_verified = ${cur_rv} — the recovered run "
+              "diverged from the uninterrupted run; the checkpoint numbers "
+              "are vacuous")
+      math(EXPR failures "${failures} + 1")
+    endif()
+    pretty_num("${cur_bpc}" cur_bpc_fmt)
+    pretty_num("${base_bpc}" base_bpc_fmt)
+    summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_bpc_fmt} | ${base_bpc_fmt} | ${cur_p99} | ${base_p99} | ${cur_rv} |")
   else()
     # Backpressure bound: a collapse back to single-in-flight hand-off
     # shows up as ring_full exploding relative to the baseline.
@@ -409,8 +514,8 @@ if(schema STREQUAL "tpstream-bench-parallel-v1")
     endif()
     to_micro("${w1}" w1_u)
     to_micro("${wn}" wn_u)
-    math(EXPR lhs "${wn_u} / 1000 * 100")
-    math(EXPR rhs "${w1_u} / 1000 * ${floor_pct}")
+    math(EXPR lhs "${wn_u} * 100")
+    math(EXPR rhs "${w1_u} * ${floor_pct}")
     if(lhs LESS rhs)
       message(SEND_ERROR
               "match_heavy.w${nworkers}: scaling floor missed — ${wn} evt/s "
@@ -439,8 +544,8 @@ if(schema STREQUAL "tpstream-bench-multiquery-v1")
   endif()
   to_micro("${shared_eps}" shared_u)
   to_micro("${unshared_eps}" unshared_u)
-  math(EXPR lhs "${shared_u} / 1000 * 100")
-  math(EXPR rhs "${unshared_u} / 1000 * ${MULTIQUERY_SPEEDUP_FLOOR_PCT}")
+  math(EXPR lhs "${shared_u} * 100")
+  math(EXPR rhs "${unshared_u} * ${MULTIQUERY_SPEEDUP_FLOOR_PCT}")
   if(lhs LESS rhs)
     message(SEND_ERROR
             "n10000.identical: sharing floor missed — shared ${shared_eps} "
@@ -471,8 +576,8 @@ if(schema STREQUAL "tpstream-bench-compiled-v1")
   endif()
   to_micro("${interp_eps}" interp_u)
   to_micro("${batch_eps}" batch_u)
-  math(EXPR lhs "${batch_u} / 1000 * 100")
-  math(EXPR rhs "${interp_u} / 1000 * ${COMPILED_SPEEDUP_FLOOR_PCT}")
+  math(EXPR lhs "${batch_u} * 100")
+  math(EXPR rhs "${interp_u} * ${COMPILED_SPEEDUP_FLOOR_PCT}")
   if(lhs LESS rhs)
     message(SEND_ERROR
             "deriver.bytecode_batch: ablation floor missed — ${batch_eps} "

@@ -47,6 +47,10 @@ MatchEngine::MatchEngine(const QuerySpec* spec, const Deriver* deriver,
     stats_publisher_ = MatcherStatsPublisher(options_.metrics, spec_->pattern);
   }
 
+  InstallInitialPlan();
+}
+
+void MatchEngine::InstallInitialPlan() {
   if (options_.fixed_order.has_value()) {
     if (ll_matcher_) ll_matcher_->SetEvaluationOrder(*options_.fixed_order);
     if (matcher_) matcher_->SetEvaluationOrder(*options_.fixed_order);
@@ -65,6 +69,62 @@ MatchEngine::MatchEngine(const QuerySpec* spec, const Deriver* deriver,
     }
     if (!options_.adaptive) controller_.reset();
   }
+}
+
+void MatchEngine::Reset() {
+  num_events_ = 0;
+  num_matches_ = 0;
+  if (ll_matcher_) ll_matcher_->Reset();
+  if (matcher_) matcher_->Reset();
+  // Rebuild the adaptive state exactly as construction would: fresh
+  // controller (or none), initial cost-based plan re-installed on the
+  // just-reset statistics.
+  controller_.reset();
+  InstallInitialPlan();
+}
+
+void MatchEngine::Checkpoint(ckpt::Writer& w) const {
+  const size_t cookie = w.BeginSection(ckpt::Tag::kMatchEngine);
+  w.I64(num_events_);
+  w.I64(num_matches_);
+  w.Bool(ll_matcher_ != nullptr);
+  if (ll_matcher_) {
+    ll_matcher_->Checkpoint(w);
+  } else {
+    matcher_->Checkpoint(w);
+  }
+  w.Bool(controller_ != nullptr);
+  if (controller_) controller_->Checkpoint(w);
+  w.EndSection(cookie);
+}
+
+Status MatchEngine::Restore(ckpt::Reader& r) {
+  const size_t end = r.BeginSection(ckpt::Tag::kMatchEngine);
+  const int64_t num_events = r.I64();
+  const int64_t num_matches = r.I64();
+  const bool low_latency = r.Bool();
+  if (r.ok() && low_latency != (ll_matcher_ != nullptr)) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: matcher mode mismatch (low_latency option changed?)"));
+    return r.status();
+  }
+  Status status = ll_matcher_ ? ll_matcher_->Restore(r) : matcher_->Restore(r);
+  if (!status.ok()) return status;
+  const bool adaptive = r.Bool();
+  if (r.ok() && adaptive != (controller_ != nullptr)) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: adaptivity mismatch (adaptive option changed?)"));
+    return r.status();
+  }
+  if (controller_) {
+    status = controller_->Restore(r);
+    if (!status.ok()) return status;
+  }
+  status = r.EndSection(end);
+  if (!status.ok()) return status;
+  num_events_ = num_events;
+  num_matches_ = num_matches;
+  return Status::OK();
 }
 
 void MatchEngine::NoteEvents(int64_t n) {

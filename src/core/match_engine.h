@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/serde.h"
+#include "common/status.h"
 #include "core/query_spec.h"
 #include "derive/deriver.h"
 #include "matcher/low_latency_matcher.h"
@@ -76,6 +78,25 @@ class MatchEngine {
   }
   void ForceEvaluationOrder(const std::vector<int>& order);
 
+  /// Returns the engine to its freshly-constructed state: event/match
+  /// counts, matcher state (buffers, trigger pool, exactly-once
+  /// fingerprints), statistics and the adaptive controller are all rewound
+  /// and the initial cost-based plan is re-installed. Observability
+  /// counters keep accumulating (process lifetime). The engine does not
+  /// own the deriver — callers resetting an operator reset both halves.
+  void Reset();
+
+  /// Serializes all stream-derived engine state: logical event/match
+  /// counts, the active matcher and the adaptive controller. Part of an
+  /// enclosing checkpoint; the event-log offset lives in the surface
+  /// envelope (TPStreamOperator, PartitionedTPStream, QueryGroup).
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Restores a checkpoint taken on an engine with the same configuration
+  /// (same pattern, matcher mode and adaptivity). On error the engine
+  /// must be Reset() or discarded before further use.
+  Status Restore(ckpt::Reader& r);
+
   int64_t num_events() const { return num_events_; }
   int64_t num_matches() const { return num_matches_; }
   std::vector<int> CurrentOrder() const;
@@ -90,6 +111,10 @@ class MatchEngine {
 
  private:
   void OnMatch(const Match& match);
+
+  /// Builds the adaptive controller (per Options) and installs the
+  /// initial cost-based plan; shared by the constructor and Reset().
+  void InstallInitialPlan();
 
   const QuerySpec* spec_;
   const Deriver* deriver_;

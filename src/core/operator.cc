@@ -56,4 +56,32 @@ void TPStreamOperator::PushBatch(std::span<const Event> events) {
 
 void TPStreamOperator::Flush() { engine_->Flush(); }
 
+void TPStreamOperator::Reset() {
+  deriver_.Reset();
+  engine_->Reset();
+}
+
+void TPStreamOperator::Checkpoint(ckpt::Writer& w) const {
+  w.Envelope(static_cast<uint64_t>(num_events()));
+  const size_t cookie = w.BeginSection(ckpt::Tag::kOperator);
+  deriver_.Checkpoint(w);
+  engine_->Checkpoint(w);
+  w.EndSection(cookie);
+}
+
+Status TPStreamOperator::Restore(ckpt::Reader& r, uint64_t* offset) {
+  uint64_t off = 0;
+  Status status = r.Envelope(&off);
+  if (!status.ok()) return status;
+  const size_t end = r.BeginSection(ckpt::Tag::kOperator);
+  status = deriver_.Restore(r);
+  if (!status.ok()) return status;
+  status = engine_->Restore(r);
+  if (!status.ok()) return status;
+  status = r.EndSection(end);
+  if (!status.ok()) return status;
+  if (offset != nullptr) *offset = off;
+  return Status::OK();
+}
+
 }  // namespace tpstream

@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "ckpt/serde.h"
+#include "common/status.h"
 #include "core/match_engine.h"
 #include "core/query_spec.h"
 #include "derive/deriver.h"
@@ -88,6 +90,27 @@ class TPStreamOperator {
   /// one Flush(). Flush on an empty stream is a no-op, and Push() may
   /// legally continue the stream after a Flush().
   void Flush();
+
+  /// Returns the operator to its freshly-constructed state: the deriver's
+  /// open situations and the engine's matcher/optimizer state (including
+  /// the exactly-once fingerprint table) are rewound; replaying the same
+  /// stream re-emits the same matches. Configuration and observability
+  /// counters survive (Durability contract, docs/architecture.md).
+  void Reset();
+
+  /// Serializes all live operator state, stamped with the event-log
+  /// offset (= num_events()): the envelope, the deriver's open situation
+  /// slots and the match engine (buffers, trigger pool, fingerprints,
+  /// statistics, adaptive controller). A checkpoint is only taken between
+  /// Push() calls (quiescent point).
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Restores a checkpoint taken on an operator with the same query and
+  /// options. On success, `*offset` (when non-null) receives the event-
+  /// log offset the checkpoint was taken at; resume by replaying the
+  /// input stream from that offset. On error the operator must be
+  /// Reset() or discarded before further use.
+  Status Restore(ckpt::Reader& r, uint64_t* offset = nullptr);
 
   /// Optional: observes raw matches (full temporal configurations) in
   /// addition to the projected output events.

@@ -1,5 +1,8 @@
 #include "core/partitioned_operator.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace tpstream {
 
 PartitionedTPStream::PartitionedTPStream(
@@ -64,6 +67,87 @@ void PartitionedTPStream::PushBatch(std::span<const Event> events) {
 void PartitionedTPStream::Flush() {
   for (const auto& [k, op] : int_partitions_) op->Flush();
   for (const auto& [k, op] : string_partitions_) op->Flush();
+}
+
+void PartitionedTPStream::Reset() {
+  int_partitions_.clear();
+  string_partitions_.clear();
+  num_events_ = 0;
+  num_matches_ = 0;
+  if (partitions_gauge_ != nullptr) partitions_gauge_->Set(0.0);
+}
+
+void PartitionedTPStream::Checkpoint(ckpt::Writer& w) const {
+  w.Envelope(static_cast<uint64_t>(num_events_));
+  const size_t cookie = w.BeginSection(ckpt::Tag::kPartitioned);
+  w.I64(num_matches_);
+
+  // Sort keys so byte output is a pure function of logical state
+  // (unordered_map iteration order is not).
+  std::vector<int64_t> int_keys;
+  int_keys.reserve(int_partitions_.size());
+  for (const auto& [k, op] : int_partitions_) int_keys.push_back(k);
+  std::sort(int_keys.begin(), int_keys.end());
+  w.U64(int_keys.size());
+  for (int64_t k : int_keys) {
+    w.I64(k);
+    int_partitions_.at(k)->Checkpoint(w);
+  }
+
+  std::vector<std::string> str_keys;
+  str_keys.reserve(string_partitions_.size());
+  for (const auto& [k, op] : string_partitions_) str_keys.push_back(k);
+  std::sort(str_keys.begin(), str_keys.end());
+  w.U64(str_keys.size());
+  for (const std::string& k : str_keys) {
+    w.Str(k);
+    string_partitions_.at(k)->Checkpoint(w);
+  }
+  w.EndSection(cookie);
+}
+
+Status PartitionedTPStream::Restore(ckpt::Reader& r, uint64_t* offset) {
+  uint64_t off = 0;
+  Status status = r.Envelope(&off);
+  if (!status.ok()) return status;
+  const size_t end = r.BeginSection(ckpt::Tag::kPartitioned);
+  const int64_t num_matches = r.I64();
+
+  int_partitions_.clear();
+  string_partitions_.clear();
+  const uint64_t num_int = r.U64();
+  if (num_int > r.remaining()) {
+    r.Fail(Status::ParseError("checkpoint: partition count exceeds input"));
+    return r.status();
+  }
+  for (uint64_t i = 0; i < num_int && r.ok(); ++i) {
+    const int64_t key = r.I64();
+    auto& slot = int_partitions_[key];
+    slot = NewOperator();
+    status = slot->Restore(r);
+    if (!status.ok()) return status;
+  }
+  const uint64_t num_str = r.U64();
+  if (num_str > r.remaining()) {
+    r.Fail(Status::ParseError("checkpoint: partition count exceeds input"));
+    return r.status();
+  }
+  for (uint64_t i = 0; i < num_str && r.ok(); ++i) {
+    const std::string key = r.Str();
+    auto& slot = string_partitions_[key];
+    slot = NewOperator();
+    status = slot->Restore(r);
+    if (!status.ok()) return status;
+  }
+  status = r.EndSection(end);
+  if (!status.ok()) return status;
+  num_events_ = static_cast<int64_t>(off);
+  num_matches_ = num_matches;
+  if (partitions_gauge_ != nullptr) {
+    partitions_gauge_->Set(static_cast<double>(num_partitions()));
+  }
+  if (offset != nullptr) *offset = off;
+  return Status::OK();
 }
 
 size_t PartitionedTPStream::BufferedCount() const {

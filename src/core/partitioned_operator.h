@@ -30,6 +30,22 @@ class PartitionedTPStream {
   /// the first Push; the stream may continue afterwards.
   void Flush();
 
+  /// Returns the stream to its freshly-constructed state: every partition
+  /// operator is discarded (new keys re-create them) and the event/match
+  /// counts rewind. Configuration and observability counters survive.
+  void Reset();
+
+  /// Serializes all partitions (sorted by key, so identical state always
+  /// produces identical bytes) with their per-partition operator state,
+  /// stamped with the event-log offset (= num_events()).
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Restores a checkpoint taken on a partitioned stream with the same
+  /// query and options, re-creating each partition operator. On success,
+  /// `*offset` (when non-null) receives the event-log offset to replay
+  /// from. On error the stream must be Reset() or discarded.
+  Status Restore(ckpt::Reader& r, uint64_t* offset = nullptr);
+
   size_t num_partitions() const {
     return int_partitions_.size() + string_partitions_.size();
   }

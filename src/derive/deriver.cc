@@ -152,6 +152,54 @@ Deriver::Update& Deriver::Process(const Event& event) {
   return update_;
 }
 
+void Deriver::Reset() {
+  for (Slot& slot : slots_) {
+    slot.active = false;
+    slot.announced = false;
+    slot.ts = 0;
+  }
+  update_.started.clear();
+  update_.finished.clear();
+  batch_base_ = nullptr;
+  batch_n_ = 0;
+  batch_cursor_ = 0;
+}
+
+void Deriver::Checkpoint(ckpt::Writer& w) const {
+  const size_t cookie = w.BeginSection(ckpt::Tag::kDeriver);
+  w.U32(static_cast<uint32_t>(slots_.size()));
+  for (const Slot& slot : slots_) {
+    w.Bool(slot.active);
+    w.Bool(slot.announced);
+    w.I64(slot.ts);
+    slot.aggs.Checkpoint(w);
+  }
+  w.EndSection(cookie);
+}
+
+Status Deriver::Restore(ckpt::Reader& r) {
+  const size_t end = r.BeginSection(ckpt::Tag::kDeriver);
+  const uint32_t n = r.U32();
+  if (r.ok() && n != slots_.size()) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: definition count mismatch (query changed?)"));
+    return r.status();
+  }
+  for (Slot& slot : slots_) {
+    slot.active = r.Bool();
+    slot.announced = r.Bool();
+    slot.ts = r.I64();
+    Status status = slot.aggs.Restore(r);
+    if (!status.ok()) return status;
+  }
+  update_.started.clear();
+  update_.finished.clear();
+  batch_base_ = nullptr;
+  batch_n_ = 0;
+  batch_cursor_ = 0;
+  return r.EndSection(end);
+}
+
 std::vector<DurationConstraint> Deriver::durations() const {
   std::vector<DurationConstraint> out;
   out.reserve(defs_.size());

@@ -6,8 +6,10 @@
 #include <span>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "common/event.h"
 #include "common/situation.h"
+#include "common/status.h"
 #include "derive/definition.h"
 #include "expr/bytecode.h"
 #include "obs/metrics.h"
@@ -98,6 +100,23 @@ class Deriver {
 
   /// Duration constraints in symbol order (input to DetectionAnalysis).
   std::vector<DurationConstraint> durations() const;
+
+  /// Returns the deriver to its freshly-constructed stream state: every
+  /// open situation slot is closed (without emitting) and any announced
+  /// batch is forgotten. Definitions and compiled programs are
+  /// configuration and survive.
+  void Reset();
+
+  /// Serializes the per-definition open-situation slots (active flag,
+  /// announcement flag, start timestamp, running aggregates). Prepared
+  /// batch state is transient and never checkpointed — a checkpoint is
+  /// only taken between events, where no batch is in flight.
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Restores a checkpoint taken on a deriver with the same definitions.
+  /// On error the deriver must be Reset() or discarded before further
+  /// use.
+  Status Restore(ckpt::Reader& r);
 
   /// Compiled-mode introspection (0 in interpreter mode): distinct
   /// bytecode programs, and definitions that reused a sibling's program

@@ -106,6 +106,25 @@ void AggregatorSet::Update(const Tuple& tuple) {
   for (AggregateState& state : states_) state.Update(tuple);
 }
 
+void AggregatorSet::Checkpoint(ckpt::Writer& w) const {
+  const size_t cookie = w.BeginSection(ckpt::Tag::kAggregatorSet);
+  w.U32(static_cast<uint32_t>(states_.size()));
+  for (const AggregateState& state : states_) state.Checkpoint(w);
+  w.EndSection(cookie);
+}
+
+Status AggregatorSet::Restore(ckpt::Reader& r) {
+  const size_t end = r.BeginSection(ckpt::Tag::kAggregatorSet);
+  const uint32_t n = r.U32();
+  if (r.ok() && n != states_.size()) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: aggregate count mismatch (definition changed?)"));
+    return r.status();
+  }
+  for (AggregateState& state : states_) state.Restore(r);
+  return r.EndSection(end);
+}
+
 Tuple AggregatorSet::Snapshot() const {
   Tuple out;
   out.reserve(states_.size());

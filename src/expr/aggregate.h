@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "common/event.h"
+#include "common/status.h"
 #include "common/value.h"
 
 namespace tpstream {
@@ -48,6 +50,19 @@ class AggregateState {
   /// Current aggregate value (valid after Init).
   Value Result() const;
 
+  /// Serializes the running state (count / sum / extremum value); the
+  /// spec is configuration and comes from the restoring instance.
+  void Checkpoint(ckpt::Writer& w) const {
+    w.I64(count_);
+    w.F64(sum_);
+    w.WriteValue(value_);
+  }
+  void Restore(ckpt::Reader& r) {
+    count_ = r.I64();
+    sum_ = r.F64();
+    value_ = r.ReadValue();
+  }
+
  private:
   Value Input(const Tuple& tuple) const {
     if (spec_.field < 0 || spec_.field >= static_cast<int>(tuple.size())) {
@@ -73,6 +88,9 @@ class AggregatorSet {
 
   /// Snapshot of all aggregate values, in spec order.
   Tuple Snapshot() const;
+
+  void Checkpoint(ckpt::Writer& w) const;
+  Status Restore(ckpt::Reader& r);
 
   const std::vector<AggregateSpec>& specs() const { return specs_; }
 

@@ -17,6 +17,59 @@ PatternJoiner::PatternJoiner(const TemporalPattern* pattern, Duration window)
   order_ = EvaluationOrder::Build(*pattern, identity);
 }
 
+void PatternJoiner::Reset() {
+  for (SituationBuffer& b : buffers_) b.Clear();
+  shed_situations_ = 0;
+  lost_match_bound_ = 0;
+}
+
+void PatternJoiner::Checkpoint(ckpt::Writer& w) const {
+  const size_t cookie = w.BeginSection(ckpt::Tag::kJoiner);
+  w.U32(static_cast<uint32_t>(buffers_.size()));
+  for (const SituationBuffer& b : buffers_) b.Checkpoint(w);
+  w.I64(shed_situations_);
+  w.I64(lost_match_bound_);
+  const std::vector<int> perm = order_.Permutation();
+  w.U32(static_cast<uint32_t>(perm.size()));
+  for (int s : perm) w.U32(static_cast<uint32_t>(s));
+  w.EndSection(cookie);
+}
+
+Status PatternJoiner::Restore(ckpt::Reader& r) {
+  const size_t end = r.BeginSection(ckpt::Tag::kJoiner);
+  const uint32_t num_buffers = r.U32();
+  if (r.ok() && num_buffers != buffers_.size()) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: joiner symbol count mismatch (pattern changed?)"));
+    return r.status();
+  }
+  for (SituationBuffer& b : buffers_) {
+    Status status = b.Restore(r);
+    if (!status.ok()) return status;
+  }
+  shed_situations_ = r.I64();
+  lost_match_bound_ = r.I64();
+  const uint32_t perm_size = r.U32();
+  std::vector<int> perm;
+  std::vector<bool> seen(buffers_.size(), false);
+  for (uint32_t i = 0; i < perm_size && r.ok(); ++i) {
+    const uint32_t s = r.U32();
+    if (s >= buffers_.size() || seen[s]) {
+      r.Fail(Status::ParseError(
+          "checkpoint: evaluation order is not a permutation"));
+      return r.status();
+    }
+    seen[s] = true;
+    perm.push_back(static_cast<int>(s));
+  }
+  Status status = r.EndSection(end);
+  if (!status.ok()) return status;
+  if (perm.size() == buffers_.size()) {
+    order_ = EvaluationOrder::Build(*pattern_, perm);
+  }
+  return Status::OK();
+}
+
 void PatternJoiner::EnableMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) return;
   shed_situations_ctr_ = registry->GetCounter("robust.shed_situations");

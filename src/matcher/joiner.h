@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "algebra/pattern.h"
+#include "ckpt/serde.h"
+#include "common/status.h"
 #include "matcher/eval_order.h"
 #include "matcher/match.h"
 #include "matcher/situation_buffer.h"
@@ -78,6 +80,19 @@ class PatternJoiner {
   /// Total buffered situations / approximate state bytes (for the memory
   /// experiments of Section 6.2.2).
   size_t BufferedCount() const;
+
+  /// Drops all stream-derived state: every situation buffer and the shed
+  /// accounting. The installed evaluation order and configuration
+  /// (window, caps, metrics handles) survive — they are plan/config, not
+  /// stream state. Observability counters keep accumulating (process
+  /// lifetime, Durability contract).
+  void Reset();
+
+  /// Serializes buffers, shed accounting and the evaluation order.
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Restores from a checkpoint taken on a joiner over the same pattern.
+  Status Restore(ckpt::Reader& r);
 
   using EmitFn = std::function<void(const Match&)>;
 

@@ -1,6 +1,8 @@
 #include "matcher/low_latency_matcher.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace tpstream {
 
@@ -39,6 +41,80 @@ LowLatencyMatcher::LowLatencyMatcher(TemporalPattern pattern,
 void LowLatencyMatcher::SetEvaluationOrder(
     const std::vector<int>& permutation) {
   joiner_.SetOrder(EvaluationOrder::Build(pattern_, permutation));
+}
+
+void LowLatencyMatcher::Reset() {
+  joiner_.Reset();
+  for (std::optional<Situation>& slot : started_) slot.reset();
+  // The exactly-once guard MUST be dropped with the rest of the stream
+  // state: a fingerprint left over from before the reset matches the
+  // configuration a replayed stream produces again and would suppress its
+  // (legitimate) emission.
+  emitted_.clear();
+  emitted_sweep_threshold_ = 1024;
+  shed_trigger_candidates_ = 0;
+  stats_ = MatcherStats(pattern_, stats_.alpha());
+}
+
+void LowLatencyMatcher::Checkpoint(ckpt::Writer& w) const {
+  const size_t cookie = w.BeginSection(ckpt::Tag::kLowLatencyMatcher);
+  joiner_.Checkpoint(w);
+  stats_.Checkpoint(w);
+  w.U32(static_cast<uint32_t>(started_.size()));
+  for (const std::optional<Situation>& slot : started_) {
+    w.Bool(slot.has_value());
+    if (slot.has_value()) w.WriteSituation(*slot);
+  }
+  // The fingerprint table is serialized in sorted order so that two
+  // checkpoints of identical state are byte-identical (the
+  // checkpoint-of-restore determinism property tested in
+  // checkpoint_test.cc); unordered_map iteration order is not stable
+  // across processes.
+  std::vector<std::pair<uint64_t, TimePoint>> entries(emitted_.begin(),
+                                                      emitted_.end());
+  std::sort(entries.begin(), entries.end());
+  w.U64(entries.size());
+  for (const auto& [fp, min_ts] : entries) {
+    w.U64(fp);
+    w.I64(min_ts);
+  }
+  w.U64(emitted_sweep_threshold_);
+  w.I64(shed_trigger_candidates_);
+  w.EndSection(cookie);
+}
+
+Status LowLatencyMatcher::Restore(ckpt::Reader& r) {
+  const size_t end = r.BeginSection(ckpt::Tag::kLowLatencyMatcher);
+  Status status = joiner_.Restore(r);
+  if (!status.ok()) return status;
+  status = stats_.Restore(r);
+  if (!status.ok()) return status;
+  const uint32_t num_slots = r.U32();
+  if (r.ok() && num_slots != started_.size()) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: started-slot count mismatch (pattern changed?)"));
+    return r.status();
+  }
+  for (std::optional<Situation>& slot : started_) {
+    slot.reset();
+    if (r.Bool()) slot = r.ReadSituation();
+  }
+  const uint64_t num_emitted = r.U64();
+  if (num_emitted > r.remaining() / 16) {
+    r.Fail(Status::ParseError(
+        "checkpoint: fingerprint table size exceeds input"));
+    return r.status();
+  }
+  emitted_.clear();
+  emitted_.reserve(num_emitted);
+  for (uint64_t i = 0; i < num_emitted && r.ok(); ++i) {
+    const uint64_t fp = r.U64();
+    const TimePoint min_ts = r.I64();
+    emitted_.emplace(fp, min_ts);
+  }
+  emitted_sweep_threshold_ = r.U64();
+  shed_trigger_candidates_ = r.I64();
+  return r.EndSection(end);
 }
 
 void LowLatencyMatcher::EnableMetrics(obs::MetricsRegistry* registry) {

@@ -7,6 +7,8 @@
 
 #include "algebra/detection.h"
 #include "algebra/pattern.h"
+#include "ckpt/serde.h"
+#include "common/status.h"
 #include "matcher/joiner.h"
 #include "matcher/match.h"
 #include "robust/overload_policy.h"
@@ -62,6 +64,26 @@ class LowLatencyMatcher {
   const TemporalPattern& pattern() const { return pattern_; }
   const MatcherStats& stats() const { return stats_; }
   size_t BufferedCount() const { return joiner_.BufferedCount(); }
+
+  /// Returns the matcher to its freshly-constructed stream state: clears
+  /// the situation buffers, the per-symbol started slots (the trigger
+  /// pool source), the `emitted_` exactly-once fingerprint table and the
+  /// shed accounting, and re-seeds the statistics EMAs. Stale fingerprints
+  /// surviving a reset would silently suppress legitimate re-emissions
+  /// when the same stream prefix is replayed into the same engine —
+  /// pinned by MatcherReset.ReplayAfterResetReEmits. Configuration
+  /// (window, evaluation order, overload caps, metrics) is retained.
+  void Reset();
+
+  /// Serializes all stream-derived state: joiner (buffers + order),
+  /// statistics, started slots, the exactly-once fingerprint table (with
+  /// its sweep threshold) and the trigger-shed accounting.
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Restores a checkpoint taken on a matcher over the same pattern.
+  /// Replaces all stream state; on error the matcher must be Reset() or
+  /// discarded before further use.
+  Status Restore(ckpt::Reader& r);
 
   /// Installs the overload caps (Degradation contract): the per-symbol
   /// situation-buffer cap (enforced via the joiner, oldest evicted first)

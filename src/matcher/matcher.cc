@@ -15,6 +15,27 @@ void Matcher::SetEvaluationOrder(const std::vector<int>& permutation) {
   joiner_.SetOrder(EvaluationOrder::Build(pattern_, permutation));
 }
 
+void Matcher::Reset() {
+  joiner_.Reset();
+  stats_ = MatcherStats(pattern_, stats_.alpha());
+}
+
+void Matcher::Checkpoint(ckpt::Writer& w) const {
+  const size_t cookie = w.BeginSection(ckpt::Tag::kBaselineMatcher);
+  joiner_.Checkpoint(w);
+  stats_.Checkpoint(w);
+  w.EndSection(cookie);
+}
+
+Status Matcher::Restore(ckpt::Reader& r) {
+  const size_t end = r.BeginSection(ckpt::Tag::kBaselineMatcher);
+  Status status = joiner_.Restore(r);
+  if (!status.ok()) return status;
+  status = stats_.Restore(r);
+  if (!status.ok()) return status;
+  return r.EndSection(end);
+}
+
 void Matcher::Update(const std::vector<SymbolSituation>& finished,
                      TimePoint now) {
   scratch_finished_.assign(finished.begin(), finished.end());

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "algebra/pattern.h"
+#include "ckpt/serde.h"
+#include "common/status.h"
 #include "matcher/joiner.h"
 #include "matcher/match.h"
 #include "robust/overload_policy.h"
@@ -51,6 +53,18 @@ class Matcher {
 
   /// Number of buffered situations (memory accounting, Section 6.2.2).
   size_t BufferedCount() const { return joiner_.BufferedCount(); }
+
+  /// Returns the matcher to its freshly-constructed stream state (buffers,
+  /// shed accounting, statistics EMAs). Configuration — window, evaluation
+  /// order, overload caps, metrics — is retained.
+  void Reset();
+
+  /// Serializes all stream-derived state (joiner + statistics).
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Restores a checkpoint taken on a matcher over the same pattern. On
+  /// error the matcher must be Reset() or discarded before further use.
+  Status Restore(ckpt::Reader& r);
 
   /// Installs the overload caps (Degradation contract); only the
   /// situation-buffer cap applies to the baseline matcher.

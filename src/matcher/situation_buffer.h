@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "algebra/range_bounds.h"
+#include "ckpt/serde.h"
 #include "common/situation.h"
+#include "common/status.h"
 #include "matcher/index_ranges.h"
 
 namespace tpstream {
@@ -58,6 +60,41 @@ class SituationBuffer {
     // bounded by the ring's slot count.
     head_ = (head_ + 1) % data_.size();
     --size_;
+  }
+
+  /// Drops every buffered situation (Reset/Restore lifecycle). The ring
+  /// storage is retained for reuse.
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Serializes the buffered situations in logical (timestamp) order.
+  void Checkpoint(ckpt::Writer& w) const {
+    const size_t cookie = w.BeginSection(ckpt::Tag::kSituationBuffer);
+    w.U64(size_);
+    for (size_t i = 0; i < size_; ++i) w.WriteSituation(At(i));
+    w.EndSection(cookie);
+  }
+
+  /// Replaces the buffer contents with the checkpointed situations. The
+  /// physical ring layout may differ from the checkpointing instance; all
+  /// observable behaviour depends only on the logical sequence.
+  Status Restore(ckpt::Reader& r) {
+    const size_t end = r.BeginSection(ckpt::Tag::kSituationBuffer);
+    Clear();
+    const uint64_t n = r.U64();
+    for (uint64_t i = 0; i < n && r.ok(); ++i) {
+      Situation s = r.ReadSituation();
+      if (!r.ok()) break;
+      if (size_ > 0 && s.ts < Back().te) {
+        r.Fail(Status::ParseError(
+            "checkpoint: situation buffer not in timestamp order"));
+        break;
+      }
+      Append(std::move(s));
+    }
+    return r.EndSection(end);
   }
 
   size_t size() const { return size_; }

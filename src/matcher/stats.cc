@@ -1,6 +1,7 @@
 #include "matcher/stats.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace tpstream {
 
@@ -13,6 +14,51 @@ MatcherStats::MatcherStats(const TemporalPattern& pattern, double alpha)
     c.relations.ForEach([&sel](Relation r) { sel += DefaultSelectivity(r); });
     selectivity_ema_.push_back(std::min(sel, 1.0));
   }
+}
+
+void MatcherStats::Checkpoint(ckpt::Writer& w) const {
+  const size_t cookie = w.BeginSection(ckpt::Tag::kMatcherStats);
+  w.F64(alpha_);
+  w.U64(buffer_ema_.size());
+  for (double v : buffer_ema_) w.F64(v);
+  w.U64(selectivity_ema_.size());
+  for (double v : selectivity_ema_) w.F64(v);
+  w.EndSection(cookie);
+}
+
+Status MatcherStats::Restore(ckpt::Reader& r) {
+  const size_t end = r.BeginSection(ckpt::Tag::kMatcherStats);
+  const double alpha = r.F64();
+  const uint64_t num_buffers = r.U64();
+  if (num_buffers > r.remaining() / 8) {
+    r.Fail(Status::ParseError("checkpoint: MatcherStats size exceeds input"));
+    return r.status();
+  }
+  if (!buffer_ema_.empty() && num_buffers != buffer_ema_.size()) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: MatcherStats symbol count mismatch"));
+    return r.status();
+  }
+  std::vector<double> buffers(num_buffers);
+  for (double& v : buffers) v = r.F64();
+  const uint64_t num_constraints = r.U64();
+  if (num_constraints > r.remaining() / 8) {
+    r.Fail(Status::ParseError("checkpoint: MatcherStats size exceeds input"));
+    return r.status();
+  }
+  if (!selectivity_ema_.empty() && num_constraints != selectivity_ema_.size()) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: MatcherStats constraint count mismatch"));
+    return r.status();
+  }
+  std::vector<double> selectivities(num_constraints);
+  for (double& v : selectivities) v = r.F64();
+  Status status = r.EndSection(end);
+  if (!status.ok()) return status;
+  alpha_ = alpha;
+  buffer_ema_ = std::move(buffers);
+  selectivity_ema_ = std::move(selectivities);
+  return Status::OK();
 }
 
 MatcherStatsPublisher::MatcherStatsPublisher(obs::MetricsRegistry* registry,

@@ -1,9 +1,12 @@
 #ifndef TPSTREAM_MATCHER_STATS_H_
 #define TPSTREAM_MATCHER_STATS_H_
 
+#include <cassert>
 #include <vector>
 
 #include "algebra/pattern.h"
+#include "ckpt/serde.h"
+#include "common/status.h"
 #include "obs/metrics.h"
 
 namespace tpstream {
@@ -20,10 +23,18 @@ class MatcherStats {
   /// sum over the constraint's relations, capped at 1).
   MatcherStats(const TemporalPattern& pattern, double alpha);
 
+  /// Both update paths guard against unsized slots: a default-constructed
+  /// instance (the state a partially restored engine transits through) has
+  /// empty vectors, and writing through `vec[i]` there is an out-of-bounds
+  /// store. Misuse asserts in debug builds and is a safe no-op in release.
   void UpdateBufferSize(int symbol, double size) {
+    assert(InRange(symbol, buffer_ema_) && "MatcherStats not sized (use the pattern constructor)");
+    if (!InRange(symbol, buffer_ema_)) return;
     Fold(&buffer_ema_[symbol], size);
   }
   void UpdateSelectivity(int constraint, double sample) {
+    assert(InRange(constraint, selectivity_ema_) && "MatcherStats not sized (use the pattern constructor)");
+    if (!InRange(constraint, selectivity_ema_)) return;
     Fold(&selectivity_ema_[constraint], sample);
   }
 
@@ -38,7 +49,19 @@ class MatcherStats {
 
   double alpha() const { return alpha_; }
 
+  /// Serializes the smoothing factor and both EMA vectors bit-exact.
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Overwrites this instance with the checkpointed statistics. When the
+  /// instance is already sized (constructed from a pattern), the slot
+  /// counts must match; an unsized instance adopts the checkpoint's.
+  Status Restore(ckpt::Reader& r);
+
  private:
+  static bool InRange(int i, const std::vector<double>& v) {
+    return i >= 0 && static_cast<size_t>(i) < v.size();
+  }
+
   void Fold(double* ema, double sample) {
     *ema = alpha_ * sample + (1.0 - alpha_) * *ema;
   }

@@ -218,6 +218,56 @@ void QueryGroup::Flush() {
   }
 }
 
+void QueryGroup::Reset() {
+  if (!sealed_) return;
+  num_events_ = 0;
+  deriver_->Reset();
+  for (auto& query : queries_) query->engine->Reset();
+}
+
+void QueryGroup::Checkpoint(ckpt::Writer& w) const {
+  w.Envelope(static_cast<uint64_t>(num_events_));
+  const size_t cookie = w.BeginSection(ckpt::Tag::kQueryGroup);
+  w.U32(static_cast<uint32_t>(num_queries()));
+  w.U32(static_cast<uint32_t>(num_distinct_definitions()));
+  deriver_->Checkpoint(w);
+  for (const auto& query : queries_) query->engine->Checkpoint(w);
+  w.EndSection(cookie);
+}
+
+Status QueryGroup::Restore(ckpt::Reader& r, uint64_t* offset) {
+  if (!sealed_) Seal();
+  uint64_t off = 0;
+  Status status = r.Envelope(&off);
+  if (!status.ok()) return status;
+  const size_t end = r.BeginSection(ckpt::Tag::kQueryGroup);
+  const uint32_t num_queries_ck = r.U32();
+  const uint32_t num_defs_ck = r.U32();
+  if (r.ok() && num_queries_ck != static_cast<uint32_t>(num_queries())) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: query count mismatch (different queries registered?)"));
+    return r.status();
+  }
+  if (r.ok() &&
+      num_defs_ck != static_cast<uint32_t>(num_distinct_definitions())) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: distinct definition count mismatch (different queries "
+        "registered?)"));
+    return r.status();
+  }
+  status = deriver_->Restore(r);
+  if (!status.ok()) return status;
+  for (auto& query : queries_) {
+    status = query->engine->Restore(r);
+    if (!status.ok()) return status;
+  }
+  status = r.EndSection(end);
+  if (!status.ok()) return status;
+  num_events_ = static_cast<int64_t>(off);
+  if (offset != nullptr) *offset = off;
+  return Status::OK();
+}
+
 int64_t QueryGroup::num_matches(int query) const {
   const auto& q = *queries_[query];
   return q.engine ? q.engine->num_matches() : 0;

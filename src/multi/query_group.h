@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "core/match_engine.h"
 #include "core/query_spec.h"
 #include "derive/deriver.h"
@@ -125,6 +126,26 @@ class QueryGroup {
   /// per-query counter exact. Idempotent; a no-op before sealing; the
   /// stream may continue afterwards.
   void Flush();
+
+  /// Returns the group to its just-sealed state: the shared deriver's
+  /// open situations and every query's engine rewind; the registered
+  /// queries, the sealing itself and the observability counters survive.
+  /// A no-op before sealing.
+  void Reset();
+
+  /// Serializes the sealed group — the shared deriver plus every query's
+  /// engine, in registration order — stamped with the event-log offset
+  /// (= num_events()). Must be sealed (checkpoints are taken between
+  /// Push() calls, and the first Push seals).
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Restores a checkpoint taken on a group with the same queries
+  /// registered in the same order (validated by query and distinct-
+  /// definition counts). Seals the group if the first Push hasn't
+  /// already. On success, `*offset` (when non-null) receives the
+  /// event-log offset to replay from. On error the group must be
+  /// Reset() or discarded.
+  Status Restore(ckpt::Reader& r, uint64_t* offset = nullptr);
 
   int num_queries() const { return static_cast<int>(queries_.size()); }
   int64_t num_events() const { return num_events_; }

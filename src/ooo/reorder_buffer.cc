@@ -1,5 +1,6 @@
 #include "ooo/reorder_buffer.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace tpstream {
@@ -30,10 +31,11 @@ void ReorderBuffer::ReleaseReady(const Sink& sink) {
   watermark_ = max_seen_ < kTimeMin + options_.slack
                    ? kTimeMin
                    : max_seen_ - options_.slack;
-  while (!heap_.empty() && heap_.top().t <= watermark_) {
-    last_released_ = heap_.top().t;
-    sink(heap_.top());
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().t <= watermark_) {
+    last_released_ = heap_.front().t;
+    sink(heap_.front());
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
     if (released_ctr_ != nullptr) released_ctr_->Inc();
   }
   if (buffered_gauge_ != nullptr) {
@@ -59,7 +61,8 @@ void ReorderBuffer::Push(const Event& event, const Sink& sink) {
     QuarantineLate(Event(event));
     return;
   }
-  heap_.push(event);
+  heap_.push_back(event);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ReleaseReady(sink);
 }
 
@@ -70,15 +73,17 @@ void ReorderBuffer::Push(Event&& event, const Sink& sink) {
     QuarantineLate(std::move(event));
     return;
   }
-  heap_.push(std::move(event));
+  heap_.push_back(std::move(event));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ReleaseReady(sink);
 }
 
 void ReorderBuffer::Flush(const Sink& sink) {
   while (!heap_.empty()) {
-    last_released_ = heap_.top().t;
-    sink(heap_.top());
-    heap_.pop();
+    last_released_ = heap_.front().t;
+    sink(heap_.front());
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
     if (released_ctr_ != nullptr) released_ctr_->Inc();
   }
   watermark_ = last_released_;
@@ -86,6 +91,62 @@ void ReorderBuffer::Flush(const Sink& sink) {
     buffered_gauge_->Set(0.0);
     lag_gauge_->Set(0.0);
   }
+}
+
+void ReorderBuffer::Reset() {
+  heap_.clear();
+  max_seen_ = kTimeMin;
+  last_released_ = kTimeMin;
+  watermark_ = kTimeMin;
+  num_reordered_ = 0;
+  num_dropped_ = 0;
+  if (buffered_gauge_ != nullptr) {
+    buffered_gauge_->Set(0.0);
+    lag_gauge_->Set(0.0);
+  }
+}
+
+void ReorderBuffer::Checkpoint(ckpt::Writer& w) const {
+  const size_t cookie = w.BeginSection(ckpt::Tag::kReorderBuffer);
+  w.U64(heap_.size());
+  for (const Event& e : heap_) w.WriteEvent(e);
+  w.I64(max_seen_);
+  w.I64(last_released_);
+  w.I64(watermark_);
+  w.I64(num_reordered_);
+  w.I64(num_dropped_);
+  w.EndSection(cookie);
+}
+
+Status ReorderBuffer::Restore(ckpt::Reader& r) {
+  const size_t end = r.BeginSection(ckpt::Tag::kReorderBuffer);
+  const uint64_t n = r.U64();
+  if (n > r.remaining()) {
+    r.Fail(Status::ParseError("checkpoint: reorder heap size exceeds input"));
+    return r.status();
+  }
+  heap_.clear();
+  heap_.reserve(n);
+  for (uint64_t i = 0; i < n && r.ok(); ++i) heap_.push_back(r.ReadEvent());
+  if (r.ok() && !std::is_heap(heap_.begin(), heap_.end(), Later{})) {
+    r.Fail(Status::ParseError(
+        "checkpoint: reorder buffer array violates the heap invariant"));
+    return r.status();
+  }
+  max_seen_ = r.I64();
+  last_released_ = r.I64();
+  watermark_ = r.I64();
+  num_reordered_ = r.I64();
+  num_dropped_ = r.I64();
+  Status status = r.EndSection(end);
+  if (status.ok() && buffered_gauge_ != nullptr) {
+    buffered_gauge_->Set(static_cast<double>(heap_.size()));
+    // Subtract in double: untrusted checkpoint values must not take the
+    // signed-overflow UB path even when semantically nonsensical.
+    lag_gauge_->Set(static_cast<double>(max_seen_) -
+                    static_cast<double>(watermark_));
+  }
+  return status;
 }
 
 }  // namespace ooo

@@ -2,10 +2,11 @@
 #define TPSTREAM_OOO_REORDER_BUFFER_H_
 
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "common/event.h"
+#include "common/status.h"
 #include "obs/metrics.h"
 #include "robust/dead_letter.h"
 
@@ -81,6 +82,21 @@ class ReorderBuffer {
   size_t buffered() const { return heap_.size(); }
   TimePoint watermark() const { return watermark_; }
 
+  /// Returns the buffer to its freshly-constructed state: empties the
+  /// heap and rewinds watermarks and disorder counters. Configuration
+  /// (slack, sinks, metrics) is retained.
+  void Reset();
+
+  /// Serializes the buffered events (verbatim heap array layout), the
+  /// watermark state and the disorder counters. Restoring the exact array
+  /// preserves the release order of equal-timestamp events, which the
+  /// replay differential tests rely on.
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Restores a checkpoint. On error the buffer must be Reset() or
+  /// discarded before further use.
+  Status Restore(ckpt::Reader& r);
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -99,7 +115,12 @@ class ReorderBuffer {
 
   Options options_;
   LateCallback late_callback_;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Min-heap on `t` maintained with std::push_heap/std::pop_heap (rather
+  /// than std::priority_queue) so checkpoints can serialize and restore
+  /// the exact array layout — heap operations are deterministic functions
+  /// of the array, so a restored buffer releases equal-timestamp events
+  /// in the same order the uninterrupted run would have.
+  std::vector<Event> heap_;
   TimePoint max_seen_ = kTimeMin;
   TimePoint last_released_ = kTimeMin;
   TimePoint watermark_ = kTimeMin;

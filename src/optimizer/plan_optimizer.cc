@@ -291,6 +291,60 @@ AdaptiveController::AdaptiveController(const TemporalPattern* pattern,
   }
 }
 
+void AdaptiveController::Checkpoint(ckpt::Writer& w) const {
+  const size_t cookie = w.BeginSection(ckpt::Tag::kController);
+  w.I64(calls_);
+  w.I64(reoptimizations_);
+  w.I64(migrations_);
+  w.Bool(initialized_);
+  w.U64(snapshot_buffers_.size());
+  for (double v : snapshot_buffers_) w.F64(v);
+  w.U64(snapshot_selectivities_.size());
+  for (double v : snapshot_selectivities_) w.F64(v);
+  w.U32(static_cast<uint32_t>(current_order_.size()));
+  for (int s : current_order_) w.U32(static_cast<uint32_t>(s));
+  w.EndSection(cookie);
+}
+
+Status AdaptiveController::Restore(ckpt::Reader& r) {
+  const size_t end = r.BeginSection(ckpt::Tag::kController);
+  const int64_t calls = r.I64();
+  const int64_t reoptimizations = r.I64();
+  const int64_t migrations = r.I64();
+  const bool initialized = r.Bool();
+  const uint64_t num_buffers = r.U64();
+  if (num_buffers > r.remaining() / 8) {
+    r.Fail(Status::ParseError("checkpoint: controller size exceeds input"));
+    return r.status();
+  }
+  std::vector<double> buffers(num_buffers);
+  for (double& v : buffers) v = r.F64();
+  const uint64_t num_selectivities = r.U64();
+  if (num_selectivities > r.remaining() / 8) {
+    r.Fail(Status::ParseError("checkpoint: controller size exceeds input"));
+    return r.status();
+  }
+  std::vector<double> selectivities(num_selectivities);
+  for (double& v : selectivities) v = r.F64();
+  const uint32_t order_size = r.U32();
+  if (order_size > r.remaining() / 4) {
+    r.Fail(Status::ParseError("checkpoint: controller size exceeds input"));
+    return r.status();
+  }
+  std::vector<int> order(order_size);
+  for (int& s : order) s = static_cast<int>(r.U32());
+  Status status = r.EndSection(end);
+  if (!status.ok()) return status;
+  calls_ = calls;
+  reoptimizations_ = reoptimizations;
+  migrations_ = migrations;
+  initialized_ = initialized;
+  snapshot_buffers_ = std::move(buffers);
+  snapshot_selectivities_ = std::move(selectivities);
+  current_order_ = std::move(order);
+  return Status::OK();
+}
+
 bool AdaptiveController::Drifted(const MatcherStats& stats) const {
   auto deviation = [](double current, double snapshot) {
     const double base = std::max(std::abs(snapshot), 1e-9);

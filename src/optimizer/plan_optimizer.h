@@ -7,6 +7,8 @@
 #include <string>
 
 #include "algebra/pattern.h"
+#include "ckpt/serde.h"
+#include "common/status.h"
 #include "matcher/stats.h"
 #include "obs/metrics.h"
 #include "optimizer/shared_plan_cache.h"
@@ -133,6 +135,14 @@ class AdaptiveController {
 
   int64_t reoptimizations() const { return reoptimizations_; }
   int64_t migrations() const { return migrations_; }
+
+  /// Serializes the adaptive state: call/reoptimization/migration counts,
+  /// the statistics snapshot the current plan was costed on, and the
+  /// current order. Restoring them keeps the drift-check cadence and
+  /// re-optimization decisions of a replayed run identical to the
+  /// uninterrupted one.
+  void Checkpoint(ckpt::Writer& w) const;
+  Status Restore(ckpt::Reader& r);
 
  private:
   bool Drifted(const MatcherStats& stats) const;

@@ -461,6 +461,68 @@ void ParallelTPStream::FlushInternal() {
   }
 }
 
+void ParallelTPStream::Reset() {
+  AssertSingleProducer();
+  // Quiesce: after the flush every worker has published its engine state
+  // and parked (the drained-wait re-acquired its mutex after the idle
+  // transition), so the producer may mutate the engines directly.
+  FlushInternal();
+  events_ctr_->Reset();
+  for (auto& worker : workers_) {
+    worker->engine->Reset();
+    worker->matches_ctr->Inc(-worker->last_matches);
+    worker->last_matches = 0;
+    worker->partitions_ctr->Inc(-worker->last_partitions);
+    worker->last_partitions = 0;
+  }
+}
+
+void ParallelTPStream::Checkpoint(ckpt::Writer& w) {
+  AssertSingleProducer();
+  FlushInternal();  // quiescent point: see Reset() for the hand-off
+  w.Envelope(static_cast<uint64_t>(num_events()));
+  const size_t cookie = w.BeginSection(ckpt::Tag::kParallel);
+  w.U32(static_cast<uint32_t>(workers_.size()));
+  for (const auto& worker : workers_) worker->engine->Checkpoint(w);
+  w.EndSection(cookie);
+}
+
+Status ParallelTPStream::Restore(ckpt::Reader& r, uint64_t* offset) {
+  AssertSingleProducer();
+  FlushInternal();  // quiescent point: see Reset() for the hand-off
+  uint64_t off = 0;
+  Status status = r.Envelope(&off);
+  if (!status.ok()) return status;
+  const size_t end = r.BeginSection(ckpt::Tag::kParallel);
+  const uint32_t num_workers = r.U32();
+  if (r.ok() && num_workers != workers_.size()) {
+    status = Status::InvalidArgument(
+        "checkpoint: worker count mismatch (partition-to-worker routing "
+        "depends on num_workers)");
+    return status;
+  }
+  for (auto& worker : workers_) {
+    status = worker->engine->Restore(r);
+    if (!status.ok()) return status;
+  }
+  status = r.EndSection(end);
+  if (!status.ok()) return status;
+  // Re-base the published counters on the restored engines so the
+  // any-thread getters are exact immediately.
+  events_ctr_->Inc(static_cast<int64_t>(off) - events_ctr_->value());
+  for (auto& worker : workers_) {
+    worker->matches_ctr->Inc(worker->engine->num_matches() -
+                             worker->last_matches);
+    worker->last_matches = worker->engine->num_matches();
+    const int64_t partitions =
+        static_cast<int64_t>(worker->engine->num_partitions());
+    worker->partitions_ctr->Inc(partitions - worker->last_partitions);
+    worker->last_partitions = partitions;
+  }
+  if (offset != nullptr) *offset = off;
+  return Status::OK();
+}
+
 size_t ParallelTPStream::num_partitions() const {
   int64_t total = 0;
   for (const auto& worker : workers_) {

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "core/partitioned_operator.h"
 #include "obs/metrics.h"
 #include "parallel/spsc_ring.h"
@@ -155,6 +156,27 @@ class ParallelTPStream {
   /// and the statistics getters are exact. Idempotent; also called by
   /// the destructor. Single producer only.
   void Flush();
+
+  /// Returns the stream to its freshly-constructed state: drains every
+  /// ring (Flush), then resets each worker's engine and rewinds the
+  /// published event/match/partition counters. Single producer only;
+  /// the worker threads stay parked throughout (no batch is in flight
+  /// after the flush, so the producer may touch the engines — the
+  /// drained-wait's mutex re-acquisition orders the hand-off).
+  void Reset();
+
+  /// Quiescent checkpoint: flushes (all rings drained, every worker
+  /// idle), then serializes each worker's partitioned engine in worker
+  /// order, stamped with the event-log offset (= num_events()). Single
+  /// producer only — counts as a producer call.
+  void Checkpoint(ckpt::Writer& w);
+
+  /// Restores a checkpoint taken on a stream with the same worker count
+  /// (partition-to-worker routing depends on it) and the same query and
+  /// options. Quiesces first; single producer only. On success,
+  /// `*offset` (when non-null) receives the event-log offset to replay
+  /// from. On error the stream must be Reset() or discarded.
+  Status Restore(ckpt::Reader& r, uint64_t* offset = nullptr);
 
   /// Total matches across workers. Safe from any thread; exact after
   /// Flush(), otherwise a recent (monotone) snapshot.

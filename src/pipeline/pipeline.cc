@@ -59,6 +59,19 @@ class ReorderStage final : public Stage {
 
   void Reset() override { buffer_ = ooo::ReorderBuffer(options_); }
 
+  void Checkpoint(ckpt::Writer& w) const override {
+    const size_t cookie = w.BeginSection(ckpt::Tag::kPipelineStage);
+    buffer_.Checkpoint(w);
+    w.EndSection(cookie);
+  }
+
+  Status Restore(ckpt::Reader& r) override {
+    const size_t end = r.BeginSection(ckpt::Tag::kPipelineStage);
+    Status status = buffer_.Restore(r);
+    if (!status.ok()) return status;
+    return r.EndSection(end);
+  }
+
  private:
   ooo::ReorderBuffer::Options options_;
   ooo::ReorderBuffer buffer_;
@@ -87,6 +100,19 @@ class DetectStage final : public Stage {
   /// adaptive statistics — the restart semantics Pipeline::Reset()
   /// promises (the statistics used to leak across restarts).
   void Reset() override { Rebuild(); }
+
+  void Checkpoint(ckpt::Writer& w) const override {
+    const size_t cookie = w.BeginSection(ckpt::Tag::kPipelineStage);
+    engine_->Checkpoint(w);
+    w.EndSection(cookie);
+  }
+
+  Status Restore(ckpt::Reader& r) override {
+    const size_t end = r.BeginSection(ckpt::Tag::kPipelineStage);
+    Status status = engine_->Restore(r);
+    if (!status.ok()) return status;
+    return r.EndSection(end);
+  }
 
  private:
   void Rebuild() {
@@ -234,11 +260,13 @@ Status Pipeline::Finalize() {
 
 void Pipeline::Push(const Event& event) {
   if (!finalized_) return;  // Finalize() reports the error
+  ++num_pushed_;
   stages_.front()->Consume(event);
 }
 
 void Pipeline::Push(Event&& event) {
   if (!finalized_) return;  // Finalize() reports the error
+  ++num_pushed_;
   stages_.front()->Consume(std::move(event));
 }
 
@@ -256,7 +284,43 @@ void Pipeline::Finish() {
 }
 
 void Pipeline::Reset() {
+  num_pushed_ = 0;
   for (auto& stage : stages_) stage->Reset();
+}
+
+void Pipeline::Checkpoint(ckpt::Writer& w) const {
+  w.Envelope(static_cast<uint64_t>(num_pushed_));
+  const size_t cookie = w.BeginSection(ckpt::Tag::kPipeline);
+  w.U32(static_cast<uint32_t>(stages_.size()));
+  for (const auto& stage : stages_) stage->Checkpoint(w);
+  w.EndSection(cookie);
+}
+
+Status Pipeline::Restore(ckpt::Reader& r, uint64_t* offset) {
+  if (!finalized_) {
+    return Status::InvalidArgument(
+        "checkpoint: pipeline is not finalized; build the same stage "
+        "chain and Finalize() before restoring");
+  }
+  uint64_t off = 0;
+  Status status = r.Envelope(&off);
+  if (!status.ok()) return status;
+  const size_t end = r.BeginSection(ckpt::Tag::kPipeline);
+  const uint32_t num_stages = r.U32();
+  if (r.ok() && num_stages != stages_.size()) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: stage count mismatch (different pipeline chain?)"));
+    return r.status();
+  }
+  for (auto& stage : stages_) {
+    status = stage->Restore(r);
+    if (!status.ok()) return status;
+  }
+  status = r.EndSection(end);
+  if (!status.ok()) return status;
+  num_pushed_ = static_cast<int64_t>(off);
+  if (offset != nullptr) *offset = off;
+  return Status::OK();
 }
 
 }  // namespace pipeline

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "common/event.h"
 #include "common/schema.h"
 #include "common/status.h"
@@ -44,6 +45,21 @@ class Stage {
   /// matcher statistics) so the stage behaves as freshly constructed.
   /// Default: stateless, nothing to do.
   virtual void Reset() {}
+
+  /// Serializes the stage's processing state as one kPipelineStage
+  /// section. Default: stateless, an empty section — stateful stages
+  /// (Reorder, Detect) override both this and Restore().
+  virtual void Checkpoint(ckpt::Writer& w) const {
+    const size_t cookie = w.BeginSection(ckpt::Tag::kPipelineStage);
+    w.EndSection(cookie);
+  }
+
+  /// Restores a stage checkpoint (one kPipelineStage section). On error
+  /// the stage must be Reset() or discarded.
+  virtual Status Restore(ckpt::Reader& r) {
+    const size_t end = r.BeginSection(ckpt::Tag::kPipelineStage);
+    return r.EndSection(end);
+  }
 
   /// Entry point used by the pipeline and upstream stages: counts the
   /// event (when instrumented) and forwards to Process().
@@ -160,6 +176,21 @@ class Pipeline {
   /// The pipeline stays finalized; metrics keep accumulating.
   void Reset();
 
+  /// Serializes every stage's processing state in chain order, stamped
+  /// with the event-log offset (= num_pushed()). Checkpoints are taken
+  /// between Push() calls; the pipeline must be finalized.
+  void Checkpoint(ckpt::Writer& w) const;
+
+  /// Restores a checkpoint taken on a pipeline with the same (finalized)
+  /// stage chain, validated by stage count. On success, `*offset` (when
+  /// non-null) receives the event-log offset to replay from. On error
+  /// the pipeline must be Reset() or discarded.
+  Status Restore(ckpt::Reader& r, uint64_t* offset = nullptr);
+
+  /// Events accepted by Push() since construction / Reset / Restore —
+  /// the pipeline's event-log offset.
+  int64_t num_pushed() const { return num_pushed_; }
+
   /// Schema of the events leaving the last stage.
   const Schema& output_schema() const { return schema_; }
 
@@ -172,6 +203,7 @@ class Pipeline {
   std::vector<std::unique_ptr<Stage>> stages_;
   Status deferred_error_;
   bool finalized_ = false;
+  int64_t num_pushed_ = 0;
 };
 
 }  // namespace pipeline

@@ -3,14 +3,22 @@
 // nothing), the stream may continue after it (Push after Flush is
 // well-defined and still detects), and Flush on an empty stream is a
 // no-op rather than an error.
+//
+// The RestoreLifecycle suite audits the companion durability contract on
+// the same surfaces: restore into a fresh instance, restore into an
+// instance mid-way through a different stream (full overwrite), double
+// restore (idempotent, byte-stable), and restore followed by Reset
+// (back to a fresh stream).
 
 #include <algorithm>
 #include <mutex>
 #include <random>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "ckpt/serde.h"
 #include "core/operator.h"
 #include "core/partitioned_operator.h"
 #include "multi/query_group.h"
@@ -223,6 +231,362 @@ TEST(FlushLifecycleTest, QueryGroupFlushLifecycle) {
   ASSERT_EQ(outputs.size(), 2u);
   EXPECT_EQ(outputs[1].t, 106);
   EXPECT_EQ(group.num_events(), 20);
+}
+
+// ---------------------------------------------------------------------------
+// Restore lifecycle matrix.
+
+/// Checkpoint an operator-shaped engine after the base-0 episode and
+/// return the blob (10 events pushed, one match emitted at t=6).
+template <typename Engine>
+std::string CheckpointAfterEpisode(Engine& engine) {
+  PushEpisode([&](const Event& e) { engine.Push(e); }, 0);
+  ckpt::Writer w;
+  engine.Checkpoint(w);
+  return w.Take();
+}
+
+TEST(RestoreLifecycle, OperatorMatrix) {
+  const QuerySpec spec = OverlapSpec();
+  std::vector<Event> source_outputs;
+  TPStreamOperator source(spec, {},
+                          [&](const Event& e) { source_outputs.push_back(e); });
+  const std::string blob = CheckpointAfterEpisode(source);
+  ASSERT_EQ(source_outputs.size(), 1u);
+
+  // Restore into a fresh instance: the stream continues where the
+  // checkpoint left off and the next episode still detects.
+  std::vector<Event> outputs;
+  TPStreamOperator fresh(spec, {},
+                         [&](const Event& e) { outputs.push_back(e); });
+  {
+    ckpt::Reader r(blob);
+    uint64_t offset = 0;
+    ASSERT_TRUE(fresh.Restore(r, &offset).ok()) << r.status().ToString();
+    EXPECT_EQ(offset, 10u);  // events pushed before the checkpoint
+  }
+  EXPECT_EQ(fresh.num_events(), 10);
+  PushEpisode([&](const Event& e) { fresh.Push(e); }, 100);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].t, 106);
+  EXPECT_EQ(outputs[0].payload[0].AsInt(), 4);
+
+  // Restore into a used instance mid-way through a *different* stream:
+  // the old stream's state (buffers, counters, pending triggers) must be
+  // fully overwritten, not merged.
+  std::vector<Event> used_outputs;
+  TPStreamOperator used(spec, {},
+                        [&](const Event& e) { used_outputs.push_back(e); });
+  for (TimePoint t = 1; t <= 7; ++t) {
+    used.Push(Event({Value(t >= 2), Value(t >= 3)}, 1000 + t));
+  }
+  used_outputs.clear();
+  {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(used.Restore(r).ok());
+  }
+  EXPECT_EQ(used.num_events(), 10);
+  PushEpisode([&](const Event& e) { used.Push(e); }, 100);
+  ASSERT_EQ(used_outputs.size(), outputs.size());
+  EXPECT_EQ(used_outputs[0].t, outputs[0].t);
+  EXPECT_EQ(used_outputs[0].payload, outputs[0].payload);
+
+  // Double restore is idempotent: re-checkpointing reproduces the blob
+  // byte for byte.
+  TPStreamOperator twice(spec, {}, nullptr);
+  for (int i = 0; i < 2; ++i) {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(twice.Restore(r).ok()) << "restore " << i;
+  }
+  ckpt::Writer w;
+  twice.Checkpoint(w);
+  EXPECT_EQ(w.buffer(), blob);
+
+  // Restore then Reset: back to a fresh stream — replaying from t=0
+  // re-detects (and re-emits) the original episode.
+  std::vector<Event> reset_outputs;
+  TPStreamOperator cycled(spec, {},
+                          [&](const Event& e) { reset_outputs.push_back(e); });
+  {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(cycled.Restore(r).ok());
+  }
+  cycled.Reset();
+  EXPECT_EQ(cycled.num_events(), 0);
+  PushEpisode([&](const Event& e) { cycled.Push(e); }, 0);
+  ASSERT_EQ(reset_outputs.size(), 1u);
+  EXPECT_EQ(reset_outputs[0].t, 6);
+}
+
+TEST(RestoreLifecycle, PartitionedMatrix) {
+  Schema schema({Field{"a", ValueType::kBool}, Field{"b", ValueType::kBool},
+                 Field{"key", ValueType::kInt}});
+  QueryBuilder qb(schema);
+  qb.Define("A", FieldRef(0, "a"))
+      .Define("B", FieldRef(1, "b"))
+      .Relate("A", Relation::kOverlaps, "B")
+      .Within(100)
+      .Return("n", "A", AggKind::kCount)
+      .PartitionBy("key");
+  auto built = qb.Build();
+  ASSERT_TRUE(built.ok());
+  const QuerySpec spec = built.value();
+
+  const auto push_keyed = [](PartitionedTPStream& op, int64_t key,
+                             TimePoint base) {
+    PushEpisode(
+        [&](const Event& e) {
+          op.Push(Event({e.payload[0], e.payload[1], Value(key)}, e.t));
+        },
+        base);
+  };
+
+  PartitionedTPStream source(spec, {}, nullptr);
+  push_keyed(source, 1, 100);
+  push_keyed(source, 2, 200);
+  ckpt::Writer w;
+  source.Checkpoint(w);
+  const std::string blob = w.Take();
+
+  // Fresh restore: both partitions come back; key 1 continues its stream.
+  std::vector<Event> outputs;
+  PartitionedTPStream fresh(spec, {},
+                            [&](const Event& e) { outputs.push_back(e); });
+  uint64_t offset = 0;
+  {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(fresh.Restore(r, &offset).ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(offset, 20u);
+  EXPECT_EQ(fresh.num_partitions(), 2u);
+  push_keyed(fresh, 1, 300);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].t, 306);
+
+  // Restore into an instance holding *different* partitions: the old
+  // partition map must be dropped wholesale.
+  std::vector<Event> used_outputs;
+  PartitionedTPStream used(spec, {},
+                           [&](const Event& e) { used_outputs.push_back(e); });
+  push_keyed(used, 7, 50);
+  push_keyed(used, 8, 50);
+  used_outputs.clear();
+  {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(used.Restore(r).ok());
+  }
+  EXPECT_EQ(used.num_partitions(), 2u);
+  EXPECT_EQ(used.num_events(), 20);
+  push_keyed(used, 1, 300);
+  ASSERT_EQ(used_outputs.size(), 1u);
+  EXPECT_EQ(used_outputs[0].t, 306);
+
+  // Double restore reproduces the blob; restore-then-Reset starts over.
+  PartitionedTPStream cycled(spec, {}, nullptr);
+  for (int i = 0; i < 2; ++i) {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(cycled.Restore(r).ok()) << "restore " << i;
+  }
+  ckpt::Writer again;
+  cycled.Checkpoint(again);
+  EXPECT_EQ(again.buffer(), blob);
+  cycled.Reset();
+  EXPECT_EQ(cycled.num_partitions(), 0u);
+  EXPECT_EQ(cycled.num_events(), 0);
+}
+
+TEST(RestoreLifecycle, ParallelMatrix) {
+  Schema schema({Field{"key", ValueType::kInt}, Field{"a", ValueType::kBool},
+                 Field{"b", ValueType::kBool}});
+  QueryBuilder qb(schema);
+  qb.Define("A", FieldRef(1, "a"))
+      .Define("B", FieldRef(2, "b"))
+      .Relate("A", Relation::kOverlaps, "B")
+      .Within(100)
+      .Return("n", "A", AggKind::kCount)
+      .PartitionBy("key");
+  auto built = qb.Build();
+  ASSERT_TRUE(built.ok());
+  const QuerySpec spec = built.value();
+
+  parallel::ParallelTPStream::Options options;
+  options.num_workers = 2;
+
+  const auto push_round = [](parallel::ParallelTPStream& op, TimePoint base) {
+    for (TimePoint t = 1; t <= 10; ++t) {
+      for (int64_t key : {1, 2, 3}) {
+        op.Push(Event({Value(key), Value(t >= 2 && t < 6),
+                       Value(t >= 4 && t < 9)},
+                      base + t));
+      }
+    }
+  };
+
+  parallel::ParallelTPStream source(spec, options, nullptr);
+  push_round(source, 0);
+  ckpt::Writer w;
+  source.Checkpoint(w);  // quiescent: flushes the workers first
+  const std::string blob = w.Take();
+
+  // Fresh restore with the same worker count resumes all partitions.
+  std::vector<Event> outputs;
+  std::mutex mutex;
+  parallel::ParallelTPStream fresh(spec, options, [&](const Event& e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    outputs.push_back(e);
+  });
+  uint64_t offset = 0;
+  {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(fresh.Restore(r, &offset).ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(offset, 30u);
+  EXPECT_EQ(fresh.num_events(), 30);
+  push_round(fresh, 100);
+  fresh.Flush();
+  ASSERT_EQ(outputs.size(), 3u);  // one per key, from the resumed round
+
+  // Double restore re-checkpoints byte-identically; Reset then replays
+  // the stream from scratch.
+  parallel::ParallelTPStream cycled(spec, options, nullptr);
+  for (int i = 0; i < 2; ++i) {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(cycled.Restore(r).ok()) << "restore " << i;
+  }
+  ckpt::Writer again;
+  cycled.Checkpoint(again);
+  EXPECT_EQ(again.buffer(), blob);
+  cycled.Reset();
+  EXPECT_EQ(cycled.num_events(), 0);
+  push_round(cycled, 0);
+  cycled.Flush();
+  EXPECT_EQ(cycled.num_events(), 30);
+}
+
+TEST(RestoreLifecycle, PipelineMatrix) {
+  const auto build = [](std::vector<Event>* matches) {
+    auto p = std::make_unique<pipeline::Pipeline>(TwoBoolSchema());
+    p->Reorder(4).Detect(OverlapSpec());
+    if (matches != nullptr) {
+      p->Sink([matches](const Event& e) { matches->push_back(e); });
+    } else {
+      p->Sink([](const Event&) {});
+    }
+    EXPECT_TRUE(p->Finalize().ok());
+    return p;
+  };
+
+  auto source = build(nullptr);
+  const std::string blob = CheckpointAfterEpisode(*source);
+
+  // Fresh restore on an identically built chain: the reorder stage's
+  // buffered tail and the detect engine both come back, and the stream
+  // continues from the checkpoint offset.
+  std::vector<Event> matches;
+  auto fresh = build(&matches);
+  uint64_t offset = 0;
+  {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(fresh->Restore(r, &offset).ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(offset, 10u);
+  EXPECT_EQ(fresh->num_pushed(), 10);
+  PushEpisode([&](const Event& e) { fresh->Push(e); }, 100);
+  fresh->Finish();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].t, 106);
+
+  // Restore into a pipeline mid-way through a different stream.
+  std::vector<Event> used_matches;
+  auto used = build(&used_matches);
+  for (TimePoint t = 1; t <= 6; ++t) {
+    used->Push(Event({Value(true), Value(false)}, 1000 + t));
+  }
+  used_matches.clear();
+  {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(used->Restore(r).ok());
+  }
+  PushEpisode([&](const Event& e) { used->Push(e); }, 100);
+  used->Finish();
+  ASSERT_EQ(used_matches.size(), 1u);
+  EXPECT_EQ(used_matches[0].t, 106);
+
+  // Double restore: byte-stable. Restore-then-Reset: fresh stream.
+  auto cycled = build(nullptr);
+  for (int i = 0; i < 2; ++i) {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(cycled->Restore(r).ok()) << "restore " << i;
+  }
+  ckpt::Writer again;
+  cycled->Checkpoint(again);
+  EXPECT_EQ(again.buffer(), blob);
+  cycled->Reset();
+  EXPECT_EQ(cycled->num_pushed(), 0);
+}
+
+TEST(RestoreLifecycle, QueryGroupMatrix) {
+  const auto build = [](std::vector<Event>* outputs) {
+    auto group = std::make_unique<multi::QueryGroup>();
+    auto added = group->AddQuery(OverlapSpec(), [outputs](const Event& e) {
+      if (outputs != nullptr) outputs->push_back(e);
+    });
+    EXPECT_TRUE(added.ok()) << added.status().ToString();
+    return group;
+  };
+
+  auto source = build(nullptr);
+  const std::string blob = CheckpointAfterEpisode(*source);
+
+  // Restore seals an unsealed group with the same registered queries.
+  std::vector<Event> outputs;
+  auto fresh = build(&outputs);
+  EXPECT_FALSE(fresh->sealed());
+  uint64_t offset = 0;
+  {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(fresh->Restore(r, &offset).ok()) << r.status().ToString();
+  }
+  EXPECT_TRUE(fresh->sealed());
+  EXPECT_EQ(offset, 10u);
+  EXPECT_EQ(fresh->num_events(), 10);
+  PushEpisode([&](const Event& e) { fresh->Push(e); }, 100);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].t, 106);
+
+  // Restore into a group mid-way through another stream overwrites it.
+  std::vector<Event> used_outputs;
+  auto used = build(&used_outputs);
+  for (TimePoint t = 1; t <= 5; ++t) {
+    used->Push(Event({Value(true), Value(true)}, 500 + t));
+  }
+  used_outputs.clear();
+  {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(used->Restore(r).ok());
+  }
+  EXPECT_EQ(used->num_events(), 10);
+  PushEpisode([&](const Event& e) { used->Push(e); }, 100);
+  ASSERT_EQ(used_outputs.size(), 1u);
+  EXPECT_EQ(used_outputs[0].t, 106);
+
+  // Double restore: byte-stable. Restore-then-Reset: replay from zero
+  // re-emits (the Reset fingerprint bug would suppress this).
+  std::vector<Event> cycled_outputs;
+  auto cycled = build(&cycled_outputs);
+  for (int i = 0; i < 2; ++i) {
+    ckpt::Reader r(blob);
+    ASSERT_TRUE(cycled->Restore(r).ok()) << "restore " << i;
+  }
+  ckpt::Writer again;
+  cycled->Checkpoint(again);
+  EXPECT_EQ(again.buffer(), blob);
+  cycled->Reset();
+  EXPECT_EQ(cycled->num_events(), 0);
+  cycled_outputs.clear();
+  PushEpisode([&](const Event& e) { cycled->Push(e); }, 0);
+  ASSERT_EQ(cycled_outputs.size(), 1u);
+  EXPECT_EQ(cycled_outputs[0].t, 6);
 }
 
 }  // namespace
