@@ -3,11 +3,16 @@
 // AND/OR short-circuits, arithmetic, a duplicated predicate exercising
 // the program cache) driven over the same event stream three ways:
 //
-//   deriver.interpreter     Expression::Eval per (event, definition)
-//   deriver.bytecode        BytecodeProgram::Run per (event, definition)
-//   deriver.bytecode_batch  PushBatch-style: PrepareBatch() evaluates each
-//                           distinct program columnarly over the whole
-//                           chunk, Process() consumes precomputed rows
+//   deriver.interpreter            Expression::Eval per (event, definition)
+//   deriver.bytecode               BytecodeProgram::Run per (event, def)
+//   deriver.bytecode_batch         PushBatch-style: PrepareBatch()
+//                                  evaluates each distinct program
+//                                  columnarly over the whole chunk at the
+//                                  machine's best SIMD tier, Process()
+//                                  consumes precomputed selection bitmaps
+//   deriver.bytecode_batch_scalar  same, pinned to TPSTREAM_SIMD=off —
+//                                  isolates the SIMD kernels' contribution
+//                                  from the SoA/batch restructuring
 //
 // The workload is derivation-bound by construction — predicates flip
 // rarely, so situation/matcher work is negligible and events/sec measures
@@ -15,17 +20,21 @@
 // situation stream (checksummed); a divergence aborts the bench, so the
 // measured fast path is also a correctness check.
 //
-// `--json=FILE` writes a "tpstream-bench-compiled-v1" document, the input
+// `--json=FILE` writes a "tpstream-bench-compiled-v2" document, the input
 // of cmake/check_bench_regression.cmake and the format of the committed
-// BENCH_compiled.json baseline. The gate enforces per-run throughput
-// floors plus the headline invariant, computed from the fresh document
-// alone: eps(deriver.bytecode_batch) >= eps(deriver.interpreter) * 2.
+// BENCH_compiled.json baseline. v2 adds a top-level "cpus" count and a
+// per-run "simd_level" ("off"/"sse2"/"avx2"), which the gate uses to
+// apply SIMD-dependent floors only on machines that actually have the
+// kernels. The gate enforces per-run throughput floors plus the headline
+// invariant, computed from the fresh document alone:
+// eps(deriver.bytecode_batch) >= eps(deriver.interpreter) * 2.
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -175,14 +184,17 @@ struct RunResult {
   int64_t situations = 0;
   uint64_t checksum = 0;
   double speedup_vs_interpreter = 1.0;
+  std::string simd_level = "off";
 };
 
 enum class Mode { kInterpreter, kBytecode, kBytecodeBatch };
 
 RunResult Run(const std::string& name, Mode mode,
-              const std::vector<Event>& events, size_t batch_size) {
+              const std::vector<Event>& events, size_t batch_size,
+              const std::string& simd) {
   DeriveOptions options;
   options.compiled_predicates = mode != Mode::kInterpreter;
+  options.simd = simd;
   Deriver deriver(Definitions(), /*announce_starts=*/true,
                   /*metrics=*/nullptr, options);
 
@@ -228,6 +240,9 @@ RunResult Run(const std::string& name, Mode mode,
   r.events_per_sec = static_cast<double>(events.size()) / r.elapsed_s;
   r.situations = situations;
   r.checksum = checksum;
+  // Per-tuple modes never touch the columnar kernels; only the batch
+  // mode reports the dispatched tier.
+  r.simd_level = mode == Mode::kBytecodeBatch ? deriver.simd_level() : "off";
   return r;
 }
 
@@ -239,8 +254,10 @@ bool WriteJson(const std::string& path, const std::vector<RunResult>& runs) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"tpstream-bench-compiled-v1\",\n"
-               "  \"runs\": {\n");
+               "  \"schema\": \"tpstream-bench-compiled-v2\",\n"
+               "  \"cpus\": %u,\n"
+               "  \"runs\": {\n",
+               std::thread::hardware_concurrency());
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
     std::fprintf(f,
@@ -248,14 +265,16 @@ bool WriteJson(const std::string& path, const std::vector<RunResult>& runs) {
                  "      \"events\": %lld,\n"
                  "      \"definitions\": %d,\n"
                  "      \"compiled_programs\": %d,\n"
+                 "      \"simd_level\": \"%s\",\n"
                  "      \"elapsed_s\": %.6f,\n"
                  "      \"events_per_sec\": %.1f,\n"
                  "      \"situations\": %lld,\n"
                  "      \"speedup_vs_interpreter\": %.3f\n"
                  "    }%s\n",
                  r.name.c_str(), static_cast<long long>(r.events),
-                 r.definitions, r.compiled_programs, r.elapsed_s,
-                 r.events_per_sec, static_cast<long long>(r.situations),
+                 r.definitions, r.compiled_programs, r.simd_level.c_str(),
+                 r.elapsed_s, r.events_per_sec,
+                 static_cast<long long>(r.situations),
                  r.speedup_vs_interpreter, i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");
@@ -273,10 +292,11 @@ int Main(int argc, char** argv) {
 
   // Best-of-N to shed scheduler noise on shared CI machines; the
   // situation checksum must be identical across every run and mode.
-  auto best_of = [&](const std::string& name, Mode mode) {
+  auto best_of = [&](const std::string& name, Mode mode,
+                     const std::string& simd) {
     RunResult best;
     for (int i = 0; i < repeats; ++i) {
-      RunResult r = Run(name, mode, events, batch);
+      RunResult r = Run(name, mode, events, batch, simd);
       if (i == 0 || r.events_per_sec > best.events_per_sec) {
         best = std::move(r);
       }
@@ -285,9 +305,12 @@ int Main(int argc, char** argv) {
   };
 
   std::vector<RunResult> runs;
-  runs.push_back(best_of("deriver.interpreter", Mode::kInterpreter));
-  runs.push_back(best_of("deriver.bytecode", Mode::kBytecode));
-  runs.push_back(best_of("deriver.bytecode_batch", Mode::kBytecodeBatch));
+  runs.push_back(best_of("deriver.interpreter", Mode::kInterpreter, ""));
+  runs.push_back(best_of("deriver.bytecode", Mode::kBytecode, ""));
+  runs.push_back(
+      best_of("deriver.bytecode_batch", Mode::kBytecodeBatch, "native"));
+  runs.push_back(best_of("deriver.bytecode_batch_scalar",
+                         Mode::kBytecodeBatch, "off"));
 
   for (const RunResult& r : runs) {
     if (r.situations != runs[0].situations ||
@@ -306,12 +329,13 @@ int Main(int argc, char** argv) {
     r.speedup_vs_interpreter = r.events_per_sec / runs[0].events_per_sec;
   }
 
-  std::printf("%-24s %9s %12s %10s %6s %9s\n", "run", "events", "evt/s",
-              "situations", "progs", "speedup");
+  std::printf("%-30s %9s %12s %10s %6s %5s %9s\n", "run", "events",
+              "evt/s", "situations", "progs", "simd", "speedup");
   for (const RunResult& r : runs) {
-    std::printf("%-24s %9lld %12.0f %10lld %6d %8.2fx\n", r.name.c_str(),
-                static_cast<long long>(r.events), r.events_per_sec,
-                static_cast<long long>(r.situations), r.compiled_programs,
+    std::printf("%-30s %9lld %12.0f %10lld %6d %5s %8.2fx\n",
+                r.name.c_str(), static_cast<long long>(r.events),
+                r.events_per_sec, static_cast<long long>(r.situations),
+                r.compiled_programs, r.simd_level.c_str(),
                 r.speedup_vs_interpreter);
   }
 

@@ -5,7 +5,7 @@
 #   tpstream-bench-parallel-v1   (bench_parallel_scaling -> BENCH_parallel.json)
 #   tpstream-bench-overload-v1   (bench_overload -> BENCH_overload.json)
 #   tpstream-bench-multiquery-v1 (bench_multiquery -> BENCH_multiquery.json)
-#   tpstream-bench-compiled-v1   (bench_compiled -> BENCH_compiled.json)
+#   tpstream-bench-compiled-v2   (bench_compiled -> BENCH_compiled.json)
 #   tpstream-bench-checkpoint-v1 (bench_checkpoint -> BENCH_checkpoint.json)
 #
 # Usage:
@@ -59,14 +59,21 @@
 # (default 500% = 5x; the unshared side may be extrapolated from N = 100,
 # which the bench document marks with "extrapolated": true).
 #
-# Compiled checks (runs: deriver.{interpreter,bytecode,bytecode_batch}):
+# Compiled checks (runs: deriver.{interpreter,bytecode,bytecode_batch,
+# bytecode_batch_scalar}; v2 adds a per-run "simd_level" and a top-level
+# "cpus"):
 #   * events_per_sec >= baseline * (1 - THROUGHPUT_TOLERANCE_PCT%)
 # plus the headline ablation invariant, evaluated on CURRENT alone: the
 # columnar bytecode path must hold its advantage over the interpreter,
 #   eps(deriver.bytecode_batch) >=
-#       eps(deriver.interpreter) * COMPILED_SPEEDUP_FLOOR_PCT%
-# (default 200% = 2x; the bench itself aborts if any mode derives a
-# different situation stream, so the gate only reasons about speed).
+#       eps(deriver.interpreter) * <floor>%
+# where <floor> is COMPILED_SIMD_SPEEDUP_FLOOR_PCT (default 400% = 4x)
+# when the fresh batch run reports an active SIMD tier (simd_level other
+# than "off"), and COMPILED_SPEEDUP_FLOOR_PCT (default 200% = 2x) on
+# scalar-fallback machines — the raised floor only binds where the
+# kernels actually dispatched. The bench itself aborts if any mode
+# derives a different situation stream, so the gate only reasons about
+# speed.
 #
 # Checkpoint checks (runs: operator.steady / partitioned.k64 — periodic
 # checkpoints on a random-walk stream, bench_checkpoint):
@@ -132,6 +139,9 @@ endif()
 if(NOT DEFINED COMPILED_SPEEDUP_FLOOR_PCT)
   set(COMPILED_SPEEDUP_FLOOR_PCT 200)  # batched bytecode >= 2x interpreter
 endif()
+if(NOT DEFINED COMPILED_SIMD_SPEEDUP_FLOOR_PCT)
+  set(COMPILED_SIMD_SPEEDUP_FLOOR_PCT 400)  # >= 4x when SIMD dispatched
+endif()
 if(NOT DEFINED CHECKPOINT_P99_FACTOR_PCT)
   set(CHECKPOINT_P99_FACTOR_PCT 500)  # pause p99 <= 5x baseline
 endif()
@@ -150,7 +160,7 @@ if(err OR (NOT schema STREQUAL "tpstream-bench-ingest-v1" AND
            NOT schema STREQUAL "tpstream-bench-parallel-v1" AND
            NOT schema STREQUAL "tpstream-bench-overload-v1" AND
            NOT schema STREQUAL "tpstream-bench-multiquery-v1" AND
-           NOT schema STREQUAL "tpstream-bench-compiled-v1" AND
+           NOT schema STREQUAL "tpstream-bench-compiled-v2" AND
            NOT schema STREQUAL "tpstream-bench-checkpoint-v1"))
   message(FATAL_ERROR "${CURRENT}: bad or missing schema ('${schema}') ${err}")
 endif()
@@ -270,9 +280,9 @@ elseif(schema STREQUAL "tpstream-bench-overload-v1")
 elseif(schema STREQUAL "tpstream-bench-multiquery-v1")
   summary_append("| run | evt/s | baseline | Δ | matches/query | distinct defs |")
   summary_append("|---|---|---|---|---|---|")
-elseif(schema STREQUAL "tpstream-bench-compiled-v1")
-  summary_append("| run | evt/s | baseline | Δ | situations | programs | speedup |")
-  summary_append("|---|---|---|---|---|---|---|")
+elseif(schema STREQUAL "tpstream-bench-compiled-v2")
+  summary_append("| run | evt/s | baseline | Δ | situations | programs | simd | speedup |")
+  summary_append("|---|---|---|---|---|---|---|---|")
 elseif(schema STREQUAL "tpstream-bench-checkpoint-v1")
   summary_append("| run | evt/s | baseline | Δ | bytes/ckpt | baseline | pause p99 ns | baseline p99 | verified |")
   summary_append("|---|---|---|---|---|---|---|---|---|")
@@ -317,7 +327,7 @@ foreach(i RANGE 0 ${last})
   # measure bulk throughput only, so the check does not apply to them.
   if(schema STREQUAL "tpstream-bench-overload-v1" OR
      schema STREQUAL "tpstream-bench-multiquery-v1" OR
-     schema STREQUAL "tpstream-bench-compiled-v1" OR
+     schema STREQUAL "tpstream-bench-compiled-v2" OR
      schema STREQUAL "tpstream-bench-checkpoint-v1")
     set(cur_ape "n/a")
     set(base_ape "n/a")
@@ -346,7 +356,7 @@ foreach(i RANGE 0 ${last})
   # offered load into push latency by design, so its p99 tracks the
   # overload factor, not a regression.
   if(schema STREQUAL "tpstream-bench-multiquery-v1" OR
-     schema STREQUAL "tpstream-bench-compiled-v1")
+     schema STREQUAL "tpstream-bench-compiled-v2")
     set(cur_p99 "n/a")
     set(base_p99 0)
   elseif(schema STREQUAL "tpstream-bench-checkpoint-v1")
@@ -367,7 +377,7 @@ foreach(i RANGE 0 ${last})
     set(p99_what "push")
   endif()
   if(NOT schema STREQUAL "tpstream-bench-multiquery-v1" AND
-     NOT schema STREQUAL "tpstream-bench-compiled-v1" AND
+     NOT schema STREQUAL "tpstream-bench-compiled-v2" AND
      NOT (schema STREQUAL "tpstream-bench-overload-v1" AND
           name STREQUAL "block"))
     # The base_p99 > 0 guard doubles as zero-safety: a zero baseline
@@ -391,14 +401,15 @@ foreach(i RANGE 0 ${last})
     string(JSON cur_defs GET "${current_doc}" runs "${name}"
            distinct_definitions)
     summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_mpq} | ${cur_defs} |")
-  elseif(schema STREQUAL "tpstream-bench-compiled-v1")
+  elseif(schema STREQUAL "tpstream-bench-compiled-v2")
     string(JSON cur_sits GET "${current_doc}" runs "${name}" situations)
     string(JSON cur_progs GET "${current_doc}" runs "${name}"
            compiled_programs)
+    string(JSON cur_simd GET "${current_doc}" runs "${name}" simd_level)
     string(JSON cur_spd GET "${current_doc}" runs "${name}"
            speedup_vs_interpreter)
     pretty_num("${cur_spd}" cur_spd_fmt)
-    summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_sits} | ${cur_progs} | ${cur_spd_fmt}x |")
+    summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_sits} | ${cur_progs} | ${cur_simd} | ${cur_spd_fmt}x |")
   elseif(schema STREQUAL "tpstream-bench-overload-v1")
     # Absolute invariants of the Degradation contract, from CURRENT alone.
     string(JSON cur_shed GET "${current_doc}" runs "${name}" shed_events)
@@ -562,8 +573,11 @@ endif()
 
 # Ablation floor (compiled schema, CURRENT document only): batched
 # bytecode evaluation must hold its headline advantage over the tree
-# interpreter on the derivation-bound workload.
-if(schema STREQUAL "tpstream-bench-compiled-v1")
+# interpreter on the derivation-bound workload. The floor is raised when
+# the fresh run reports an active SIMD tier — only a machine that
+# actually dispatched the kernels is held to the kernel-level speedup;
+# scalar-fallback machines keep the portable 2x floor.
+if(schema STREQUAL "tpstream-bench-compiled-v2")
   string(JSON interp_eps ERROR_VARIABLE err_i GET "${current_doc}" runs
          deriver.interpreter events_per_sec)
   string(JSON batch_eps ERROR_VARIABLE err_b GET "${current_doc}" runs
@@ -574,21 +588,33 @@ if(schema STREQUAL "tpstream-bench-compiled-v1")
             "deriver.bytecode_batch runs needed for the ablation floor: "
             "${err_i} ${err_b}")
   endif()
+  string(JSON batch_simd ERROR_VARIABLE err_simd GET "${current_doc}" runs
+         deriver.bytecode_batch simd_level)
+  if(err_simd)
+    message(FATAL_ERROR
+            "compiled document's deriver.bytecode_batch run has no "
+            "simd_level (schema v2 requires it): ${err_simd}")
+  endif()
+  if(batch_simd STREQUAL "off")
+    set(compiled_floor ${COMPILED_SPEEDUP_FLOOR_PCT})
+  else()
+    set(compiled_floor ${COMPILED_SIMD_SPEEDUP_FLOOR_PCT})
+  endif()
   to_micro("${interp_eps}" interp_u)
   to_micro("${batch_eps}" batch_u)
   math(EXPR lhs "${batch_u} * 100")
-  math(EXPR rhs "${interp_u} * ${COMPILED_SPEEDUP_FLOOR_PCT}")
+  math(EXPR rhs "${interp_u} * ${compiled_floor}")
   if(lhs LESS rhs)
     message(SEND_ERROR
             "deriver.bytecode_batch: ablation floor missed — ${batch_eps} "
             "evt/s vs interpreter ${interp_eps} (need >= "
-            "${COMPILED_SPEEDUP_FLOOR_PCT}%)")
+            "${compiled_floor}% at simd_level '${batch_simd}')")
     math(EXPR failures "${failures} + 1")
   else()
     message(STATUS
             "deriver.bytecode_batch: ${batch_eps} evt/s vs interpreter "
-            "${interp_eps} — ablation floor ${COMPILED_SPEEDUP_FLOOR_PCT}% "
-            "met")
+            "${interp_eps} — ablation floor ${compiled_floor}% "
+            "(simd_level '${batch_simd}') met")
   endif()
 endif()
 

@@ -14,6 +14,9 @@
 #     absolute slack
 #   * restore_verified = 0 must fail on its own
 #   * an unchanged document must pass
+#   * the compiled-v2 ablation floor must switch on the fresh document's
+#     simd_level: 4x when the batch run dispatched SIMD kernels, 2x on
+#     scalar-fallback machines
 #
 # Usage:
 #   cmake -DGATE_SCRIPT=<check_bench_regression.cmake> -DWORK_DIR=<dir> \
@@ -128,6 +131,58 @@ run_case("unverified-restore-fails" "${WORK_DIR}/unverified.json"
 write_doc("${WORK_DIR}/slow_p99.json" 100000.0 630.2 1 26000)
 run_case("pause-p99-gates" "${WORK_DIR}/slow_p99.json"
          "${WORK_DIR}/base.json" fail)
+
+# Writes a four-run tpstream-bench-compiled-v2 document where the batch
+# mode runs at `batch_eps` with SIMD tier `simd` over a 1000000 evt/s
+# interpreter.
+function(write_compiled_doc path batch_eps simd)
+  set(runs "")
+  foreach(spec
+          "deriver.interpreter;1000000.0;off"
+          "deriver.bytecode;1500000.0;off"
+          "deriver.bytecode_batch;${batch_eps};${simd}"
+          "deriver.bytecode_batch_scalar;2500000.0;off")
+    list(GET spec 0 rname)
+    list(GET spec 1 reps)
+    list(GET spec 2 rsimd)
+    if(NOT runs STREQUAL "")
+      string(APPEND runs ",\n")
+    endif()
+    string(APPEND runs "    \"${rname}\": {
+      \"events\": 1000,
+      \"definitions\": 16,
+      \"compiled_programs\": 15,
+      \"simd_level\": \"${rsimd}\",
+      \"elapsed_s\": 1.0,
+      \"events_per_sec\": ${reps},
+      \"situations\": 42,
+      \"speedup_vs_interpreter\": 1.0
+    }")
+  endforeach()
+  file(WRITE "${path}" "{
+  \"schema\": \"tpstream-bench-compiled-v2\",
+  \"cpus\": 4,
+  \"runs\": {
+${runs}
+  }
+}
+")
+endfunction()
+
+# Case 8: the compiled ablation floor follows the fresh simd_level. At
+# 3x the interpreter, a SIMD-dispatching run misses the raised 4x floor
+# while a scalar-fallback run clears its 2x floor; at 5x the SIMD run
+# passes too. The baseline carries the same rates, so the per-run
+# throughput floors never interfere with the verdict under test.
+write_compiled_doc("${WORK_DIR}/compiled_simd_3x.json" 3000000.0 "avx2")
+run_case("compiled-simd-floor-gates" "${WORK_DIR}/compiled_simd_3x.json"
+         "${WORK_DIR}/compiled_simd_3x.json" fail)
+write_compiled_doc("${WORK_DIR}/compiled_scalar_3x.json" 3000000.0 "off")
+run_case("compiled-scalar-floor-passes" "${WORK_DIR}/compiled_scalar_3x.json"
+         "${WORK_DIR}/compiled_scalar_3x.json" pass)
+write_compiled_doc("${WORK_DIR}/compiled_simd_5x.json" 5000000.0 "avx2")
+run_case("compiled-simd-floor-passes" "${WORK_DIR}/compiled_simd_5x.json"
+         "${WORK_DIR}/compiled_simd_5x.json" pass)
 
 if(selftest_failures GREATER 0)
   message(FATAL_ERROR

@@ -32,7 +32,7 @@ TPStreamOperator::TPStreamOperator(QuerySpec spec, Options options,
     : spec_(std::move(spec)),
       deriver_(spec_.definitions, /*announce_starts=*/options.low_latency,
                options.metrics,
-               DeriveOptions{options.compiled_predicates}),
+               DeriveOptions{options.compiled_predicates, options.simd}),
       engine_(std::make_unique<MatchEngine>(
           &spec_, &deriver_, IdentitySlots(spec_.definitions.size()),
           EngineOptions(options), std::move(output))) {}

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ckpt/serde.h"
@@ -43,6 +44,10 @@ class TPStreamOperator {
     /// default — the expression interpreter remains the semantic oracle;
     /// outputs are identical either way (differentially tested).
     bool compiled_predicates = false;
+    /// SIMD tier for columnar predicate evaluation ("off", "sse2",
+    /// "avx2", "native"); empty defers to TPSTREAM_SIMD, then the
+    /// machine default. See DeriveOptions::simd.
+    std::string simd;
     /// When set, pins the evaluation order and disables adaptivity (used
     /// by the plan-quality experiments).
     std::optional<std::vector<int>> fixed_order;

@@ -1,6 +1,7 @@
 #include "derive/deriver.h"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_map>
 
 namespace tpstream {
@@ -15,7 +16,15 @@ Deriver::Deriver(std::vector<SituationDefinition> definitions,
   for (const SituationDefinition& def : defs_) {
     slots_.emplace_back(def.aggregates);
   }
-  if (options_.compiled_predicates) CompilePredicates();
+  if (options_.compiled_predicates) {
+    if (!options_.simd.empty()) {
+      simd::SimdLevel level;
+      if (simd::ParseSimdLevel(options_.simd, &level)) {
+        exec_scratch_.simd = simd::Effective(level);
+      }
+    }
+    CompilePredicates();
+  }
   if (metrics != nullptr) {
     events_ctr_ = metrics->GetCounter("deriver.events");
     predicate_evals_ctr_ = metrics->GetCounter("deriver.predicate_evals");
@@ -63,7 +72,39 @@ void Deriver::CompilePredicates() {
   batch_fields_.erase(
       std::unique(batch_fields_.begin(), batch_fields_.end()),
       batch_fields_.end());
+  all_defs_compiled_ =
+      std::find(program_of_def_.begin(), program_of_def_.end(), -1) ==
+      program_of_def_.end();
+  def_mask_of_prog_.assign(programs_.size(), 0);
+  sparse_masks_ok_ = all_defs_compiled_ && !defs_.empty() &&
+                     defs_.size() <= 64 && programs_.size() <= 64;
+  if (defs_.size() <= 64 && programs_.size() <= 64) {
+    for (size_t i = 0; i < defs_.size(); ++i) {
+      if (program_of_def_[i] >= 0) {
+        def_mask_of_prog_[program_of_def_[i]] |= uint64_t{1} << i;
+      }
+    }
+  }
 }
+
+namespace {
+
+// In-place 64x64 bit-matrix transpose about the anti-diagonal
+// (Hacker's Delight 7-3): element (row i, bit b) moves to
+// (row 63-b, bit 63-i). PrepareBatch compensates by reversing the row
+// order on the way in and out, which nets the plain transpose.
+void AntiTranspose64(uint64_t m[64]) {
+  uint64_t mask = 0x00000000FFFFFFFFull;
+  for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const uint64_t t = (m[k] ^ (m[k + j] >> j)) & mask;
+      m[k] ^= t;
+      m[k + j] ^= t << j;
+    }
+  }
+}
+
+}  // namespace
 
 void Deriver::PrepareBatch(std::span<const Event> events) {
   batch_base_ = nullptr;
@@ -73,10 +114,40 @@ void Deriver::PrepareBatch(std::span<const Event> events) {
   }
   batch_.Assign(events, batch_fields_);
   batch_n_ = events.size();
-  batch_bits_.resize(programs_.size() * batch_n_);
+  batch_words_ = (batch_n_ + 63) / 64;
+  batch_bits_.resize(programs_.size() * batch_words_);
   for (size_t p = 0; p < programs_.size(); ++p) {
-    programs_[p]->RunPredicateColumn(batch_, &exec_scratch_,
-                                     batch_bits_.data() + p * batch_n_);
+    programs_[p]->RunPredicateColumnBits(
+        batch_, &exec_scratch_, batch_bits_.data() + p * batch_words_);
+  }
+  if (sparse_masks_ok_) {
+    // Transpose the program-major bitmaps into one program mask per
+    // event, a 64x64 bit transpose per word block. Rows past batch_n_
+    // carry zero bits (the packer zeroes the tail), so the over-sized
+    // final block is harmless.
+    batch_row_mask_.resize(batch_words_ * 64);
+    const int nprogs = static_cast<int>(programs_.size());
+    for (size_t w = 0; w < batch_words_; ++w) {
+      uint64_t blk[64];
+      for (int p = 0; p < 64; ++p) {
+        blk[63 - p] =
+            p < nprogs
+                ? batch_bits_[static_cast<size_t>(p) * batch_words_ + w]
+                : 0;
+      }
+      AntiTranspose64(blk);
+      uint64_t* out = batch_row_mask_.data() + w * 64;
+      for (int r = 0; r < 64; ++r) out[r] = blk[63 - r];
+    }
+  } else {
+    // OR-union across programs: the word-skip fast path reads this
+    // bitmap only, one bit per event, regardless of how many
+    // definitions there are.
+    batch_any_.assign(batch_words_, 0);
+    for (size_t p = 0; p < programs_.size(); ++p) {
+      const uint64_t* bits = batch_bits_.data() + p * batch_words_;
+      for (size_t w = 0; w < batch_words_; ++w) batch_any_[w] |= bits[w];
+    }
   }
   batch_base_ = events.data();
   batch_cursor_ = 0;
@@ -86,10 +157,53 @@ bool Deriver::EvalCompiled(int def, const Event& event) {
   const int p = program_of_def_[def];
   if (p < 0) return EvalPredicate(*defs_[def].predicate, event.payload);
   if (batch_base_ != nullptr) {
-    return batch_bits_[static_cast<size_t>(p) * batch_n_ +
-                       batch_cursor_] != 0;
+    return (batch_bits_[static_cast<size_t>(p) * batch_words_ +
+                        (batch_cursor_ >> 6)] >>
+                (batch_cursor_ & 63) &
+            1) != 0;
   }
   return programs_[p]->RunPredicate(event.payload, &exec_scratch_);
+}
+
+void Deriver::ApplyDef(int i, const Event& event, bool satisfied) {
+  const SituationDefinition& def = defs_[i];
+  Slot& slot = slots_[i];
+  if (satisfied) {
+    if (!slot.active) {
+      slot.active = true;
+      slot.announced = false;
+      slot.ts = event.t;
+      slot.aggs.Init(event.payload);
+      ++active_slots_;
+      if (i < 64) active_mask_ |= uint64_t{1} << i;
+      if (opened_ctr_ != nullptr) opened_ctr_->Inc();
+    } else {
+      slot.aggs.Update(event.payload);
+    }
+    // Low-latency announcement once the eventual duration is guaranteed
+    // to reach the minimum (the end timestamp will be > event.t).
+    if (announce_starts_ && !slot.announced && !def.duration.has_max() &&
+        event.t + 1 - slot.ts >= def.duration.min) {
+      slot.announced = true;
+      if (announced_ctr_ != nullptr) announced_ctr_->Inc();
+      update_.started.push_back(SymbolSituation{
+          i, Situation(slot.aggs.Snapshot(), slot.ts, kTimeUnknown)});
+    }
+  } else if (slot.active) {
+    // First non-satisfying event fixes the end timestamp (half-open).
+    const TimePoint te = event.t;
+    if (def.duration.Contains(te - slot.ts)) {
+      if (finished_ctr_ != nullptr) finished_ctr_->Inc();
+      update_.finished.push_back(
+          SymbolSituation{i, Situation(slot.aggs.Snapshot(), slot.ts, te)});
+    } else if (discarded_ctr_ != nullptr) {
+      discarded_ctr_->Inc();
+    }
+    slot.active = false;
+    slot.announced = false;
+    --active_slots_;
+    if (i < 64) active_mask_ &= ~(uint64_t{1} << i);
+  }
 }
 
 Deriver::Update& Deriver::Process(const Event& event) {
@@ -108,45 +222,45 @@ Deriver::Update& Deriver::Process(const Event& event) {
     batch_base_ = nullptr;
   }
 
-  for (int i = 0; i < static_cast<int>(defs_.size()); ++i) {
-    const SituationDefinition& def = defs_[i];
-    Slot& slot = slots_[i];
-    const bool satisfied =
-        compiled ? EvalCompiled(i, event)
-                 : EvalPredicate(*def.predicate, event.payload);
-
-    if (satisfied) {
-      if (!slot.active) {
-        slot.active = true;
-        slot.announced = false;
-        slot.ts = event.t;
-        slot.aggs.Init(event.payload);
-        if (opened_ctr_ != nullptr) opened_ctr_->Inc();
-      } else {
-        slot.aggs.Update(event.payload);
-      }
-      // Low-latency announcement once the eventual duration is guaranteed
-      // to reach the minimum (the end timestamp will be > event.t).
-      if (announce_starts_ && !slot.announced && !def.duration.has_max() &&
-          event.t + 1 - slot.ts >= def.duration.min) {
-        slot.announced = true;
-        if (announced_ctr_ != nullptr) announced_ctr_->Inc();
-        update_.started.push_back(SymbolSituation{
-            i, Situation(slot.aggs.Snapshot(), slot.ts, kTimeUnknown)});
-      }
-    } else if (slot.active) {
-      // First non-satisfying event fixes the end timestamp (half-open).
-      const TimePoint te = event.t;
-      if (def.duration.Contains(te - slot.ts)) {
-        if (finished_ctr_ != nullptr) finished_ctr_->Inc();
-        update_.finished.push_back(
-            SymbolSituation{i, Situation(slot.aggs.Snapshot(), slot.ts, te)});
-      } else if (discarded_ctr_ != nullptr) {
-        discarded_ctr_->Inc();
-      }
-      slot.active = false;
-      slot.announced = false;
+  // Sparse fast path: the transposed bitmap hands us this event's
+  // satisfied-program mask in one load; expanding through
+  // def_mask_of_prog_ and OR-ing the open slots yields exactly the
+  // definitions with any work to do. The loop below visits only those
+  // (in ascending definition order, matching the dense loop's
+  // started/finished emission order); on a quiet event it runs zero
+  // iterations. This is where the columnar bitmaps pay off: a
+  // definition whose predicate rarely flips costs nothing per event.
+  if (compiled && batch_base_ != nullptr && sparse_masks_ok_) {
+    uint64_t sat_defs = 0;
+    for (uint64_t pm = batch_row_mask_[batch_cursor_]; pm != 0;
+         pm &= pm - 1) {
+      sat_defs |= def_mask_of_prog_[std::countr_zero(pm)];
     }
+    for (uint64_t work = sat_defs | active_mask_; work != 0;
+         work &= work - 1) {
+      const int i = std::countr_zero(work);
+      ApplyDef(i, event, (sat_defs >> i & 1) != 0);
+    }
+    ++batch_cursor_;
+    return update_;
+  }
+
+  // Word-skip fast path for configurations the sparse masks can't
+  // cover (>64 definitions or programs): with no situation open and
+  // every predicate precomputed, an event whose bit is clear in the
+  // OR-union bitmap can neither open, extend, nor finish anything —
+  // the whole definition loop is a no-op.
+  if (compiled && batch_base_ != nullptr && active_slots_ == 0 &&
+      all_defs_compiled_ &&
+      (batch_any_[batch_cursor_ >> 6] >> (batch_cursor_ & 63) & 1) == 0) {
+    ++batch_cursor_;
+    return update_;
+  }
+
+  for (int i = 0; i < static_cast<int>(defs_.size()); ++i) {
+    ApplyDef(i, event,
+             compiled ? EvalCompiled(i, event)
+                      : EvalPredicate(*defs_[i].predicate, event.payload));
   }
   if (compiled && batch_base_ != nullptr) ++batch_cursor_;
   return update_;
@@ -162,7 +276,10 @@ void Deriver::Reset() {
   update_.finished.clear();
   batch_base_ = nullptr;
   batch_n_ = 0;
+  batch_words_ = 0;
   batch_cursor_ = 0;
+  active_slots_ = 0;
+  active_mask_ = 0;
 }
 
 void Deriver::Checkpoint(ckpt::Writer& w) const {
@@ -196,7 +313,16 @@ Status Deriver::Restore(ckpt::Reader& r) {
   update_.finished.clear();
   batch_base_ = nullptr;
   batch_n_ = 0;
+  batch_words_ = 0;
   batch_cursor_ = 0;
+  active_slots_ = 0;
+  active_mask_ = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].active) {
+      ++active_slots_;
+      if (i < 64) active_mask_ |= uint64_t{1} << i;
+    }
+  }
   return r.EndSection(end);
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ckpt/serde.h"
@@ -28,6 +29,14 @@ struct DeriveOptions {
   /// either way; a predicate that fails to compile silently keeps the
   /// interpreter.
   bool compiled_predicates = false;
+
+  /// SIMD tier for columnar batch evaluation: "off", "sse2", "avx2" or
+  /// "native" (best the machine supports). Empty defers to the
+  /// TPSTREAM_SIMD environment variable, then the machine default.
+  /// Requests above the machine's capability clamp down; unparsable
+  /// values fall back to the default. Only meaningful with
+  /// `compiled_predicates` — result bits are identical at every level.
+  std::string simd;
 };
 
 /// The deriver component (Algorithm 1): consumes a point event stream and
@@ -127,6 +136,15 @@ class Deriver {
   int64_t program_cache_hits() const { return program_cache_hits_; }
   bool compiled() const { return options_.compiled_predicates; }
 
+  /// Active SIMD tier name for columnar evaluation ("off" when not in
+  /// compiled mode, else "off"/"sse2"/"avx2" after clamping the request
+  /// to machine capability).
+  const char* simd_level() const {
+    return options_.compiled_predicates
+               ? simd::SimdLevelName(simd::Effective(exec_scratch_.simd))
+               : "off";
+  }
+
  private:
   struct Slot {
     bool active = false;
@@ -140,6 +158,7 @@ class Deriver {
 
   void CompilePredicates();
   bool EvalCompiled(int def, const Event& event);
+  void ApplyDef(int i, const Event& event, bool satisfied);
 
   std::vector<SituationDefinition> defs_;
   std::vector<Slot> slots_;
@@ -157,14 +176,42 @@ class Deriver {
   int64_t program_cache_hits_ = 0;
   ExecScratch exec_scratch_;
 
-  // Prepared-batch state: bits_[prog * batch_n_ + row] is the prog's
-  // predicate over batch event `row`, valid while the caller walks the
-  // announced span in order (checked by address).
+  // Prepared-batch state, valid while the caller walks the announced
+  // span in order (checked by address). Predicate results are selection
+  // bitmaps: bit `row % 64` of batch_bits_[prog * batch_words_ + row/64]
+  // is prog's predicate over batch event `row`. batch_any_ is the OR of
+  // all program bitmaps — a zero word there means no definition can open
+  // or extend a situation across those 64 events, which Process() uses
+  // to skip the whole per-definition loop when nothing is active.
   ColumnarBatch batch_;
-  std::vector<uint8_t> batch_bits_;
+  std::vector<uint64_t> batch_bits_;
+  std::vector<uint64_t> batch_any_;
   const Event* batch_base_ = nullptr;
   size_t batch_n_ = 0;
+  size_t batch_words_ = 0;
   size_t batch_cursor_ = 0;
+
+  // True when every definition's predicate compiled (no interpreter
+  // fallbacks), so a zero batch_any_ bit covers all of them.
+  bool all_defs_compiled_ = false;
+  // Open slots (slot.active) across definitions, maintained on every
+  // open/close; the skip fast path requires it to be zero because a
+  // non-satisfying event must still finish an active situation.
+  int active_slots_ = 0;
+
+  // Sparse definition-loop state, live when every predicate compiled
+  // and both counts fit in one word (sparse_masks_ok_). PrepareBatch
+  // transposes the program bitmaps into batch_row_mask_: bit p of
+  // batch_row_mask_[row] is program p's predicate over batch event
+  // `row`. def_mask_of_prog_[p] is the set of definitions sharing
+  // program p, and active_mask_ mirrors slot.active for definitions
+  // < 64. Process() then walks only the set bits of
+  // (satisfied | active): a clear bit is a definition that can neither
+  // open, extend, nor close a situation on this event.
+  std::vector<uint64_t> batch_row_mask_;
+  std::vector<uint64_t> def_mask_of_prog_;
+  uint64_t active_mask_ = 0;
+  bool sparse_masks_ok_ = false;
 
   // Observability handles (null when metrics are disabled).
   obs::Counter* events_ctr_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <unordered_map>
 #include <utility>
 
@@ -285,22 +286,48 @@ inline void CmpLoopNumeric(const RegSlot* a, bool a_int, const RegSlot* b,
   }
 }
 
-/// Fast comparison over numeric columns. Returns false when no
-/// specialized kernel applies (caller falls back to the generic loop).
+template <typename Pred>
+inline void CmpLoopBB(const RegSlot* a, const RegSlot* b, size_t bs,
+                      RegSlot* d, size_t rows, Pred pred) {
+  for (size_t r = 0; r < rows; ++r) {
+    // SlotCompare on two bools is (a?1:0) - (b?1:0); eq/ne reduce to the
+    // direct bool comparison.
+    d[r] = BoolSlot(pred(a[r].v.b ? 1 : 0, b[r * bs].v.b ? 1 : 0));
+  }
+}
+
+/// Fast comparison over typed columns. Returns false when no specialized
+/// kernel applies (caller falls back to the generic loop); on success
+/// *result_class is the uniformity class of `d` (kBool when no row can
+/// be null — int/int and bool eq/ne — else kMixed, since widened NaN
+/// rows produce nulls).
 inline bool CmpColumnsFast(OpCode base, const RegSlot* a, ColClass ac,
                            const RegSlot* b, size_t bs, ColClass bc,
-                           RegSlot* d, size_t rows) {
+                           RegSlot* d, size_t rows,
+                           ColClass* result_class) {
+  if (ac == ColClass::kBool && bc == ColClass::kBool &&
+      (base == OpCode::kCmpEq || base == OpCode::kCmpNe)) {
+    if (base == OpCode::kCmpEq) {
+      CmpLoopBB(a, b, bs, d, rows, [](int x, int y) { return x == y; });
+    } else {
+      CmpLoopBB(a, b, bs, d, rows, [](int x, int y) { return x != y; });
+    }
+    *result_class = ColClass::kBool;
+    return true;
+  }
   const bool a_num = ac == ColClass::kInt || ac == ColClass::kDouble;
   const bool b_num = bc == ColClass::kInt || bc == ColClass::kDouble;
   if (!a_num || !b_num) return false;
   if (ac == ColClass::kInt && bc == ColClass::kInt) {
     WithCmpPred(base,
                 [&](auto pred) { CmpLoopII(a, b, bs, d, rows, pred); });
+    *result_class = ColClass::kBool;
   } else {
     WithCmpPred(base, [&](auto pred) {
       CmpLoopNumeric(a, ac == ColClass::kInt, b, bs, bc == ColClass::kInt,
                      d, rows, pred);
     });
+    *result_class = ColClass::kMixed;
   }
   return true;
 }
@@ -388,7 +415,12 @@ void ColumnarBatch::Assign(std::span<const Event> events,
   rows_ = events.size();
   const int max_field = fields.empty() ? -1 : fields.back();
   col_of_field_.assign(max_field + 1, -1);
-  if (columns_.size() < fields.size()) columns_.resize(fields.size());
+  if (columns_.size() < fields.size()) {
+    columns_.resize(fields.size());
+    typed_i64_.resize(fields.size());
+    typed_f64_.resize(fields.size());
+    typed_u8_.resize(fields.size());
+  }
   col_class_.assign(fields.size(), ColClass::kMixed);
   for (size_t c = 0; c < fields.size(); ++c) {
     const int f = fields[c];
@@ -401,6 +433,33 @@ void ColumnarBatch::Assign(std::span<const Event> events,
       uniform &= col[row].type == col[0].type;
     }
     if (uniform) col_class_[c] = ClassOfType(col[0].type);
+    // SoA mirror for uniformly-typed columns: a dense value array the
+    // SIMD kernels load directly (bool as 0/1 bytes), no nulls by
+    // construction.
+    switch (col_class_[c]) {
+      case ColClass::kInt: {
+        std::vector<int64_t>& t = typed_i64_[c];
+        t.resize(rows_);
+        for (size_t row = 0; row < rows_; ++row) t[row] = col[row].v.i;
+        break;
+      }
+      case ColClass::kDouble: {
+        std::vector<double>& t = typed_f64_[c];
+        t.resize(rows_);
+        for (size_t row = 0; row < rows_; ++row) t[row] = col[row].v.d;
+        break;
+      }
+      case ColClass::kBool: {
+        std::vector<uint8_t>& t = typed_u8_[c];
+        t.resize(rows_);
+        for (size_t row = 0; row < rows_; ++row) {
+          t[row] = col[row].v.b ? 1 : 0;
+        }
+        break;
+      }
+      case ColClass::kMixed:
+        break;
+    }
   }
 }
 
@@ -527,23 +586,19 @@ bool BytecodeProgram::RunPredicate(const Tuple& tuple) const {
   return RunPredicate(tuple, &scratch);
 }
 
-void BytecodeProgram::RunPredicateColumn(const ColumnarBatch& batch,
-                                         ExecScratch* scratch,
-                                         uint8_t* out) const {
-  const size_t rows = batch.num_rows();
-  if (rows == 0) return;
-  // Column-major register file: register r is cols[r*rows .. r*rows+rows),
-  // with a uniformity class per register selecting specialized kernels.
-  const size_t need = static_cast<size_t>(flat_num_regs_) * rows;
-  if (scratch->cols.size() < need) scratch->cols.resize(need);
-  scratch->reg_class.assign(static_cast<size_t>(flat_num_regs_),
-                            ColClass::kMixed);
-  RegSlot* const regs = scratch->cols.data();
-  ColClass* const rc = scratch->reg_class.data();
-  const RegSlot* consts = const_slots_.data();
+namespace {
+
+/// One non-control-flow instruction of the flat stream over the AoS
+/// (RegSlot-column) register file. This is the scalar columnar
+/// executor's body, and doubles as the SoA executor's per-instruction
+/// fallback for mixed-typed registers — shared so the two paths cannot
+/// drift semantically.
+void ExecColumnInstr(const Instr& in, const ColumnarBatch& batch,
+                     const RegSlot* consts, RegSlot* regs, ColClass* rc,
+                     size_t rows) {
   const RegSlot null_slot{};
-  for (const Instr& in : flat_code_) {
-    RegSlot* const d = regs + static_cast<size_t>(in.dst) * rows;
+  RegSlot* const d = regs + static_cast<size_t>(in.dst) * rows;
+  {
     switch (in.op) {
       case OpCode::kLoadConst: {
         const RegSlot k = consts[in.a];
@@ -647,10 +702,9 @@ void BytecodeProgram::RunPredicateColumn(const ColumnarBatch& batch,
         const RegSlot* b = regs + static_cast<size_t>(in.b) * rows;
         const ColClass ac = rc[in.a];
         const ColClass bc = rc[in.b];
-        if (CmpColumnsFast(in.op, a, ac, b, 1, bc, d, rows)) {
-          rc[in.dst] = ac == ColClass::kInt && bc == ColClass::kInt
-                           ? ColClass::kBool
-                           : ColClass::kMixed;
+        if (ColClass cls; CmpColumnsFast(in.op, a, ac, b, 1, bc, d, rows,
+                                         &cls)) {
+          rc[in.dst] = cls;
         } else {
           CmpColumns(in.op, a, 1, b, 1, d, rows);
           rc[in.dst] = ColClass::kMixed;
@@ -673,10 +727,9 @@ void BytecodeProgram::RunPredicateColumn(const ColumnarBatch& batch,
         }
         const ColClass sc = batch.ColumnClass(in.a);
         const ColClass kc = ClassOfType(k.type);
-        if (CmpColumnsFast(base, src, sc, &k, 0, kc, d, rows)) {
-          rc[in.dst] = sc == ColClass::kInt && kc == ColClass::kInt
-                           ? ColClass::kBool
-                           : ColClass::kMixed;
+        if (ColClass cls; CmpColumnsFast(base, src, sc, &k, 0, kc, d, rows,
+                                         &cls)) {
+          rc[in.dst] = cls;
         } else {
           CmpColumns(base, src, 1, &k, 0, d, rows);
           rc[in.dst] = ColClass::kMixed;
@@ -776,6 +829,33 @@ void BytecodeProgram::RunPredicateColumn(const ColumnarBatch& batch,
         rc[in.dst] = ColClass::kBool;
         break;
       }
+      case OpCode::kRet:
+      case OpCode::kJump:
+      case OpCode::kJumpIfFalsy:
+      case OpCode::kJumpIfTruthy:
+        // Control flow is handled by the executors themselves.
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void BytecodeProgram::RunColumnScalar(const ColumnarBatch& batch,
+                                      ExecScratch* scratch,
+                                      uint8_t* out) const {
+  const size_t rows = batch.num_rows();
+  // Column-major register file: register r is cols[r*rows .. r*rows+rows),
+  // with a uniformity class per register selecting specialized kernels.
+  const size_t need = static_cast<size_t>(flat_num_regs_) * rows;
+  if (scratch->cols.size() < need) scratch->cols.resize(need);
+  scratch->reg_class.assign(static_cast<size_t>(flat_num_regs_),
+                            ColClass::kMixed);
+  RegSlot* const regs = scratch->cols.data();
+  ColClass* const rc = scratch->reg_class.data();
+  const RegSlot* consts = const_slots_.data();
+  for (const Instr& in : flat_code_) {
+    switch (in.op) {
       case OpCode::kRet: {
         const RegSlot* a = regs + static_cast<size_t>(in.a) * rows;
         if (rc[in.a] == ColClass::kBool) {
@@ -798,10 +878,752 @@ void BytecodeProgram::RunPredicateColumn(const ColumnarBatch& batch,
         }
         return;
       }
+      default:
+        ExecColumnInstr(in, batch, consts, regs, rc, rows);
+        break;
     }
   }
 }
 
+namespace {
+
+// --- SoA columnar executor ----------------------------------------------
+// Registers hold SoaView representations (splat / dense typed column /
+// AoS fallback); typed rows run through the dispatched SIMD kernel
+// table, and any register that degrades to per-row typing falls back to
+// ExecColumnInstr on the RegSlot register file — the exact scalar path,
+// so the two executors cannot drift.
+//
+// Aliasing discipline: a view's pointers reference either ColumnarBatch
+// storage (immutable for the run) or the register's *own* scratch
+// buffers. Kernels are elementwise over a common row index, so in-place
+// operation (dst == a) is safe; the one hazard is a kernel writing dst's
+// null buffer while an operand's mask lives there (operand == dst), and
+// GuardMask copies such masks aside first.
+
+inline int MirrorCmpIdx(int idx) {
+  switch (idx) {
+    case 2:
+      return 4;  // lt -> gt
+    case 3:
+      return 5;  // le -> ge
+    case 4:
+      return 2;  // gt -> lt
+    case 5:
+      return 3;  // ge -> le
+    default:
+      return idx;  // eq / ne are symmetric
+  }
+}
+
+struct SoaExec {
+  const simd::Kernels& K;
+  const ColumnarBatch& batch;
+  const RegSlot* consts;
+  const size_t rows;
+  RegSlot* aos;       // AoS fallback register file (scratch->cols)
+  ColClass* rc;       // its per-register uniformity class
+  SoaView* v;
+  uint64_t* lanes;    // value lanes, rows per register
+  uint8_t* bytes;     // bool/null bytes, 2*rows per register
+  uint64_t* num_tmp;  // 2*rows conversion/splat lanes
+  uint8_t* mask_tmp;  // 2*rows mask-copy scratch
+
+  int64_t* OwnI64(uint16_t r) {
+    return reinterpret_cast<int64_t*>(lanes + static_cast<size_t>(r) * rows);
+  }
+  double* OwnF64(uint16_t r) {
+    return reinterpret_cast<double*>(lanes + static_cast<size_t>(r) * rows);
+  }
+  uint8_t* OwnVal(uint16_t r) {
+    return bytes + static_cast<size_t>(2 * r) * rows;
+  }
+  uint8_t* OwnNull(uint16_t r) {
+    return bytes + static_cast<size_t>(2 * r + 1) * rows;
+  }
+  double* TmpF64(int half) {
+    return reinterpret_cast<double*>(num_tmp) +
+           static_cast<size_t>(half) * rows;
+  }
+  int64_t* TmpI64(int half) {
+    return reinterpret_cast<int64_t*>(num_tmp) +
+           static_cast<size_t>(half) * rows;
+  }
+
+  static bool InAos(const SoaView& w) {
+    return !w.splat && w.cls == ColClass::kMixed;
+  }
+  static bool IsNum(const SoaView& w) {
+    return w.cls == ColClass::kInt || w.cls == ColClass::kDouble;
+  }
+  static SoaView Splat(const RegSlot& k) {
+    SoaView w;
+    w.splat = true;
+    w.splat_val = k;
+    w.cls = ClassOfType(k.type);
+    return w;
+  }
+
+  void SplatOut(uint16_t dst, const RegSlot& k) { v[dst] = Splat(k); }
+
+  void SetBool(uint16_t dst, const uint8_t* nulls) {
+    SoaView w;
+    w.cls = ColClass::kBool;
+    w.val = OwnVal(dst);
+    w.null = nulls;
+    v[dst] = w;
+  }
+  void SetNum(uint16_t dst, ColClass cls, const uint8_t* nulls) {
+    SoaView w;
+    w.cls = cls;
+    w.val = lanes + static_cast<size_t>(dst) * rows;
+    w.null = nulls;
+    v[dst] = w;
+  }
+
+  const uint8_t* NullOf(uint16_t r) const {
+    return v[r].splat ? nullptr : v[r].null;
+  }
+
+  /// Materializes a register into the AoS file (no-op if already there),
+  /// so ExecColumnInstr can consume it.
+  void ToAos(uint16_t r) {
+    const SoaView w = v[r];
+    if (InAos(w)) return;
+    RegSlot* d = aos + static_cast<size_t>(r) * rows;
+    if (w.splat) {
+      std::fill(d, d + rows, w.splat_val);
+      rc[r] = ClassOfType(w.splat_val.type);
+    } else {
+      const uint8_t* nn = w.null;
+      switch (w.cls) {
+        case ColClass::kInt: {
+          const int64_t* p = static_cast<const int64_t*>(w.val);
+          for (size_t i = 0; i < rows; ++i) {
+            d[i] = nn != nullptr && nn[i] ? RegSlot{} : IntSlot(p[i]);
+          }
+          break;
+        }
+        case ColClass::kDouble: {
+          const double* p = static_cast<const double*>(w.val);
+          for (size_t i = 0; i < rows; ++i) {
+            d[i] = nn != nullptr && nn[i] ? RegSlot{} : DoubleSlot(p[i]);
+          }
+          break;
+        }
+        default: {  // kBool (kMixed non-splat returned above)
+          const uint8_t* p = static_cast<const uint8_t*>(w.val);
+          for (size_t i = 0; i < rows; ++i) {
+            d[i] = nn != nullptr && nn[i] ? RegSlot{} : BoolSlot(p[i] != 0);
+          }
+          break;
+        }
+      }
+      rc[r] = nn == nullptr ? w.cls : ColClass::kMixed;
+    }
+    v[r] = SoaView{};
+  }
+
+  void Fallback1(const Instr& in) {
+    ToAos(in.a);
+    ExecColumnInstr(in, batch, consts, aos, rc, rows);
+    v[in.dst] = SoaView{};
+  }
+  void Fallback2(const Instr& in) {
+    ToAos(in.a);
+    ToAos(in.b);
+    ExecColumnInstr(in, batch, consts, aos, rc, rows);
+    v[in.dst] = SoaView{};
+  }
+  void FallbackFC(const Instr& in) {
+    ExecColumnInstr(in, batch, consts, aos, rc, rows);
+    v[in.dst] = SoaView{};
+  }
+
+  /// Register r as a dense double column (pre: IsNum): widens int lanes
+  /// or fills a splat into `tmp`, otherwise returns the lanes directly.
+  const double* AsF64(uint16_t r, double* tmp) {
+    const SoaView& w = v[r];
+    if (w.splat) {
+      std::fill(tmp, tmp + rows, SlotToDouble(w.splat_val));
+      return tmp;
+    }
+    if (w.cls == ColClass::kInt) {
+      K.widen_i64(static_cast<const int64_t*>(w.val), tmp, rows);
+      return tmp;
+    }
+    return static_cast<const double*>(w.val);
+  }
+  const int64_t* AsI64(uint16_t r, int64_t* tmp) {
+    const SoaView& w = v[r];
+    if (w.splat) {
+      std::fill(tmp, tmp + rows, w.splat_val.v.i);
+      return tmp;
+    }
+    return static_cast<const int64_t*>(w.val);
+  }
+
+  /// If mask `m` lives in dst's own null buffer (operand register == dst),
+  /// copies it to `save` before a kernel overwrites that buffer.
+  const uint8_t* GuardMask(const uint8_t* m, uint16_t dst, uint8_t* save) {
+    if (m != nullptr && m == OwnNull(dst)) {
+      std::memcpy(save, m, rows);
+      return save;
+    }
+    return m;
+  }
+
+  /// Folds input masks (plus, when `extra`, a kernel-written mask already
+  /// in OwnNull(dst)) into dst's null buffer; nullptr when no row is null.
+  const uint8_t* FoldNulls(uint16_t dst, bool extra, const uint8_t* na,
+                           const uint8_t* nb) {
+    uint8_t* own = OwnNull(dst);
+    if (!extra) {
+      if (na == nullptr && nb == nullptr) return nullptr;
+      if (na != nullptr && nb != nullptr) {
+        K.or_bool(na, nb, own, rows);
+      } else {
+        const uint8_t* only = na != nullptr ? na : nb;
+        if (only != own) std::memcpy(own, only, rows);
+      }
+    } else {
+      if (na != nullptr) K.or_bool(own, na, own, rows);
+      if (nb != nullptr) K.or_bool(own, nb, own, rows);
+    }
+    return K.any_byte(own, rows) ? own : nullptr;
+  }
+
+  /// Truthiness bytes of SoA register r (null rows fold to 0, matching
+  /// Truthy(null)); pre: neither splat nor AoS. Written into `tmp`
+  /// unless r's existing bytes already are exactly that.
+  const uint8_t* BoolBytes(uint16_t r, uint8_t* tmp) {
+    const SoaView& w = v[r];
+    switch (w.cls) {
+      case ColClass::kBool: {
+        const uint8_t* p = static_cast<const uint8_t*>(w.val);
+        if (w.null == nullptr) return p;
+        K.andnot_bool(p, w.null, tmp, rows);
+        return tmp;
+      }
+      case ColClass::kInt:
+        K.truthy_i64(static_cast<const int64_t*>(w.val), tmp, rows);
+        break;
+      case ColClass::kDouble:
+        K.truthy_f64(static_cast<const double*>(w.val), tmp, rows);
+        break;
+      default:
+        return nullptr;  // unreachable by precondition
+    }
+    if (w.null != nullptr) K.andnot_bool(tmp, w.null, tmp, rows);
+    return tmp;
+  }
+
+  void LoadField(const Instr& in) {
+    switch (batch.ColumnClass(in.a)) {
+      case ColClass::kInt: {
+        SoaView w;
+        w.cls = ColClass::kInt;
+        w.val = batch.IntColumn(in.a);
+        v[in.dst] = w;
+        return;
+      }
+      case ColClass::kDouble: {
+        SoaView w;
+        w.cls = ColClass::kDouble;
+        w.val = batch.DoubleColumn(in.a);
+        v[in.dst] = w;
+        return;
+      }
+      case ColClass::kBool: {
+        SoaView w;
+        w.cls = ColClass::kBool;
+        w.val = batch.BoolColumn(in.a);
+        v[in.dst] = w;
+        return;
+      }
+      case ColClass::kMixed:
+        break;
+    }
+    const RegSlot* src = batch.ColumnPtr(in.a);
+    if (src == nullptr) {
+      SplatOut(in.dst, RegSlot{});  // absent field: null on every row
+      return;
+    }
+    RegSlot* d = aos + static_cast<size_t>(in.dst) * rows;
+    std::copy(src, src + rows, d);
+    rc[in.dst] = ColClass::kMixed;
+    v[in.dst] = SoaView{};
+  }
+
+  static RegSlot ScalarArith(OpCode op, const RegSlot& a, const RegSlot& b) {
+    switch (op) {
+      case OpCode::kAdd:
+        return NumericSlotOp(a, b, WrapAdd,
+                             [](double x, double y) { return x + y; });
+      case OpCode::kSub:
+        return NumericSlotOp(a, b, WrapSub,
+                             [](double x, double y) { return x - y; });
+      default:  // kMul
+        return NumericSlotOp(a, b, WrapMul,
+                             [](double x, double y) { return x * y; });
+    }
+  }
+
+  void Arith(const Instr& in) {
+    const SoaView& wa = v[in.a];
+    const SoaView& wb = v[in.b];
+    if (wa.splat && wb.splat) {
+      SplatOut(in.dst, ScalarArith(in.op, wa.splat_val, wb.splat_val));
+      return;
+    }
+    if (InAos(wa) || InAos(wb)) {
+      Fallback2(in);
+      return;
+    }
+    if (!IsNum(wa) || !IsNum(wb)) {
+      // A non-numeric operand (bool column, null/string splat) makes
+      // every row null — exactly NumericSlotOp's guard.
+      SplatOut(in.dst, RegSlot{});
+      return;
+    }
+    const uint8_t* na = NullOf(in.a);
+    const uint8_t* nb = NullOf(in.b);
+    if (wa.cls == ColClass::kInt && wb.cls == ColClass::kInt) {
+      const int64_t* pa = AsI64(in.a, TmpI64(0));
+      const int64_t* pb = AsI64(in.b, TmpI64(1));
+      int64_t* out = OwnI64(in.dst);
+      if (in.op == OpCode::kAdd) {
+        K.add_i64(pa, pb, out, rows);
+      } else if (in.op == OpCode::kSub) {
+        K.sub_i64(pa, pb, out, rows);
+      } else {
+        K.mul_i64(pa, pb, out, rows);
+      }
+      SetNum(in.dst, ColClass::kInt, FoldNulls(in.dst, false, na, nb));
+    } else {
+      const double* pa = AsF64(in.a, TmpF64(0));
+      const double* pb = AsF64(in.b, TmpF64(1));
+      double* out = OwnF64(in.dst);
+      if (in.op == OpCode::kAdd) {
+        K.add_f64(pa, pb, out, rows);
+      } else if (in.op == OpCode::kSub) {
+        K.sub_f64(pa, pb, out, rows);
+      } else {
+        K.mul_f64(pa, pb, out, rows);
+      }
+      SetNum(in.dst, ColClass::kDouble, FoldNulls(in.dst, false, na, nb));
+    }
+  }
+
+  void Div(const Instr& in) {
+    const SoaView& wa = v[in.a];
+    const SoaView& wb = v[in.b];
+    if (wa.splat && wb.splat) {
+      SplatOut(in.dst, SlotDiv(wa.splat_val, wb.splat_val));
+      return;
+    }
+    if (InAos(wa) || InAos(wb)) {
+      Fallback2(in);
+      return;
+    }
+    if (!IsNum(wa) || !IsNum(wb)) {
+      SplatOut(in.dst, RegSlot{});
+      return;
+    }
+    const uint8_t* na = GuardMask(NullOf(in.a), in.dst, mask_tmp);
+    const uint8_t* nb = GuardMask(NullOf(in.b), in.dst, mask_tmp + rows);
+    const double* pa = AsF64(in.a, TmpF64(0));
+    const double* pb = AsF64(in.b, TmpF64(1));
+    K.div_f64(pa, pb, OwnF64(in.dst), OwnNull(in.dst), rows);
+    SetNum(in.dst, ColClass::kDouble, FoldNulls(in.dst, true, na, nb));
+  }
+
+  void Neg(const Instr& in) {
+    const SoaView& wa = v[in.a];
+    if (wa.splat) {
+      const RegSlot& s = wa.splat_val;
+      RegSlot r;
+      if (s.type == ValueType::kInt) {
+        r = IntSlot(WrapNeg(s.v.i));
+      } else if (s.type == ValueType::kDouble) {
+        r = DoubleSlot(-s.v.d);
+      }
+      SplatOut(in.dst, r);
+      return;
+    }
+    if (InAos(wa)) {
+      Fallback1(in);
+      return;
+    }
+    if (wa.cls == ColClass::kInt) {
+      const uint8_t* na = NullOf(in.a);
+      K.neg_i64(static_cast<const int64_t*>(wa.val), OwnI64(in.dst), rows);
+      SetNum(in.dst, ColClass::kInt, FoldNulls(in.dst, false, na, nullptr));
+    } else if (wa.cls == ColClass::kDouble) {
+      const uint8_t* na = NullOf(in.a);
+      K.neg_f64(static_cast<const double*>(wa.val), OwnF64(in.dst), rows);
+      SetNum(in.dst, ColClass::kDouble,
+             FoldNulls(in.dst, false, na, nullptr));
+    } else {
+      SplatOut(in.dst, RegSlot{});  // bool columns negate to null
+    }
+  }
+
+  void Cmp(const Instr& in) {
+    const int idx =
+        static_cast<int>(in.op) - static_cast<int>(OpCode::kCmpEq);
+    const SoaView& wa = v[in.a];
+    const SoaView& wb = v[in.b];
+    if (wa.splat && wb.splat) {
+      SplatOut(in.dst, SlotCmp(in.op, wa.splat_val, wb.splat_val));
+      return;
+    }
+    if (InAos(wa) || InAos(wb)) {
+      Fallback2(in);
+      return;
+    }
+    const bool eq = in.op == OpCode::kCmpEq;
+    if (wa.cls == ColClass::kBool && wb.cls == ColClass::kBool &&
+        (eq || in.op == OpCode::kCmpNe)) {
+      const uint8_t* na = GuardMask(NullOf(in.a), in.dst, mask_tmp);
+      const uint8_t* nb = GuardMask(NullOf(in.b), in.dst, mask_tmp + rows);
+      uint8_t* out = OwnVal(in.dst);
+      if (wb.splat) {
+        (eq ? K.cmp_bool_eq_k : K.cmp_bool_ne_k)(
+            static_cast<const uint8_t*>(wa.val), wb.splat_val.v.b ? 1 : 0,
+            out, rows);
+      } else if (wa.splat) {
+        (eq ? K.cmp_bool_eq_k : K.cmp_bool_ne_k)(
+            static_cast<const uint8_t*>(wb.val), wa.splat_val.v.b ? 1 : 0,
+            out, rows);
+      } else {
+        (eq ? K.cmp_bool_eq : K.cmp_bool_ne)(
+            static_cast<const uint8_t*>(wa.val),
+            static_cast<const uint8_t*>(wb.val), out, rows);
+      }
+      SetBool(in.dst, FoldNulls(in.dst, false, na, nb));
+      return;
+    }
+    if (IsNum(wa) && IsNum(wb)) {
+      const uint8_t* na = GuardMask(NullOf(in.a), in.dst, mask_tmp);
+      const uint8_t* nb = GuardMask(NullOf(in.b), in.dst, mask_tmp + rows);
+      uint8_t* out = OwnVal(in.dst);
+      if (wa.cls == ColClass::kInt && wb.cls == ColClass::kInt) {
+        if (wb.splat) {
+          K.cmp_i64_k[idx](static_cast<const int64_t*>(wa.val),
+                           wb.splat_val.v.i, out, rows);
+        } else if (wa.splat) {
+          K.cmp_i64_k[MirrorCmpIdx(idx)](
+              static_cast<const int64_t*>(wb.val), wa.splat_val.v.i, out,
+              rows);
+        } else {
+          K.cmp_i64[idx](static_cast<const int64_t*>(wa.val),
+                         static_cast<const int64_t*>(wb.val), out, rows);
+        }
+        SetBool(in.dst, FoldNulls(in.dst, false, na, nb));
+      } else {
+        if (wb.splat) {
+          K.cmp_f64_k[idx](AsF64(in.a, TmpF64(0)),
+                           SlotToDouble(wb.splat_val), out, OwnNull(in.dst),
+                           rows);
+        } else if (wa.splat) {
+          K.cmp_f64_k[MirrorCmpIdx(idx)](AsF64(in.b, TmpF64(0)),
+                                         SlotToDouble(wa.splat_val), out,
+                                         OwnNull(in.dst), rows);
+        } else {
+          K.cmp_f64[idx](AsF64(in.a, TmpF64(0)), AsF64(in.b, TmpF64(1)),
+                         out, OwnNull(in.dst), rows);
+        }
+        SetBool(in.dst, FoldNulls(in.dst, true, na, nb));
+      }
+      return;
+    }
+    // Remaining SoA pairs (bool vs numeric, bool order compares, null or
+    // string splat vs a column) have no typed kernel; the generic row
+    // loop is exact for all of them.
+    Fallback2(in);
+  }
+
+  void CmpFC(const Instr& in) {
+    const OpCode base = FusedCmpBase(in.op);
+    const int idx =
+        static_cast<int>(base) - static_cast<int>(OpCode::kCmpEq);
+    const RegSlot k = consts[in.b];
+    const ColClass sc = batch.ColumnClass(in.a);
+    if (batch.ColumnPtr(in.a) == nullptr || k.type == ValueType::kNull) {
+      SplatOut(in.dst, RegSlot{});  // null operand: incomparable rows
+      return;
+    }
+    if (sc == ColClass::kInt && k.type == ValueType::kInt) {
+      K.cmp_i64_k[idx](batch.IntColumn(in.a), k.v.i, OwnVal(in.dst), rows);
+      SetBool(in.dst, nullptr);
+      return;
+    }
+    if ((sc == ColClass::kInt || sc == ColClass::kDouble) &&
+        IsNumeric(k.type)) {
+      const double* col;
+      if (sc == ColClass::kInt) {
+        K.widen_i64(batch.IntColumn(in.a), TmpF64(0), rows);
+        col = TmpF64(0);
+      } else {
+        col = batch.DoubleColumn(in.a);
+      }
+      K.cmp_f64_k[idx](col, SlotToDouble(k), OwnVal(in.dst),
+                       OwnNull(in.dst), rows);
+      SetBool(in.dst, K.any_byte(OwnNull(in.dst), rows) ? OwnNull(in.dst)
+                                                        : nullptr);
+      return;
+    }
+    if (sc == ColClass::kBool && k.type == ValueType::kBool &&
+        (base == OpCode::kCmpEq || base == OpCode::kCmpNe)) {
+      (base == OpCode::kCmpEq ? K.cmp_bool_eq_k : K.cmp_bool_ne_k)(
+          batch.BoolColumn(in.a), k.v.b ? 1 : 0, OwnVal(in.dst), rows);
+      SetBool(in.dst, nullptr);
+      return;
+    }
+    if (sc != ColClass::kMixed && sc != ClassOfType(k.type)) {
+      // Uniform column of one type vs a const of another (and not both
+      // numeric): incomparable on every row.
+      SplatOut(in.dst, RegSlot{});
+      return;
+    }
+    FallbackFC(in);  // mixed/string columns, bool order compares
+  }
+
+  void TruthyOp(const Instr& in, bool negate) {
+    const SoaView& wa = v[in.a];
+    if (wa.splat) {
+      const bool t = SlotTruthy(wa.splat_val);
+      SplatOut(in.dst, BoolSlot(negate ? !t : t));
+      return;
+    }
+    if (InAos(wa)) {
+      Fallback1(in);
+      return;
+    }
+    uint8_t* out = OwnVal(in.dst);
+    const uint8_t* p = BoolBytes(in.a, out);
+    if (negate) {
+      K.not_bool(p, out, rows);
+    } else if (p != out) {
+      std::memcpy(out, p, rows);
+    }
+    SetBool(in.dst, nullptr);
+  }
+
+  void AndOr(const Instr& in, bool is_and) {
+    const SoaView& wa = v[in.a];
+    const SoaView& wb = v[in.b];
+    if (InAos(wa) || InAos(wb)) {
+      Fallback2(in);
+      return;
+    }
+    if (wa.splat && wb.splat) {
+      const bool ta = SlotTruthy(wa.splat_val);
+      const bool tb = SlotTruthy(wb.splat_val);
+      SplatOut(in.dst, BoolSlot(is_and ? ta && tb : ta || tb));
+      return;
+    }
+    if (wa.splat || wb.splat) {
+      const bool s = SlotTruthy(wa.splat ? wa.splat_val : wb.splat_val);
+      if (is_and && !s) {
+        SplatOut(in.dst, BoolSlot(false));
+        return;
+      }
+      if (!is_and && s) {
+        SplatOut(in.dst, BoolSlot(true));
+        return;
+      }
+      // The splat side is the connective's identity; the result is the
+      // other side's truthiness.
+      const uint16_t other = wa.splat ? in.b : in.a;
+      uint8_t* out = OwnVal(in.dst);
+      const uint8_t* p = BoolBytes(other, out);
+      if (p != out) std::memcpy(out, p, rows);
+      SetBool(in.dst, nullptr);
+      return;
+    }
+    uint8_t* out = OwnVal(in.dst);
+    const uint8_t* pa;
+    const uint8_t* pb;
+    if (in.a == in.b) {
+      pa = pb = BoolBytes(in.a, out);
+    } else if (in.b == in.dst) {
+      // Computing pa into dst's buffers first would clobber b's storage.
+      pb = BoolBytes(in.b, OwnNull(in.dst));
+      pa = BoolBytes(in.a, mask_tmp);
+    } else {
+      pa = BoolBytes(in.a, out);
+      pb = BoolBytes(in.b, OwnNull(in.dst));
+    }
+    (is_and ? K.and_bool : K.or_bool)(pa, pb, out, rows);
+    SetBool(in.dst, nullptr);
+  }
+
+  void Ret(const Instr& in, uint8_t* out_bytes, uint64_t* out_words,
+           uint8_t* ret_tmp) {
+    const SoaView& wa = v[in.a];
+    uint8_t* tmp = out_bytes != nullptr ? out_bytes : ret_tmp;
+    const uint8_t* p;
+    if (wa.splat) {
+      std::fill(tmp, tmp + rows,
+                static_cast<uint8_t>(SlotTruthy(wa.splat_val) ? 1 : 0));
+      p = tmp;
+    } else if (InAos(wa)) {
+      const RegSlot* a = aos + static_cast<size_t>(in.a) * rows;
+      if (rc[in.a] == ColClass::kBool) {
+        for (size_t r = 0; r < rows; ++r) tmp[r] = a[r].v.b ? 1 : 0;
+      } else {
+        for (size_t r = 0; r < rows; ++r) {
+          tmp[r] = SlotTruthy(a[r]) ? 1 : 0;
+        }
+      }
+      p = tmp;
+    } else {
+      p = BoolBytes(in.a, tmp);
+    }
+    if (out_bytes != nullptr && p != out_bytes) {
+      std::memcpy(out_bytes, p, rows);
+    }
+    if (out_words != nullptr) K.pack_bits(p, rows, out_words);
+  }
+};
+
+}  // namespace
+
+void BytecodeProgram::RunColumnSoa(const ColumnarBatch& batch,
+                                   ExecScratch* scratch,
+                                   const simd::Kernels& kernels,
+                                   uint8_t* out_bytes,
+                                   uint64_t* out_words) const {
+  const size_t rows = batch.num_rows();
+  const size_t nregs = static_cast<size_t>(flat_num_regs_);
+  if (scratch->cols.size() < nregs * rows) {
+    scratch->cols.resize(nregs * rows);
+  }
+  scratch->reg_class.assign(nregs, ColClass::kMixed);
+  scratch->soa_view.assign(nregs, SoaView{});
+  if (scratch->soa_lanes.size() < nregs * rows) {
+    scratch->soa_lanes.resize(nregs * rows);
+  }
+  if (scratch->soa_bytes.size() < 2 * nregs * rows) {
+    scratch->soa_bytes.resize(2 * nregs * rows);
+  }
+  if (scratch->num_tmp.size() < 2 * rows) scratch->num_tmp.resize(2 * rows);
+  if (scratch->byte_tmp.size() < 3 * rows) {
+    scratch->byte_tmp.resize(3 * rows);
+  }
+  SoaExec ex{kernels,
+             batch,
+             const_slots_.data(),
+             rows,
+             scratch->cols.data(),
+             scratch->reg_class.data(),
+             scratch->soa_view.data(),
+             scratch->soa_lanes.data(),
+             scratch->soa_bytes.data(),
+             scratch->num_tmp.data(),
+             scratch->byte_tmp.data()};
+  uint8_t* const ret_tmp = scratch->byte_tmp.data() + 2 * rows;
+  for (const Instr& in : flat_code_) {
+    switch (in.op) {
+      case OpCode::kLoadConst:
+        ex.SplatOut(in.dst, const_slots_[in.a]);
+        break;
+      case OpCode::kLoadField:
+        ex.LoadField(in);
+        break;
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+        ex.Arith(in);
+        break;
+      case OpCode::kDiv:
+        ex.Div(in);
+        break;
+      case OpCode::kCmpEq:
+      case OpCode::kCmpNe:
+      case OpCode::kCmpLt:
+      case OpCode::kCmpLe:
+      case OpCode::kCmpGt:
+      case OpCode::kCmpGe:
+        ex.Cmp(in);
+        break;
+      case OpCode::kCmpEqFC:
+      case OpCode::kCmpNeFC:
+      case OpCode::kCmpLtFC:
+      case OpCode::kCmpLeFC:
+      case OpCode::kCmpGtFC:
+      case OpCode::kCmpGeFC:
+        ex.CmpFC(in);
+        break;
+      case OpCode::kTruthy:
+        ex.TruthyOp(in, false);
+        break;
+      case OpCode::kNot:
+        ex.TruthyOp(in, true);
+        break;
+      case OpCode::kNeg:
+        ex.Neg(in);
+        break;
+      case OpCode::kAndEager:
+        ex.AndOr(in, true);
+        break;
+      case OpCode::kOrEager:
+        ex.AndOr(in, false);
+        break;
+      case OpCode::kRet:
+        ex.Ret(in, out_bytes, out_words, ret_tmp);
+        return;
+      case OpCode::kJump:
+      case OpCode::kJumpIfFalsy:
+      case OpCode::kJumpIfTruthy: {
+        // Unreachable (flat stream is branch-free); per-row scalar
+        // fallback, as in RunColumnScalar.
+        uint8_t* tmp = out_bytes != nullptr ? out_bytes : ret_tmp;
+        for (size_t row = 0; row < rows; ++row) {
+          tmp[row] = SlotTruthy(Exec(scratch, [&](int f) {
+                       return batch.Cell(f, row);
+                     }))
+                         ? 1
+                         : 0;
+        }
+        if (out_words != nullptr) kernels.pack_bits(tmp, rows, out_words);
+        return;
+      }
+    }
+  }
+}
+
+void BytecodeProgram::RunPredicateColumn(const ColumnarBatch& batch,
+                                         ExecScratch* scratch,
+                                         uint8_t* out) const {
+  if (batch.num_rows() == 0) return;
+  if (const simd::Kernels* k = simd::KernelsFor(scratch->simd)) {
+    RunColumnSoa(batch, scratch, *k, out, nullptr);
+  } else {
+    RunColumnScalar(batch, scratch, out);
+  }
+}
+
+void BytecodeProgram::RunPredicateColumnBits(const ColumnarBatch& batch,
+                                             ExecScratch* scratch,
+                                             uint64_t* out_words) const {
+  const size_t rows = batch.num_rows();
+  if (rows == 0) return;
+  if (const simd::Kernels* k = simd::KernelsFor(scratch->simd)) {
+    RunColumnSoa(batch, scratch, *k, nullptr, out_words);
+    return;
+  }
+  if (scratch->byte_tmp.size() < rows) scratch->byte_tmp.resize(rows);
+  uint8_t* const tmp = scratch->byte_tmp.data();
+  RunColumnScalar(batch, scratch, tmp);
+  const size_t words = (rows + 63) / 64;
+  for (size_t w = 0; w < words; ++w) out_words[w] = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    out_words[r >> 6] |= static_cast<uint64_t>(tmp[r] & 1) << (r & 63);
+  }
+}
 
 // --- Disassembler -------------------------------------------------------
 

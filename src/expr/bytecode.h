@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "expr/expression.h"
+#include "expr/simd.h"
 
 namespace tpstream {
 
@@ -103,14 +104,49 @@ struct RegSlot {
 /// conservative kMixed is always safe, never wrong.
 enum class ColClass : uint8_t { kMixed, kInt, kDouble, kBool };
 
+/// One register's representation in the SoA (structure-of-arrays)
+/// columnar executor. A register is exactly one of:
+///  - a *splat*: one RegSlot broadcast over every row (constants, and
+///    results provably identical across the batch);
+///  - a dense typed column (`cls` kInt/kDouble/kBool): `val` points at
+///    contiguous int64/double lanes or 0/1 bool bytes, with `null` an
+///    optional per-row null-byte mask (1 = null; value lane then
+///    don't-care);
+///  - the AoS fallback (`cls` kMixed, no splat): the register lives in
+///    ExecScratch::cols as RegSlots, exactly like the scalar executor.
+/// `val`/`null` may alias ColumnarBatch storage (zero-copy field loads)
+/// or the register's *own* scratch buffers — never another register's,
+/// since stack-shaped allocation reuses registers underneath.
+struct SoaView {
+  ColClass cls = ColClass::kMixed;
+  bool splat = false;
+  RegSlot splat_val{};
+  const void* val = nullptr;
+  const uint8_t* null = nullptr;
+};
+
 /// Reusable register file, owned by the caller so one evaluation
 /// allocates nothing. Sized on first use per program. `cols` is the
 /// column-major register file of the columnar executor (register r is
 /// the slice [r * rows, (r + 1) * rows)).
+///
+/// `simd` selects the columnar executor tier: the default resolves the
+/// TPSTREAM_SIMD environment variable (off|sse2|avx2|native) or the best
+/// level the machine supports; kOff runs the scalar RegSlot loops. The
+/// soa_* members are the SIMD executor's owned SoA storage: per-register
+/// 8-byte value lanes (soa_lanes), value/null byte pairs (soa_bytes),
+/// and conversion/mask scratch (num_tmp/byte_tmp).
 struct ExecScratch {
   std::vector<RegSlot> regs;
   std::vector<RegSlot> cols;
   std::vector<ColClass> reg_class;  // uniformity per column register
+  simd::SimdLevel simd = simd::DefaultSimdLevel();
+  std::vector<SoaView> soa_view;
+  std::vector<uint64_t> soa_lanes;  // reg r: [r*rows, (r+1)*rows) lanes
+  std::vector<uint8_t> soa_bytes;   // reg r: bools at 2r*rows, nulls at
+                                    // (2r+1)*rows
+  std::vector<uint64_t> num_tmp;    // 2*rows widening/splat lanes
+  std::vector<uint8_t> byte_tmp;    // 3*rows mask-copy + ret scratch
 };
 
 // --- Columnar batches ---------------------------------------------------
@@ -153,6 +189,27 @@ class ColumnarBatch {
     return c < 0 ? ColClass::kMixed : col_class_[c];
   }
 
+  /// Dense SoA views, built during Assign for uniformly-typed columns:
+  /// the column's values as a contiguous nullable-free array the SIMD
+  /// kernels can load directly. Non-null exactly when ColumnClass(field)
+  /// is the matching class.
+  const int64_t* IntColumn(int field) const {
+    const int c = ColumnIndex(field);
+    return c >= 0 && col_class_[c] == ColClass::kInt ? typed_i64_[c].data()
+                                                     : nullptr;
+  }
+  const double* DoubleColumn(int field) const {
+    const int c = ColumnIndex(field);
+    return c >= 0 && col_class_[c] == ColClass::kDouble
+               ? typed_f64_[c].data()
+               : nullptr;
+  }
+  const uint8_t* BoolColumn(int field) const {
+    const int c = ColumnIndex(field);
+    return c >= 0 && col_class_[c] == ColClass::kBool ? typed_u8_[c].data()
+                                                      : nullptr;
+  }
+
  private:
   int ColumnIndex(int field) const {
     return field >= 0 && field < static_cast<int>(col_of_field_.size())
@@ -163,6 +220,11 @@ class ColumnarBatch {
   std::vector<std::vector<RegSlot>> columns_;
   std::vector<ColClass> col_class_;  // uniformity per columns_ entry
   std::vector<int> col_of_field_;  // field index -> columns_ index or -1
+  // SoA mirrors of uniformly-typed columns (only the vector matching the
+  // column's class is populated; bool values are 0/1 bytes).
+  std::vector<std::vector<int64_t>> typed_i64_;
+  std::vector<std::vector<double>> typed_f64_;
+  std::vector<std::vector<uint8_t>> typed_u8_;
   size_t rows_ = 0;
 };
 
@@ -195,8 +257,20 @@ class BytecodeProgram {
   /// opcode dispatch covers the whole batch, with registers as columns,
   /// so the per-row cost is just the operation itself. Results are
   /// bit-identical to Run() per row (the fuzzer pins this).
+  ///
+  /// When scratch->simd is not kOff, registers use the SoA layout
+  /// (SoaView) and typed rows run through the simd.h kernel table; the
+  /// scalar RegSlot executor remains both the kOff path and the
+  /// per-instruction fallback for mixed-typed rows.
   void RunPredicateColumn(const ColumnarBatch& batch, ExecScratch* scratch,
                           uint8_t* out) const;
+
+  /// Bit-packed variant: writes ceil(num_rows/64) words, row r at word
+  /// r/64 bit r%64, tail bits zero — the selection bitmap the Deriver
+  /// scans word-at-a-time to skip all-false spans.
+  void RunPredicateColumnBits(const ColumnarBatch& batch,
+                              ExecScratch* scratch,
+                              uint64_t* out_words) const;
 
   /// Field indices this program reads, ascending — the columns a
   /// ColumnarBatch must materialize for RunPredicateColumn.
@@ -224,6 +298,12 @@ class BytecodeProgram {
 
   template <typename FieldLoader>
   RegSlot Exec(ExecScratch* scratch, const FieldLoader& load) const;
+
+  void RunColumnScalar(const ColumnarBatch& batch, ExecScratch* scratch,
+                       uint8_t* out) const;
+  void RunColumnSoa(const ColumnarBatch& batch, ExecScratch* scratch,
+                    const simd::Kernels& kernels, uint8_t* out_bytes,
+                    uint64_t* out_words) const;
 
   static void AppendListing(const std::vector<Instr>& code,
                             std::string* out);

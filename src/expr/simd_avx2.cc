@@ -1,0 +1,10 @@
+// 256-bit kernel tier. This TU is the only one compiled with -mavx2
+// (see src/expr/CMakeLists.txt), and is only ever entered through the
+// KernelsFor dispatch after __builtin_cpu_supports("avx2") passes — so
+// AVX2 encodings cannot leak into code that runs on narrower machines.
+// When the toolchain can't target AVX2 the build simply omits this TU.
+#if defined(TPSTREAM_HAVE_AVX2_TU)
+#define TPS_SIMD_VB 32
+#define TPS_SIMD_TABLE_FN KernelsAvx2
+#include "expr/simd_kernels.inc"
+#endif

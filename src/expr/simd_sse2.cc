@@ -1,0 +1,7 @@
+// 128-bit kernel tier. On x86-64 this is baseline SSE2 — no extra -m
+// flags, so the TU is safe to execute on any supported CPU; on other
+// architectures the generic vectors lower to the native 128-bit ISA or
+// plain scalar code, keeping the tier universally available.
+#define TPS_SIMD_VB 16
+#define TPS_SIMD_TABLE_FN KernelsSse2
+#include "expr/simd_kernels.inc"

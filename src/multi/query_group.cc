@@ -100,7 +100,8 @@ void QueryGroup::Seal() {
 
   deriver_ = std::make_unique<Deriver>(
       shared_defs_, /*announce_starts=*/options_.low_latency,
-      options_.metrics, DeriveOptions{options_.compiled_predicates});
+      options_.metrics,
+      DeriveOptions{options_.compiled_predicates, options_.simd});
   for (auto& query : queries_) {
     query->engine = std::make_unique<MatchEngine>(
         &query->spec, deriver_.get(), query->slots, query->engine_options,

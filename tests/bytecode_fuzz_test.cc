@@ -11,6 +11,7 @@
 
 #include "expr/bytecode.h"
 #include "expr/expression.h"
+#include "expr/simd.h"
 
 // Differential fuzzer: random predicate trees evaluated by the tree
 // interpreter (the oracle) and the bytecode VM must agree bit-for-bit —
@@ -216,6 +217,68 @@ std::string DescribeTuple(const Tuple& tuple) {
   return os.str();
 }
 
+// --- SIMD level sweep ----------------------------------------------------
+
+// Levels the columnar checks run at: every tier this machine supports
+// (off, sse2, ..., best) — the scalar path and each kernel width must be
+// bit-identical. When TPSTREAM_SIMD is set, only that (clamped) level
+// runs, which is how CI re-runs the suite per tier and how a failure is
+// replayed at the exact level that produced it.
+std::vector<simd::SimdLevel> SimdLevelsToTest() {
+  std::vector<simd::SimdLevel> levels;
+  if (const char* env = std::getenv("TPSTREAM_SIMD");
+      env != nullptr && *env != '\0') {
+    simd::SimdLevel parsed;
+    if (simd::ParseSimdLevel(env, &parsed)) {
+      levels.push_back(simd::Effective(parsed));
+      return levels;
+    }
+  }
+  for (int l = 0; l <= static_cast<int>(simd::BestSimdLevel()); ++l) {
+    levels.push_back(static_cast<simd::SimdLevel>(l));
+  }
+  return levels;
+}
+
+// Checks one batch at every SIMD level under test: the byte and bitmap
+// columnar APIs must both agree with the per-tuple oracle on every row,
+// and the bitmap's tail bits past the row count must be zero. Failure
+// messages name the level as a TPSTREAM_SIMD=... replay setting.
+void CheckColumnar(const BytecodeProgram& program, const Expression& expr,
+                   const std::vector<Event>& events,
+                   const std::string& context) {
+  ColumnarBatch batch;
+  batch.Assign({events.data(), events.size()},
+               program.referenced_fields());
+  const size_t rows = events.size();
+  const size_t words = (rows + 63) / 64;
+  for (simd::SimdLevel level : SimdLevelsToTest()) {
+    ExecScratch scratch;
+    scratch.simd = level;
+    std::vector<uint8_t> bytes(rows, 0xAA);
+    program.RunPredicateColumn(batch, &scratch, bytes.data());
+    std::vector<uint64_t> bits(words, ~uint64_t{0});
+    program.RunPredicateColumnBits(batch, &scratch, bits.data());
+    for (size_t row = 0; row < rows; ++row) {
+      const bool want = EvalPredicate(expr, events[row].payload);
+      ASSERT_EQ(want, bytes[row] != 0)
+          << "columnar row " << row
+          << " TPSTREAM_SIMD=" << simd::SimdLevelName(level) << "\n  "
+          << context << "\n  tuple: " << DescribeTuple(events[row].payload);
+      ASSERT_EQ(want, (bits[row >> 6] >> (row & 63) & 1) != 0)
+          << "bitmap row " << row
+          << " TPSTREAM_SIMD=" << simd::SimdLevelName(level) << "\n  "
+          << context << "\n  tuple: " << DescribeTuple(events[row].payload);
+    }
+    if (rows % 64 != 0) {
+      ASSERT_EQ(bits[words - 1] >> (rows % 64), 0u)
+          << "bitmap tail bits set past row count"
+          << " TPSTREAM_SIMD=" << simd::SimdLevelName(level) << "\n  "
+          << context;
+    }
+  }
+}
+
 // --- The fuzz loop ------------------------------------------------------
 
 constexpr uint64_t kDefaultSeed = 20260807;
@@ -270,15 +333,14 @@ void RunCase(uint64_t base_seed, int64_t case_index) {
   }
 
   // Columnar: one batch pass over the same events must agree with the
-  // per-tuple predicate on every row.
-  ColumnarBatch batch;
-  batch.Assign({events.data(), events.size()}, program.referenced_fields());
-  std::vector<uint8_t> bits(events.size(), 0xAA);
-  program.RunPredicateColumn(batch, &scratch, bits.data());
-  for (size_t row = 0; row < events.size(); ++row) {
-    ASSERT_EQ(EvalPredicate(*expr, events[row].payload), bits[row] != 0)
-        << "columnar row " << row << "\n  " << fail_header(events[row].payload);
-  }
+  // per-tuple predicate on every row, at every SIMD level this machine
+  // supports (byte and bitmap output APIs alike).
+  std::ostringstream ctx;
+  ctx << "expr: " << expr->ToString()
+      << "\n  replay: TPSTREAM_FUZZ_SEED=" << base_seed
+      << " TPSTREAM_FUZZ_CASE=" << case_index << "\n"
+      << program.Disassemble();
+  CheckColumnar(program, *expr, events, ctx.str());
 }
 
 TEST(BytecodeFuzzTest, DifferentialAgainstInterpreter) {
@@ -367,18 +429,68 @@ TEST(BytecodeFuzzTest, TypedColumnKernels) {
       events.emplace_back(std::move(tuple), static_cast<TimePoint>(r + 1));
     }
 
-    ColumnarBatch batch;
-    batch.Assign({events.data(), events.size()},
-                 program.referenced_fields());
-    ExecScratch scratch;
-    std::vector<uint8_t> bits(events.size(), 0xAA);
-    program.RunPredicateColumn(batch, &scratch, bits.data());
-    for (size_t row = 0; row < events.size(); ++row) {
-      ASSERT_EQ(EvalPredicate(*expr, events[row].payload), bits[row] != 0)
-          << "typed column case " << i << " row " << row
-          << "\n  expr: " << expr->ToString()
-          << "\n  tuple: " << DescribeTuple(events[row].payload) << "\n"
-          << program.Disassemble();
+    std::ostringstream ctx;
+    ctx << "typed column case " << i << "\n  expr: " << expr->ToString()
+        << "\n" << program.Disassemble();
+    CheckColumnar(program, *expr, events, ctx.str());
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Batch widths straddling the 16- and 32-byte vector widths and the
+// 64-row bitmap word: full vectors plus every scalar-tail length, exact
+// word boundaries, and the one-row degenerate case. Each width runs the
+// full byte/bitmap columnar check at every SIMD level, over columns that
+// mix uniform-typed and deliberately mixed profiles.
+TEST(BytecodeFuzzTest, BatchWidthBoundaries) {
+  constexpr int kWidths[] = {1,  2,  3,  4,  5,  6,  7,  8,  9,
+                             15, 16, 17, 31, 32, 33, 63, 64, 65};
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvInt("TPSTREAM_FUZZ_SEED", kDefaultSeed)) ^
+      0xb17b0c1eull;
+  int case_id = 0;
+  for (int rows : kWidths) {
+    for (int rep = 0; rep < 12; ++rep, ++case_id) {
+      Rng rng(seed ^
+              (static_cast<uint64_t>(case_id) * 0x9e3779b97f4a7c15ull));
+      int profile[kNumFields];
+      for (int f = 0; f < kNumFields; ++f) {
+        profile[f] = static_cast<int>(rng.Below(4));
+      }
+      const ExprPtr expr = RandomExpr(rng, 4, kNumFields);
+      auto compiled = CompilePredicate(*expr);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().message();
+
+      std::vector<Event> events;
+      events.reserve(rows);
+      for (int r = 0; r < rows; ++r) {
+        Tuple tuple;
+        tuple.reserve(kNumFields);
+        for (int f = 0; f < kNumFields; ++f) {
+          switch (profile[f]) {
+            case 0:
+              tuple.push_back(RandomInt(rng));
+              break;
+            case 1:
+              tuple.push_back(RandomDouble(rng));
+              break;
+            case 2:
+              tuple.push_back(Value(rng.Chance(1, 2)));
+              break;
+            default:  // mixed column: forces the AoS fallback per row
+              tuple.push_back(RandomValue(rng));
+              break;
+          }
+        }
+        events.emplace_back(std::move(tuple),
+                            static_cast<TimePoint>(r + 1));
+      }
+
+      std::ostringstream ctx;
+      ctx << "width " << rows << " rep " << rep
+          << "\n  expr: " << expr->ToString();
+      CheckColumnar(*compiled.value(), *expr, events, ctx.str());
+      if (::testing::Test::HasFatalFailure()) return;
     }
   }
 }

@@ -6,6 +6,7 @@
 
 #include "derive/deriver.h"
 #include "expr/expression.h"
+#include "expr/simd.h"
 #include "multi/query_group.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
@@ -208,6 +209,67 @@ TEST(BytecodeSharingTest, SharedProgramsProduceIsolatedIdenticalMatches) {
   EXPECT_GT(interpreted[0], 0);  // the stream actually matched something
   EXPECT_EQ(interpreted[0], interpreted[1]);
   EXPECT_EQ(interpreted[1], interpreted[2]);
+}
+
+TEST(BytecodeSharingTest, SimdOptionPlumbsThroughAndLevelsAgree) {
+  // The `simd` option string reaches the executor (simd_level() reports
+  // the clamped tier), and a batch-driven deriver pinned to the scalar
+  // fallback derives the identical situation stream as one at the
+  // machine's best tier — over batch sizes that straddle the vector
+  // widths and the bitmap word so tail paths are on the measured path.
+  auto defs = [] {
+    std::vector<SituationDefinition> out;
+    out.push_back(Def("A", Gt(FieldRef(0), Literal(50.0))));
+    out.push_back(Def("B", Lt(FieldRef(1), Literal(30.0)), 3));
+    out.push_back(
+        Def("C", And(Ge(FieldRef(2), Literal(int64_t{1})),
+                     Lt(FieldRef(0), Literal(90.0)))));
+    return out;
+  };
+
+  auto run = [&](const std::string& simd) {
+    DeriveOptions options;
+    options.compiled_predicates = true;
+    options.simd = simd;
+    Deriver deriver(defs(), /*announce_starts=*/true, /*metrics=*/nullptr,
+                    options);
+    EXPECT_STREQ(deriver.simd_level(),
+                 simd == "off" ? "off"
+                               : simd::SimdLevelName(simd::BestSimdLevel()));
+    std::vector<std::tuple<int, TimePoint, TimePoint>> log;
+    std::vector<Event> batch;
+    uint64_t s = 11;
+    TimePoint t = 1;
+    for (size_t size : {1u, 7u, 16u, 33u, 64u, 65u, 100u}) {
+      batch.clear();
+      for (size_t i = 0; i < size; ++i, ++t) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        batch.emplace_back(
+            Tuple{Value(static_cast<double>((s >> 33) % 100)),
+                  Value(static_cast<double>((s >> 13) % 100)),
+                  Value(static_cast<int64_t>(s % 4))},
+            t);
+      }
+      deriver.PrepareBatch(std::span<const Event>(batch));
+      for (const Event& e : batch) {
+        auto& update = deriver.Process(e);
+        for (const auto& started : update.started) {
+          log.emplace_back(started.symbol, started.situation.ts,
+                           TimePoint{-1});
+        }
+        for (const auto& finished : update.finished) {
+          log.emplace_back(finished.symbol, finished.situation.ts,
+                           finished.situation.te);
+        }
+      }
+    }
+    return log;
+  };
+
+  const auto scalar = run("off");
+  const auto best = run("native");
+  EXPECT_FALSE(scalar.empty());
+  EXPECT_EQ(scalar, best);
 }
 
 }  // namespace
