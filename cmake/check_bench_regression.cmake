@@ -1,5 +1,5 @@
 # Compares a fresh benchmark JSON document against a committed baseline.
-# Six schemas are understood, dispatched on the document's "schema" key:
+# Seven schemas are understood, dispatched on the document's "schema" key:
 #
 #   tpstream-bench-ingest-v1     (bench/ingest_common.h -> BENCH_ingest.json)
 #   tpstream-bench-parallel-v1   (bench_parallel_scaling -> BENCH_parallel.json)
@@ -7,6 +7,7 @@
 #   tpstream-bench-multiquery-v1 (bench_multiquery -> BENCH_multiquery.json)
 #   tpstream-bench-compiled-v2   (bench_compiled -> BENCH_compiled.json)
 #   tpstream-bench-checkpoint-v1 (bench_checkpoint -> BENCH_checkpoint.json)
+#   tpstream-bench-durability-v1 (bench_durability -> BENCH_durability.json)
 #
 # Usage:
 #   cmake -DCURRENT=out.json -DBASELINE=BENCH_ingest.json \
@@ -89,6 +90,26 @@
 # restore_verified = 1 (the bench's built-in restore-and-replay
 # differential passed; without it the pause numbers are vacuous).
 #
+# Durability checks (runs: append.{every_record,every_64k,interval} —
+# WAL append throughput per fsync policy; recovery.nN — one-call
+# Recover() replay rate; incremental.k8 — full-vs-delta checkpoint
+# bytes, bench_durability):
+#   * events_per_sec >= baseline * (1 - THROUGHPUT_TOLERANCE_PCT%)
+# plus absolute invariants evaluated on CURRENT alone:
+#   * every run's replay_verified / restore_verified = 1 (the bench's
+#     built-in replay or restore differential passed; without it the
+#     throughput numbers are vacuous)
+#   * append.every_record issues at least one barrier per appended
+#     record (fsyncs >= batches — the policy's durability promise)
+#   * append.every_64k actually groups commits (fsyncs * 2 <= batches; a
+#     collapse back to per-record barriers silently erases the
+#     latency/durability dial)
+#   * incremental.k8's mean delta bytes stay under
+#     DURABILITY_DELTA_RATIO_PCT% (default 50%) of its mean
+#     full-snapshot bytes — the headline incremental-checkpoint
+#     invariant; a dirty-set tracking regression shows up as deltas
+#     ballooning to full size
+#
 # The thresholds are deliberately generous: shared CI machines are noisy,
 # and the gate is meant to catch regressions (an allocation re-introduced
 # on the hot path, a 2x slowdown, scaling collapsing back to the
@@ -151,6 +172,9 @@ endif()
 if(NOT DEFINED CHECKPOINT_BYTES_SLACK)
   set(CHECKPOINT_BYTES_SLACK 4096)  # + 4 KiB absolute slack
 endif()
+if(NOT DEFINED DURABILITY_DELTA_RATIO_PCT)
+  set(DURABILITY_DELTA_RATIO_PCT 50)  # delta bytes <= 50% of full bytes
+endif()
 
 file(READ "${CURRENT}" current_doc)
 file(READ "${BASELINE}" baseline_doc)
@@ -161,7 +185,8 @@ if(err OR (NOT schema STREQUAL "tpstream-bench-ingest-v1" AND
            NOT schema STREQUAL "tpstream-bench-overload-v1" AND
            NOT schema STREQUAL "tpstream-bench-multiquery-v1" AND
            NOT schema STREQUAL "tpstream-bench-compiled-v2" AND
-           NOT schema STREQUAL "tpstream-bench-checkpoint-v1"))
+           NOT schema STREQUAL "tpstream-bench-checkpoint-v1" AND
+           NOT schema STREQUAL "tpstream-bench-durability-v1"))
   message(FATAL_ERROR "${CURRENT}: bad or missing schema ('${schema}') ${err}")
 endif()
 string(JSON base_schema ERROR_VARIABLE err GET "${baseline_doc}" schema)
@@ -286,6 +311,9 @@ elseif(schema STREQUAL "tpstream-bench-compiled-v2")
 elseif(schema STREQUAL "tpstream-bench-checkpoint-v1")
   summary_append("| run | evt/s | baseline | Δ | bytes/ckpt | baseline | pause p99 ns | baseline p99 | verified |")
   summary_append("|---|---|---|---|---|---|---|---|---|")
+elseif(schema STREQUAL "tpstream-bench-durability-v1")
+  summary_append("| run | evt/s | baseline | Δ | fsyncs | bytes/full | bytes/delta | verified |")
+  summary_append("|---|---|---|---|---|---|---|---|")
 else()
   summary_append("| run | evt/s | baseline | Δ | speedup | ring_full | alloc/evt | p99 ns |")
   summary_append("|---|---|---|---|---|---|---|---|")
@@ -328,7 +356,8 @@ foreach(i RANGE 0 ${last})
   if(schema STREQUAL "tpstream-bench-overload-v1" OR
      schema STREQUAL "tpstream-bench-multiquery-v1" OR
      schema STREQUAL "tpstream-bench-compiled-v2" OR
-     schema STREQUAL "tpstream-bench-checkpoint-v1")
+     schema STREQUAL "tpstream-bench-checkpoint-v1" OR
+     schema STREQUAL "tpstream-bench-durability-v1")
     set(cur_ape "n/a")
     set(base_ape "n/a")
   else()
@@ -356,7 +385,10 @@ foreach(i RANGE 0 ${last})
   # offered load into push latency by design, so its p99 tracks the
   # overload factor, not a regression.
   if(schema STREQUAL "tpstream-bench-multiquery-v1" OR
-     schema STREQUAL "tpstream-bench-compiled-v2")
+     schema STREQUAL "tpstream-bench-compiled-v2" OR
+     schema STREQUAL "tpstream-bench-durability-v1")
+    # The durability schema likewise records no latency distribution
+    # (append throughput and recovery wall time only).
     set(cur_p99 "n/a")
     set(base_p99 0)
   elseif(schema STREQUAL "tpstream-bench-checkpoint-v1")
@@ -378,6 +410,7 @@ foreach(i RANGE 0 ${last})
   endif()
   if(NOT schema STREQUAL "tpstream-bench-multiquery-v1" AND
      NOT schema STREQUAL "tpstream-bench-compiled-v2" AND
+     NOT schema STREQUAL "tpstream-bench-durability-v1" AND
      NOT (schema STREQUAL "tpstream-bench-overload-v1" AND
           name STREQUAL "block"))
     # The base_p99 > 0 guard doubles as zero-safety: a zero baseline
@@ -471,6 +504,69 @@ foreach(i RANGE 0 ${last})
     pretty_num("${cur_bpc}" cur_bpc_fmt)
     pretty_num("${base_bpc}" base_bpc_fmt)
     summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_bpc_fmt} | ${base_bpc_fmt} | ${cur_p99} | ${base_p99} | ${cur_rv} |")
+  elseif(schema STREQUAL "tpstream-bench-durability-v1")
+    # Absolute invariants of the Durability contract, from CURRENT alone.
+    # Field sets differ per run family; optional fields show as "-".
+    set(cur_fsyncs "-")
+    set(cur_bpf "-")
+    set(cur_bpd "-")
+    if(name MATCHES "^incremental\\.")
+      string(JSON cur_rv GET "${current_doc}" runs "${name}" restore_verified)
+      if(NOT cur_rv EQUAL 1)
+        message(SEND_ERROR
+                "${name}: restore_verified = ${cur_rv} — the recovered "
+                "engine diverged from the uninterrupted run; the "
+                "checkpoint byte counts are vacuous")
+        math(EXPR failures "${failures} + 1")
+      endif()
+      string(JSON cur_bpf GET "${current_doc}" runs "${name}" bytes_per_full)
+      string(JSON cur_bpd GET "${current_doc}" runs "${name}" bytes_per_delta)
+      to_micro("${cur_bpf}" cur_bpf_u)
+      to_micro("${cur_bpd}" cur_bpd_u)
+      math(EXPR lhs "${cur_bpd_u} * 100")
+      math(EXPR rhs "${cur_bpf_u} * ${DURABILITY_DELTA_RATIO_PCT}")
+      if(cur_bpf_u EQUAL 0 OR lhs GREATER rhs)
+        message(SEND_ERROR
+                "${name}: incremental invariant missed — mean delta "
+                "${cur_bpd} bytes vs mean full ${cur_bpf} bytes (deltas "
+                "must stay <= ${DURABILITY_DELTA_RATIO_PCT}% of a full "
+                "snapshot)")
+        math(EXPR failures "${failures} + 1")
+      endif()
+      pretty_num("${cur_bpf}" cur_bpf)
+      pretty_num("${cur_bpd}" cur_bpd)
+    else()
+      string(JSON cur_rv GET "${current_doc}" runs "${name}" replay_verified)
+      if(NOT cur_rv EQUAL 1)
+        message(SEND_ERROR
+                "${name}: replay_verified = ${cur_rv} — the replayed "
+                "stream diverged from what was appended; the throughput "
+                "numbers are vacuous")
+        math(EXPR failures "${failures} + 1")
+      endif()
+    endif()
+    if(name MATCHES "^append\\.")
+      string(JSON cur_fsyncs GET "${current_doc}" runs "${name}" fsyncs)
+      string(JSON cur_batches GET "${current_doc}" runs "${name}" batches)
+      if(name STREQUAL "append.every_record" AND
+         cur_fsyncs LESS cur_batches)
+        message(SEND_ERROR
+                "${name}: only ${cur_fsyncs} fsync(s) for ${cur_batches} "
+                "appended record(s) — kEveryRecord promises a barrier "
+                "per record")
+        math(EXPR failures "${failures} + 1")
+      endif()
+      math(EXPR fsyncs_2x "${cur_fsyncs} * 2")
+      if(name STREQUAL "append.every_64k" AND
+         fsyncs_2x GREATER cur_batches)
+        message(SEND_ERROR
+                "${name}: ${cur_fsyncs} fsync(s) for ${cur_batches} "
+                "appended record(s) — kEveryBytes no longer groups "
+                "commits (need <= 1 barrier per 2 records)")
+        math(EXPR failures "${failures} + 1")
+      endif()
+    endif()
+    summary_append("| ${name} | ${cur_eps_fmt} | ${base_eps_fmt} | ${eps_delta} | ${cur_fsyncs} | ${cur_bpf} | ${cur_bpd} | ${cur_rv} |")
   else()
     # Backpressure bound: a collapse back to single-in-flight hand-off
     # shows up as ring_full exploding relative to the baseline.

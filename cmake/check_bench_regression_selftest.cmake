@@ -17,6 +17,9 @@
 #   * the compiled-v2 ablation floor must switch on the fresh document's
 #     simd_level: 4x when the batch run dispatched SIMD kernels, 2x on
 #     scalar-fallback machines
+#   * the durability invariants (replay/restore verified flags, the
+#     sync-policy fsync accounting, the delta-vs-full byte ratio) must
+#     each gate from the fresh document alone
 #
 # Usage:
 #   cmake -DGATE_SCRIPT=<check_bench_regression.cmake> -DWORK_DIR=<dir> \
@@ -183,6 +186,73 @@ run_case("compiled-scalar-floor-passes" "${WORK_DIR}/compiled_scalar_3x.json"
 write_compiled_doc("${WORK_DIR}/compiled_simd_5x.json" 5000000.0 "avx2")
 run_case("compiled-simd-floor-passes" "${WORK_DIR}/compiled_simd_5x.json"
          "${WORK_DIR}/compiled_simd_5x.json" pass)
+
+# Writes a four-run tpstream-bench-durability-v1 document: two append
+# runs (3125 batches each, fsync counts as given), a recovery run whose
+# replay_verified flag is `rv`, and an incremental run with a 100000-byte
+# mean full snapshot and `bpd`-byte mean deltas.
+function(write_durability_doc path er_fsyncs e64_fsyncs rv bpd)
+  file(WRITE "${path}" "{
+  \"schema\": \"tpstream-bench-durability-v1\",
+  \"runs\": {
+    \"append.every_record\": {
+      \"events\": 200000,
+      \"events_per_sec\": 1000000.0,
+      \"batches\": 3125,
+      \"fsyncs\": ${er_fsyncs},
+      \"appended_bytes\": 9000000,
+      \"replay_verified\": 1
+    },
+    \"append.every_64k\": {
+      \"events\": 200000,
+      \"events_per_sec\": 2000000.0,
+      \"batches\": 3125,
+      \"fsyncs\": ${e64_fsyncs},
+      \"appended_bytes\": 9000000,
+      \"replay_verified\": 1
+    },
+    \"recovery.n10000\": {
+      \"events\": 10000,
+      \"events_per_sec\": 3000000.0,
+      \"recovery_ms\": 3.0,
+      \"replayed_events\": 9000,
+      \"replay_verified\": ${rv}
+    },
+    \"incremental.k8\": {
+      \"events\": 200000,
+      \"events_per_sec\": 500000.0,
+      \"checkpoints\": 40,
+      \"full_checkpoints\": 5,
+      \"delta_checkpoints\": 35,
+      \"bytes_per_full\": 100000.0,
+      \"bytes_per_delta\": ${bpd},
+      \"restore_verified\": 1
+    }
+  }
+}
+")
+endfunction()
+
+# Case 9: the durability invariants. An unchanged healthy document
+# passes; an unverified replay fails on its own; kEveryRecord reporting
+# fewer barriers than records fails; kEveryBytes degenerating to
+# per-record barriers fails; deltas ballooning past half a full
+# snapshot fail the incremental invariant.
+write_durability_doc("${WORK_DIR}/dur_base.json" 3126 130 1 8000.0)
+run_case("durability-unchanged-passes" "${WORK_DIR}/dur_base.json"
+         "${WORK_DIR}/dur_base.json" pass)
+write_durability_doc("${WORK_DIR}/dur_unverified.json" 3126 130 0 8000.0)
+run_case("durability-unverified-replay-fails" "${WORK_DIR}/dur_unverified.json"
+         "${WORK_DIR}/dur_base.json" fail)
+write_durability_doc("${WORK_DIR}/dur_lost_barrier.json" 3124 130 1 8000.0)
+run_case("durability-every-record-barrier-fails"
+         "${WORK_DIR}/dur_lost_barrier.json" "${WORK_DIR}/dur_base.json" fail)
+write_durability_doc("${WORK_DIR}/dur_no_grouping.json" 3126 3125 1 8000.0)
+run_case("durability-group-commit-collapse-fails"
+         "${WORK_DIR}/dur_no_grouping.json" "${WORK_DIR}/dur_base.json" fail)
+write_durability_doc("${WORK_DIR}/dur_fat_delta.json" 3126 130 1 60000.0)
+run_case("durability-delta-ratio-fails" "${WORK_DIR}/dur_fat_delta.json"
+         "${WORK_DIR}/dur_base.json" fail)
 
 if(selftest_failures GREATER 0)
   message(FATAL_ERROR

@@ -1,0 +1,183 @@
+// Crash recovery demo: a durable event log + RecoveryManager around a
+// TPStream operator. Three incarnations of the "same process" run in
+// sequence over an in-memory filesystem whose SimulateCrash() models a
+// power cut (every file rolls back to its last fsync'd size):
+//
+//   incarnation 1: appends + processes events, checkpoints, crashes
+//   incarnation 2: one-call Recover() — restore the newest checkpoint,
+//                  replay the log tail — then continues and crashes
+//                  again, this time with a torn record mid-write
+//   incarnation 3: recovers across the torn tail and finishes the
+//                  stream; its final state is byte-identical to an
+//                  uninterrupted run over the same events
+//
+// Swap MemFileSystem for log::PosixFileSystem and the same code runs
+// against a real directory.
+//
+//   ./build/examples/recovery_demo
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "ckpt/serde.h"
+#include "core/operator.h"
+#include "log/event_log.h"
+#include "log/memfs.h"
+#include "log/recovery.h"
+#include "query/builder.h"
+
+using namespace tpstream;
+
+namespace {
+
+QuerySpec DemoSpec() {
+  Schema schema({Field{"temperature", ValueType::kDouble},
+                 Field{"pressure", ValueType::kDouble}});
+  QueryBuilder qb(schema);
+  qb.Define("HOT", Gt(FieldRef(0, "temperature"), Literal(80.0)))
+      .Define("HIGH", Gt(FieldRef(1, "pressure"), Literal(5.0)))
+      .Relate("HOT", Relation::kOverlaps, "HIGH")
+      .Within(3600)
+      .Return("peak_temp", "HOT", AggKind::kMax, "temperature");
+  return qb.Build().value();
+}
+
+// Deterministic demo stream: temperature and pressure waves that cross
+// their thresholds together every ~20 ticks.
+std::vector<Event> DemoStream(int n) {
+  std::vector<Event> events;
+  for (int i = 0; i < n; ++i) {
+    const double temperature = 75.0 + 10.0 * ((i % 20) < 6 ? 1 : -1) +
+                               static_cast<double>(i % 5);
+    const double pressure = (i % 20) > 2 && (i % 20) < 9 ? 6.5 : 2.0;
+    events.push_back(Event({Value(temperature), Value(pressure)},
+                           static_cast<TimePoint>(i + 1)));
+  }
+  return events;
+}
+
+struct Incarnation {
+  std::unique_ptr<log::EventLog> wal;
+  std::unique_ptr<log::RecoveryManager> mgr;
+  std::unique_ptr<TPStreamOperator> op;
+};
+
+// What a process does at startup: open the log (torn tails are repaired
+// here), open the checkpoint directory, recover, report how far back
+// the crash threw us.
+Incarnation Start(log::MemFileSystem& fs, const QuerySpec& spec) {
+  Incarnation inc;
+  log::EventLogOptions options;
+  // Strictest policy: a barrier per record, so an acknowledged event is
+  // never lost (kEveryBytes/kInterval trade that for throughput).
+  options.sync.mode = log::SyncMode::kEveryRecord;
+  log::OpenReport repair;
+  Status s = log::EventLog::Open(&fs, "/wal", options, &inc.wal, &repair);
+  if (s.ok()) {
+    s = log::RecoveryManager::Open(&fs, "/wal/ckpt", inc.wal.get(), {},
+                                   &inc.mgr);
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  if (repair.truncated_tail_records > 0) {
+    std::printf("  open: truncated a torn tail record (%llu bytes)\n",
+                static_cast<unsigned long long>(repair.truncated_tail_bytes));
+  }
+  inc.op = std::make_unique<TPStreamOperator>(spec, TPStreamOperator::Options{},
+                                              nullptr);
+  auto report = inc.mgr->Recover(*inc.op);
+  if (!report.ok()) {
+    std::fprintf(stderr, "recover: %s\n", report.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("  recovered: checkpoint generation %llu at offset %llu, "
+              "replayed %llu events from the log\n",
+              static_cast<unsigned long long>(report.value().generation),
+              static_cast<unsigned long long>(report.value().offset),
+              static_cast<unsigned long long>(report.value().replayed_events));
+  return inc;
+}
+
+// Durable processing step: append first, push second — an event is only
+// processed once the log owns it.
+void Feed(Incarnation& inc, const std::vector<Event>& events, size_t from,
+          size_t to, size_t checkpoint_every) {
+  for (size_t i = from; i < to; ++i) {
+    auto appended = inc.wal->Append(std::span<const Event>(&events[i], 1));
+    if (!appended.ok()) {
+      std::fprintf(stderr, "append: %s\n",
+                   appended.status().ToString().c_str());
+      std::exit(1);
+    }
+    inc.op->Push(events[i]);
+    if ((i + 1) % checkpoint_every == 0) {
+      auto info = inc.mgr->Checkpoint(*inc.op);
+      if (!info.ok()) {
+        std::fprintf(stderr, "checkpoint: %s\n",
+                     info.status().ToString().c_str());
+        std::exit(1);
+      }
+      std::printf("  checkpoint generation %llu (%s, %llu bytes) at "
+                  "offset %llu\n",
+                  static_cast<unsigned long long>(info.value().generation),
+                  info.value().incremental ? "delta" : "full",
+                  static_cast<unsigned long long>(info.value().bytes),
+                  static_cast<unsigned long long>(info.value().offset));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const QuerySpec spec = DemoSpec();
+  const std::vector<Event> events = DemoStream(300);
+  log::MemFileSystem fs;
+
+  std::printf("incarnation 1: process events 0..169, checkpoint every 50\n");
+  {
+    Incarnation inc = Start(fs, spec);
+    Feed(inc, events, 0, 170, 50);
+  }  // no shutdown: the 20 events past generation 3 live only in the log
+  fs.SimulateCrash();  // power cut — any unsynced tail is gone
+  std::printf("  CRASH (power cut)\n\n");
+
+  std::printf("incarnation 2: recover, continue to event 239\n");
+  size_t resume;
+  {
+    Incarnation inc = Start(fs, spec);
+    resume = inc.wal->end_offset();
+    // Events past the recovered offset were lost with the unsynced
+    // tail; the source re-sends from the log's end offset (at-least-
+    // once delivery upstream, exactly-once state via replay mode).
+    Feed(inc, events, resume, 240, 50);
+  }
+  // This crash tears a record: the last sectors of the final append
+  // never hit the platters. Open-time tail repair truncates the partial
+  // record cleanly and quarantines its bytes.
+  fs.SimulateCrash();
+  const std::string last_segment =
+      "/wal/" + log::EventLog::SegmentFileName(0);
+  fs.TruncateTo(last_segment, fs.FileSize(last_segment) - 5);
+  std::printf("  CRASH (torn record)\n\n");
+
+  std::printf("incarnation 3: recover across the torn tail, finish\n");
+  Incarnation inc = Start(fs, spec);
+  resume = inc.wal->end_offset();
+  Feed(inc, events, resume, events.size(), 50);
+
+  // The recovered run must be indistinguishable from one that never
+  // crashed: same match count, byte-identical checkpoint.
+  TPStreamOperator reference(spec, TPStreamOperator::Options{}, nullptr);
+  for (const Event& e : events) reference.Push(e);
+  ckpt::Writer wr, wi;
+  reference.Checkpoint(wr);
+  inc.op->Checkpoint(wi);
+  std::printf("\nfinal: %lld matches (reference %lld), checkpoints %s\n",
+              static_cast<long long>(inc.op->num_matches()),
+              static_cast<long long>(reference.num_matches()),
+              wr.buffer() == wi.buffer() ? "byte-identical" : "DIVERGED");
+  return wr.buffer() == wi.buffer() ? 0 : 1;
+}

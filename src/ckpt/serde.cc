@@ -1,9 +1,16 @@
 #include "ckpt/serde.h"
 
+#include <atomic>
 #include <utility>
+
+#include "log/crc32c.h"
 
 namespace tpstream {
 namespace ckpt {
+
+namespace {
+std::atomic<uint64_t> g_legacy_unchecksummed_reads{0};
+}  // namespace
 
 void Writer::WriteValue(const Value& v) {
   U8(static_cast<uint8_t>(v.type()));
@@ -53,6 +60,48 @@ void Writer::EndSection(size_t cookie) {
   for (size_t i = 0; i < 4; ++i) {
     buf_[cookie - 4 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
   }
+}
+
+void Writer::SealChecksum() {
+  const uint32_t crc = log::Crc32c(buf_);
+  U32(kChecksumMagic);
+  U32(crc);
+}
+
+Status VerifyAndStripChecksum(std::string_view blob,
+                              std::string_view* payload) {
+  constexpr size_t kFooterSize = 8;
+  auto footer_u32 = [&blob](size_t from_end) {
+    uint32_t v = 0;
+    const size_t base = blob.size() - from_end;
+    for (size_t i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(blob[base + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  if (blob.size() >= kFooterSize && footer_u32(kFooterSize) == kChecksumMagic) {
+    const std::string_view body = blob.substr(0, blob.size() - kFooterSize);
+    if (log::Crc32c(body) != footer_u32(4)) {
+      return Status::ParseError(
+          "checkpoint: checksum mismatch (blob corrupted)");
+    }
+    *payload = body;
+    return Status::OK();
+  }
+  // Legacy pre-integrity blob: accepted, but counted so deployments can
+  // see unchecksummed checkpoints are still in rotation.
+  g_legacy_unchecksummed_reads.fetch_add(1, std::memory_order_relaxed);
+  *payload = blob;
+  return Status::OK();
+}
+
+uint64_t LegacyUnchecksummedReads() {
+  return g_legacy_unchecksummed_reads.load(std::memory_order_relaxed);
+}
+
+void ResetLegacyUnchecksummedReads() {
+  g_legacy_unchecksummed_reads.store(0, std::memory_order_relaxed);
 }
 
 bool Reader::Need(size_t n) {

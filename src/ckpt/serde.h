@@ -31,6 +31,10 @@ namespace ckpt {
 inline constexpr uint32_t kMagic = 0x4b435054;  // "TPCK" little-endian
 inline constexpr uint32_t kFormatVersion = 1;
 
+/// Footer magic for the trailing integrity section appended by
+/// SealChecksum (shared CRC-32C with the durable log, log/crc32c.h).
+inline constexpr uint32_t kChecksumMagic = 0x53435054;  // "TPCS"
+
 /// Component tags: each Checkpoint() payload is labelled so a Restore()
 /// into the wrong component fails loudly. Values are part of the on-disk
 /// format — append only, never renumber.
@@ -51,6 +55,11 @@ enum class Tag : uint32_t {
   kParallel = 14,
   kPipeline = 15,
   kPipelineStage = 16,
+  /// Dirty-partition delta for PartitionedTPStream (incremental
+  /// checkpoints; full snapshots keep kPartitioned).
+  kPartitionedDelta = 17,
+  /// Dirty-engine delta for multi::QueryGroup.
+  kQueryGroupDelta = 18,
 };
 
 /// Append-only binary writer. Infallible: it grows an in-memory byte
@@ -91,6 +100,13 @@ class Writer {
   /// EndSection, which backpatches the byte length. Sections may nest.
   size_t BeginSection(Tag tag);
   void EndSection(size_t cookie);
+
+  /// Appends the trailing integrity footer (u32 "TPCS" magic + u32
+  /// CRC-32C over every preceding byte). Call exactly once, at the
+  /// persistence boundary, after the whole blob is built — components'
+  /// nested Checkpoint() calls never seal. VerifyAndStripChecksum
+  /// detects bit-flips anywhere in the sealed bytes deterministically.
+  void SealChecksum();
 
   const std::string& buffer() const { return buf_; }
   std::string Take() { return std::move(buf_); }
@@ -159,6 +175,21 @@ class Reader {
   size_t pos_ = 0;
   Status status_;
 };
+
+/// Validates a blob sealed with Writer::SealChecksum and strips the
+/// footer: on success `*payload` views the bytes to hand to Reader. A
+/// present-but-mismatched checksum fails with kParseError ("checksum
+/// mismatch", deterministic — this is how bit-flips are detected before
+/// any structural parsing). A blob without a footer is a legacy
+/// unchecksummed checkpoint: it is accepted as-is (`*payload` = `blob`)
+/// and counted in LegacyUnchecksummedReads() so operators can see that
+/// pre-integrity blobs are still in rotation.
+Status VerifyAndStripChecksum(std::string_view blob, std::string_view* payload);
+
+/// Process-wide count of legacy (unchecksummed) blobs accepted by
+/// VerifyAndStripChecksum since start (or the last reset). Thread-safe.
+uint64_t LegacyUnchecksummedReads();
+void ResetLegacyUnchecksummedReads();
 
 }  // namespace ckpt
 }  // namespace tpstream

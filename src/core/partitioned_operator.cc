@@ -49,10 +49,16 @@ void PartitionedTPStream::Push(const Event& event) {
     // Unpartitioned: single implicit partition keyed by 0.
     auto& slot = int_partitions_[0];
     if (slot == nullptr) slot = NewOperator();
+    dirty_int_.insert(0);
     slot->Push(event);
     return;
   }
   const Value& key = event.payload[spec_.partition_field];
+  if (key.type() == ValueType::kInt) {
+    dirty_int_.insert(key.AsInt());
+  } else {
+    dirty_string_.insert(key.ToString());
+  }
   Partition(key)->Push(event);
 }
 
@@ -74,6 +80,12 @@ void PartitionedTPStream::Reset() {
   string_partitions_.clear();
   num_events_ = 0;
   num_matches_ = 0;
+  // A delta records only *touched* partitions; it cannot express "every
+  // partition vanished", so Reset() invalidates the incremental
+  // baseline until the next full checkpoint or restore.
+  dirty_int_.clear();
+  dirty_string_.clear();
+  incremental_valid_ = false;
   if (partitions_gauge_ != nullptr) partitions_gauge_->Set(0.0);
 }
 
@@ -143,11 +155,93 @@ Status PartitionedTPStream::Restore(ckpt::Reader& r, uint64_t* offset) {
   if (!status.ok()) return status;
   num_events_ = static_cast<int64_t>(off);
   num_matches_ = num_matches;
+  // The in-memory state now equals the restored snapshot, which makes
+  // that snapshot the incremental baseline: replayed events re-mark
+  // their partitions dirty, which is exactly the post-checkpoint delta.
+  dirty_int_.clear();
+  dirty_string_.clear();
+  incremental_valid_ = true;
   if (partitions_gauge_ != nullptr) {
     partitions_gauge_->Set(static_cast<double>(num_partitions()));
   }
   if (offset != nullptr) *offset = off;
   return Status::OK();
+}
+
+void PartitionedTPStream::CheckpointIncremental(ckpt::Writer& w) const {
+  w.Envelope(static_cast<uint64_t>(num_events_));
+  const size_t cookie = w.BeginSection(ckpt::Tag::kPartitionedDelta);
+  w.I64(num_matches_);
+
+  std::vector<int64_t> int_keys(dirty_int_.begin(), dirty_int_.end());
+  std::sort(int_keys.begin(), int_keys.end());
+  w.U64(int_keys.size());
+  for (int64_t k : int_keys) {
+    w.I64(k);
+    int_partitions_.at(k)->Checkpoint(w);
+  }
+
+  std::vector<std::string> str_keys(dirty_string_.begin(),
+                                    dirty_string_.end());
+  std::sort(str_keys.begin(), str_keys.end());
+  w.U64(str_keys.size());
+  for (const std::string& k : str_keys) {
+    w.Str(k);
+    string_partitions_.at(k)->Checkpoint(w);
+  }
+  w.EndSection(cookie);
+}
+
+Status PartitionedTPStream::RestoreIncremental(ckpt::Reader& r,
+                                               uint64_t* offset) {
+  uint64_t off = 0;
+  Status status = r.Envelope(&off);
+  if (!status.ok()) return status;
+  const size_t end = r.BeginSection(ckpt::Tag::kPartitionedDelta);
+  const int64_t num_matches = r.I64();
+
+  const uint64_t num_int = r.U64();
+  if (num_int > r.remaining()) {
+    r.Fail(Status::ParseError("checkpoint: partition count exceeds input"));
+    return r.status();
+  }
+  for (uint64_t i = 0; i < num_int && r.ok(); ++i) {
+    const int64_t key = r.I64();
+    auto& slot = int_partitions_[key];
+    slot = NewOperator();
+    status = slot->Restore(r);
+    if (!status.ok()) return status;
+  }
+  const uint64_t num_str = r.U64();
+  if (num_str > r.remaining()) {
+    r.Fail(Status::ParseError("checkpoint: partition count exceeds input"));
+    return r.status();
+  }
+  for (uint64_t i = 0; i < num_str && r.ok(); ++i) {
+    const std::string key = r.Str();
+    auto& slot = string_partitions_[key];
+    slot = NewOperator();
+    status = slot->Restore(r);
+    if (!status.ok()) return status;
+  }
+  status = r.EndSection(end);
+  if (!status.ok()) return status;
+  num_events_ = static_cast<int64_t>(off);
+  num_matches_ = num_matches;
+  dirty_int_.clear();
+  dirty_string_.clear();
+  incremental_valid_ = true;
+  if (partitions_gauge_ != nullptr) {
+    partitions_gauge_->Set(static_cast<double>(num_partitions()));
+  }
+  if (offset != nullptr) *offset = off;
+  return Status::OK();
+}
+
+void PartitionedTPStream::MarkCheckpointBaseline() {
+  dirty_int_.clear();
+  dirty_string_.clear();
+  incremental_valid_ = true;
 }
 
 size_t PartitionedTPStream::BufferedCount() const {

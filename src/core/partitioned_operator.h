@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/operator.h"
 
@@ -46,6 +47,28 @@ class PartitionedTPStream {
   /// from. On error the stream must be Reset() or discarded.
   Status Restore(ckpt::Reader& r, uint64_t* offset = nullptr);
 
+  /// Incremental checkpoints (Durability contract): between full
+  /// snapshots, only the partitions touched since the last successful
+  /// checkpoint are serialized (a kPartitionedDelta section; dirty
+  /// tracking piggybacks on the Push routing path). Deltas only make
+  /// sense relative to a base snapshot, so a delta is valid iff
+  /// CanCheckpointIncremental() — false on a fresh or Reset() stream
+  /// until the next full checkpoint/restore re-establishes a baseline.
+  /// The caller (log::RecoveryManager) owns the chain bookkeeping:
+  /// after the bytes are durably persisted it calls
+  /// MarkCheckpointBaseline() to clear the dirty set; on persist
+  /// failure it simply does not, so the next delta re-covers the same
+  /// partitions and nothing is lost.
+  bool CanCheckpointIncremental() const { return incremental_valid_; }
+  void CheckpointIncremental(ckpt::Writer& w) const;
+  /// Applies a delta on top of the current state (a restored base full
+  /// snapshot plus any earlier deltas of the same chain): partitions in
+  /// the delta are replaced or created, all others keep their state.
+  Status RestoreIncremental(ckpt::Reader& r, uint64_t* offset = nullptr);
+  /// Declares the current state the persisted baseline: clears the
+  /// dirty set and enables incremental checkpoints.
+  void MarkCheckpointBaseline();
+
   size_t num_partitions() const {
     return int_partitions_.size() + string_partitions_.size();
   }
@@ -73,6 +96,12 @@ class PartitionedTPStream {
       int_partitions_;
   std::unordered_map<std::string, std::unique_ptr<TPStreamOperator>>
       string_partitions_;
+
+  // Keys touched since the last MarkCheckpointBaseline(); the payload of
+  // the next incremental checkpoint.
+  std::unordered_set<int64_t> dirty_int_;
+  std::unordered_set<std::string> dirty_string_;
+  bool incremental_valid_ = false;
 };
 
 }  // namespace tpstream

@@ -1,0 +1,63 @@
+#include "log/crc32c.h"
+
+#include <array>
+
+namespace tpstream {
+namespace log {
+namespace {
+
+// Slicing-by-4 tables for the reflected Castagnoli polynomial, generated
+// once at static-init time. Table 0 is the classic byte-at-a-time table;
+// table k folds a zero byte k positions later, letting the hot loop
+// consume four bytes per iteration without per-byte carries.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  const Tables& tb = tables();
+  uint32_t c = crc ^ 0xffffffffu;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  while (n >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = tb.t[3][c & 0xffu] ^ tb.t[2][(c >> 8) & 0xffu] ^
+        tb.t[1][(c >> 16) & 0xffu] ^ tb.t[0][c >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    c = (c >> 8) ^ tb.t[0][(c ^ *p++) & 0xffu];
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
+
+}  // namespace log
+}  // namespace tpstream

@@ -1,0 +1,25 @@
+#ifndef TPSTREAM_LOG_CRC32C_H_
+#define TPSTREAM_LOG_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tpstream {
+namespace log {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected). The same
+/// checksum guards durable log records and checkpoint blobs, so a
+/// bit-flip anywhere in the persistence path is detected by the same
+/// deterministic check. Reference vector: Crc32c("123456789") ==
+/// 0xE3069283 (RFC 3720 appendix).
+uint32_t Crc32c(std::string_view data);
+
+/// Incremental form: extends `crc` (a previous Crc32c result) with
+/// `data`, as if the two byte ranges had been checksummed in one call.
+/// Used for checkpoint-chain hashes: h_g = Crc32cExtend(h_{g-1}, blob).
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+}  // namespace log
+}  // namespace tpstream
+
+#endif  // TPSTREAM_LOG_CRC32C_H_

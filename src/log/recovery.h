@@ -1,0 +1,380 @@
+#ifndef TPSTREAM_LOG_RECOVERY_H_
+#define TPSTREAM_LOG_RECOVERY_H_
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/serde.h"
+#include "common/event.h"
+#include "common/status.h"
+#include "log/crc32c.h"
+#include "log/event_log.h"
+#include "log/file.h"
+#include "obs/metrics.h"
+#include "robust/dead_letter.h"
+
+namespace tpstream {
+namespace log {
+
+/// Result of one RecoveryManager::Checkpoint call.
+struct CheckpointInfo {
+  uint64_t generation = 0;
+  /// True when a dirty-set delta was written instead of a full snapshot.
+  bool incremental = false;
+  /// Bytes of the persisted checkpoint file (header + blob + footer).
+  uint64_t bytes = 0;
+  /// Event-log offset stamped into the blob (replay resumes here).
+  uint64_t offset = 0;
+};
+
+/// Result of one RecoveryManager::Recover call.
+struct RecoveryReport {
+  /// False when no valid checkpoint existed (cold start: full replay).
+  bool restored = false;
+  /// Generation of the newest state actually restored (full + applied
+  /// deltas); 0 when `restored` is false.
+  uint64_t generation = 0;
+  /// Event-log offset the restored state was taken at.
+  uint64_t offset = 0;
+  uint64_t replayed_events = 0;
+  /// Deltas applied on top of the base full snapshot.
+  int64_t deltas_applied = 0;
+  /// Checkpoint files skipped as corrupt/unreadable/chain-broken (each
+  /// also quarantined as kCorruptCheckpoint when a sink is configured).
+  int64_t corrupt_skipped = 0;
+};
+
+/// One-call crash recovery for every engine surface (Durability
+/// contract, docs/architecture.md).
+///
+/// The manager owns a directory of checkpoint generation files
+/// (`ckpt-<20-digit generation>-{full|delta}.tpc`) next to — usually
+/// inside — the durable event log's directory, and ties the two
+/// together:
+///
+///   Checkpoint(engine):  log.Sync()                (events <= offset are
+///                                                   durable first)
+///                        -> write generation file  (tmp + fsync + rename)
+///                        -> engine baseline mark   (dirty sets cleared)
+///                        -> log checkpoint marker  (fsync'd)
+///
+///   Recover(engine):     newest valid full snapshot (corrupt ones fall
+///                        back to the previous generation)
+///                        -> chain-validated deltas applied on top
+///                        -> log.ReplayFrom(stamped offset) under
+///                           replay mode (exactly-once dead-letter)
+///
+/// Incremental checkpoints: for engines exposing the incremental surface
+/// (PartitionedTPStream, multi::QueryGroup), every K-th generation is a
+/// full snapshot and the ones between are dirty-set deltas. Each file
+/// records its base generation and a CRC-32C *chain hash*
+/// (h_full = crc(blob); h_g = crc_extend(h_{g-1}, blob_g)), so Recover
+/// applies a delta only when its declared base matches the running chain
+/// exactly — a missing, corrupt, reordered or foreign delta breaks the
+/// chain and recovery cleanly degrades to the prefix that validates
+/// (worst case the last full snapshot), never a frankenstate.
+///
+/// Checkpoint file layout (little-endian, built on the ckpt wire
+/// format): u32 magic "TPCF" | u32 version | u64 generation | u8 kind
+/// (1=full, 2=delta) | u64 base generation | u32 base chain hash |
+/// Str(blob) | checksum footer (ckpt::Writer::SealChecksum). The blob is
+/// the engine's own Checkpoint()/CheckpointIncremental() bytes.
+///
+/// Engines are duck-typed at compile time: Restore/Checkpoint are
+/// required; CheckpointIncremental / RestoreIncremental /
+/// CanCheckpointIncremental / MarkCheckpointBaseline, SetReplayMode and
+/// Reset are used when present. Single-threaded, like the surfaces it
+/// checkpoints.
+class RecoveryManager {
+ public:
+  struct Options {
+    /// Every K-th generation is a full snapshot (K=1 disables deltas).
+    uint64_t full_snapshot_interval = 8;
+    /// Optional `recovery.*` metrics. Must outlive the manager.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Optional quarantine for corrupt checkpoint files
+    /// (kCorruptCheckpoint). Must outlive the manager.
+    robust::DeadLetterSink* dead_letter = nullptr;
+  };
+
+  /// Opens (creating if needed) the checkpoint directory `dir` and scans
+  /// the existing generation files. `log` may be null (checkpoint-only
+  /// operation: Recover then restores without replay). `fs`, `log` and
+  /// the options' sinks must outlive the manager.
+  static Status Open(FileSystem* fs, const std::string& dir, EventLog* log,
+                     const Options& options, std::unique_ptr<RecoveryManager>* out);
+
+  /// Takes a checkpoint of `engine` at its current quiescent point: a
+  /// full snapshot or, when the engine supports it and the cadence
+  /// allows, a dirty-set delta. On failure (e.g. kResourceExhausted on a
+  /// full disk) no generation is consumed, the partially written temp
+  /// file is removed, and the next call falls back to a full snapshot.
+  template <typename Engine>
+  Result<CheckpointInfo> Checkpoint(Engine& engine);
+
+  /// Restores `engine` to the newest recoverable state and replays the
+  /// log tail into it. See the class comment for the procedure.
+  template <typename Engine>
+  Result<RecoveryReport> Recover(Engine& engine);
+
+  /// Highest generation persisted or discovered (0 when none).
+  uint64_t last_generation() const { return last_generation_; }
+  /// Checkpoint generation files currently tracked on disk.
+  int64_t num_checkpoint_files() const {
+    return static_cast<int64_t>(entries_.size());
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Entry {
+    uint64_t generation = 0;
+    bool delta = false;
+    std::string name;
+  };
+
+  struct Loaded {
+    uint64_t generation = 0;
+    bool delta = false;
+    uint64_t base_generation = 0;
+    uint32_t base_hash = 0;
+    std::string blob;
+  };
+
+  RecoveryManager(FileSystem* fs, std::string dir, EventLog* log,
+                  const Options& options);
+
+  Status ScanDir();
+  /// Builds the generation file bytes around `blob` and publishes them
+  /// atomically (tmp + fsync + rename); registers the entry on success.
+  Status PersistGeneration(uint64_t generation, bool delta,
+                           uint64_t base_generation, uint32_t base_hash,
+                           const std::string& blob, uint64_t* file_bytes);
+  /// Loads and validates one generation file (checksum, magic, version).
+  Status LoadGeneration(const Entry& entry, Loaded* out);
+  void Quarantine(const std::string& name, const Status& why);
+  /// After a new full snapshot: deletes generations below the previous
+  /// full (the previous full and its deltas stay as the fallback chain).
+  void PruneOldGenerations(uint64_t new_full_generation);
+  static std::string EntryFileName(uint64_t generation, bool delta);
+
+  // Shared non-template halves of Checkpoint/Recover.
+  Status CommitCheckpoint(uint64_t generation, bool delta,
+                          const std::string& blob, uint64_t offset,
+                          uint64_t* file_bytes);
+  /// Validates the delta chain on top of `full` without touching any
+  /// engine: returns the longest prefix of consecutive, checksum- and
+  /// chain-hash-valid deltas, and the resulting running hash.
+  std::vector<Loaded> ValidDeltaChain(const Loaded& full, uint32_t* chain_hash,
+                                      int64_t* corrupt_skipped);
+
+  FileSystem* fs_;
+  std::string dir_;
+  EventLog* log_;
+  Options options_;
+
+  std::vector<Entry> entries_;  // ascending by generation
+  uint64_t last_generation_ = 0;
+  uint32_t chain_hash_ = 0;
+  bool have_chain_ = false;
+  /// Set on persist failure (and at start): the next checkpoint must be
+  /// a full snapshot because the dirty-set baseline is unknown.
+  bool force_full_ = true;
+  uint64_t gens_since_full_ = 0;
+
+  obs::Counter* m_checkpoints_ = nullptr;
+  obs::Counter* m_full_ = nullptr;
+  obs::Counter* m_delta_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_recoveries_ = nullptr;
+  obs::Counter* m_replayed_ = nullptr;
+  obs::Counter* m_corrupt_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementations
+
+template <typename Engine>
+Result<CheckpointInfo> RecoveryManager::Checkpoint(Engine& engine) {
+  constexpr bool kIncremental =
+      requires(Engine& e, ckpt::Writer& w) {
+        e.CheckpointIncremental(w);
+        { e.CanCheckpointIncremental() } -> std::convertible_to<bool>;
+        e.MarkCheckpointBaseline();
+      };
+
+  const uint64_t generation = last_generation_ + 1;
+  bool delta = false;
+  if constexpr (kIncremental) {
+    delta = have_chain_ && !force_full_ &&
+            options_.full_snapshot_interval > 1 &&
+            gens_since_full_ + 1 < options_.full_snapshot_interval &&
+            engine.CanCheckpointIncremental();
+  }
+
+  ckpt::Writer wb;
+  if constexpr (kIncremental) {
+    if (delta) {
+      engine.CheckpointIncremental(wb);
+    } else {
+      engine.Checkpoint(wb);
+    }
+  } else {
+    engine.Checkpoint(wb);
+  }
+  const std::string blob = wb.Take();
+
+  uint64_t offset = 0;
+  {
+    ckpt::Reader r(blob);
+    Status s = r.Envelope(&offset);
+    if (!s.ok()) return s;
+  }
+
+  // Events at or below the stamped offset must be durable before a
+  // checkpoint claims replay can start there.
+  if (log_ != nullptr) {
+    Status s = log_->Sync();
+    if (!s.ok()) return s;
+  }
+
+  uint64_t file_bytes = 0;
+  Status s = CommitCheckpoint(generation, delta, blob, offset, &file_bytes);
+  if (!s.ok()) {
+    // The dirty set was not cleared, so nothing is lost: the next
+    // attempt re-covers the same changes — as a full snapshot, since
+    // the persisted chain may now be behind the engine's baseline.
+    force_full_ = true;
+    return s;
+  }
+  if constexpr (kIncremental) engine.MarkCheckpointBaseline();
+
+  CheckpointInfo info;
+  info.generation = generation;
+  info.incremental = delta;
+  info.bytes = file_bytes;
+  info.offset = offset;
+  return info;
+}
+
+template <typename Engine>
+Result<RecoveryReport> RecoveryManager::Recover(Engine& engine) {
+  constexpr bool kIncremental =
+      requires(Engine& e, ckpt::Reader& r, uint64_t* off) {
+        e.RestoreIncremental(r, off);
+      };
+  constexpr bool kReplayMode = requires(Engine& e) { e.SetReplayMode(true); };
+  constexpr bool kReset = requires(Engine& e) { e.Reset(); };
+
+  RecoveryReport report;
+  const uint64_t max_generation =
+      entries_.empty() ? 0 : entries_.back().generation;
+
+  // Newest-first over full snapshots; the first one that restores wins.
+  for (auto it = entries_.rbegin(); it != entries_.rend() && !report.restored;
+       ++it) {
+    if (it->delta) continue;
+    Loaded full;
+    Status s = LoadGeneration(*it, &full);
+    if (!s.ok() || full.delta) {
+      if (s.ok()) {
+        s = Status::ParseError("checkpoint file " + it->name +
+                               ": kind does not match file name");
+      }
+      Quarantine(it->name, s);
+      ++report.corrupt_skipped;
+      continue;
+    }
+    uint64_t offset = 0;
+    if constexpr (kReset) engine.Reset();
+    {
+      ckpt::Reader r(full.blob);
+      s = engine.Restore(r, &offset);
+    }
+    if (!s.ok()) {
+      Quarantine(it->name, s);
+      ++report.corrupt_skipped;
+      if constexpr (kReset) engine.Reset();
+      continue;
+    }
+
+    uint32_t chain = Crc32c(full.blob);
+    uint64_t current = full.generation;
+    int64_t applied = 0;
+
+    if constexpr (kIncremental) {
+      std::vector<Loaded> deltas =
+          ValidDeltaChain(full, &chain, &report.corrupt_skipped);
+      for (Loaded& d : deltas) {
+        uint64_t delta_offset = 0;
+        ckpt::Reader dr(d.blob);
+        s = engine.RestoreIncremental(dr, &delta_offset);
+        if (!s.ok()) {
+          // Checksum-valid bytes that still fail to restore: degrade to
+          // the full snapshot alone rather than keep a half-applied
+          // chain.
+          Quarantine(EntryFileName(d.generation, true), s);
+          ++report.corrupt_skipped;
+          if constexpr (kReset) engine.Reset();
+          ckpt::Reader rf(full.blob);
+          s = engine.Restore(rf, &offset);
+          if (!s.ok()) return s;  // restored moments ago; cannot fail
+          chain = Crc32c(full.blob);
+          current = full.generation;
+          applied = 0;
+          break;
+        }
+        offset = delta_offset;
+        current = d.generation;
+        ++applied;
+      }
+    }
+
+    report.restored = true;
+    report.generation = current;
+    report.offset = offset;
+    report.deltas_applied = applied;
+    chain_hash_ = chain;
+    have_chain_ = true;
+    force_full_ = false;
+    gens_since_full_ = static_cast<uint64_t>(applied);
+  }
+
+  // New generations must never collide with files already on disk, even
+  // ones skipped as corrupt.
+  last_generation_ = std::max(max_generation, report.generation);
+
+  if (!report.restored) {
+    // Cold start: nothing recoverable, replay the whole log into a
+    // fresh engine.
+    if constexpr (kReset) engine.Reset();
+    have_chain_ = false;
+    force_full_ = true;
+    gens_since_full_ = 0;
+  }
+
+  if (log_ != nullptr) {
+    if constexpr (kReplayMode) engine.SetReplayMode(true);
+    Status s = log_->ReplayFrom(
+        report.offset, [&engine](const Event& e) { engine.Push(e); },
+        &report.replayed_events);
+    if constexpr (kReplayMode) engine.SetReplayMode(false);
+    if (!s.ok()) return s;
+  }
+
+  if (m_recoveries_ != nullptr) {
+    // corrupt_skipped is already on the counter (Quarantine bumps it).
+    m_recoveries_->Inc();
+    m_replayed_->Inc(static_cast<int64_t>(report.replayed_events));
+  }
+  return report;
+}
+
+}  // namespace log
+}  // namespace tpstream
+
+#endif  // TPSTREAM_LOG_RECOVERY_H_

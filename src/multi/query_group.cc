@@ -111,6 +111,7 @@ void QueryGroup::Seal() {
   started_by_def_.assign(shared_defs_.size(), nullptr);
   finished_by_def_.assign(shared_defs_.size(), nullptr);
   dirty_flag_.assign(queries_.size(), 0);
+  ckpt_dirty_.assign(queries_.size(), 0);
   dirty_.reserve(queries_.size());
   fired_defs_.reserve(shared_defs_.size());
 
@@ -121,9 +122,15 @@ void QueryGroup::Seal() {
   }
 }
 
-void QueryGroup::SyncEvents(Query& query) {
+void QueryGroup::SyncEvents(int q) {
+  Query& query = *queries_[q];
   const int64_t behind = num_events_ - query.engine->num_events();
-  if (behind > 0) query.engine->NoteEvents(behind);
+  if (behind > 0) {
+    query.engine->NoteEvents(behind);
+    // Advancing the lazy event count changes the engine's serialized
+    // state, so the query joins the next incremental checkpoint.
+    ckpt_dirty_[q] = 1;
+  }
 }
 
 void QueryGroup::Push(const Event& event) {
@@ -171,7 +178,8 @@ void QueryGroup::Push(const Event& event) {
   // the engine consumes the copies by move.
   for (const int q : dirty_) {
     Query& query = *queries_[q];
-    SyncEvents(query);
+    SyncEvents(q);
+    ckpt_dirty_[q] = 1;
     Deriver::Update& scratch = query.scratch;
     scratch.started.clear();
     scratch.finished.clear();
@@ -209,9 +217,9 @@ void QueryGroup::PushBatch(std::span<const Event> events) {
 
 void QueryGroup::Flush() {
   if (!sealed_) return;  // nothing streamed yet: well-defined no-op
-  for (auto& query : queries_) {
-    SyncEvents(*query);
-    query->engine->Flush();
+  for (int q = 0; q < num_queries(); ++q) {
+    SyncEvents(q);
+    queries_[q]->engine->Flush();
   }
   if (plan_hits_gauge_ != nullptr) {
     plan_hits_gauge_->Set(static_cast<double>(plan_cache_.hits()));
@@ -224,6 +232,11 @@ void QueryGroup::Reset() {
   num_events_ = 0;
   deriver_->Reset();
   for (auto& query : queries_) query->engine->Reset();
+  // A rewind touches every engine; invalidate the incremental baseline
+  // until the next full checkpoint or restore (mirrors
+  // PartitionedTPStream::Reset).
+  ckpt_dirty_.assign(queries_.size(), 0);
+  incremental_valid_ = false;
 }
 
 void QueryGroup::Checkpoint(ckpt::Writer& w) const {
@@ -265,8 +278,82 @@ Status QueryGroup::Restore(ckpt::Reader& r, uint64_t* offset) {
   status = r.EndSection(end);
   if (!status.ok()) return status;
   num_events_ = static_cast<int64_t>(off);
+  // The in-memory state now equals the restored snapshot: it becomes
+  // the incremental baseline (replay re-dirties exactly the queries
+  // that changed after it).
+  ckpt_dirty_.assign(queries_.size(), 0);
+  incremental_valid_ = true;
   if (offset != nullptr) *offset = off;
   return Status::OK();
+}
+
+void QueryGroup::CheckpointIncremental(ckpt::Writer& w) const {
+  w.Envelope(static_cast<uint64_t>(num_events_));
+  const size_t cookie = w.BeginSection(ckpt::Tag::kQueryGroupDelta);
+  w.U32(static_cast<uint32_t>(num_queries()));
+  w.U32(static_cast<uint32_t>(num_distinct_definitions()));
+  // The shared deriver advances on every event; it is always part of
+  // the delta.
+  deriver_->Checkpoint(w);
+  uint32_t dirty_count = 0;
+  for (char d : ckpt_dirty_) dirty_count += (d != 0);
+  w.U32(dirty_count);
+  for (int q = 0; q < num_queries(); ++q) {
+    if (!ckpt_dirty_[q]) continue;
+    w.U32(static_cast<uint32_t>(q));
+    queries_[q]->engine->Checkpoint(w);
+  }
+  w.EndSection(cookie);
+}
+
+Status QueryGroup::RestoreIncremental(ckpt::Reader& r, uint64_t* offset) {
+  if (!sealed_) Seal();
+  uint64_t off = 0;
+  Status status = r.Envelope(&off);
+  if (!status.ok()) return status;
+  const size_t end = r.BeginSection(ckpt::Tag::kQueryGroupDelta);
+  const uint32_t num_queries_ck = r.U32();
+  const uint32_t num_defs_ck = r.U32();
+  if (r.ok() && num_queries_ck != static_cast<uint32_t>(num_queries())) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: query count mismatch (different queries registered?)"));
+    return r.status();
+  }
+  if (r.ok() &&
+      num_defs_ck != static_cast<uint32_t>(num_distinct_definitions())) {
+    r.Fail(Status::InvalidArgument(
+        "checkpoint: distinct definition count mismatch (different queries "
+        "registered?)"));
+    return r.status();
+  }
+  status = deriver_->Restore(r);
+  if (!status.ok()) return status;
+  const uint32_t dirty_count = r.U32();
+  if (dirty_count > num_queries_ck) {
+    r.Fail(Status::ParseError("checkpoint: delta query count exceeds group"));
+    return r.status();
+  }
+  for (uint32_t i = 0; i < dirty_count && r.ok(); ++i) {
+    const uint32_t q = r.U32();
+    if (q >= static_cast<uint32_t>(num_queries())) {
+      r.Fail(Status::ParseError("checkpoint: delta query id out of range"));
+      return r.status();
+    }
+    status = queries_[q]->engine->Restore(r);
+    if (!status.ok()) return status;
+  }
+  status = r.EndSection(end);
+  if (!status.ok()) return status;
+  num_events_ = static_cast<int64_t>(off);
+  ckpt_dirty_.assign(queries_.size(), 0);
+  incremental_valid_ = true;
+  if (offset != nullptr) *offset = off;
+  return Status::OK();
+}
+
+void QueryGroup::MarkCheckpointBaseline() {
+  ckpt_dirty_.assign(queries_.size(), 0);
+  incremental_valid_ = true;
 }
 
 int64_t QueryGroup::num_matches(int query) const {

@@ -151,6 +151,26 @@ class QueryGroup {
   /// Reset() or discarded.
   Status Restore(ckpt::Reader& r, uint64_t* offset = nullptr);
 
+  /// Incremental checkpoints (Durability contract): between full
+  /// snapshots only the shared deriver (touched by every event) and the
+  /// engines of queries dirtied since the last successful checkpoint are
+  /// serialized (a kQueryGroupDelta section). Dirty tracking piggybacks
+  /// on the per-event fan-out: a query is dirty if an event fired one of
+  /// its definitions or its lazy event count was advanced (SyncEvents),
+  /// which are exactly the ways an engine's serialized state can change.
+  /// Valid only relative to a baseline established by a full
+  /// checkpoint/restore — see CanCheckpointIncremental(). The caller
+  /// (log::RecoveryManager) invokes MarkCheckpointBaseline() after the
+  /// bytes are durably persisted.
+  bool CanCheckpointIncremental() const {
+    return sealed_ && incremental_valid_;
+  }
+  void CheckpointIncremental(ckpt::Writer& w) const;
+  /// Applies a delta on top of the current state (restored base full
+  /// snapshot plus earlier deltas of the same chain).
+  Status RestoreIncremental(ckpt::Reader& r, uint64_t* offset = nullptr);
+  void MarkCheckpointBaseline();
+
   int num_queries() const { return static_cast<int>(queries_.size()); }
   int64_t num_events() const { return num_events_; }
   /// Distinct definitions after fingerprint deduplication (valid once
@@ -196,8 +216,9 @@ class QueryGroup {
     Deriver::Update scratch;          // per-event fan-out assembly
   };
 
-  /// Lazily advances `query`'s engine to the group event count.
-  void SyncEvents(Query& query);
+  /// Lazily advances query `q`'s engine to the group event count,
+  /// marking it checkpoint-dirty when it actually advances.
+  void SyncEvents(int q);
 
   Options options_;
   std::vector<std::unique_ptr<Query>> queries_;
@@ -219,6 +240,12 @@ class QueryGroup {
   std::vector<int> fired_defs_;
   std::vector<int> dirty_;        // query ids touched by this event
   std::vector<char> dirty_flag_;  // per query
+
+  // Cumulative per-query dirty flags since the last
+  // MarkCheckpointBaseline(); the payload of the next incremental
+  // checkpoint.
+  std::vector<char> ckpt_dirty_;
+  bool incremental_valid_ = false;
 
   // Observability handles on the group registry (null when disabled).
   obs::Counter* events_ctr_ = nullptr;

@@ -46,6 +46,10 @@ void ReorderBuffer::ReleaseReady(const Sink& sink) {
 
 void ReorderBuffer::QuarantineLate(Event&& event) {
   if (options_.dead_letter == nullptr) return;
+  // Replayed drops were quarantined by the original run already; the
+  // dead-letter channel is exactly-once per decision (counters and the
+  // late callback still fired from Admit).
+  if (replaying_) return;
   robust::DeadLetterItem item;
   item.kind = robust::DeadLetterKind::kLateEvent;
   item.detail = "late event t=" + std::to_string(event.t) +

@@ -77,6 +77,18 @@ class ReorderBuffer {
   /// Invoked (if set) for events too late to be reordered.
   void SetLateCallback(LateCallback cb) { late_callback_ = std::move(cb); }
 
+  /// Replay mode (Durability contract): while a recovery replay re-feeds
+  /// a stream prefix whose late events were already quarantined before
+  /// the crash, re-dropping them must not deliver them to the dead-letter
+  /// sink again — quarantine is exactly-once per decision, and the
+  /// decision happened in the original run. Drops during replay still
+  /// bump `num_dropped()`, the metrics and the late callback (so replayed
+  /// counters stay byte-identical to the uninterrupted run); only the
+  /// sink delivery is suppressed. log::RecoveryManager toggles this
+  /// around ReplayFrom via Pipeline::SetReplayMode.
+  void SetReplayMode(bool replaying) { replaying_ = replaying; }
+  bool replay_mode() const { return replaying_; }
+
   int64_t num_reordered() const { return num_reordered_; }
   int64_t num_dropped() const { return num_dropped_; }
   size_t buffered() const { return heap_.size(); }
@@ -126,6 +138,7 @@ class ReorderBuffer {
   TimePoint watermark_ = kTimeMin;
   int64_t num_reordered_ = 0;
   int64_t num_dropped_ = 0;
+  bool replaying_ = false;
 
   // Observability handles (null when metrics are disabled).
   obs::Counter* released_ctr_ = nullptr;

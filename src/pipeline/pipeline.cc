@@ -72,6 +72,13 @@ class ReorderStage final : public Stage {
     return r.EndSection(end);
   }
 
+  /// Late events re-dropped during a recovery replay were quarantined
+  /// by the original run; suppress the duplicate dead-letter delivery
+  /// (counters still advance — see ReorderBuffer::SetReplayMode).
+  void SetReplayMode(bool replaying) override {
+    buffer_.SetReplayMode(replaying);
+  }
+
  private:
   ooo::ReorderBuffer::Options options_;
   ooo::ReorderBuffer buffer_;
@@ -286,6 +293,10 @@ void Pipeline::Finish() {
 void Pipeline::Reset() {
   num_pushed_ = 0;
   for (auto& stage : stages_) stage->Reset();
+}
+
+void Pipeline::SetReplayMode(bool replaying) {
+  for (auto& stage : stages_) stage->SetReplayMode(replaying);
 }
 
 void Pipeline::Checkpoint(ckpt::Writer& w) const {

@@ -61,6 +61,12 @@ class Stage {
     return r.EndSection(end);
   }
 
+  /// Recovery replay marker (Durability contract): toggled around a
+  /// log replay so side-effecting degradation paths (the reorder
+  /// stage's late-event quarantine) stay exactly-once across crashes.
+  /// Default: stateless stages ignore it.
+  virtual void SetReplayMode(bool replaying) { (void)replaying; }
+
   /// Entry point used by the pipeline and upstream stages: counts the
   /// event (when instrumented) and forwards to Process().
   void Consume(const Event& event) {
@@ -186,6 +192,10 @@ class Pipeline {
   /// non-null) receives the event-log offset to replay from. On error
   /// the pipeline must be Reset() or discarded.
   Status Restore(ckpt::Reader& r, uint64_t* offset = nullptr);
+
+  /// Marks the start/end of a recovery replay (forwarded to every
+  /// stage); see Stage::SetReplayMode.
+  void SetReplayMode(bool replaying);
 
   /// Events accepted by Push() since construction / Reset / Restore —
   /// the pipeline's event-log offset.

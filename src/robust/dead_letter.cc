@@ -11,6 +11,10 @@ const char* DeadLetterKindName(DeadLetterKind kind) {
       return "late_event";
     case DeadLetterKind::kShedBatch:
       return "shed_batch";
+    case DeadLetterKind::kTornLogRecord:
+      return "torn_log_record";
+    case DeadLetterKind::kCorruptCheckpoint:
+      return "corrupt_checkpoint";
   }
   return "unknown";
 }

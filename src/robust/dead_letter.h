@@ -27,6 +27,14 @@ enum class DeadLetterKind {
   /// A batch shed by ParallelTPStream under a drop backpressure policy.
   /// `events` holds every event of the shed batch, in push order.
   kShedBatch,
+  /// A torn record truncated from the tail of a durable log segment on
+  /// open (log::EventLog). `detail` names the segment and byte position;
+  /// `raw` holds up to the first 256 raw bytes of the discarded tail.
+  kTornLogRecord,
+  /// A checkpoint file the RecoveryManager skipped because its checksum,
+  /// structure, or chain link failed validation. `detail` names the file
+  /// and the validation error.
+  kCorruptCheckpoint,
 };
 
 const char* DeadLetterKindName(DeadLetterKind kind);

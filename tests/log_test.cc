@@ -1,0 +1,563 @@
+// Durable event log unit suite: CRC-32C vectors, the segment format,
+// rotation, replay-from-offset, fsync policies, torn-tail repair and the
+// fault-injecting File seam (disk full, failing fsync).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "log/crc32c.h"
+#include "log/event_log.h"
+#include "log/file.h"
+#include "log/memfs.h"
+#include "robust/dead_letter.h"
+
+namespace tpstream {
+namespace log {
+namespace {
+
+// --- CRC-32C ---------------------------------------------------------------
+
+TEST(Crc32c, KnownVectors) {
+  // The canonical CRC-32C check value (RFC 3720 appendix / iSCSI).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32c, ExtensionMatchesConcatenation) {
+  const std::string a = "temporal pattern ";
+  const std::string b = "matching on event streams";
+  EXPECT_EQ(Crc32cExtend(Crc32c(a), b), Crc32c(a + b));
+  EXPECT_EQ(Crc32cExtend(Crc32c(""), a), Crc32c(a));
+}
+
+TEST(Crc32c, SensitiveToEveryByte) {
+  std::string data = "0123456789abcdef";
+  const uint32_t base = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(Crc32c(mutated), base) << "byte " << i;
+  }
+}
+
+// --- shared helpers --------------------------------------------------------
+
+std::vector<Event> MakeEvents(int n, int64_t t0 = 1) {
+  std::vector<Event> events;
+  events.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    events.push_back(Event(
+        {Value(static_cast<double>(i) * 0.25), Value(static_cast<int64_t>(i))},
+        t0 + i));
+  }
+  return events;
+}
+
+void ExpectSameEvents(const std::vector<Event>& got,
+                      const std::vector<Event>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].t, want[i].t) << "event " << i;
+    EXPECT_EQ(got[i].payload, want[i].payload) << "event " << i;
+  }
+}
+
+std::vector<Event> Replay(const EventLog& log, uint64_t offset) {
+  std::vector<Event> out;
+  EXPECT_TRUE(
+      log.ReplayFrom(offset, [&](const Event& e) { out.push_back(e); }).ok());
+  return out;
+}
+
+std::unique_ptr<EventLog> MustOpen(FileSystem* fs, const std::string& dir,
+                                   const EventLogOptions& options = {},
+                                   OpenReport* report = nullptr) {
+  std::unique_ptr<EventLog> log;
+  Status s = EventLog::Open(fs, dir, options, &log, report);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return log;
+}
+
+// --- append / replay -------------------------------------------------------
+
+TEST(EventLog, AppendAndReplayRoundtrip) {
+  MemFileSystem fs;
+  auto log = MustOpen(&fs, "/log");
+  const std::vector<Event> events = MakeEvents(20);
+
+  auto r1 = log->Append(std::span<const Event>(events.data(), 7));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value(), 7u);
+  auto r2 = log->Append(std::span<const Event>(events.data() + 7, 13));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), 20u);
+  EXPECT_EQ(log->end_offset(), 20u);
+
+  ExpectSameEvents(Replay(*log, 0), events);
+}
+
+TEST(EventLog, EmptyBatchIsNoOp) {
+  MemFileSystem fs;
+  auto log = MustOpen(&fs, "/log");
+  auto r = log->Append(std::span<const Event>());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0u);
+  EXPECT_EQ(log->end_offset(), 0u);
+  EXPECT_TRUE(Replay(*log, 0).empty());
+}
+
+TEST(EventLog, ReplayFromMidBatchOffset) {
+  MemFileSystem fs;
+  auto log = MustOpen(&fs, "/log");
+  const std::vector<Event> events = MakeEvents(10);
+  // One batch of 10; replay must still honor any event-level offset.
+  ASSERT_TRUE(log->Append(events).ok());
+  for (uint64_t offset = 0; offset <= 10; ++offset) {
+    const std::vector<Event> got = Replay(*log, offset);
+    ExpectSameEvents(
+        got, std::vector<Event>(events.begin() + offset, events.end()));
+  }
+}
+
+TEST(EventLog, ReplayBeyondEndIsEmpty) {
+  MemFileSystem fs;
+  auto log = MustOpen(&fs, "/log");
+  ASSERT_TRUE(log->Append(MakeEvents(5)).ok());
+  EXPECT_TRUE(Replay(*log, 5).empty());
+  EXPECT_TRUE(Replay(*log, 100).empty());
+}
+
+TEST(EventLog, SurvivesReopen) {
+  MemFileSystem fs;
+  const std::vector<Event> events = MakeEvents(30);
+  {
+    auto log = MustOpen(&fs, "/log");
+    ASSERT_TRUE(log->Append(events).ok());
+    ASSERT_TRUE(log->Sync().ok());
+  }
+  OpenReport report;
+  auto log = MustOpen(&fs, "/log", {}, &report);
+  EXPECT_EQ(report.truncated_tail_records, 0);
+  EXPECT_EQ(log->end_offset(), 30u);
+  ExpectSameEvents(Replay(*log, 0), events);
+}
+
+TEST(EventLog, BitExactDoublePayloadsRoundtrip) {
+  MemFileSystem fs;
+  auto log = MustOpen(&fs, "/log");
+  std::vector<Event> events;
+  events.push_back(Event({Value(-0.0), Value(static_cast<int64_t>(1))}, 1));
+  events.push_back(
+      Event({Value(1e-308), Value(static_cast<int64_t>(2))}, 2));
+  ASSERT_TRUE(log->Append(events).ok());
+  const std::vector<Event> got = Replay(*log, 0);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(std::signbit(got[0].payload[0].AsDouble()));
+  EXPECT_EQ(got[1].payload[0].AsDouble(), 1e-308);
+}
+
+// --- rotation --------------------------------------------------------------
+
+TEST(EventLog, RotatesSegmentsAndReplaysAcrossThem) {
+  MemFileSystem fs;
+  EventLogOptions options;
+  options.segment_bytes = 512;  // force frequent rotation
+  const std::vector<Event> events = MakeEvents(200);
+  auto log = MustOpen(&fs, "/log", options);
+  for (size_t i = 0; i < events.size(); i += 10) {
+    ASSERT_TRUE(
+        log->Append(std::span<const Event>(events.data() + i, 10)).ok());
+  }
+  EXPECT_GT(log->num_segments(), 3);
+  ExpectSameEvents(Replay(*log, 0), events);
+  // Mid-stream offsets must land in the right segment.
+  ExpectSameEvents(Replay(*log, 150),
+                   std::vector<Event>(events.begin() + 150, events.end()));
+
+  // Reopen sees the same multi-segment log.
+  log.reset();
+  log = MustOpen(&fs, "/log", options);
+  EXPECT_EQ(log->end_offset(), 200u);
+  ExpectSameEvents(Replay(*log, 0), events);
+}
+
+TEST(EventLog, SegmentFileNamesCarryBaseOffset) {
+  EXPECT_EQ(EventLog::SegmentFileName(0), "segment-00000000000000000000.tpl");
+  EXPECT_EQ(EventLog::SegmentFileName(42), "segment-00000000000000000042.tpl");
+}
+
+// --- checkpoint markers ----------------------------------------------------
+
+TEST(EventLog, CheckpointMarkersDoNotAdvanceOffsets) {
+  MemFileSystem fs;
+  auto log = MustOpen(&fs, "/log");
+  const std::vector<Event> events = MakeEvents(10);
+  ASSERT_TRUE(log->Append(events).ok());
+  ASSERT_TRUE(log->AppendCheckpointMarker(1, 10).ok());
+  EXPECT_EQ(log->end_offset(), 10u);
+  ExpectSameEvents(Replay(*log, 0), events);  // markers are skipped
+
+  uint64_t generation = 0, offset = 0;
+  ASSERT_TRUE(log->LatestCheckpointMarker(&generation, &offset));
+  EXPECT_EQ(generation, 1u);
+  EXPECT_EQ(offset, 10u);
+}
+
+TEST(EventLog, LatestCheckpointMarkerSurvivesReopen) {
+  MemFileSystem fs;
+  {
+    auto log = MustOpen(&fs, "/log");
+    ASSERT_TRUE(log->Append(MakeEvents(5)).ok());
+    ASSERT_TRUE(log->AppendCheckpointMarker(3, 2).ok());
+    ASSERT_TRUE(log->AppendCheckpointMarker(4, 5).ok());
+  }
+  auto log = MustOpen(&fs, "/log");
+  uint64_t generation = 0, offset = 0;
+  ASSERT_TRUE(log->LatestCheckpointMarker(&generation, &offset));
+  EXPECT_EQ(generation, 4u);
+  EXPECT_EQ(offset, 5u);
+
+  MemFileSystem empty_fs;
+  auto fresh = MustOpen(&empty_fs, "/log");
+  EXPECT_FALSE(fresh->LatestCheckpointMarker(&generation, &offset));
+}
+
+// --- fsync policies --------------------------------------------------------
+
+TEST(EventLog, EveryRecordSyncsPerAppend) {
+  MemFileSystem fs;
+  auto log = MustOpen(&fs, "/log");  // default: kEveryRecord
+  const uint64_t baseline = fs.num_syncs();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log->Append(MakeEvents(1, 100 + i)).ok());
+  }
+  EXPECT_EQ(fs.num_syncs(), baseline + 5);
+}
+
+TEST(EventLog, EveryBytesBatchesSyncs) {
+  MemFileSystem fs;
+  EventLogOptions options;
+  options.sync.mode = SyncMode::kEveryBytes;
+  options.sync.sync_bytes = 4096;
+  auto log = MustOpen(&fs, "/log", options);
+  const uint64_t baseline = fs.num_syncs();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(log->Append(MakeEvents(1, 100 + i)).ok());
+  }
+  // Far fewer barriers than appends (records are tens of bytes each).
+  EXPECT_LT(fs.num_syncs() - baseline, 3u);
+  // An explicit Sync() still forces the barrier.
+  ASSERT_TRUE(log->Sync().ok());
+  EXPECT_GE(fs.num_syncs(), baseline + 1);
+}
+
+TEST(EventLog, IntervalSyncsOnInjectedClock) {
+  MemFileSystem fs;
+  int64_t now_ns = 0;
+  EventLogOptions options;
+  options.sync.mode = SyncMode::kInterval;
+  options.sync.sync_interval_ns = 1'000'000;
+  options.sync.clock = [&now_ns] { return now_ns; };
+  auto log = MustOpen(&fs, "/log", options);
+  const uint64_t baseline = fs.num_syncs();
+
+  ASSERT_TRUE(log->Append(MakeEvents(1, 1)).ok());
+  ASSERT_TRUE(log->Append(MakeEvents(1, 2)).ok());
+  EXPECT_EQ(fs.num_syncs(), baseline);  // clock has not advanced
+
+  now_ns += 2'000'000;
+  ASSERT_TRUE(log->Append(MakeEvents(1, 3)).ok());
+  EXPECT_EQ(fs.num_syncs(), baseline + 1);  // period elapsed -> barrier
+
+  ASSERT_TRUE(log->Append(MakeEvents(1, 4)).ok());
+  EXPECT_EQ(fs.num_syncs(), baseline + 1);
+}
+
+// --- torn-tail repair ------------------------------------------------------
+
+TEST(EventLog, CrashLosesOnlyUnsyncedTail) {
+  MemFileSystem fs;
+  EventLogOptions options;
+  options.sync.mode = SyncMode::kEveryBytes;
+  options.sync.sync_bytes = 1 << 30;  // never auto-sync
+  const std::vector<Event> events = MakeEvents(12);
+  {
+    auto log = MustOpen(&fs, "/log", options);
+    ASSERT_TRUE(log->Append(std::span<const Event>(events.data(), 8)).ok());
+    ASSERT_TRUE(log->Sync().ok());
+    ASSERT_TRUE(log->Append(std::span<const Event>(events.data() + 8, 4)).ok());
+    // No sync: the last batch is in the page cache only.
+  }
+  fs.SimulateCrash();
+
+  OpenReport report;
+  robust::CollectingDeadLetterSink dead;
+  options.dead_letter = &dead;
+  auto log = MustOpen(&fs, "/log", options, &report);
+  // The crash cut at a record boundary (synced prefix), so nothing is
+  // torn — the unsynced records are simply gone.
+  EXPECT_EQ(report.truncated_tail_records, 0);
+  EXPECT_EQ(log->end_offset(), 8u);
+  ExpectSameEvents(Replay(*log, 0),
+                   std::vector<Event>(events.begin(), events.begin() + 8));
+  EXPECT_EQ(dead.accepted(), 0);
+}
+
+TEST(EventLog, TornMidRecordTailIsTruncatedAndQuarantined) {
+  MemFileSystem fs;
+  const std::vector<Event> events = MakeEvents(10);
+  {
+    auto log = MustOpen(&fs, "/log");
+    ASSERT_TRUE(log->Append(std::span<const Event>(events.data(), 6)).ok());
+    ASSERT_TRUE(log->Append(std::span<const Event>(events.data() + 6, 4)).ok());
+  }
+  const std::string path = "/log/" + EventLog::SegmentFileName(0);
+  const uint64_t full_size = fs.FileSize(path);
+  // Carve a torn tail: cut into the middle of the final record.
+  fs.TruncateTo(path, full_size - 3);
+
+  OpenReport report;
+  robust::CollectingDeadLetterSink dead;
+  EventLogOptions options;
+  options.dead_letter = &dead;
+  auto log = MustOpen(&fs, "/log", options, &report);
+  EXPECT_EQ(report.truncated_tail_records, 1);
+  EXPECT_GT(report.truncated_tail_bytes, 0u);
+  EXPECT_EQ(log->end_offset(), 6u);
+  ExpectSameEvents(Replay(*log, 0),
+                   std::vector<Event>(events.begin(), events.begin() + 6));
+  // The torn bytes were quarantined once, with the right kind.
+  ASSERT_EQ(dead.accepted(), 1);
+  const auto items = dead.Items();
+  EXPECT_EQ(items[0].kind, robust::DeadLetterKind::kTornLogRecord);
+  EXPECT_NE(items[0].detail.find(EventLog::SegmentFileName(0)),
+            std::string::npos);
+  EXPECT_FALSE(items[0].raw.empty());
+
+  // The repaired log accepts appends and stays consistent.
+  ASSERT_TRUE(log->Append(std::span<const Event>(events.data() + 6, 4)).ok());
+  ExpectSameEvents(Replay(*log, 0), events);
+}
+
+TEST(EventLog, TornTailAtEveryByteBoundaryRecoversPrefix) {
+  // Build a reference log, then for every possible cut position verify
+  // open either keeps whole records or truncates the torn one — never
+  // fails, never invents events.
+  MemFileSystem ref_fs;
+  const std::vector<Event> events = MakeEvents(6);
+  {
+    auto log = MustOpen(&ref_fs, "/log");
+    for (const Event& e : events) {
+      ASSERT_TRUE(log->Append(std::span<const Event>(&e, 1)).ok());
+    }
+  }
+  const std::string path = "/log/" + EventLog::SegmentFileName(0);
+  const std::string bytes = ref_fs.Contents(path);
+
+  for (uint64_t cut = 16; cut <= bytes.size(); ++cut) {
+    MemFileSystem fs;
+    {
+      auto log = MustOpen(&fs, "/log");
+      for (const Event& e : events) {
+        ASSERT_TRUE(log->Append(std::span<const Event>(&e, 1)).ok());
+      }
+    }
+    fs.TruncateTo(path, cut);
+    auto log = MustOpen(&fs, "/log");
+    const std::vector<Event> got = Replay(*log, 0);
+    ASSERT_LE(got.size(), events.size()) << "cut@" << cut;
+    ExpectSameEvents(
+        got, std::vector<Event>(events.begin(), events.begin() + got.size()));
+  }
+}
+
+TEST(EventLog, CorruptionInNonFinalSegmentFailsOpen) {
+  MemFileSystem fs;
+  EventLogOptions options;
+  options.segment_bytes = 256;
+  {
+    auto log = MustOpen(&fs, "/log", options);
+    const std::vector<Event> events = MakeEvents(100);
+    for (size_t i = 0; i < events.size(); i += 5) {
+      ASSERT_TRUE(
+          log->Append(std::span<const Event>(events.data() + i, 5)).ok());
+    }
+    ASSERT_GT(log->num_segments(), 2);
+  }
+  // Flip a byte in the FIRST segment: that is corruption, not a torn
+  // write, and must fail loudly instead of being silently truncated.
+  fs.CorruptByte("/log/" + EventLog::SegmentFileName(0), 40, 0x10);
+  std::unique_ptr<EventLog> log;
+  Status s = EventLog::Open(&fs, "/log", options, &log);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+// --- disk full / fsync faults ----------------------------------------------
+
+TEST(EventLog, DiskFullSurfacesResourceExhaustedWithPathAndBytes) {
+  MemFileSystem fs;
+  auto log = MustOpen(&fs, "/log");
+  ASSERT_TRUE(log->Append(MakeEvents(4)).ok());
+
+  fs.set_enospc_after_bytes(fs.total_appended() + 10);
+  auto r = log->Append(MakeEvents(4, 100));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find(EventLog::SegmentFileName(0)),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("byte"), std::string::npos);
+  EXPECT_EQ(log->end_offset(), 4u);
+
+  // Space comes back: the same log keeps working, and the rolled-back
+  // partial record never surfaces.
+  fs.clear_enospc();
+  const std::vector<Event> more = MakeEvents(4, 100);
+  ASSERT_TRUE(log->Append(more).ok());
+  EXPECT_EQ(log->end_offset(), 8u);
+  EXPECT_EQ(Replay(*log, 0).size(), 8u);
+
+  // And the segment on disk is re-openable (no partial frame left).
+  log.reset();
+  OpenReport report;
+  log = MustOpen(&fs, "/log", {}, &report);
+  EXPECT_EQ(report.truncated_tail_records, 0);
+  EXPECT_EQ(log->end_offset(), 8u);
+}
+
+TEST(EventLog, FsyncFailureSurfacesAndLogRemainsUsable) {
+  MemFileSystem fs;
+  auto log = MustOpen(&fs, "/log");  // kEveryRecord: every append syncs
+  ASSERT_TRUE(log->Append(MakeEvents(2)).ok());
+
+  const uint64_t syncs_so_far = fs.num_syncs();
+  fs.set_fail_fsync_after(syncs_so_far);
+  auto r = log->Append(MakeEvents(2, 50));
+  EXPECT_FALSE(r.ok());
+
+  fs.clear_fsync_fault();
+  ASSERT_TRUE(log->Sync().ok());
+  EXPECT_GE(Replay(*log, 0).size(), 2u);
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(EventLog, PublishesLogMetrics) {
+  MemFileSystem fs;
+  obs::MetricsRegistry metrics;
+  EventLogOptions options;
+  options.metrics = &metrics;
+  auto log = MustOpen(&fs, "/log", options);
+  ASSERT_TRUE(log->Append(MakeEvents(10)).ok());
+  ASSERT_TRUE(log->ReplayFrom(0, [](const Event&) {}).ok());
+
+  EXPECT_EQ(metrics.GetCounter("log.appended_records")->value(), 1);
+  EXPECT_GT(metrics.GetCounter("log.appended_bytes")->value(), 0);
+  EXPECT_GT(metrics.GetCounter("log.fsyncs")->value(), 0);
+  EXPECT_EQ(metrics.GetCounter("log.replays")->value(), 1);
+  EXPECT_EQ(metrics.GetCounter("log.replayed_events")->value(), 10);
+  EXPECT_EQ(metrics.GetGauge("log.segments")->value(), 1.0);
+}
+
+// --- posix seam ------------------------------------------------------------
+
+TEST(PosixFileSystem, EndToEndRoundtripInTempDir) {
+  char tmpl[] = "/tmp/tpstream_log_test_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  const std::string log_dir = JoinPath(dir, "wal");
+
+  PosixFileSystem fs;
+  const std::vector<Event> events = MakeEvents(50);
+  {
+    EventLogOptions options;
+    options.segment_bytes = 1024;
+    auto log = MustOpen(&fs, log_dir, options);
+    for (size_t i = 0; i < events.size(); i += 5) {
+      ASSERT_TRUE(
+          log->Append(std::span<const Event>(events.data() + i, 5)).ok());
+    }
+    ASSERT_TRUE(log->AppendCheckpointMarker(7, 25).ok());
+  }
+  {
+    auto log = MustOpen(&fs, log_dir);
+    EXPECT_EQ(log->end_offset(), 50u);
+    ExpectSameEvents(Replay(*log, 0), events);
+    uint64_t generation = 0, offset = 0;
+    ASSERT_TRUE(log->LatestCheckpointMarker(&generation, &offset));
+    EXPECT_EQ(generation, 7u);
+    EXPECT_EQ(offset, 25u);
+  }
+
+  // Torn tail on the real filesystem: chop 3 bytes off the last segment.
+  std::vector<std::string> names;
+  ASSERT_TRUE(fs.ListDir(log_dir, &names).ok());
+  std::sort(names.begin(), names.end());
+  const std::string last = JoinPath(log_dir, names.back());
+  std::string contents;
+  ASSERT_TRUE(fs.ReadFile(last, &contents).ok());
+  ASSERT_TRUE(fs.Truncate(last, contents.size() - 3).ok());
+
+  OpenReport report;
+  auto log = MustOpen(&fs, log_dir, {}, &report);
+  EXPECT_EQ(report.truncated_tail_records, 1);
+  // The torn record may have been the checkpoint marker, so the event
+  // count is only guaranteed not to grow.
+  EXPECT_LE(log->end_offset(), 50u);
+  const std::vector<Event> got = Replay(*log, 0);
+  ExpectSameEvents(
+      got, std::vector<Event>(events.begin(), events.begin() + got.size()));
+
+  // Best-effort cleanup (the tree lives under /tmp regardless).
+  ASSERT_TRUE(fs.ListDir(log_dir, &names).ok());
+  for (const std::string& name : names) {
+    (void)fs.DeleteFile(JoinPath(log_dir, name));
+  }
+}
+
+// --- MemFileSystem seam self-checks ---------------------------------------
+
+TEST(MemFileSystem, ShortWriteAppliesPrefixBeforeEnospc) {
+  MemFileSystem fs;
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs.OpenAppend("/d/f", &file).ok());
+  fs.set_enospc_after_bytes(4);
+  Status s = file->Append("0123456789");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(fs.Contents("/d/f"), "0123");  // the prefix that fit
+}
+
+TEST(MemFileSystem, SimulateCrashRollsBackToSyncedSize) {
+  MemFileSystem fs;
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs.OpenAppend("/d/f", &file).ok());
+  ASSERT_TRUE(file->Append("durable").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append("-volatile").ok());
+  fs.SimulateCrash();
+  EXPECT_EQ(fs.Contents("/d/f"), "durable");
+}
+
+TEST(MemFileSystem, RenameIsAtomicHandoff) {
+  MemFileSystem fs;
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs.OpenAppend("/d/f.tmp", &file).ok());
+  ASSERT_TRUE(file->Append("payload").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+  ASSERT_TRUE(fs.RenameFile("/d/f.tmp", "/d/f").ok());
+  EXPECT_FALSE(fs.HasFile("/d/f.tmp"));
+  EXPECT_EQ(fs.Contents("/d/f"), "payload");
+}
+
+}  // namespace
+}  // namespace log
+}  // namespace tpstream
