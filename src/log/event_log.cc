@@ -311,6 +311,11 @@ Status EventLog::OpenTail(OpenReport* report) {
 
 Status EventLog::RotateIfNeeded() {
   if (tail_->size() < options_.segment_bytes) return Status::OK();
+  // A segment that filled without end_offset_ advancing (checkpoint
+  // markers only) cannot rotate: the new segment would take the current
+  // tail's own name, and OpenAppend would append a duplicate header
+  // mid-file. Let the tail keep growing until an event batch lands.
+  if (end_offset_ == segments_.back().base) return Status::OK();
   // Seal the full segment: everything in it becomes durable before the
   // log moves on, so only the newest segment can ever hold a torn tail.
   Status s = MaybeSync(/*force=*/true);
@@ -380,10 +385,20 @@ Status EventLog::WriteRecord(const std::string& payload, bool force_sync) {
   frame.append(payload);
 
   const uint64_t pre_size = tail_->size();
+  const uint64_t pre_bytes_since_sync = bytes_since_sync_;
   s = tail_->Append(frame);
+  if (s.ok()) {
+    bytes_since_sync_ += frame.size();
+    s = MaybeSync(force_sync);
+  }
   if (!s.ok()) {
-    // Roll the partial record back so the segment stays re-openable: a
-    // torn frame here would otherwise masquerade as a crash artifact.
+    // Roll the record back so the segment holds exactly the records the
+    // caller was told succeeded. A partial frame would masquerade as a
+    // crash artifact; a complete frame left behind after a failed sync is
+    // worse — end_offset_ never advances, so a later sync resurrects
+    // events reported as failed and a retried Append writes a second
+    // batch with the same first-offset, making the log unopenable.
+    bytes_since_sync_ = pre_bytes_since_sync;
     tail_->Close();
     tail_.reset();
     fs_->Truncate(tail_path_, pre_size);
@@ -391,10 +406,9 @@ Status EventLog::WriteRecord(const std::string& payload, bool force_sync) {
     if (!reopen.ok()) return reopen;
     return s;
   }
-  bytes_since_sync_ += frame.size();
   if (m_records_ != nullptr) m_records_->Inc();
   if (m_bytes_ != nullptr) m_bytes_->Inc(static_cast<int64_t>(frame.size()));
-  return MaybeSync(force_sync);
+  return Status::OK();
 }
 
 Result<uint64_t> EventLog::Append(std::span<const Event> events) {

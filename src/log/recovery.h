@@ -348,6 +348,14 @@ Result<RecoveryReport> RecoveryManager::Recover(Engine& engine) {
   // ones skipped as corrupt.
   last_generation_ = std::max(max_generation, report.generation);
 
+  if (report.restored && report.generation != last_generation_) {
+    // Fallback recovery: files newer than the restored state remain on
+    // disk (corrupt or chain-broken), so a delta based on the running
+    // chain could never re-attach past them at the next recovery —
+    // ValidDeltaChain stops at the first gap. Start a fresh full chain.
+    force_full_ = true;
+  }
+
   if (!report.restored) {
     // Cold start: nothing recoverable, replay the whole log into a
     // fresh engine.

@@ -442,10 +442,54 @@ TEST(EventLog, FsyncFailureSurfacesAndLogRemainsUsable) {
   fs.set_fail_fsync_after(syncs_so_far);
   auto r = log->Append(MakeEvents(2, 50));
   EXPECT_FALSE(r.ok());
+  EXPECT_EQ(log->end_offset(), 2u);
 
+  // The failed batch was rolled back with the failed sync: a later sync
+  // must not resurrect events that were reported as not appended.
   fs.clear_fsync_fault();
   ASSERT_TRUE(log->Sync().ok());
-  EXPECT_GE(Replay(*log, 0).size(), 2u);
+  EXPECT_EQ(Replay(*log, 0).size(), 2u);
+
+  // A retried append lands at the same first-offset without colliding
+  // with a leftover frame, and the log stays openable.
+  ASSERT_TRUE(log->Append(MakeEvents(2, 50)).ok());
+  EXPECT_EQ(log->end_offset(), 4u);
+  EXPECT_EQ(Replay(*log, 0).size(), 4u);
+
+  log.reset();
+  OpenReport report;
+  log = MustOpen(&fs, "/log", {}, &report);
+  EXPECT_EQ(report.truncated_tail_records, 0);
+  EXPECT_EQ(log->end_offset(), 4u);
+  EXPECT_EQ(Replay(*log, 0).size(), 4u);
+}
+
+TEST(EventLog, MarkerOnlySegmentDoesNotRotateOntoItself) {
+  MemFileSystem fs;
+  EventLogOptions options;
+  options.segment_bytes = 64;  // tiny: a few markers overflow it
+  auto log = MustOpen(&fs, "/log", options);
+  // Markers never advance end_offset_, so a rotation here would name the
+  // new segment after the current tail and corrupt it mid-file.
+  for (uint64_t g = 1; g <= 20; ++g) {
+    ASSERT_TRUE(log->AppendCheckpointMarker(g, 0).ok());
+  }
+  EXPECT_EQ(log->num_segments(), 1);
+
+  // Once events move end_offset_ past the tail's base, rotation resumes.
+  ASSERT_TRUE(log->Append(MakeEvents(3)).ok());
+  ASSERT_TRUE(log->AppendCheckpointMarker(21, 3).ok());
+  EXPECT_GT(log->num_segments(), 1);
+
+  log.reset();
+  OpenReport report;
+  log = MustOpen(&fs, "/log", options, &report);
+  EXPECT_EQ(report.truncated_tail_records, 0);
+  EXPECT_EQ(log->end_offset(), 3u);
+  uint64_t generation = 0, offset = 0;
+  ASSERT_TRUE(log->LatestCheckpointMarker(&generation, &offset));
+  EXPECT_EQ(generation, 21u);
+  EXPECT_EQ(offset, 3u);
 }
 
 // --- metrics ---------------------------------------------------------------

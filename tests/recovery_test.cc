@@ -381,6 +381,72 @@ TEST(RecoveryManager, PruningKeepsPreviousFullAsFallback) {
   EXPECT_EQ(a.buffer(), b.buffer());
 }
 
+TEST(RecoveryManager, FallbackRecoveryForcesFullNextCheckpoint) {
+  // After a recovery that fell back past a corrupt newest generation,
+  // the chain the manager holds ends below last_generation_. A delta
+  // taken then would declare a base no future recovery can re-attach to
+  // (the corrupt file still sits in the chain walk), so the first
+  // post-fallback checkpoint must be a full snapshot.
+  const QuerySpec spec = SensorSpec(/*partitioned=*/true);
+  const std::vector<Event> events = MakeStream(300, 31, /*keys=*/10);
+
+  log::MemFileSystem fs;
+  log::RecoveryManager::Options options;
+  options.full_snapshot_interval = 8;
+  {
+    auto log = MustOpenLog(&fs, kLogDir);
+    auto mgr = MustOpenManager(&fs, kCkptDir, log.get(), options);
+    PartitionedTPStream first(spec, {}, nullptr);
+    for (size_t i = 0; i < 150; ++i) {
+      Feed(*log, first, events[i]);
+      if ((i + 1) % 50 == 0) ASSERT_TRUE(mgr->Checkpoint(first).ok());
+    }
+  }
+  // Generations: 1 full @50, 2..3 delta @100/@150. Corrupt the newest.
+  fs.CorruptByte("/wal/ckpt/ckpt-00000000000000000003-delta.tpc", 60, 0x20);
+
+  auto log = MustOpenLog(&fs, kLogDir);
+  auto mgr = MustOpenManager(&fs, kCkptDir, log.get(), options);
+  PartitionedTPStream second(spec, {}, nullptr);
+  auto report = mgr->Recover(second);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().generation, 2u);  // fell back past gen 3
+  EXPECT_EQ(report.value().corrupt_skipped, 1);
+
+  for (size_t i = 150; i < 200; ++i) Feed(*log, second, events[i]);
+  auto info = mgr->Checkpoint(second);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().generation, 4u);
+  EXPECT_FALSE(info.value().incremental);  // forced full after fallback
+
+  // The forced full re-anchors the chain: deltas on top of it attach
+  // cleanly at the next recovery instead of being quarantined.
+  for (size_t i = 200; i < 250; ++i) Feed(*log, second, events[i]);
+  auto delta_info = mgr->Checkpoint(second);
+  ASSERT_TRUE(delta_info.ok());
+  EXPECT_TRUE(delta_info.value().incremental);  // gen 5, delta on gen 4
+
+  robust::CollectingDeadLetterSink dead;
+  options.dead_letter = &dead;
+  auto log2 = MustOpenLog(&fs, kLogDir);
+  auto mgr2 = MustOpenManager(&fs, kCkptDir, log2.get(), options);
+  PartitionedTPStream third(spec, {}, nullptr);
+  auto report2 = mgr2->Recover(third);
+  ASSERT_TRUE(report2.ok()) << report2.status().ToString();
+  EXPECT_EQ(report2.value().generation, 5u);
+  EXPECT_EQ(report2.value().offset, 250u);
+  EXPECT_EQ(report2.value().deltas_applied, 1);
+  EXPECT_EQ(dead.accepted(), 0);  // nothing stranded, nothing quarantined
+
+  for (size_t i = 250; i < events.size(); ++i) Feed(*log2, third, events[i]);
+  ckpt::Writer a, b;
+  third.Checkpoint(a);
+  PartitionedTPStream ref(spec, {}, nullptr);
+  for (const Event& e : events) ref.Push(e);
+  ref.Checkpoint(b);
+  EXPECT_EQ(a.buffer(), b.buffer());
+}
+
 TEST(RecoveryManager, DiskFullCheckpointFailsCleanAndForcesFullNext) {
   const QuerySpec spec = SensorSpec(/*partitioned=*/true);
   const std::vector<Event> events = MakeStream(200, 27, /*keys=*/10);
